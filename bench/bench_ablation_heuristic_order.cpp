@@ -1,0 +1,94 @@
+// Ablation: heuristic sweep-order and step-size variants. The paper's
+// heuristic decrements set weights one unit per sweep in index order; this
+// bench compares that against descending-initial-weight ordering and
+// greedy maximal steps, on identical generated instances.
+#include "bench_common.hpp"
+#include "core/queue_sizing.hpp"
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lid;
+  const util::Cli cli(argc, argv);
+  const int trials = static_cast<int>(cli.get_int("trials", 30));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 8)));
+
+  bench::banner("Ablation A2", "heuristic sweep order / step size");
+
+  struct Variant {
+    const char* name;
+    core::HeuristicOptions options;
+  };
+  Variant variants[4];
+  variants[0].name = "paper: index order, unit steps";
+  variants[1].name = "descending initial weight";
+  variants[1].options.order_by_weight = true;
+  variants[2].name = "greedy maximal steps";
+  variants[2].options.greedy_steps = true;
+  variants[3].name = "descending + greedy";
+  variants[3].options.order_by_weight = true;
+  variants[3].options.greedy_steps = true;
+
+  std::vector<lis::LisGraph> systems;
+  for (int t = 0; t < trials; ++t) {
+    gen::GeneratorParams params;
+    params.vertices = 80;
+    params.sccs = 10;
+    params.min_cycles = 2;
+    params.relay_stations = 12;
+    params.reconvergent = true;
+    params.policy = gen::RsPolicy::kScc;
+    systems.push_back(gen::generate(params, rng));
+  }
+  // One exact reference per system (generous timeout; skip on cut-off).
+  std::vector<double> exact_tokens;
+  for (const lis::LisGraph& system : systems) {
+    core::QsOptions options;
+    options.method = core::QsMethod::kExact;
+    options.exact.timeout_ms = 3000;
+    const core::QsReport report = core::size_queues(system, options);
+    exact_tokens.push_back(report.exact->finished
+                               ? static_cast<double>(report.exact->total_extra_tokens)
+                               : -1.0);
+  }
+
+  util::Table table({"variant", "avg tokens", "avg CPU ms", "avg excess over exact"});
+  for (const Variant& variant : variants) {
+    std::vector<double> tokens, cpu, excess;
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      core::QsOptions options;
+      options.method = core::QsMethod::kHeuristic;
+      options.heuristic = variant.options;
+      const core::QsReport report = core::size_queues(systems[i], options);
+      tokens.push_back(static_cast<double>(report.heuristic->total_extra_tokens));
+      cpu.push_back(report.heuristic->cpu_ms);
+      if (exact_tokens[i] > 0.0) {
+        excess.push_back(static_cast<double>(report.heuristic->total_extra_tokens) -
+                         exact_tokens[i]);
+      }
+    }
+    table.add_row({variant.name, util::Table::fmt(util::mean(tokens)),
+                   util::Table::fmt(util::mean(cpu), 3),
+                   excess.empty() ? "-" : util::Table::fmt(util::mean(excess))});
+  }
+  // The LP-rounding alternative, run on the same TD instances.
+  {
+    std::vector<double> tokens, cpu, excess;
+    for (std::size_t i = 0; i < systems.size(); ++i) {
+      const core::QsProblem problem = core::build_qs_problem(systems[i]);
+      util::Timer timer;
+      const core::TdSolution rounded = core::solve_lp_rounding(problem.td);
+      cpu.push_back(timer.elapsed_ms());
+      tokens.push_back(static_cast<double>(rounded.total));
+      if (exact_tokens[i] > 0.0) {
+        excess.push_back(static_cast<double>(rounded.total) - exact_tokens[i]);
+      }
+    }
+    table.add_row({"LP relaxation + ceiling", util::Table::fmt(util::mean(tokens)),
+                   util::Table::fmt(util::mean(cpu), 3),
+                   excess.empty() ? "-" : util::Table::fmt(util::mean(excess))});
+  }
+  table.print(std::cout);
+  bench::footnote("all variants must stay feasible; the paper's order is the baseline");
+  return 0;
+}

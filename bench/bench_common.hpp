@@ -1,0 +1,29 @@
+// Shared plumbing for the experiment harnesses: every bench binary prints
+// the rows of one paper table/figure. Default parameters are scaled so the
+// full `for b in build/bench/*; do $b; done` sweep finishes in minutes on a
+// laptop; pass --trials / --timeout-ms etc. to reproduce at paper scale.
+#pragma once
+
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rational.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace lid::bench {
+
+/// Prints the standard experiment banner.
+inline void banner(const std::string& id, const std::string& what) {
+  std::cout << "==== " << id << " — " << what << " ====\n";
+}
+
+/// Prints a paper-vs-measured footnote line.
+inline void footnote(const std::string& text) { std::cout << "  note: " << text << "\n"; }
+
+}  // namespace lid::bench

@@ -1,0 +1,78 @@
+// Extension experiment: static scheduling (Casu–Macchiarulo, Sec. II) vs
+// backpressure with queue sizing.
+//
+// On a closed system both achieve the ideal MST — the schedule without any
+// stop wires, queue sizing with q grown on the bottleneck channels. But when
+// the environment deviates from what the schedule assumed, the schedule
+// demands firings the hardware cannot honour (a correctness violation —
+// valid data would be lost or garbage consumed), while the backpressured
+// system gracefully tracks min(environment rate, MST).
+#include "bench_common.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/scheduling.hpp"
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/protocol_sim.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lid;
+  const util::Cli cli(argc, argv);
+  const auto periods = static_cast<std::size_t>(cli.get_int("periods", 4000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 10)));
+
+  bench::banner("Extension", "static scheduling vs backpressure (closed and open)");
+
+  // A closed system: one SCC with relay stations.
+  gen::GeneratorParams params;
+  params.vertices = 8;
+  params.sccs = 1;
+  params.min_cycles = 3;
+  params.relay_stations = 2;
+  params.policy = gen::RsPolicy::kAny;
+  const lis::LisGraph system = gen::generate(params, rng);
+
+  const core::StaticSchedule schedule = core::compute_static_schedule(system);
+  if (!schedule.found) {
+    std::cout << "generated system had no periodic schedule; rerun with another --seed\n";
+    return 1;
+  }
+  std::cout << "closed system: ideal MST " << lis::ideal_mst(system).to_string()
+            << ", schedule period " << schedule.period << " after transient "
+            << schedule.transient << "\n\n";
+
+  util::Table table({"environment", "mechanism", "throughput", "schedule violations"});
+  const auto run_backpressure = [&](std::size_t env_period) {
+    core::QsOptions qs;
+    qs.method = core::QsMethod::kHeuristic;
+    const core::QsReport report = core::size_queues(system, qs);
+    lis::ProtocolOptions options;
+    options.periods = periods;
+    options.behaviors.resize(system.num_cores());
+    if (env_period != 0) {
+      options.behaviors[0].environment_gate = [env_period](std::int64_t t) {
+        return static_cast<std::size_t>(t) % env_period == 0;
+      };
+    }
+    return simulate_protocol(report.sized, options).throughput;
+  };
+
+  const core::ScheduleReplay closed = core::replay_schedule(system, schedule, periods);
+  table.add_row({"as designed", "static schedule", util::Table::fmt(closed.throughput.to_double(), 3),
+                 std::to_string(closed.violations)});
+  table.add_row({"as designed", "backpressure + QS",
+                 util::Table::fmt(run_backpressure(0).to_double(), 3), "-"});
+
+  for (const std::size_t env : {2u, 3u}) {
+    const core::ScheduleReplay open = core::replay_schedule(system, schedule, periods, env);
+    table.add_row({"core 0 throttled to 1/" + std::to_string(env), "static schedule",
+                   util::Table::fmt(open.throughput.to_double(), 3),
+                   std::to_string(open.violations)});
+    table.add_row({"core 0 throttled to 1/" + std::to_string(env), "backpressure + QS",
+                   util::Table::fmt(run_backpressure(env).to_double(), 3), "-"});
+  }
+  table.print(std::cout);
+  bench::footnote("a schedule violation means the fixed schedule would clock a core without "
+                  "valid inputs — the failure mode Sec. II attributes to schedule-based "
+                  "approaches on open systems; backpressure simply adapts");
+  return 0;
+}

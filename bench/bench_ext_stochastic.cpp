@@ -1,0 +1,67 @@
+// Extension experiment: stochastic environments. Periodic environments
+// achieve exactly min(rate, MST); a Bernoulli(p) environment with the same
+// average rate loses extra throughput to burstiness (queues empty out during
+// droughts and cap out during bursts), and deeper queues claw some of it
+// back. Backpressure keeps everything lossless throughout.
+#include "bench_common.hpp"
+#include "lis/paper_systems.hpp"
+#include "lis/protocol_sim.hpp"
+#include <memory>
+
+#include "util/rng.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lid;
+  const util::Cli cli(argc, argv);
+  const auto periods = static_cast<std::size_t>(cli.get_int("periods", 30000));
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 11)));
+
+  bench::banner("Extension", "periodic vs Bernoulli environments at equal average rate");
+
+  lis::LisGraph base = lis::make_two_core_example();  // MST 2/3 (q = 1)
+
+  const auto run = [&](int num, int den, bool stochastic, int extra_queue) {
+    lis::LisGraph system = base;
+    if (extra_queue > 0) {
+      for (lis::ChannelId c = 0; c < static_cast<lis::ChannelId>(system.num_channels()); ++c) {
+        system.set_queue_capacity(c, system.channel(c).queue_capacity + extra_queue);
+      }
+    }
+    lis::ProtocolOptions options;
+    options.periods = periods;
+    options.reference = 1;
+    options.behaviors.resize(system.num_cores());
+    if (stochastic) {
+      // Each run draws a fresh deterministic stream from the master seed.
+      auto gen = std::make_shared<util::Rng>(rng.fork_seed());
+      const double p = static_cast<double>(num) / den;
+      options.behaviors[0].environment_gate = [gen, p](std::int64_t) {
+        return gen->flip(p);
+      };
+    } else {
+      options.behaviors[0].environment_gate = [num, den](std::int64_t t) {
+        return (t % den) < num;
+      };
+    }
+    return simulate_protocol(system, options).throughput.to_double();
+  };
+
+  util::Table table({"avg environment rate", "periodic (q=1)", "Bernoulli (q=1)",
+                     "Bernoulli (q=5)", "Bernoulli (q=13)"});
+  const std::pair<int, int> rates[] = {{1, 2}, {3, 5}, {2, 3}, {4, 5}, {1, 1}};
+  for (const auto& [num, den] : rates) {
+    table.add_row({util::Table::fmt(static_cast<double>(num) / den),
+                   util::Table::fmt(run(num, den, false, 0), 3),
+                   util::Table::fmt(run(num, den, true, 0), 3),
+                   util::Table::fmt(run(num, den, true, 4), 3),
+                   util::Table::fmt(run(num, den, true, 12), 3)});
+  }
+  table.print(std::cout);
+  bench::footnote(
+      "three effects on display: (1) at q = 1 burstiness costs throughput whenever a "
+      "refused offer is lost; (2) deep queues repair the structural 2/3 degradation AND "
+      "absorb bursts, so Bernoulli tracks its offered rate; (3) a periodic pattern "
+      "misaligned with the system's natural period can even underperform its average "
+      "(the 0.60 row) — only backpressure adapts to all of these (Sec. II)");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Micro-benchmarks: minimum-cycle-mean algorithms (Karp vs Howard) and the
+// MST pipeline on generated doubled graphs of growing size.
+#include <benchmark/benchmark.h>
+
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "mg/mcm.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lid;
+
+lis::Expansion doubled_system(int vertices, int sccs) {
+  util::Rng rng(42);
+  gen::GeneratorParams params;
+  params.vertices = vertices;
+  params.sccs = sccs;
+  params.min_cycles = 3;
+  params.relay_stations = 10;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  return lis::expand_doubled(gen::generate(params, rng));
+}
+
+void BM_KarpMcm(benchmark::State& state) {
+  const lis::Expansion ex = doubled_system(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mg::min_cycle_mean_karp(ex.graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_KarpMcm)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_HowardMcm(benchmark::State& state) {
+  const lis::Expansion ex = doubled_system(static_cast<int>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mg::min_cycle_mean_howard(ex.graph));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_HowardMcm)->Arg(25)->Arg(50)->Arg(100)->Arg(200)->Complexity();
+
+void BM_PracticalMst(benchmark::State& state) {
+  util::Rng rng(43);
+  gen::GeneratorParams params;
+  params.vertices = static_cast<int>(state.range(0));
+  params.sccs = 5;
+  params.min_cycles = 3;
+  params.relay_stations = 10;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  const lis::LisGraph system = gen::generate(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lis::practical_mst(system));
+  }
+}
+BENCHMARK(BM_PracticalMst)->Arg(50)->Arg(100)->Arg(200);
+
+}  // namespace
+
+BENCHMARK_MAIN();

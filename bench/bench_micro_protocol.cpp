@@ -1,0 +1,74 @@
+// Micro-benchmarks: protocol-simulator throughput (simulated periods per
+// second) across system sizes and feature mixes.
+#include <benchmark/benchmark.h>
+
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/protocol_sim.hpp"
+#include "mg/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lid;
+
+lis::LisGraph system_of(int vertices, bool pipelined_cores) {
+  util::Rng rng(49);
+  gen::GeneratorParams params;
+  params.vertices = vertices;
+  params.sccs = 3;
+  params.min_cycles = 2;
+  params.relay_stations = 6;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  lis::LisGraph system = gen::generate(params, rng);
+  if (pipelined_cores) {
+    for (lis::CoreId v = 0; v < static_cast<lis::CoreId>(system.num_cores()); v += 3) {
+      system.set_core_latency(v, 3);
+    }
+  }
+  return system;
+}
+
+void BM_ProtocolSim(benchmark::State& state) {
+  const lis::LisGraph system = system_of(static_cast<int>(state.range(0)), false);
+  for (auto _ : state) {
+    lis::ProtocolOptions options;
+    options.periods = 2000;
+    options.record_traces = true;  // defeat early recurrence exit
+    benchmark::DoNotOptimize(simulate_protocol(system, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ProtocolSim)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_ProtocolSimPipelined(benchmark::State& state) {
+  const lis::LisGraph system = system_of(static_cast<int>(state.range(0)), true);
+  for (auto _ : state) {
+    lis::ProtocolOptions options;
+    options.periods = 2000;
+    options.record_traces = true;
+    benchmark::DoNotOptimize(simulate_protocol(system, options));
+  }
+  state.SetItemsProcessed(state.iterations() * 2000);
+}
+BENCHMARK(BM_ProtocolSimPipelined)->Arg(20)->Arg(50);
+
+void BM_MarkedGraphSim(benchmark::State& state) {
+  // Measures a realistic analysis call: the simulator stops at the first
+  // marking recurrence, so runs are shorter than the 2000-step budget.
+  const lis::Expansion ex =
+      lis::expand_doubled(system_of(static_cast<int>(state.range(0)), false));
+  std::size_t steps = 0;
+  for (auto _ : state) {
+    const mg::SimulationResult r = mg::simulate(ex.graph, 2000);
+    steps = r.steps_run;
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["steps_to_recurrence"] = static_cast<double>(steps);
+}
+BENCHMARK(BM_MarkedGraphSim)->Arg(20)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+// Micro-benchmarks: the queue-sizing solvers (TD heuristic and exact
+// branch-and-bound) on instances built from generated systems.
+#include <benchmark/benchmark.h>
+
+#include "core/exact.hpp"
+#include "core/heuristic.hpp"
+#include "core/qs_problem.hpp"
+#include "core/token_deficit.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lid;
+
+core::QsProblem make_problem(int vertices, int sccs, std::uint64_t seed) {
+  util::Rng rng(seed);
+  gen::GeneratorParams params;
+  params.vertices = vertices;
+  params.sccs = sccs;
+  params.min_cycles = 2;
+  params.relay_stations = 10;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  return core::build_qs_problem(gen::generate(params, rng));
+}
+
+void BM_BuildQsProblem(benchmark::State& state) {
+  util::Rng rng(45);
+  gen::GeneratorParams params;
+  params.vertices = static_cast<int>(state.range(0));
+  params.sccs = 10;
+  params.min_cycles = 2;
+  params.relay_stations = 10;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  const lis::LisGraph system = gen::generate(params, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_qs_problem(system));
+  }
+}
+BENCHMARK(BM_BuildQsProblem)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Heuristic(benchmark::State& state) {
+  const core::QsProblem problem = make_problem(static_cast<int>(state.range(0)), 10, 46);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_heuristic(problem.td));
+  }
+  state.counters["cycles"] = static_cast<double>(problem.td.num_cycles());
+}
+BENCHMARK(BM_Heuristic)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Simplify(benchmark::State& state) {
+  const core::QsProblem problem = make_problem(static_cast<int>(state.range(0)), 10, 47);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simplify(problem.td));
+  }
+}
+BENCHMARK(BM_Simplify)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Exact(benchmark::State& state) {
+  const core::QsProblem problem = make_problem(static_cast<int>(state.range(0)), 10, 48);
+  const core::TdSolution upper = core::solve_heuristic(problem.td);
+  core::ExactOptions options;
+  options.timeout_ms = 2000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_exact(problem.td, upper, options));
+  }
+}
+BENCHMARK(BM_Exact)->Arg(50)->Arg(100);
+
+}  // namespace
+
+BENCHMARK_MAIN();

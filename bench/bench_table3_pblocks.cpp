@@ -1,0 +1,89 @@
+// Table III / Figs. 7-14: the anatomy of the NP-completeness gadget.
+//
+// For one vertex-cover edge (u, v), this bench dissects the reduced LIS's
+// doubled graph exactly as the proof does: the edge-construct cycle (Fig. 12,
+// mean 4/6 — the cycle forcing a token on u's or v's construct backedge),
+// the limiter ring pinning θ(G) = 5/6, and the side-effect cycles (Fig. 13),
+// whose means stay >= 5/6 once a cover is applied. Table III's P-block token
+// counts depend on the paper's hop-level backedge drawing; this library's
+// channel-level queue backedges (docs/model.md) shorten the backward
+// traversals, so the segment accounting differs while every cycle-level
+// quantity the proof relies on is preserved — which the output verifies.
+#include <algorithm>
+
+#include "bench_common.hpp"
+#include "core/queue_sizing.hpp"
+#include "graph/cycles.hpp"
+#include "lis/lis_graph.hpp"
+#include "npc/vc_reduction.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lid;
+  const util::Cli cli(argc, argv);
+  (void)cli;
+
+  bench::banner("Table III / Figs. 7-14", "anatomy of the vertex-cover gadget");
+
+  // The smallest interesting instance: a triangle (cover size 2), which has
+  // both the per-edge Fig. 12 cycles and multi-gadget side-effect cycles.
+  const npc::VcInstance triangle{3, {{0, 1}, {0, 2}, {1, 2}}};
+  const npc::QsReduction red = npc::reduce_vc_to_qs(triangle);
+
+  std::cout << "θ(G) = " << lis::ideal_mst(red.lis).to_string()
+            << " (limiter ring, Fig. 10), θ(d[G]) = "
+            << lis::practical_mst(red.lis).to_string() << "\n\n";
+
+  const lis::Expansion ex = lis::expand_doubled(red.lis);
+  const auto cycles = graph::enumerate_cycles(ex.graph.structure());
+  const util::Rational limit(5, 6);
+
+  // Histogram of cycle means below/at/above the 5/6 limit.
+  int below = 0;
+  int at = 0;
+  std::vector<std::pair<util::Rational, std::size_t>> bad_list;
+  for (const auto& cycle : cycles.cycles) {
+    const util::Rational mean(ex.graph.cycle_tokens(cycle),
+                              static_cast<std::int64_t>(cycle.size()));
+    if (mean < limit) {
+      ++below;
+      bad_list.emplace_back(mean, cycle.size());
+    } else if (mean == limit) {
+      ++at;
+    }
+  }
+  std::sort(bad_list.begin(), bad_list.end());
+  std::cout << "doubled-graph cycles: " << cycles.cycles.size() << " total, " << below
+            << " below 5/6 (deficient), " << at << " exactly at 5/6\n";
+  util::Table table({"deficient cycle", "mean", "places"});
+  int id = 0;
+  for (const auto& [mean, places] : bad_list) {
+    table.add_row({"D" + std::to_string(++id), mean.to_string(), std::to_string(places)});
+  }
+  table.print(std::cout);
+  std::cout << "(the 4/6 rows are the per-VC-edge Fig. 12 cycles; longer rows are the\n"
+            << " Fig. 13-style side-effect cycles the proof's Case 1/2 analysis covers)\n\n";
+
+  // The proof's crux, verified: min tokens == min vertex cover == 2.
+  core::QsOptions options;
+  options.method = core::QsMethod::kExact;
+  const core::QsReport report = core::size_queues(red.lis, options);
+  std::cout << "optimal queue sizing: " << report.exact->total_extra_tokens
+            << " token(s); min vertex cover of the triangle: "
+            << npc::min_vertex_cover(triangle) << "; restored MST "
+            << report.achieved_mst.to_string() << "\n";
+  // And the tokens sit on vertex-construct backedges, as the mapping says.
+  int on_constructs = 0;
+  for (std::size_t s = 0; s < report.problem.channels.size(); ++s) {
+    if (report.exact->weights[s] == 0) continue;
+    for (const lis::ChannelId construct : red.vertex_construct) {
+      if (report.problem.channels[s] == construct) {
+        on_constructs += static_cast<int>(report.exact->weights[s]);
+      }
+    }
+  }
+  std::cout << "tokens on vertex-construct backedges: " << on_constructs << " of "
+            << report.exact->total_extra_tokens << "\n";
+  bench::footnote("paper Table III lists per-P-block tokens/places under hop-level backedges; "
+                  "cycle-level totals (4/6 edge cycles, >= 5/6 elsewhere under a cover) match");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// A complete designer workflow on one system: classify the topology, check
+// pipelining headroom before placing relay stations, diagnose the resulting
+// degradation, explore the repair budget, pick a point, and verify both the
+// throughput and the storage bill.
+//
+//   $ ./design_space [--seed N]
+#include <iostream>
+
+#include "core/diagnostics.hpp"
+#include "core/pareto.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/slack.hpp"
+#include "core/storage.hpp"
+#include "gen/generator.hpp"
+#include "graph/scc.hpp"
+#include "graph/topology.hpp"
+#include "lis/protocol_sim.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lid;
+  const util::Cli cli(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 17)));
+
+  // 1. The netlist after logic design: 24 cores in 4 SCCs.
+  gen::GeneratorParams params;
+  params.vertices = 24;
+  params.sccs = 4;
+  params.min_cycles = 2;
+  params.relay_stations = 0;  // none yet — wires get pipelined after layout
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  lis::LisGraph system = gen::generate(params, rng);
+  std::cout << "netlist: " << system.num_cores() << " cores, " << system.num_channels()
+            << " channels, topology class "
+            << graph::to_string(graph::classify(system.structure())) << "\n";
+  std::cout << "pre-layout MST: " << lis::practical_mst(system).to_string() << "\n\n";
+
+  // 2. Before layout, check how much pipelining each channel tolerates.
+  int unbounded = 0;
+  int tight = 0;
+  for (const core::ChannelSlack& s : core::channel_slacks(system)) {
+    if (s.slack == core::ChannelSlack::kUnbounded) {
+      ++unbounded;
+    } else if (s.slack == 0) {
+      ++tight;
+    }
+  }
+  std::cout << "wire-pipelining slack: " << unbounded << " channels unbounded, " << tight
+            << " channels with zero headroom (on critical loops)\n\n";
+
+  // 3. Layout forces relay stations onto four long inter-SCC wires.
+  {
+    const graph::Condensation cond = graph::condense(system.structure());
+    int placed = 0;
+    for (lis::ChannelId c = 0;
+         c < static_cast<lis::ChannelId>(system.num_channels()) && placed < 4; ++c) {
+      const lis::Channel& ch = system.channel(c);
+      if (cond.partition.comp_of[static_cast<std::size_t>(ch.src)] !=
+          cond.partition.comp_of[static_cast<std::size_t>(ch.dst)]) {
+        system.set_relay_stations(c, 1 + placed % 2);
+        ++placed;
+      }
+    }
+  }
+  const core::DegradationReport report = core::explain_degradation(system);
+  std::cout << "after pipelining:\n" << report.to_string() << "\n";
+
+  // 4. What does each repair token buy?
+  std::cout << "repair budget frontier:\n";
+  util::Table frontier_table({"extra queue slots", "achieved MST"});
+  const auto frontier = core::qs_pareto_frontier(system);
+  for (const core::ParetoPoint& point : frontier) {
+    frontier_table.add_row({std::to_string(point.extra_tokens), point.achieved_mst.to_string()});
+  }
+  frontier_table.print(std::cout);
+
+  // 5. Take the full repair and verify throughput + storage.
+  core::QsOptions qs_options;
+  qs_options.method = core::QsMethod::kExact;
+  const core::QsReport qs = core::size_queues(system, qs_options);
+  std::cout << "\nfull repair: " << qs.exact->total_extra_tokens << " slot(s), MST "
+            << qs.achieved_mst.to_string() << "\n";
+  lis::ProtocolOptions sim_options;
+  sim_options.periods = 4000;
+  std::cout << "simulated: " << simulate_protocol(qs.sized, sim_options).throughput.to_string()
+            << "\n";
+  std::cout << "total worst-case channel storage: " << core::total_storage_bound(qs.sized)
+            << " items\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Open-system demo: a LIS whose environment produces valid data at a
+// variable rate, simulated with environment gates, with waveforms dumped to
+// VCD for inspection in GTKWave.
+//
+// Schedule-based alternatives to backpressure must know the environment's
+// behaviour at design time (Sec. II); the latency-insensitive protocol
+// absorbs whatever arrives — the sustained rate is min(environment, MST).
+#include <iostream>
+
+#include "lis/lis_graph.hpp"
+#include "lis/paper_systems.hpp"
+#include "lis/protocol_sim.hpp"
+#include "lis/vcd_export.hpp"
+
+int main() {
+  using namespace lid;
+
+  lis::LisGraph system = lis::make_two_core_example_sized();  // MST 1
+  std::cout << "system MST: " << lis::practical_mst(system).to_string() << "\n\n";
+
+  // A bursty environment: 4 valid items, then 4 idle periods (rate 1/2).
+  lis::ProtocolOptions options;
+  options.periods = 64;
+  options.reference = 1;
+  options.record_traces = true;
+  options.behaviors.resize(system.num_cores());
+  options.behaviors[0].environment_gate = [](std::int64_t t) { return (t / 4) % 2 == 0; };
+
+  const lis::ProtocolResult bursty = simulate_protocol(system, options);
+  std::cout << "bursty environment (4 on / 4 off):\n";
+  std::cout << "  upper port trace: "
+            << lis::format_trace(bursty.traces[0][0]).substr(0, 64) << "...\n";
+  std::cout << "  sustained throughput over " << bursty.periods
+            << " periods: " << bursty.throughput.to_string() << " (~"
+            << bursty.throughput.to_double() << ")\n";
+  lis::save_vcd(system, bursty, "open_system.vcd");
+  std::cout << "  waveforms written to open_system.vcd\n\n";
+
+  // Sweep the environment rate and print the achieved throughput.
+  std::cout << "environment rate -> sustained throughput (long run):\n";
+  for (int denom = 1; denom <= 6; ++denom) {
+    lis::ProtocolOptions sweep;
+    sweep.periods = 6000;
+    sweep.reference = 1;
+    sweep.behaviors.resize(system.num_cores());
+    sweep.behaviors[0].environment_gate = [denom](std::int64_t t) { return t % denom == 0; };
+    const lis::ProtocolResult r = simulate_protocol(system, sweep);
+    std::cout << "  1/" << denom << "  ->  " << r.throughput.to_double() << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// The Fig. 15 counterexample, interactively: why relay-station insertion is
+// not a complete repair. Prints the system, the degrading cycle, what
+// happens on every single-channel insertion, and the queue-sizing repair.
+#include <iostream>
+
+#include "core/queue_sizing.hpp"
+#include "core/rs_insertion.hpp"
+#include "lis/paper_systems.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace lid;
+
+  const lis::LisGraph system = lis::make_fig15_counterexample();
+  std::cout << "Fig. 15 counterexample: 5 cores, 7 channels, one relay station on (A,E).\n";
+  std::cout << "ideal MST θ(G) = " << lis::ideal_mst(system).to_string()
+            << "  (cycle A→rs→E→D→C→B→A, 5 tokens / 6 places)\n";
+  std::cout << "practical MST θ(d[G]) = " << lis::practical_mst(system).to_string()
+            << "  (cycle A→rs→E, backedge E→C, backedge C→A)\n\n";
+
+  std::cout << "Effect of inserting ONE extra relay station per channel:\n";
+  util::Table table({"channel", "new ideal MST", "new practical MST", "verdict"});
+  for (lis::ChannelId ch = 0; ch < static_cast<lis::ChannelId>(system.num_channels()); ++ch) {
+    lis::LisGraph modified = system;
+    modified.set_relay_stations(ch, system.channel(ch).relay_stations + 1);
+    const util::Rational ideal = lis::ideal_mst(modified);
+    const util::Rational practical = lis::practical_mst(modified);
+    std::string verdict;
+    if (ideal < lis::ideal_mst(system)) {
+      verdict = "lowers the ideal MST itself";
+    } else if (practical >= lis::ideal_mst(system)) {
+      verdict = "would fix it";
+    } else {
+      verdict = "degradation remains";
+    }
+    const lis::Channel& c = system.channel(ch);
+    table.add_row({"(" + system.core_name(c.src) + "," + system.core_name(c.dst) + ")",
+                   ideal.to_string(), practical.to_string(), verdict});
+  }
+  table.print(std::cout);
+
+  const core::RsInsertionResult exhaustive = core::exhaustive_rs_insertion(system, 3);
+  std::cout << "\nexhaustive search over up to 3 extra stations ("
+            << exhaustive.configurations_tried
+            << " configurations): best practical MST = "
+            << exhaustive.best_practical.to_string() << " < 5/6 — no assignment works.\n";
+
+  core::QsOptions options;
+  options.method = core::QsMethod::kExact;
+  const core::QsReport report = core::size_queues(system, options);
+  std::cout << "queue sizing instead: " << report.exact->total_extra_tokens
+            << " extra token(s) restore MST " << report.achieved_mst.to_string() << ".\n";
+  return 0;
+}

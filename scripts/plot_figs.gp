@@ -1,0 +1,23 @@
+# Renders Fig. 16 / Fig. 17 from the CSVs produced by run_experiments.sh.
+#   gnuplot -e "outdir='results'" scripts/plot_figs.gp
+if (!exists("outdir")) outdir = "results"
+set datafile separator ","
+set key bottom right
+set xlabel "uniform queue size q"
+set grid
+
+set terminal svg size 720,480
+set output sprintf("%s/fig16.svg", outdir)
+set ylabel "average MST"
+set yrange [0:1.05]
+set title "Fig. 16 — MST with infinite vs finite queues (v=50 s=5 c=5 rp=1 rs=10)"
+plot sprintf("%s/fig16.csv", outdir) using 1:2 with linespoints title "scc: infinite", \
+     '' using 1:3 with linespoints title "scc: finite", \
+     '' using 1:4 with linespoints title "any: infinite", \
+     '' using 1:5 with linespoints title "any: finite"
+
+set output sprintf("%s/fig17.svg", outdir)
+set ylabel "fraction of ideal MST"
+set title "Fig. 17 — fixed queue sizing (scc insertion)"
+plot for [col=2:4] sprintf("%s/fig17.csv", outdir) using 1:col with linespoints \
+     title columnheader(col)

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Runs the full experiment suite at paper scale (50 trials, long timeouts)
+# and collects CSVs for plotting. Expects an existing build/ directory.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=${1:-results}
+mkdir -p "$OUT"
+
+echo "== figures (CSV into $OUT) =="
+./build/bench/bench_fig16_mst_degradation --trials 50 --csv "$OUT/fig16.csv"
+./build/bench/bench_fig17_fixed_qs --trials 50 --csv "$OUT/fig17.csv"
+
+echo "== tables =="
+./build/bench/bench_table1_trace
+./build/bench/bench_table2_topologies --trials 50
+./build/bench/bench_table3_pblocks
+./build/bench/bench_table4_exact_vs_heuristic --trials 50 --timeout-ms 60000
+./build/bench/bench_table5_cofdm --timeout-ms 60000
+./build/bench/bench_table6_critical_cycles
+
+echo "== counterexample, reduction, ablations, extensions =="
+./build/bench/bench_fig15_counterexample
+./build/bench/bench_npc_reduction
+./build/bench/bench_ablation_simplify
+./build/bench/bench_ablation_heuristic_order
+./build/bench/bench_ablation_exact_solvers
+./build/bench/bench_ext_open_system
+./build/bench/bench_ext_scheduling
+./build/bench/bench_ext_storage
+./build/bench/bench_ext_pareto
+
+if command -v gnuplot >/dev/null 2>&1; then
+  echo "== plots =="
+  gnuplot -e "outdir='$OUT'" scripts/plot_figs.gp
+  echo "wrote $OUT/fig16.svg and $OUT/fig17.svg"
+fi

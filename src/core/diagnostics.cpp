@@ -1,0 +1,56 @@
+#include "core/diagnostics.hpp"
+
+#include <sstream>
+
+#include "mg/mcm.hpp"
+
+namespace lid::core {
+
+std::string DegradationReport::to_string() const {
+  std::ostringstream os;
+  os << "ideal MST θ(G) = " << theta_ideal << ", practical MST θ(d[G]) = " << theta_practical;
+  if (!degraded) {
+    os << " — no backpressure degradation\n";
+    return os.str();
+  }
+  os << " — DEGRADED\n";
+  os << "critical cycle (" << cycle_tokens << " tokens / " << cycle_places << " places):\n";
+  for (const CriticalHop& hop : critical_cycle) {
+    os << "  " << (hop.backward ? "[back] " : "[fwd]  ") << hop.description << "  (tokens "
+       << hop.tokens << ")\n";
+  }
+  return os.str();
+}
+
+DegradationReport explain_degradation(const lis::LisGraph& lis) {
+  DegradationReport report;
+  report.theta_ideal = lis::ideal_mst(lis);
+
+  const lis::Expansion expansion = lis::expand_doubled(lis);
+  report.theta_practical = mg::mst(expansion.graph);
+  report.degraded = report.theta_practical < report.theta_ideal;
+
+  const auto critical = mg::min_cycle_mean_howard(expansion.graph);
+  if (!critical) return report;  // acyclic doubled graph: single channel-free core
+
+  report.cycle_places = static_cast<std::int64_t>(critical->cycle.size());
+  report.cycle_tokens = expansion.graph.cycle_tokens(critical->cycle);
+  for (const mg::PlaceId p : critical->cycle) {
+    CriticalHop hop;
+    hop.channel = expansion.place_channel[static_cast<std::size_t>(p)];
+    hop.backward = expansion.graph.place_kind(p) == mg::PlaceKind::kBackward;
+    hop.tokens = expansion.graph.tokens(p);
+    std::ostringstream os;
+    os << expansion.graph.transition_name(expansion.graph.producer(p))
+       << (hop.backward ? " ~> " : " -> ")
+       << expansion.graph.transition_name(expansion.graph.consumer(p));
+    if (hop.backward && p == expansion.queue_place(hop.channel)) {
+      os << " (queue backedge, capacity " << lis.channel(hop.channel).queue_capacity << ")";
+    }
+    hop.description = os.str();
+    report.critical_cycle.push_back(std::move(hop));
+  }
+  return report;
+}
+
+}  // namespace lid::core

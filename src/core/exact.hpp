@@ -1,0 +1,47 @@
+// Exact Token-Deficit solver (Sec. VII-B).
+//
+// The paper's exact algorithm binary-searches the budget K between 1 and the
+// heuristic solution; each probe answers the decision problem "can K extra
+// tokens cover every deficit?" with a depth-K search tree over unit token
+// placements. This implementation keeps that structure and adds standard
+// branch-and-bound ingredients (most-constrained-cycle branching, a
+// max-residual-deficit pruning bound) plus a wall-clock timeout, mirroring
+// the 1-hour cutoff used for Table IV / Table V.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/token_deficit.hpp"
+#include "util/timer.hpp"
+
+namespace lid::core {
+
+/// Options for the exact search.
+struct ExactOptions {
+  /// Wall-clock budget; <= 0 means unlimited.
+  double timeout_ms = 0.0;
+  /// Hard cap on explored search nodes; 0 means unlimited.
+  std::int64_t max_nodes = 0;
+};
+
+/// Outcome of an exact solve.
+struct ExactResult {
+  /// The optimal solution, present unless the search was cut off before it
+  /// could be proven optimal.
+  std::optional<TdSolution> solution;
+  /// True when the timeout or node cap fired.
+  bool cut_off = false;
+  /// Search nodes explored across all probes.
+  std::int64_t nodes_explored = 0;
+  /// Wall time spent.
+  double elapsed_ms = 0.0;
+};
+
+/// Finds a minimum-total solution. `upper_bound` must be a feasible solution
+/// (typically the heuristic's); the search never returns a worse one — on
+/// cut-off, `solution` is absent but the caller still holds `upper_bound`.
+ExactResult solve_exact(const TdInstance& instance, const TdSolution& upper_bound,
+                        const ExactOptions& options = {});
+
+}  // namespace lid::core

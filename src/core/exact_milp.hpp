@@ -1,0 +1,25 @@
+// Queue sizing as a mixed-integer linear program — the Lu–Koh baseline
+// ([35], [36]) the paper explicitly forgoes ("we forgo the popular MILP
+// approach to these hard problems", Sec. II). The Token-Deficit instance is
+// a covering program:
+//
+//     minimize   Σ_s w_s
+//     subject to Σ_{s ∋ c} w_s >= deficit(c)   for every cycle c,
+//                w integral, w >= 0,
+//
+// solved with the exact-rational branch-and-bound ILP of src/milp. Exists to
+// make the paper's methodological comparison concrete; agrees with the
+// combinatorial exact solvers everywhere.
+#pragma once
+
+#include "core/exact.hpp"
+#include "core/token_deficit.hpp"
+
+namespace lid::core {
+
+/// Solves the TD instance via the MILP formulation. Same contract as
+/// solve_exact(); `upper_bound` is used only as a sanity check.
+ExactResult solve_exact_milp(const TdInstance& instance, const TdSolution& upper_bound,
+                             const ExactOptions& options = {});
+
+}  // namespace lid::core

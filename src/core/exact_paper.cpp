@@ -1,0 +1,157 @@
+#include "core/exact_paper.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace lid::core {
+namespace {
+
+/// The replicated instance: every copy of set s may carry at most one token.
+struct Replicated {
+  /// replica[i] = original set index of replica i.
+  std::vector<int> origin;
+};
+
+Replicated replicate(const TdInstance& instance) {
+  Replicated out;
+  for (std::size_t s = 0; s < instance.num_sets(); ++s) {
+    std::int64_t largest = 0;
+    for (const int c : instance.set_members[s]) {
+      largest = std::max(largest, instance.deficits[static_cast<std::size_t>(c)]);
+    }
+    for (std::int64_t r = 0; r < largest; ++r) {
+      out.origin.push_back(static_cast<int>(s));
+    }
+  }
+  return out;
+}
+
+/// Depth-limited search: place exactly-one-token replicas in non-decreasing
+/// replica order until every cycle is satisfied or the depth budget runs out.
+class PaperSearch {
+ public:
+  PaperSearch(const TdInstance& instance, const Replicated& replicated,
+              const ExactOptions& options, ExactResult& stats)
+      : instance_(instance),
+        replicated_(replicated),
+        options_(options),
+        deadline_(options.timeout_ms),
+        stats_(stats) {}
+
+  std::optional<std::vector<std::int64_t>> run(std::int64_t budget) {
+    residual_ = instance_.deficits;
+    weights_.assign(instance_.num_sets(), 0);
+    unsatisfied_ = 0;
+    for (const std::int64_t d : residual_) {
+      if (d > 0) ++unsatisfied_;
+    }
+    cut_off_ = false;
+    if (descend(0, budget)) return weights_;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool cut_off() const { return cut_off_; }
+
+ private:
+  bool descend(std::size_t first_replica, std::int64_t budget) {
+    if (++stats_.nodes_explored % 512 == 0) {
+      if (deadline_.expired() ||
+          (options_.max_nodes > 0 && stats_.nodes_explored >= options_.max_nodes)) {
+        cut_off_ = true;
+      }
+    }
+    if (cut_off_) return false;
+    if (unsatisfied_ == 0) return true;
+    if (budget == 0) return false;
+
+    for (std::size_t r = first_replica; r < replicated_.origin.size(); ++r) {
+      const auto s = static_cast<std::size_t>(replicated_.origin[r]);
+      place(s);
+      if (descend(r + 1, budget - 1)) return true;
+      unplace(s);
+      if (cut_off_) return false;
+    }
+    return false;
+  }
+
+  void place(std::size_t s) {
+    weights_[s] += 1;
+    for (const int c : instance_.set_members[s]) {
+      const auto ci = static_cast<std::size_t>(c);
+      if (residual_[ci] == 1) --unsatisfied_;
+      residual_[ci] -= 1;
+    }
+  }
+
+  void unplace(std::size_t s) {
+    weights_[s] -= 1;
+    for (const int c : instance_.set_members[s]) {
+      const auto ci = static_cast<std::size_t>(c);
+      residual_[ci] += 1;
+      if (residual_[ci] == 1) ++unsatisfied_;
+    }
+  }
+
+  const TdInstance& instance_;
+  const Replicated& replicated_;
+  const ExactOptions& options_;
+  util::Deadline deadline_;
+  ExactResult& stats_;
+
+  std::vector<std::int64_t> residual_;
+  std::vector<std::int64_t> weights_;
+  int unsatisfied_ = 0;
+  bool cut_off_ = false;
+};
+
+}  // namespace
+
+ExactResult solve_exact_paper(const TdInstance& instance, const TdSolution& upper_bound,
+                              const ExactOptions& options) {
+  LID_ENSURE(instance.is_feasible(upper_bound.weights),
+             "solve_exact_paper: upper bound infeasible");
+  util::Timer timer;
+  ExactResult result;
+
+  if (instance.num_cycles() == 0) {
+    result.solution = TdSolution{std::vector<std::int64_t>(instance.num_sets(), 0), 0};
+    result.elapsed_ms = timer.elapsed_ms();
+    return result;
+  }
+
+  const Replicated replicated = replicate(instance);
+  PaperSearch search(instance, replicated, options, result);
+
+  TdSolution best = upper_bound;
+  std::int64_t lo = 1;
+  std::int64_t hi = upper_bound.total;
+  bool proven = true;
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    const auto assignment = search.run(mid);
+    if (search.cut_off()) {
+      proven = false;
+      break;
+    }
+    if (assignment) {
+      best.weights = *assignment;
+      best.total = std::accumulate(assignment->begin(), assignment->end(), std::int64_t{0});
+      hi = best.total;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  result.elapsed_ms = timer.elapsed_ms();
+  result.cut_off = !proven;
+  if (proven) {
+    LID_ASSERT(instance.is_feasible(best.weights), "paper exact solution infeasible");
+    result.solution = best;
+  }
+  return result;
+}
+
+}  // namespace lid::core

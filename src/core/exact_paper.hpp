@@ -1,0 +1,29 @@
+// The paper's exact algorithm, implemented literally (Sec. VII-B):
+//
+//   "First, the graph instance is expanded by replicating the sets s_x, so
+//    that if D is the largest deficit of the elements of s_i, then s_i will
+//    be replicated D times. This simplifies the problem since for all
+//    weights, w(s_x) ∈ {0, 1}. Then, we perform a binary search on K whose
+//    values vary from K = 1 to K = the heuristic solution. For each round of
+//    the search, we build a K-depth search tree that branches by choosing
+//    one of the edges to have w(s_x) = 1."
+//
+// The only liberty taken is enumerating the K placements in non-decreasing
+// replicated-set order, so each multiset of placements is visited once
+// instead of K! times — the same tree, deduplicated. The branch-and-bound
+// solver in exact.hpp dominates this algorithm; this one exists for fidelity
+// and for the solver-comparison ablation.
+#pragma once
+
+#include "core/exact.hpp"
+#include "core/token_deficit.hpp"
+
+namespace lid::core {
+
+/// Runs the paper's replicate-and-search exact algorithm. Same contract as
+/// solve_exact(): `upper_bound` must be feasible; on cut-off no solution is
+/// reported.
+ExactResult solve_exact_paper(const TdInstance& instance, const TdSolution& upper_bound,
+                              const ExactOptions& options = {});
+
+}  // namespace lid::core

@@ -1,0 +1,39 @@
+#include "core/fixed_qs.hpp"
+
+#include "util/check.hpp"
+
+namespace lid::core {
+
+util::Rational fixed_qs_mst(const lis::LisGraph& lis, int q) {
+  LID_ENSURE(q >= 1, "fixed_qs_mst: q must be at least 1");
+  lis::LisGraph fixed = lis;
+  fixed.set_all_queue_capacities(q);
+  return lis::practical_mst(fixed);
+}
+
+std::vector<FixedQsPoint> fixed_qs_sweep(const lis::LisGraph& lis, int q_max) {
+  LID_ENSURE(q_max >= 1, "fixed_qs_sweep: q_max must be at least 1");
+  const util::Rational ideal = lis::ideal_mst(lis);
+  std::vector<FixedQsPoint> points;
+  points.reserve(static_cast<std::size_t>(q_max));
+  for (int q = 1; q <= q_max; ++q) {
+    FixedQsPoint point;
+    point.q = q;
+    point.mst = fixed_qs_mst(lis, q);
+    point.fraction_of_ideal =
+        ideal.num() == 0 ? 1.0 : (point.mst / ideal).to_double();
+    points.push_back(point);
+  }
+  return points;
+}
+
+int smallest_sufficient_fixed_q(const lis::LisGraph& lis, int q_limit) {
+  LID_ENSURE(q_limit >= 1, "smallest_sufficient_fixed_q: limit must be at least 1");
+  const util::Rational ideal = lis::ideal_mst(lis);
+  for (int q = 1; q <= q_limit; ++q) {
+    if (fixed_qs_mst(lis, q) >= ideal) return q;
+  }
+  return 0;
+}
+
+}  // namespace lid::core

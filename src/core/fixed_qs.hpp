@@ -1,0 +1,34 @@
+// Fixed queue sizing (Sec. IV): set every queue in the system to the same
+// capacity q and measure the resulting practical MST. The paper proves q = 1
+// suffices for trees and cactus-SCC topologies, that q = r + 1 (r = total
+// relay stations) always suffices, and measures how quickly moderate fixed q
+// approaches the ideal MST on general topologies (Fig. 17).
+#pragma once
+
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+
+/// MST of `lis` with every queue capacity set to q.
+util::Rational fixed_qs_mst(const lis::LisGraph& lis, int q);
+
+/// One point of a fixed-QS sweep.
+struct FixedQsPoint {
+  int q = 0;
+  util::Rational mst;
+  /// mst / ideal, as a double in [0, 1].
+  double fraction_of_ideal = 0.0;
+};
+
+/// Sweeps q = 1..q_max (Fig. 17's x-axis) against the ideal MST.
+std::vector<FixedQsPoint> fixed_qs_sweep(const lis::LisGraph& lis, int q_max);
+
+/// Smallest uniform q in [1, q_limit] whose MST reaches the ideal MST, or 0
+/// when none does. The paper guarantees q = r + 1 always works, so passing
+/// q_limit >= total_relay_stations + 1 always finds one.
+int smallest_sufficient_fixed_q(const lis::LisGraph& lis, int q_limit);
+
+}  // namespace lid::core

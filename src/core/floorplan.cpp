@@ -1,0 +1,73 @@
+#include "core/floorplan.hpp"
+
+#include <cstdlib>
+#include <numeric>
+
+#include "graph/scc.hpp"
+#include "util/check.hpp"
+
+namespace lid::core {
+
+int Placement::wire_length(const lis::LisGraph& lis, lis::ChannelId ch) const {
+  const lis::Channel& channel = lis.channel(ch);
+  LID_ENSURE(position.size() == lis.num_cores(), "Placement does not match the netlist");
+  const Point& a = position[static_cast<std::size_t>(channel.src)];
+  const Point& b = position[static_cast<std::size_t>(channel.dst)];
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+Placement random_placement(const lis::LisGraph& lis, int side, util::Rng& rng) {
+  LID_ENSURE(side >= 1, "random_placement: grid side must be positive");
+  LID_ENSURE(static_cast<std::size_t>(side) * static_cast<std::size_t>(side) >= lis.num_cores(),
+             "random_placement: grid too small for the netlist");
+  std::vector<int> cells(static_cast<std::size_t>(side) * static_cast<std::size_t>(side));
+  std::iota(cells.begin(), cells.end(), 0);
+  rng.shuffle(cells);
+  Placement placement;
+  placement.position.reserve(lis.num_cores());
+  for (std::size_t v = 0; v < lis.num_cores(); ++v) {
+    placement.position.push_back({cells[v] % side, cells[v] / side});
+  }
+  return placement;
+}
+
+Placement clustered_placement(const lis::LisGraph& lis, int side, util::Rng& rng) {
+  LID_ENSURE(side >= 1, "clustered_placement: grid side must be positive");
+  LID_ENSURE(static_cast<std::size_t>(side) * static_cast<std::size_t>(side) >= lis.num_cores(),
+             "clustered_placement: grid too small for the netlist");
+  const graph::SccPartition part = graph::scc(lis.structure());
+  Placement placement;
+  placement.position.resize(lis.num_cores());
+  int cell = 0;
+  for (int c = 0; c < part.count; ++c) {
+    std::vector<lis::CoreId> members = part.members[static_cast<std::size_t>(c)];
+    rng.shuffle(members);
+    for (const lis::CoreId v : members) {
+      const int row = cell / side;
+      const int col = cell % side;
+      // Snake scan keeps consecutive cells adjacent across row boundaries.
+      placement.position[static_cast<std::size_t>(v)] = {
+          (row % 2 == 0) ? col : side - 1 - col, row};
+      ++cell;
+    }
+  }
+  return placement;
+}
+
+int required_relay_stations(int wire_length, int reach) {
+  LID_ENSURE(reach >= 1, "required_relay_stations: reach must be positive");
+  LID_ENSURE(wire_length >= 0, "required_relay_stations: negative wire length");
+  if (wire_length <= reach) return 0;
+  return (wire_length + reach - 1) / reach - 1;
+}
+
+lis::LisGraph apply_floorplan(const lis::LisGraph& lis, const Placement& placement, int reach) {
+  lis::LisGraph pipelined = lis;
+  for (lis::ChannelId ch = 0; ch < static_cast<lis::ChannelId>(lis.num_channels()); ++ch) {
+    pipelined.set_relay_stations(
+        ch, required_relay_stations(placement.wire_length(lis, ch), reach));
+  }
+  return pipelined;
+}
+
+}  // namespace lid::core

@@ -1,0 +1,52 @@
+// Floorplan-driven relay-station insertion.
+//
+// In the paper's design flow, relay-station locations are "selected only
+// after floorplanning has been carried out" (Sec. IX): a channel whose
+// routed wire is longer than the distance a signal travels in one clock
+// period must be pipelined with ceil(length / reach) - 1 stations. This
+// module models that flow: place cores on a grid, measure Manhattan wire
+// lengths, derive the relay stations each channel needs for a given clock
+// reach, and hand the (possibly degraded) system to the repair machinery.
+#pragma once
+
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/rng.hpp"
+
+namespace lid::core {
+
+/// A core placement: one grid coordinate per core.
+struct Placement {
+  struct Point {
+    int x = 0;
+    int y = 0;
+  };
+  std::vector<Point> position;
+
+  /// Manhattan wire length of a channel under this placement.
+  [[nodiscard]] int wire_length(const lis::LisGraph& lis, lis::ChannelId ch) const;
+};
+
+/// Places the cores uniformly at random on a side × side grid (at most one
+/// core per cell; requires side² >= cores).
+Placement random_placement(const lis::LisGraph& lis, int side, util::Rng& rng);
+
+/// Places the cores SCC by SCC along a boustrophedon (snake) scan of the
+/// grid, so each strongly connected cluster occupies a compact region —
+/// what a timing-driven floorplanner does with tightly communicating logic.
+/// Intra-SCC wires stay short (few or no relay stations, preserving the
+/// ideal MST) while inter-SCC wires span cluster distances and pick up the
+/// pipelining. Member order within an SCC is shuffled by `rng`.
+Placement clustered_placement(const lis::LisGraph& lis, int side, util::Rng& rng);
+
+/// Relay stations channel `ch` needs so every wire segment fits in one clock
+/// period of `reach` grid units: ceil(length / reach) - 1 (zero-length wires
+/// need none).
+int required_relay_stations(int wire_length, int reach);
+
+/// Returns a copy of `lis` with every channel's relay-station count set to
+/// what the placement and clock reach require. `reach` must be positive.
+lis::LisGraph apply_floorplan(const lis::LisGraph& lis, const Placement& placement, int reach);
+
+}  // namespace lid::core

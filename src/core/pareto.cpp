@@ -1,0 +1,63 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "core/heuristic.hpp"
+#include "graph/cycles.hpp"
+
+namespace lid::core {
+
+std::vector<ParetoPoint> qs_pareto_frontier(const lis::LisGraph& lis,
+                                            const ParetoOptions& options) {
+  using util::Rational;
+  std::vector<ParetoPoint> frontier;
+
+  const Rational ideal = lis::ideal_mst(lis);
+  const Rational practical = lis::practical_mst(lis);
+  frontier.push_back({0, practical});
+  if (practical >= ideal) return frontier;
+
+  // Candidate throughput levels: the means of the doubled graph's cycles in
+  // (practical, ideal] — after any sizing, the practical MST is the minimum
+  // cycle mean, so only these values are achievable — plus the ideal itself.
+  const lis::Expansion expansion = lis::expand_doubled(lis);
+  std::set<Rational> levels;
+  levels.insert(ideal);
+  graph::CycleEnumOptions enum_options;
+  enum_options.max_cycles = options.build.max_cycles;
+  const auto cycles = graph::enumerate_cycles(expansion.graph.structure(), enum_options);
+  for (const auto& cycle : cycles.cycles) {
+    const Rational mean(expansion.graph.cycle_tokens(cycle),
+                        static_cast<std::int64_t>(cycle.size()));
+    if (mean > practical && mean < ideal) levels.insert(mean);
+  }
+
+  for (const Rational& level : levels) {
+    QsBuildOptions build = options.build;
+    build.target_mst = level;
+    const QsProblem problem = build_qs_problem(lis, build);
+    if (!problem.has_degradation()) continue;  // already at this level
+    const TdSolution upper = solve_heuristic(problem.td);
+    const ExactResult exact = solve_exact(problem.td, upper, options.exact);
+    if (!exact.solution) continue;  // cut off: skip the level
+    const lis::LisGraph sized = apply_solution(lis, problem, exact.solution->weights);
+    frontier.push_back({exact.solution->total, lis::practical_mst(sized)});
+  }
+
+  // Keep the Pareto-maximal staircase: sort by tokens, then drop any point
+  // not strictly better than its predecessor.
+  std::sort(frontier.begin(), frontier.end(), [](const ParetoPoint& a, const ParetoPoint& b) {
+    if (a.extra_tokens != b.extra_tokens) return a.extra_tokens < b.extra_tokens;
+    return a.achieved_mst > b.achieved_mst;
+  });
+  std::vector<ParetoPoint> staircase;
+  for (const ParetoPoint& point : frontier) {
+    if (!staircase.empty() && point.achieved_mst <= staircase.back().achieved_mst) continue;
+    if (!staircase.empty() && point.extra_tokens == staircase.back().extra_tokens) continue;
+    staircase.push_back(point);
+  }
+  return staircase;
+}
+
+}  // namespace lid::core

@@ -1,0 +1,43 @@
+// Budgeted repair: the Pareto frontier between extra queue slots and
+// achieved throughput.
+//
+// Queue sizing is usually run to full repair (MST back to θ(G)), but a
+// designer with a tight area budget may prefer a partial repair. Because a
+// practical LIS's MST is always the mean of some doubled-graph cycle, the
+// achievable throughput levels form a finite set; for each level this module
+// asks the exact solver for the cheapest sizing that reaches it, yielding
+// the full tokens-vs-throughput trade-off curve.
+#pragma once
+
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/qs_problem.hpp"
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+
+/// One point of the trade-off curve.
+struct ParetoPoint {
+  /// Extra queue slots spent.
+  std::int64_t extra_tokens = 0;
+  /// The practical MST those slots buy.
+  util::Rational achieved_mst;
+};
+
+/// Options for the frontier computation.
+struct ParetoOptions {
+  QsBuildOptions build;
+  /// Per-level exact-solver budget.
+  ExactOptions exact;
+};
+
+/// Computes the tokens-vs-MST frontier from the current practical MST up to
+/// the ideal MST. The first point is (0, θ(d[G])), the last (K*, θ(G));
+/// intermediate points are strictly increasing in both coordinates. Levels
+/// whose exact solve is cut off are skipped.
+std::vector<ParetoPoint> qs_pareto_frontier(const lis::LisGraph& lis,
+                                            const ParetoOptions& options = {});
+
+}  // namespace lid::core

@@ -1,0 +1,87 @@
+// Building a Token-Deficit instance from a LIS — the front half of the
+// queue-sizing pipeline (Sec. VII-A).
+//
+// Given a LIS, we expand the doubled marked graph d[G], enumerate its
+// elementary cycles, keep the *problematic* ones (mean below the ideal MST
+// θ(G); by paper simplification 1 these must contain at least one backedge
+// and one relay-station output place), and record, per cycle, its token
+// deficit and the input-queue backedges lying on it — the only places a
+// designer can add capacity to.
+//
+// When the LIS is a DAG of SCCs with relay stations only on inter-SCC
+// channels (paper simplification 4), the builder first collapses every SCC
+// to a single core, which shrinks the cycle count by orders of magnitude
+// while preserving each collapsed cycle's deficit exactly (intra-SCC path
+// segments contribute tokens equal to their length at q = 1). Note that the
+// collapse also restricts the sizable queues to the inter-SCC channels — as
+// the paper prescribes ("adding tokens to the inter-SCC edges only") — so
+// its optimum is an upper bound on the full instance's optimum, which may
+// exploit intra-SCC queues shared between many degrading cycles. It always
+// restores the ideal MST.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/token_deficit.hpp"
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+
+/// Options for instance construction.
+struct QsBuildOptions {
+  /// Hard cap on enumerated cycles; 0 = unlimited. When hit, `truncated` is
+  /// set and the instance covers only the cycles found so far.
+  std::size_t max_cycles = 2'000'000;
+  /// Apply the SCC-collapse fast path when the topology allows it.
+  bool allow_scc_collapse = true;
+  /// Target throughput the sizing must reach. Zero (the default) means the
+  /// ideal MST θ(G); a smaller positive target yields a cheaper partial
+  /// repair (deficits are computed against it instead). Values above θ(G)
+  /// are clamped to θ(G) — backpressure can never beat the ideal.
+  util::Rational target_mst = util::Rational(0);
+};
+
+/// A queue-sizing problem: the TD instance plus the channel map.
+struct QsProblem {
+  /// Ideal MST θ(G) of the LIS (infinite queues).
+  util::Rational theta_ideal;
+  /// Practical MST θ(d[G]) with the current queue capacities.
+  util::Rational theta_practical;
+  /// The throughput the instance's deficits target (== theta_ideal unless a
+  /// lower target was requested).
+  util::Rational theta_target;
+  /// TD set index -> channel whose input queue that set sizes.
+  std::vector<lis::ChannelId> channels;
+  /// The TD instance (one element per problematic cycle).
+  TdInstance td;
+
+  // --- diagnostics ---
+  /// Cycles enumerated in the (possibly collapsed) doubled graph.
+  std::size_t cycles_enumerated = 0;
+  /// Cycles with a positive deficit (before TD simplification).
+  std::size_t problem_cycles = 0;
+  /// True when cycle enumeration hit the cap.
+  bool truncated = false;
+  /// True when the SCC-collapse fast path was used.
+  bool scc_collapsed = false;
+
+  /// True when the practical MST falls short of the (possibly lowered)
+  /// target — i.e. the TD instance has work to do.
+  [[nodiscard]] bool has_degradation() const { return theta_practical < theta_target; }
+};
+
+/// Builds the queue-sizing problem for `lis`.
+QsProblem build_qs_problem(const lis::LisGraph& lis, const QsBuildOptions& options = {});
+
+/// Applies a TD solution: channel `problem.channels[s]` gains
+/// `weights[s]` extra queue slots. Returns the modified copy.
+lis::LisGraph apply_solution(const lis::LisGraph& lis, const QsProblem& problem,
+                             const std::vector<std::int64_t>& weights);
+
+/// True when relay stations appear only on channels between different SCCs
+/// of the LIS netlist — the precondition of the SCC-collapse fast path.
+bool relay_stations_only_between_sccs(const lis::LisGraph& lis);
+
+}  // namespace lid::core

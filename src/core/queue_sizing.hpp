@@ -1,0 +1,64 @@
+// Top-level queue-sizing driver (Sec. VII): build the TD instance, simplify,
+// solve with the heuristic and/or the exact algorithm, and apply the result
+// to the netlist. The returned report carries everything the paper's
+// experiment tables need (solution sizes, CPU times, completion flags).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/exact.hpp"
+#include "core/heuristic.hpp"
+#include "core/qs_problem.hpp"
+#include "core/token_deficit.hpp"
+#include "lis/lis_graph.hpp"
+
+namespace lid::core {
+
+/// Which solver(s) to run.
+enum class QsMethod {
+  kHeuristic,
+  kExact,
+  kBoth,
+};
+
+/// Full configuration of a queue-sizing run.
+struct QsOptions {
+  QsMethod method = QsMethod::kHeuristic;
+  QsBuildOptions build;
+  /// Run the TD simplification pass before solving (paper Sec. VII-A).
+  bool simplify = true;
+  SimplifyOptions simplify_options;
+  HeuristicOptions heuristic;
+  ExactOptions exact;
+  /// Re-verify the final MST on the sized netlist (cheap; on by default).
+  bool verify = true;
+};
+
+/// One solver's outcome.
+struct SolverOutcome {
+  /// Extra tokens per candidate channel (problem.channels order).
+  std::vector<std::int64_t> weights;
+  std::int64_t total_extra_tokens = 0;
+  double cpu_ms = 0.0;
+  /// Exact solver only: true when it proved optimality within its budget.
+  bool finished = true;
+};
+
+/// Result of queue sizing.
+struct QsReport {
+  QsProblem problem;
+  std::optional<SolverOutcome> heuristic;
+  std::optional<SolverOutcome> exact;
+  /// The sized netlist from the best available solution (exact when finished,
+  /// else heuristic).
+  lis::LisGraph sized;
+  /// MST of `sized` (filled when options.verify).
+  util::Rational achieved_mst;
+};
+
+/// Runs the queue-sizing pipeline on `lis`.
+QsReport size_queues(const lis::LisGraph& lis, const QsOptions& options = {});
+
+}  // namespace lid::core

@@ -1,0 +1,101 @@
+#include "core/rate_safety.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/scc.hpp"
+
+namespace lid::core {
+
+std::string RateSafetyReport::to_string(const lis::LisGraph& lis) const {
+  std::ostringstream os;
+  os << sccs.size() << " strongly connected component(s):\n";
+  for (std::size_t c = 0; c < sccs.size(); ++c) {
+    os << "  SCC " << c << " (";
+    for (std::size_t i = 0; i < sccs[c].cores.size(); ++i) {
+      if (i > 0) os << ", ";
+      if (i == 4 && sccs[c].cores.size() > 5) {
+        os << "... " << sccs[c].cores.size() << " cores";
+        break;
+      }
+      os << lis.core_name(sccs[c].cores[i]);
+    }
+    os << "): rate " << sccs[c].rate << ", effective " << sccs[c].effective_rate << "\n";
+  }
+  if (hazards.empty()) {
+    os << "rate-safe: no faster component feeds a slower one\n";
+  } else {
+    os << hazards.size() << " rate hazard(s) — the ideal system would accumulate "
+       << "tokens unboundedly (Sec. III-C):\n";
+    for (const RateHazard& h : hazards) {
+      const lis::Channel& ch = lis.channel(h.channel);
+      os << "  " << lis.core_name(ch.src) << " -> " << lis.core_name(ch.dst) << ": producer "
+         << h.producer_rate << " > consumer " << h.consumer_rate << "\n";
+    }
+  }
+  return os.str();
+}
+
+RateSafetyReport analyze_rate_safety(const lis::LisGraph& lis) {
+  RateSafetyReport report;
+  const graph::SccPartition part = graph::scc(lis.structure());
+  report.scc_of = part.comp_of;
+  report.sccs.resize(static_cast<std::size_t>(part.count));
+
+  // Per-SCC rate: the ideal MST of the member-induced sub-netlist.
+  for (int c = 0; c < part.count; ++c) {
+    SccRate& scc = report.sccs[static_cast<std::size_t>(c)];
+    scc.cores = part.members[static_cast<std::size_t>(c)];
+    lis::LisGraph sub;
+    std::vector<lis::CoreId> remap(lis.num_cores(), graph::kInvalidNode);
+    for (const lis::CoreId v : scc.cores) {
+      remap[static_cast<std::size_t>(v)] = sub.add_core(lis.core_name(v));
+      sub.set_core_latency(remap[static_cast<std::size_t>(v)], lis.core_latency(v));
+    }
+    for (lis::ChannelId ch = 0; ch < static_cast<lis::ChannelId>(lis.num_channels()); ++ch) {
+      const lis::Channel& channel = lis.channel(ch);
+      if (part.comp_of[static_cast<std::size_t>(channel.src)] != c ||
+          part.comp_of[static_cast<std::size_t>(channel.dst)] != c) {
+        continue;
+      }
+      sub.add_channel(remap[static_cast<std::size_t>(channel.src)],
+                      remap[static_cast<std::size_t>(channel.dst)], channel.relay_stations,
+                      channel.queue_capacity);
+    }
+    scc.rate = lis::ideal_mst(sub);
+    scc.effective_rate = scc.rate;
+  }
+
+  // Effective rates: propagate upstream throttling in topological order.
+  // Tarjan indices are reverse-topological (edge (u, v) inter-SCC implies
+  // comp_of[u] > comp_of[v]), so descending index order is topological.
+  for (int c = part.count - 1; c >= 0; --c) {
+    // Find predecessors of c and fold their effective rates in.
+    for (lis::ChannelId ch = 0; ch < static_cast<lis::ChannelId>(lis.num_channels()); ++ch) {
+      const lis::Channel& channel = lis.channel(ch);
+      const int from = part.comp_of[static_cast<std::size_t>(channel.src)];
+      const int to = part.comp_of[static_cast<std::size_t>(channel.dst)];
+      if (to != c || from == to) continue;
+      auto& scc = report.sccs[static_cast<std::size_t>(c)];
+      scc.effective_rate = util::Rational::min(
+          scc.effective_rate, report.sccs[static_cast<std::size_t>(from)].effective_rate);
+    }
+  }
+
+  // Hazards: a producer whose effective rate exceeds what the consumer can
+  // absorb (its effective rate already folds every upstream throttle in).
+  for (lis::ChannelId ch = 0; ch < static_cast<lis::ChannelId>(lis.num_channels()); ++ch) {
+    const lis::Channel& channel = lis.channel(ch);
+    const int from = part.comp_of[static_cast<std::size_t>(channel.src)];
+    const int to = part.comp_of[static_cast<std::size_t>(channel.dst)];
+    if (from == to) continue;
+    const util::Rational producer = report.sccs[static_cast<std::size_t>(from)].effective_rate;
+    const util::Rational consumer = report.sccs[static_cast<std::size_t>(to)].effective_rate;
+    if (producer > consumer) {
+      report.hazards.push_back({ch, producer, consumer});
+    }
+  }
+  return report;
+}
+
+}  // namespace lid::core

@@ -1,0 +1,98 @@
+#include "core/rs_insertion.hpp"
+
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace lid::core {
+namespace {
+
+using lis::ChannelId;
+using lis::LisGraph;
+using util::Rational;
+
+RsInsertionResult make_result(const LisGraph& original, LisGraph best, int added,
+                              std::size_t tried) {
+  RsInsertionResult result;
+  result.original_ideal = lis::ideal_mst(original);
+  result.best_practical = lis::practical_mst(best);
+  result.best = std::move(best);
+  result.relay_stations_added = added;
+  result.reached_ideal = result.best_practical >= result.original_ideal;
+  result.configurations_tried = tried;
+  return result;
+}
+
+}  // namespace
+
+RsInsertionResult greedy_rs_insertion(const LisGraph& lis, int max_added) {
+  LID_ENSURE(max_added >= 0, "greedy_rs_insertion: negative budget");
+  const Rational ideal = lis::ideal_mst(lis);
+  LisGraph current = lis;
+  Rational current_mst = lis::practical_mst(current);
+  int added = 0;
+  std::size_t tried = 1;
+
+  while (added < max_added && current_mst < ideal) {
+    ChannelId best_channel = graph::kInvalidEdge;
+    Rational best_mst = current_mst;
+    for (ChannelId ch = 0; ch < static_cast<ChannelId>(current.num_channels()); ++ch) {
+      LisGraph candidate = current;
+      candidate.set_relay_stations(ch, current.channel(ch).relay_stations + 1);
+      const Rational mst = lis::practical_mst(candidate);
+      ++tried;
+      if (mst > best_mst) {
+        best_mst = mst;
+        best_channel = ch;
+      }
+    }
+    if (best_channel == graph::kInvalidEdge) break;  // no strict improvement
+    current.set_relay_stations(best_channel, current.channel(best_channel).relay_stations + 1);
+    current_mst = best_mst;
+    ++added;
+  }
+  return make_result(lis, std::move(current), added, tried);
+}
+
+RsInsertionResult exhaustive_rs_insertion(const LisGraph& lis, int max_added) {
+  LID_ENSURE(max_added >= 0, "exhaustive_rs_insertion: negative budget");
+  const auto num_channels = static_cast<ChannelId>(lis.num_channels());
+  const Rational ideal = lis::ideal_mst(lis);
+
+  LisGraph best = lis;
+  Rational best_mst = lis::practical_mst(lis);
+  int best_added = 0;
+  std::size_t tried = 1;
+  bool done = false;
+
+  // Enumerate multisets: assign extra relay stations channel by channel.
+  LisGraph working = lis;
+  const std::function<void(ChannelId, int, int)> recurse = [&](ChannelId ch, int used,
+                                                               int total) {
+    if (done) return;
+    if (ch == num_channels) {
+      if (used == 0) return;  // the unmodified netlist is the baseline
+      const Rational mst = lis::practical_mst(working);
+      ++tried;
+      if (mst > best_mst || (mst == best_mst && used < best_added)) {
+        best = working;
+        best_mst = mst;
+        best_added = used;
+        if (best_mst >= ideal) done = true;
+      }
+      return;
+    }
+    const int base = lis.channel(ch).relay_stations;
+    for (int extra = 0; used + extra <= total; ++extra) {
+      working.set_relay_stations(ch, base + extra);
+      recurse(ch + 1, used + extra, total);
+      if (done) return;
+    }
+    working.set_relay_stations(ch, base);
+  };
+  recurse(0, 0, max_added);
+
+  return make_result(lis, std::move(best), best_added, tried);
+}
+
+}  // namespace lid::core

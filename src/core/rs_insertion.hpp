@@ -1,0 +1,45 @@
+// Relay-station insertion as a throughput repair (Sec. VI).
+//
+// Casu and Macchiarulo proposed equalizing the latencies of reconvergent
+// paths by inserting extra relay stations. The paper shows this is also
+// NP-complete and — via the Fig. 15 counterexample — that it cannot always
+// recover the ideal MST, because an extra relay station on the only helpful
+// channels may lie on other small cycles and lower the ideal MST itself.
+// This module provides a greedy equalizer and an exhaustive search used to
+// demonstrate that counterexample computationally.
+#pragma once
+
+#include <cstdint>
+
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+
+/// Outcome of a relay-station insertion optimization.
+struct RsInsertionResult {
+  /// Netlist with the chosen extra relay stations.
+  lis::LisGraph best;
+  /// θ(G) of the ORIGINAL netlist — the target to recover.
+  util::Rational original_ideal;
+  /// θ(d[best]) — the practical MST achieved.
+  util::Rational best_practical;
+  /// Extra relay stations inserted.
+  int relay_stations_added = 0;
+  /// True when best_practical equals the original ideal MST.
+  bool reached_ideal = false;
+  /// Configurations evaluated.
+  std::size_t configurations_tried = 0;
+};
+
+/// Greedy hill-climbing: repeatedly add the single relay station that most
+/// improves θ(d[G]) (ties broken by lowest channel id), stopping when the
+/// ideal MST is reached, no insertion improves, or `max_added` is exhausted.
+RsInsertionResult greedy_rs_insertion(const lis::LisGraph& lis, int max_added);
+
+/// Exhaustive search over all ways to distribute up to `max_added` extra
+/// relay stations over the channels (multisets). Exponential — intended for
+/// small systems like the Fig. 15 counterexample.
+RsInsertionResult exhaustive_rs_insertion(const lis::LisGraph& lis, int max_added);
+
+}  // namespace lid::core

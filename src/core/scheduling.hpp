@@ -1,0 +1,71 @@
+// Static core scheduling — the Casu–Macchiarulo baseline (Sec. II, refs
+// [12], [13]): instead of backpressure, analyze the closed system statically,
+// clock-gate every core on a fixed periodic firing pattern, and size queues
+// to the occupancies that schedule produces. No stop wires, no dynamic
+// stalling — but it only works when the system's behaviour is statically
+// known; the paper's criticism is that open systems with dynamically varying
+// environments break it (backpressure adapts, a schedule cannot).
+//
+// This module derives the schedule from the ideal (infinite-queue) marked
+// graph: the synchronous firing semantics settles into a periodic regime
+// whose pattern is the schedule and whose per-place peak occupancy is the
+// queue requirement.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+
+/// A periodic firing schedule for every core.
+struct StaticSchedule {
+  /// True when the ideal system reached a periodic regime within the budget.
+  /// A finite schedule exists exactly when the ideal run is periodic — i.e.
+  /// component rates are balanced; when a faster producer feeds a slower
+  /// consumer, tokens accumulate forever and no schedule exists (one of the
+  /// situations where only backpressure keeps the system safe, Sec. III-C).
+  bool found = false;
+  /// Periods before the repeating window starts.
+  std::size_t transient = 0;
+  /// Length of the repeating window.
+  std::size_t period = 0;
+  /// firing[v][t] == 1 when core v fires in period t, for
+  /// t < transient + period; afterwards the window repeats.
+  std::vector<std::vector<char>> firing;
+  /// Valid-data rate of the schedule — equals the ideal MST θ(G).
+  util::Rational throughput;
+  /// Queue capacity each channel needs so the schedule never overflows
+  /// (the ideal run's peak occupancy of the channel's delivery place).
+  std::vector<std::int64_t> required_queues;
+
+  /// Should core v fire at period t under this schedule?
+  [[nodiscard]] bool fires(lis::CoreId v, std::size_t t) const;
+};
+
+/// Derives the static schedule of `lis` by running the ideal marked graph to
+/// its periodic regime (up to `max_periods` steps).
+StaticSchedule compute_static_schedule(const lis::LisGraph& lis,
+                                       std::size_t max_periods = 20000);
+
+/// Result of replaying a schedule on the real protocol.
+struct ScheduleReplay {
+  /// Periods in which some core's schedule said "fire" but the protocol
+  /// could not (missing input or full queue) — zero for a valid schedule on
+  /// a closed system, nonzero when the environment deviates.
+  std::int64_t violations = 0;
+  /// Measured throughput of the reference core.
+  util::Rational throughput;
+};
+
+/// Replays `schedule` on `lis` (queues set to the schedule's requirements)
+/// for `periods` periods, gating every core by the schedule; reports
+/// violations and the achieved rate. `environment_period` != 0 additionally
+/// throttles core 0 to fire only when t % environment_period == 0, modeling
+/// an open system the schedule did not anticipate.
+ScheduleReplay replay_schedule(const lis::LisGraph& lis, const StaticSchedule& schedule,
+                               std::size_t periods, std::size_t environment_period = 0);
+
+}  // namespace lid::core

@@ -1,0 +1,69 @@
+#include "core/slack.hpp"
+
+#include "util/check.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+/// Ideal MST of `lis` with `extra` additional relay stations on channel `c`.
+Rational mst_with_extra(const lis::LisGraph& lis, lis::ChannelId c, int extra) {
+  lis::LisGraph modified = lis;
+  modified.set_relay_stations(c, lis.channel(c).relay_stations + extra);
+  return lis::ideal_mst(modified);
+}
+
+}  // namespace
+
+std::vector<ChannelSlack> channel_slacks(const lis::LisGraph& lis, const Rational& target) {
+  LID_ENSURE(target > Rational(0), "channel_slacks: target must be positive");
+  std::vector<ChannelSlack> out;
+  out.reserve(lis.num_channels());
+
+  // Any forward cycle through a channel has at most num_cores() tokens, so
+  // k_max <= tokens * den / num; past that bound a surviving MST proves the
+  // channel lies on no forward cycle at all.
+  const auto cores = static_cast<std::int64_t>(lis.num_cores());
+  const int probe_limit =
+      static_cast<int>((cores * target.den() + target.num() - 1) / target.num()) + 1;
+
+  for (lis::ChannelId c = 0; c < static_cast<lis::ChannelId>(lis.num_channels()); ++c) {
+    ChannelSlack slack;
+    slack.channel = c;
+    if (mst_with_extra(lis, c, probe_limit) >= target) {
+      slack.slack = ChannelSlack::kUnbounded;
+      slack.mst_if_exceeded = Rational(1);
+      out.push_back(slack);
+      continue;
+    }
+    // Binary search the largest k with MST(k) >= target (monotone in k).
+    int lo = 0;  // MST(0) >= target is the caller's precondition per channel;
+    int hi = probe_limit;
+    if (mst_with_extra(lis, c, 0) < target) {
+      // Already below target: no headroom at all, report the current value.
+      slack.slack = 0;
+      slack.mst_if_exceeded = mst_with_extra(lis, c, 1);
+      out.push_back(slack);
+      continue;
+    }
+    while (lo < hi) {
+      const int mid = lo + (hi - lo + 1) / 2;
+      if (mst_with_extra(lis, c, mid) >= target) {
+        lo = mid;
+      } else {
+        hi = mid - 1;
+      }
+    }
+    slack.slack = lo;
+    slack.mst_if_exceeded = mst_with_extra(lis, c, lo + 1);
+    out.push_back(slack);
+  }
+  return out;
+}
+
+std::vector<ChannelSlack> channel_slacks(const lis::LisGraph& lis) {
+  return channel_slacks(lis, lis::ideal_mst(lis));
+}
+
+}  // namespace lid::core

@@ -1,0 +1,40 @@
+// Wire-pipelining slack analysis.
+//
+// Relay stations are inserted on channels whose wires are too long for the
+// target clock period (Sec. I); Sec. VI shows an insertion can silently
+// lower the *ideal* MST when the channel sits on a tight feedback loop. This
+// module computes, per channel, how many relay stations it can absorb before
+// the ideal MST drops — the designer-facing "how much pipelining headroom do
+// I have" question, and the structural reason the Fig. 15 counterexample has
+// no relay-station repair (its helpful channels have zero slack).
+#pragma once
+
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+
+/// Pipelining headroom of one channel.
+struct ChannelSlack {
+  lis::ChannelId channel = graph::kInvalidEdge;
+  /// Maximum relay stations addable to this channel (beyond those present)
+  /// without lowering the ideal MST below `target`. kUnbounded when the
+  /// channel lies on no forward cycle.
+  int slack = 0;
+  /// The ideal MST after adding slack + 1 stations (what you would lose).
+  util::Rational mst_if_exceeded;
+
+  static constexpr int kUnbounded = -1;
+};
+
+/// Per-channel slack against the CURRENT ideal MST of `lis`.
+std::vector<ChannelSlack> channel_slacks(const lis::LisGraph& lis);
+
+/// Per-channel slack against an arbitrary target throughput. Channels not on
+/// any forward cycle report kUnbounded. `target` must be positive.
+std::vector<ChannelSlack> channel_slacks(const lis::LisGraph& lis,
+                                         const util::Rational& target);
+
+}  // namespace lid::core

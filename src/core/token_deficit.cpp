@@ -1,0 +1,206 @@
+#include "core/token_deficit.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace lid::core {
+
+std::vector<std::vector<int>> TdInstance::covering_sets() const {
+  std::vector<std::vector<int>> covering(num_cycles());
+  for (int s = 0; s < static_cast<int>(set_members.size()); ++s) {
+    for (const int c : set_members[static_cast<std::size_t>(s)]) {
+      LID_ENSURE(c >= 0 && static_cast<std::size_t>(c) < num_cycles(),
+                 "TdInstance: set member out of range");
+      covering[static_cast<std::size_t>(c)].push_back(s);
+    }
+  }
+  return covering;
+}
+
+bool TdInstance::is_feasible(const std::vector<std::int64_t>& weights) const {
+  LID_ENSURE(weights.size() == num_sets(), "is_feasible: one weight per set required");
+  std::vector<std::int64_t> covered(num_cycles(), 0);
+  for (std::size_t s = 0; s < set_members.size(); ++s) {
+    if (weights[s] == 0) continue;
+    for (const int c : set_members[s]) covered[static_cast<std::size_t>(c)] += weights[s];
+  }
+  for (std::size_t c = 0; c < num_cycles(); ++c) {
+    if (covered[c] < deficits[c]) return false;
+  }
+  return true;
+}
+
+TdSolution SimplifiedTd::lift(const TdSolution& reduced_solution) const {
+  LID_ENSURE(reduced_solution.weights.size() == kept_sets.size(),
+             "lift: solution does not match the reduced instance");
+  TdSolution full;
+  full.weights = base_weights;
+  full.total = base_total;
+  for (std::size_t i = 0; i < kept_sets.size(); ++i) {
+    full.weights[static_cast<std::size_t>(kept_sets[i])] += reduced_solution.weights[i];
+    full.total += reduced_solution.weights[i];
+  }
+  return full;
+}
+
+SimplifiedTd simplify(const TdInstance& instance, const SimplifyOptions& options) {
+  const std::size_t n_sets = instance.num_sets();
+  const std::size_t n_cycles = instance.num_cycles();
+
+  SimplifiedTd out;
+  out.base_weights.assign(n_sets, 0);
+
+  // Working state: per-cycle residual deficit (<=0 means satisfied/removed),
+  // per-set alive flag, and membership both ways.
+  std::vector<std::int64_t> residual = instance.deficits;
+  std::vector<char> cycle_alive(n_cycles, 1);
+  std::vector<char> set_alive(n_sets, 1);
+  const std::vector<std::vector<int>> covering = instance.covering_sets();
+
+  for (std::size_t c = 0; c < n_cycles; ++c) {
+    LID_ENSURE(instance.deficits[c] > 0, "simplify: deficits must be positive");
+    if (covering[c].empty()) {
+      throw std::invalid_argument("TD instance has an uncoverable cycle");
+    }
+  }
+
+  const auto live_members = [&](std::size_t s) {
+    std::vector<int> m;
+    for (const int c : instance.set_members[s]) {
+      if (cycle_alive[static_cast<std::size_t>(c)]) m.push_back(c);
+    }
+    return m;
+  };
+  const auto live_covering = [&](std::size_t c) {
+    std::vector<int> cov;
+    for (const int s : covering[c]) {
+      if (set_alive[static_cast<std::size_t>(s)]) cov.push_back(s);
+    }
+    return cov;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Retire satisfied cycles.
+    for (std::size_t c = 0; c < n_cycles; ++c) {
+      if (cycle_alive[c] && residual[c] <= 0) {
+        cycle_alive[c] = 0;
+        changed = true;
+      }
+    }
+
+    const std::size_t live_cycles = static_cast<std::size_t>(
+        std::count(cycle_alive.begin(), cycle_alive.end(), char{1}));
+    const bool pairwise_ok =
+        options.max_cycles_for_pairwise == 0 || live_cycles <= options.max_cycles_for_pairwise;
+    if (options.drop_dominated_cycles && pairwise_ok) {
+      // Drop cycle c2 when some other live cycle c1 has members(c1) ⊆
+      // members(c2) and residual(c1) >= residual(c2): covering c1 covers c2.
+      std::vector<std::vector<int>> live_cov(n_cycles);
+      for (std::size_t c = 0; c < n_cycles; ++c) {
+        if (cycle_alive[c]) live_cov[c] = live_covering(c);
+      }
+      for (std::size_t c2 = 0; c2 < n_cycles; ++c2) {
+        if (!cycle_alive[c2]) continue;
+        for (std::size_t c1 = 0; c1 < n_cycles; ++c1) {
+          if (c1 == c2 || !cycle_alive[c1]) continue;
+          if (residual[c1] < residual[c2]) continue;
+          if (live_cov[c1].size() > live_cov[c2].size()) continue;
+          // Tie-break equal member sets and deficits by index to avoid
+          // dropping both of a symmetric pair.
+          if (live_cov[c1] == live_cov[c2] && residual[c1] == residual[c2] && c1 > c2) continue;
+          if (std::includes(live_cov[c2].begin(), live_cov[c2].end(), live_cov[c1].begin(),
+                            live_cov[c1].end())) {
+            cycle_alive[c2] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (options.drop_dominated_sets) {
+      // Paper simplification 2: if live-members(s_i) ⊆ live-members(s_j),
+      // drop s_i (tokens are at least as useful on s_j).
+      std::vector<std::vector<int>> members(n_sets);
+      for (std::size_t s = 0; s < n_sets; ++s) {
+        if (set_alive[s]) members[s] = live_members(s);
+      }
+      for (std::size_t si = 0; si < n_sets; ++si) {
+        if (!set_alive[si]) continue;
+        if (members[si].empty()) {
+          set_alive[si] = 0;  // covers nothing live
+          changed = true;
+          continue;
+        }
+        for (std::size_t sj = 0; sj < n_sets; ++sj) {
+          if (si == sj || !set_alive[sj]) continue;
+          if (members[si].size() > members[sj].size()) continue;
+          if (members[si] == members[sj] && si > sj) continue;  // keep one of equals
+          if (std::includes(members[sj].begin(), members[sj].end(), members[si].begin(),
+                            members[si].end())) {
+            set_alive[si] = 0;
+            changed = true;
+            break;
+          }
+        }
+      }
+    }
+
+    if (options.auto_assign_singletons) {
+      // Paper simplification 3: a cycle covered by exactly one live set
+      // commits its residual deficit to that set.
+      for (std::size_t c = 0; c < n_cycles; ++c) {
+        if (!cycle_alive[c]) continue;
+        if (residual[c] <= 0) {
+          // Satisfied by a commitment earlier in this same sweep.
+          cycle_alive[c] = 0;
+          changed = true;
+          continue;
+        }
+        const std::vector<int> cov = live_covering(c);
+        if (cov.empty()) {
+          throw std::invalid_argument("TD simplification exposed an uncoverable cycle");
+        }
+        if (cov.size() != 1) continue;
+        const auto s = static_cast<std::size_t>(cov.front());
+        const std::int64_t commit = residual[c];
+        out.base_weights[s] += commit;
+        out.base_total += commit;
+        // The committed tokens shrink every cycle the set covers.
+        for (const int other : instance.set_members[s]) {
+          residual[static_cast<std::size_t>(other)] -= commit;
+        }
+        cycle_alive[c] = 0;
+        changed = true;
+      }
+    }
+  }
+
+  // Emit the reduced instance over live cycles and live sets.
+  std::vector<int> cycle_index(n_cycles, -1);
+  for (std::size_t c = 0; c < n_cycles; ++c) {
+    if (cycle_alive[c]) {
+      cycle_index[c] = static_cast<int>(out.reduced.deficits.size());
+      out.reduced.deficits.push_back(residual[c]);
+    }
+  }
+  for (std::size_t s = 0; s < n_sets; ++s) {
+    if (!set_alive[s]) continue;
+    std::vector<int> members;
+    for (const int c : instance.set_members[s]) {
+      const int idx = cycle_index[static_cast<std::size_t>(c)];
+      if (idx >= 0) members.push_back(idx);
+    }
+    if (members.empty()) continue;
+    out.kept_sets.push_back(static_cast<int>(s));
+    out.reduced.set_members.push_back(std::move(members));
+  }
+  return out;
+}
+
+}  // namespace lid::core

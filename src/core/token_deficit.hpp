@@ -1,0 +1,85 @@
+// The Token-Deficit (TD) problem — the paper's abstraction of queue sizing
+// (Sec. VII-A).
+//
+// An instance has a universe of *cycles*, each with a nonnegative deficit
+// (extra tokens the cycle needs to stop degrading throughput), and a family
+// of *sets*, one per sizable queue backedge, each containing the cycles that
+// backedge lies on. A solution assigns a weight (extra queue slots) to every
+// set so that each cycle's covering weights sum to at least its deficit; the
+// objective is the minimum total weight. TD is NP-complete (reduction from
+// dominating set, Sec. VII-A), which is why the library ships both the
+// paper's heuristic and an exact branch-and-bound.
+//
+// This header also implements the paper's simplification steps:
+//   (1) cycles with no deficit are dropped (done by the instance builder),
+//   (2) a set contained in another set is omitted,
+//   (3) a cycle covered by exactly one set commits its deficit to that set,
+// plus an optional extra reduction (dominated-cycle elimination) that the
+// ablation bench can toggle.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace lid::core {
+
+/// A Token-Deficit instance.
+struct TdInstance {
+  /// deficits[c] > 0 — extra tokens cycle c needs.
+  std::vector<std::int64_t> deficits;
+  /// set_members[s] — sorted cycle indices the set s covers.
+  std::vector<std::vector<int>> set_members;
+
+  [[nodiscard]] std::size_t num_cycles() const { return deficits.size(); }
+  [[nodiscard]] std::size_t num_sets() const { return set_members.size(); }
+
+  /// covering[c] — the sets that contain cycle c (computed, sorted).
+  [[nodiscard]] std::vector<std::vector<int>> covering_sets() const;
+
+  /// True when `weights` (one per set) covers every cycle's deficit.
+  [[nodiscard]] bool is_feasible(const std::vector<std::int64_t>& weights) const;
+};
+
+/// A weight assignment and its total.
+struct TdSolution {
+  std::vector<std::int64_t> weights;
+  std::int64_t total = 0;
+};
+
+/// Which reductions to run (all on by default; the ablation bench toggles).
+struct SimplifyOptions {
+  /// Paper simplification 2: drop sets contained in other sets.
+  bool drop_dominated_sets = true;
+  /// Paper simplification 3: auto-assign deficits of singleton-covered cycles.
+  bool auto_assign_singletons = true;
+  /// Extra reduction: drop a cycle whose member sets are a superset of
+  /// another cycle's with no larger deficit (it is then implied).
+  bool drop_dominated_cycles = true;
+  /// The pairwise cycle-domination pass is quadratic in the number of live
+  /// cycles; skip it above this count (0 = never skip).
+  std::size_t max_cycles_for_pairwise = 20'000;
+};
+
+/// Result of simplifying an instance.
+struct SimplifiedTd {
+  /// The reduced instance (indices remapped).
+  TdInstance reduced;
+  /// reduced set index -> original set index.
+  std::vector<int> kept_sets;
+  /// Tokens committed per ORIGINAL set by singleton auto-assignment.
+  std::vector<std::int64_t> base_weights;
+  /// Sum of base_weights.
+  std::int64_t base_total = 0;
+
+  /// Combines a solution of `reduced` with the committed base weights into a
+  /// solution of the original instance.
+  [[nodiscard]] TdSolution lift(const TdSolution& reduced_solution) const;
+};
+
+/// Runs the reductions to fixpoint. Throws std::invalid_argument when some
+/// positive-deficit cycle is covered by no set (the instance is infeasible —
+/// cannot happen for instances derived from a LIS, see Sec. V).
+SimplifiedTd simplify(const TdInstance& instance, const SimplifyOptions& options = {});
+
+}  // namespace lid::core

@@ -1,0 +1,68 @@
+// Synthetic LIS generator (Sec. VIII).
+//
+// Generates random LIS netlists exactly per the paper's procedure:
+//   1. partition v vertices into s SCCs,
+//   2. per SCC: a Hamiltonian cycle over its vertices plus c extra chords
+//      (guaranteeing at least c additional cycles),
+//   3. a random connected, acyclic auxiliary graph over the SCCs
+//      (reconvergent inter-SCC paths allowed iff rp),
+//   4. one channel per auxiliary edge between random member vertices,
+//   5. rs relay stations placed randomly under the chosen policy:
+//      `any` channel, or only `scc`-connecting channels.
+//
+// The generator also provides the restricted topology classes of Table II
+// (trees and cactus SCC networks) used by the property-test suites.
+#pragma once
+
+#include <cstdint>
+
+#include "lis/lis_graph.hpp"
+#include "util/rng.hpp"
+
+namespace lid::gen {
+
+/// Where relay stations may be inserted (Sec. VIII step 5).
+enum class RsPolicy {
+  kAny,  ///< any channel
+  kScc,  ///< only channels connecting two different SCCs
+};
+
+/// Generator parameters (the paper's v, s, c, rs, rp inputs).
+struct GeneratorParams {
+  int vertices = 50;        ///< v — total cores
+  int sccs = 5;             ///< s — number of SCCs
+  int min_cycles = 5;       ///< c — extra chords (and thus cycles) per SCC
+  int relay_stations = 10;  ///< rs — relay stations to distribute
+  bool reconvergent = true; ///< rp — allow reconvergent inter-SCC paths
+  RsPolicy policy = RsPolicy::kScc;
+  int queue_capacity = 1;   ///< initial uniform queue capacity
+};
+
+/// Generates a random LIS per the paper's procedure.
+lis::LisGraph generate(const GeneratorParams& params, util::Rng& rng);
+
+/// Generates a random out-tree (Table II's easiest class) with `vertices`
+/// cores and `relay_stations` placed on random channels.
+lis::LisGraph generate_tree(int vertices, int relay_stations, util::Rng& rng);
+
+/// Generates a random cactus SCC: `cycles` directed cycles of length in
+/// [2, max_cycle_len] glued at articulation points, with `relay_stations`
+/// placed on random channels. Never has reconvergent paths.
+lis::LisGraph generate_cactus(int cycles, int max_cycle_len, int relay_stations,
+                              util::Rng& rng);
+
+/// Generates a rows × cols 2-D mesh with bidirectional links between
+/// orthogonal neighbours — the canonical network-on-chip substrate that
+/// latency-insensitive channels are used for (e.g. xpipes [24]). Any mesh
+/// with both dimensions >= 2 has reconvergent paths (the faces), so it falls
+/// in Table II's general class. `relay_stations` are spread over random
+/// links (modeling links longer than one clock period after placement).
+lis::LisGraph generate_mesh(int rows, int cols, int relay_stations, util::Rng& rng);
+
+/// Generates a rows × cols unidirectional torus (east and south links with
+/// wrap-around) — a standard NoC topology whose row/column rings and
+/// abundant reconvergent paths make it a rich queue-sizing testbed, unlike
+/// the bidirectional mesh whose 2-cycles dominate every other loop.
+lis::LisGraph generate_torus(int rows, int cols, int relay_stations, util::Rng& rng);
+
+}  // namespace lid::gen

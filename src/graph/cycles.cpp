@@ -1,0 +1,167 @@
+#include "graph/cycles.hpp"
+
+#include <algorithm>
+
+#include "graph/scc.hpp"
+
+namespace lid::graph {
+namespace {
+
+/// Johnson's elementary-circuit enumeration, extended to multigraphs: cycles
+/// are vertex-elementary, and parallel edges produce one cycle per distinct
+/// edge sequence. Each cycle is discovered exactly once, in the round whose
+/// start vertex is the cycle's least vertex.
+class JohnsonEnumerator {
+ public:
+  JohnsonEnumerator(const Digraph& g, const std::function<bool(const Cycle&)>& on_cycle,
+                    const std::function<bool(EdgeId)>& edge_filter)
+      : g_(g), on_cycle_(on_cycle), edge_filter_(edge_filter) {}
+
+  /// Returns true when enumeration ran to completion.
+  bool run() {
+    const std::size_t n = g_.num_nodes();
+    blocked_.assign(n, 0);
+    block_map_.assign(n, {});
+    in_round_.assign(n, 0);
+
+    for (NodeId s = 0; s < static_cast<NodeId>(n) && !stopped_; ++s) {
+      mark_round_component(s);
+      if (!in_round_[static_cast<std::size_t>(s)]) continue;
+      for (const NodeId v : round_nodes_) {
+        blocked_[static_cast<std::size_t>(v)] = 0;
+        block_map_[static_cast<std::size_t>(v)].clear();
+      }
+      start_ = s;
+      circuit(s);
+    }
+    return !stopped_;
+  }
+
+ private:
+  bool allowed(EdgeId e) const { return !edge_filter_ || edge_filter_(e); }
+
+  /// Marks in_round_ for the SCC containing `s` within the subgraph induced
+  /// by vertices >= s (and allowed edges). Also records the marked nodes in
+  /// round_nodes_ so flags can be reset cheaply.
+  void mark_round_component(NodeId s) {
+    for (const NodeId v : round_nodes_) in_round_[static_cast<std::size_t>(v)] = 0;
+    round_nodes_.clear();
+
+    // Build the induced subgraph over vertices >= s. Node v of g maps to
+    // v - s in the subgraph.
+    const auto n = static_cast<NodeId>(g_.num_nodes());
+    Digraph sub(static_cast<std::size_t>(n - s));
+    bool s_has_relevant_edge = false;
+    for (NodeId v = s; v < n; ++v) {
+      for (const EdgeId e : g_.out_edges(v)) {
+        const NodeId w = g_.edge(e).dst;
+        if (w < s || !allowed(e)) continue;
+        sub.add_edge(v - s, w - s);
+        if (v == s || w == s) s_has_relevant_edge = true;
+      }
+    }
+    if (!s_has_relevant_edge) return;
+
+    const SccPartition part = scc(sub);
+    const int cs = part.comp_of[0];  // component of s (node 0 in sub)
+    const bool cyclic = part.is_cyclic(cs, sub);
+    if (!cyclic) return;
+    for (NodeId v = 0; v < static_cast<NodeId>(sub.num_nodes()); ++v) {
+      if (part.comp_of[static_cast<std::size_t>(v)] == cs) {
+        in_round_[static_cast<std::size_t>(v + s)] = 1;
+        round_nodes_.push_back(v + s);
+      }
+    }
+  }
+
+  bool circuit(NodeId v) {
+    bool found = false;
+    blocked_[static_cast<std::size_t>(v)] = 1;
+    for (const EdgeId e : g_.out_edges(v)) {
+      if (stopped_) break;
+      if (!allowed(e)) continue;
+      const NodeId w = g_.edge(e).dst;
+      if (w < start_ || !in_round_[static_cast<std::size_t>(w)]) continue;
+      if (w == start_) {
+        Cycle cycle = edge_stack_;
+        cycle.push_back(e);
+        if (!on_cycle_(cycle)) stopped_ = true;
+        found = true;
+      } else if (!blocked_[static_cast<std::size_t>(w)]) {
+        edge_stack_.push_back(e);
+        if (circuit(w)) found = true;
+        edge_stack_.pop_back();
+      }
+    }
+    if (found) {
+      unblock(v);
+    } else {
+      // v found no circuit: block it until some successor is unblocked.
+      for (const EdgeId e : g_.out_edges(v)) {
+        if (!allowed(e)) continue;
+        const NodeId w = g_.edge(e).dst;
+        if (w < start_ || !in_round_[static_cast<std::size_t>(w)]) continue;
+        auto& preds = block_map_[static_cast<std::size_t>(w)];
+        if (std::find(preds.begin(), preds.end(), v) == preds.end()) preds.push_back(v);
+      }
+    }
+    return found;
+  }
+
+  void unblock(NodeId v) {
+    // Iterative unblock cascade.
+    std::vector<NodeId> work{v};
+    while (!work.empty()) {
+      const NodeId u = work.back();
+      work.pop_back();
+      if (!blocked_[static_cast<std::size_t>(u)]) continue;
+      blocked_[static_cast<std::size_t>(u)] = 0;
+      for (const NodeId p : block_map_[static_cast<std::size_t>(u)]) {
+        if (blocked_[static_cast<std::size_t>(p)]) work.push_back(p);
+      }
+      block_map_[static_cast<std::size_t>(u)].clear();
+    }
+  }
+
+  const Digraph& g_;
+  const std::function<bool(const Cycle&)>& on_cycle_;
+  const std::function<bool(EdgeId)>& edge_filter_;
+
+  NodeId start_ = 0;
+  bool stopped_ = false;
+  std::vector<char> blocked_;
+  std::vector<std::vector<NodeId>> block_map_;
+  std::vector<char> in_round_;
+  std::vector<NodeId> round_nodes_;
+  Cycle edge_stack_;
+};
+
+}  // namespace
+
+bool for_each_cycle(const Digraph& g, const std::function<bool(const Cycle&)>& on_cycle,
+                    const std::function<bool(EdgeId)>& edge_filter) {
+  LID_ENSURE(static_cast<bool>(on_cycle), "for_each_cycle: callback required");
+  JohnsonEnumerator enumerator(g, on_cycle, edge_filter);
+  return enumerator.run();
+}
+
+CycleEnumResult enumerate_cycles(const Digraph& g, const CycleEnumOptions& options) {
+  CycleEnumResult result;
+  const auto collect = [&](const Cycle& c) {
+    result.cycles.push_back(c);
+    return options.max_cycles == 0 || result.cycles.size() < options.max_cycles;
+  };
+  const bool complete = for_each_cycle(g, collect, options.edge_filter);
+  result.truncated = !complete;
+  return result;
+}
+
+bool has_cycle(const Digraph& g) {
+  const SccPartition part = scc(g);
+  for (int c = 0; c < part.count; ++c) {
+    if (part.is_cyclic(c, g)) return true;
+  }
+  return false;
+}
+
+}  // namespace lid::graph

@@ -1,0 +1,53 @@
+// Elementary-cycle enumeration (Johnson's algorithm, multigraph-aware).
+//
+// The queue-sizing pipeline (Sec. VII-A of the paper) starts from the list of
+// cycles of the doubled marked graph, so this enumeration is the workhorse of
+// the whole library. The paper notes the cycle count "may blow up fairly
+// quickly"; enumeration therefore takes a hard cap and reports truncation
+// instead of exhausting memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace lid::graph {
+
+/// One elementary cycle, as the sequence of edge ids traversed in order.
+/// Vertex sequence is implied (edge(e[i]).dst == edge(e[i+1]).src, wrapping).
+using Cycle = std::vector<EdgeId>;
+
+/// Options for cycle enumeration.
+struct CycleEnumOptions {
+  /// Stop after this many cycles have been emitted (0 = unlimited).
+  std::size_t max_cycles = 0;
+  /// Optional per-edge filter: edges for which this returns false are ignored
+  /// entirely (treated as absent). Useful to enumerate only cycles inside a
+  /// subgraph. Null = keep all edges.
+  std::function<bool(EdgeId)> edge_filter;
+};
+
+/// Result of cycle enumeration.
+struct CycleEnumResult {
+  std::vector<Cycle> cycles;
+  /// True when enumeration stopped at max_cycles before completing.
+  bool truncated = false;
+};
+
+/// Enumerates all elementary cycles of `g` (cycles that visit each vertex at
+/// most once). Parallel edges yield distinct cycles; self-loops are cycles of
+/// length one. Complexity O((V + E)(C + 1)) where C is the number of cycles.
+CycleEnumResult enumerate_cycles(const Digraph& g, const CycleEnumOptions& options = {});
+
+/// Streaming variant: invokes `on_cycle` for each cycle; enumeration stops
+/// early when the callback returns false. Returns true if enumeration ran to
+/// completion (callback never declined).
+bool for_each_cycle(const Digraph& g, const std::function<bool(const Cycle&)>& on_cycle,
+                    const std::function<bool(EdgeId)>& edge_filter = nullptr);
+
+/// True if `g` has at least one cycle (self-loops count).
+bool has_cycle(const Digraph& g);
+
+}  // namespace lid::graph

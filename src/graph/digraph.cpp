@@ -1,0 +1,52 @@
+#include "graph/digraph.hpp"
+
+#include <algorithm>
+
+namespace lid::graph {
+
+NodeId Digraph::add_node() {
+  out_.emplace_back();
+  in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+NodeId Digraph::add_nodes(std::size_t n) {
+  const NodeId first = static_cast<NodeId>(out_.size());
+  out_.resize(out_.size() + n);
+  in_.resize(in_.size() + n);
+  return first;
+}
+
+EdgeId Digraph::add_edge(NodeId src, NodeId dst) {
+  check_node(src);
+  check_node(dst);
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back(Edge{src, dst});
+  out_[static_cast<std::size_t>(src)].push_back(id);
+  in_[static_cast<std::size_t>(dst)].push_back(id);
+  return id;
+}
+
+bool Digraph::has_edge(NodeId src, NodeId dst) const {
+  check_node(dst);
+  const auto& outs = out_edges(src);
+  return std::any_of(outs.begin(), outs.end(),
+                     [&](EdgeId e) { return edges_[static_cast<std::size_t>(e)].dst == dst; });
+}
+
+std::vector<EdgeId> Digraph::edges_between(NodeId src, NodeId dst) const {
+  check_node(dst);
+  std::vector<EdgeId> found;
+  for (const EdgeId e : out_edges(src)) {
+    if (edges_[static_cast<std::size_t>(e)].dst == dst) found.push_back(e);
+  }
+  return found;
+}
+
+Digraph Digraph::reversed() const {
+  Digraph rev(num_nodes());
+  for (const Edge& e : edges_) rev.add_edge(e.dst, e.src);
+  return rev;
+}
+
+}  // namespace lid::graph

@@ -1,0 +1,53 @@
+// Strongly connected components (Tarjan) and graph condensation.
+//
+// The paper's MST definition (Sec. III-C) is per-SCC, and its fastest
+// queue-sizing special case (Sec. VII-A, simplification 4) collapses each SCC
+// of a DAG-of-SCCs topology to a single vertex; both are built on this module.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace lid::graph {
+
+/// Partition of a digraph's nodes into strongly connected components.
+struct SccPartition {
+  /// comp_of[v] = component index of node v, in [0, count).
+  /// Component indices are a reverse topological order of the condensation:
+  /// if there is an edge from SCC a to SCC b (a != b) then comp_of gives
+  /// a > b... see scc() documentation for the exact guarantee.
+  std::vector<int> comp_of;
+  /// Number of components.
+  int count = 0;
+  /// members[c] = nodes of component c.
+  std::vector<std::vector<NodeId>> members;
+
+  /// True if component c contains a cycle (≥2 nodes, or a self-loop).
+  [[nodiscard]] bool is_cyclic(int c, const Digraph& g) const;
+};
+
+/// Computes SCCs with an iterative Tarjan traversal.
+///
+/// Guarantee: component indices are assigned in reverse topological order of
+/// the condensation — for every edge (u, v) with comp_of[u] != comp_of[v],
+/// comp_of[u] > comp_of[v].
+SccPartition scc(const Digraph& g);
+
+/// Condensation of `g`: one node per SCC and one edge per inter-SCC edge of
+/// `g` (parallel condensation edges are preserved so that edge-level
+/// satellite data can be mapped through `edge_origin`).
+struct Condensation {
+  Digraph dag;
+  /// edge_origin[e] = the EdgeId of `g` that produced condensation edge e.
+  std::vector<EdgeId> edge_origin;
+  /// The partition the condensation was built from.
+  SccPartition partition;
+};
+
+Condensation condense(const Digraph& g);
+
+/// True when the whole graph is one SCC (and non-empty).
+bool is_strongly_connected(const Digraph& g);
+
+}  // namespace lid::graph

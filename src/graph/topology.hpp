@@ -1,0 +1,62 @@
+// Topology classification for LIS netlists (Table II of the paper).
+//
+// A group of simple paths is *reconvergent* when they would form a cycle if
+// the graph were undirected (Sec. IV). Equivalently: the graph has an
+// undirected cycle that is not a directed cycle. The paper proves that two
+// topology classes never lose throughput to backpressure with queues fixed at
+// size one:
+//   * trees (no cycles, no reconvergent paths — the underlying undirected
+//     graph is a forest), and
+//   * SCCs whose cycles meet only at articulation points (directed cacti),
+//     connected by a DAG with no reconvergent paths.
+// Everything else is "general" and requires real queue sizing (Sec. V proves
+// optimal sizing NP-complete there).
+//
+// Detection runs on the biconnected components (BCCs) of the underlying
+// undirected multigraph: the graph has no reconvergent paths exactly when
+// every BCC is either a bridge or a single directed cycle.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace lid::graph {
+
+/// Table II classes, from easiest to hardest.
+enum class TopologyClass {
+  /// No cycles and no reconvergent paths: backpressure is harmless, q = 1.
+  kTree,
+  /// One SCC whose cycles meet only at articulation points: q = 1 suffices.
+  kCactusScc,
+  /// Several cactus SCCs connected by a DAG with no reconvergent paths:
+  /// q = 1 still suffices.
+  kNetworkOfCactusSccs,
+  /// Anything else: fixed queue sizing cannot be guaranteed to work.
+  kGeneral,
+};
+
+const char* to_string(TopologyClass c);
+
+/// True when the underlying undirected multigraph has no cycle at all
+/// (parallel directed edges between the same pair count as a cycle).
+bool is_underlying_forest(const Digraph& g);
+
+/// True when the graph has reconvergent paths: some undirected cycle of the
+/// underlying multigraph is not a directed cycle of `g`.
+bool has_reconvergent_paths(const Digraph& g);
+
+/// True when the subgraph induced by `members` (one SCC of `g`) is a directed
+/// cactus, i.e. has no reconvergent paths internally.
+bool scc_is_cactus(const Digraph& g, const std::vector<NodeId>& members);
+
+/// Classifies `g` per Table II.
+TopologyClass classify(const Digraph& g);
+
+/// Articulation points of the underlying undirected multigraph (vertices
+/// whose removal disconnects their connected component). Parallel edges are
+/// handled: a doubled edge forms a 2-cycle, so it alone articulates neither
+/// endpoint.
+std::vector<NodeId> articulation_points(const Digraph& g);
+
+}  // namespace lid::graph

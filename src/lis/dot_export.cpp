@@ -1,0 +1,82 @@
+#include "lis/dot_export.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace lid::lis {
+namespace {
+
+/// DOT identifiers: quote everything, escaping quotes and backslashes.
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string to_dot(const LisGraph& lis, const DotOptions& options) {
+  std::ostringstream os;
+  os << "digraph lis {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [shape=box, style=rounded];\n";
+  for (CoreId v = 0; v < static_cast<CoreId>(lis.num_cores()); ++v) {
+    os << "  " << quoted(lis.core_name(v));
+    if (lis.core_latency(v) != 1) {
+      os << " [label=" << quoted(lis.core_name(v) + "\\nL=" + std::to_string(lis.core_latency(v)))
+         << "]";
+    }
+    os << ";\n";
+  }
+  for (ChannelId c = 0; c < static_cast<ChannelId>(lis.num_channels()); ++c) {
+    const Channel& ch = lis.channel(c);
+    const bool highlighted = std::find(options.highlight.begin(), options.highlight.end(), c) !=
+                             options.highlight.end();
+    std::string label;
+    if (ch.relay_stations > 0) label += "rs=" + std::to_string(ch.relay_stations);
+    if (ch.queue_capacity != 1 || options.always_show_queues) {
+      if (!label.empty()) label += ", ";
+      label += "q=" + std::to_string(ch.queue_capacity);
+    }
+    os << "  " << quoted(lis.core_name(ch.src)) << " -> " << quoted(lis.core_name(ch.dst));
+    std::vector<std::string> attrs;
+    if (!label.empty()) attrs.push_back("label=" + quoted(label));
+    if (highlighted) attrs.push_back("color=red, penwidth=2");
+    if (!attrs.empty()) {
+      os << " [";
+      for (std::size_t i = 0; i < attrs.size(); ++i) {
+        if (i > 0) os << ", ";
+        os << attrs[i];
+      }
+      os << "]";
+    }
+    os << ";\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string marked_graph_to_dot(const mg::MarkedGraph& graph) {
+  std::ostringstream os;
+  os << "digraph marked_graph {\n";
+  os << "  rankdir=LR;\n";
+  for (mg::TransitionId t = 0; t < static_cast<mg::TransitionId>(graph.num_transitions()); ++t) {
+    const bool shell = graph.transition_kind(t) == mg::TransitionKind::kShell;
+    os << "  " << quoted(graph.transition_name(t)) << " [shape="
+       << (shell ? "box, style=rounded" : "box, style=filled, fillcolor=lightgray") << "];\n";
+  }
+  for (mg::PlaceId p = 0; p < static_cast<mg::PlaceId>(graph.num_places()); ++p) {
+    const bool backward = graph.place_kind(p) == mg::PlaceKind::kBackward;
+    os << "  " << quoted(graph.transition_name(graph.producer(p))) << " -> "
+       << quoted(graph.transition_name(graph.consumer(p))) << " [label=\"" << graph.tokens(p)
+       << "\"" << (backward ? ", style=dashed" : "") << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace lid::lis

@@ -1,0 +1,30 @@
+// GraphViz (DOT) rendering of LIS netlists and marked graphs, for
+// documentation and debugging. The netlist view draws relay stations as
+// small boxes along their channels and annotates queue capacities; the
+// marked-graph view draws places as edges labeled with their token counts.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "mg/marked_graph.hpp"
+
+namespace lid::lis {
+
+/// Options for netlist rendering.
+struct DotOptions {
+  /// Channels to draw highlighted (e.g. the critical cycle's channels).
+  std::vector<ChannelId> highlight;
+  /// Annotate queue capacities even when they are 1.
+  bool always_show_queues = false;
+};
+
+/// Renders the netlist as a DOT digraph.
+std::string to_dot(const LisGraph& lis, const DotOptions& options = {});
+
+/// Renders a marked graph (e.g. an Expansion's) as a DOT digraph: forward
+/// places solid, backpressure places dashed, token counts as edge labels.
+std::string marked_graph_to_dot(const mg::MarkedGraph& graph);
+
+}  // namespace lid::lis

@@ -1,0 +1,186 @@
+#include "lis/lis_graph.hpp"
+
+#include "mg/mcm.hpp"
+
+namespace lid::lis {
+
+CoreId LisGraph::add_core(std::string name) {
+  const CoreId v = structure_.add_node();
+  if (name.empty()) name = "core" + std::to_string(v);
+  names_.push_back(std::move(name));
+  latencies_.push_back(1);
+  return v;
+}
+
+void LisGraph::set_core_latency(CoreId v, int latency) {
+  LID_ENSURE(v >= 0 && static_cast<std::size_t>(v) < latencies_.size(), "core id out of range");
+  LID_ENSURE(latency >= 1, "set_core_latency: latency must be at least 1");
+  latencies_[static_cast<std::size_t>(v)] = latency;
+}
+
+int LisGraph::core_latency(CoreId v) const {
+  LID_ENSURE(v >= 0 && static_cast<std::size_t>(v) < latencies_.size(), "core id out of range");
+  return latencies_[static_cast<std::size_t>(v)];
+}
+
+ChannelId LisGraph::add_channel(CoreId src, CoreId dst, int relay_stations, int queue_capacity) {
+  LID_ENSURE(relay_stations >= 0, "add_channel: negative relay-station count");
+  LID_ENSURE(queue_capacity >= 1, "add_channel: queue capacity must be at least 1");
+  const ChannelId c = structure_.add_edge(src, dst);
+  channels_.push_back(Channel{src, dst, relay_stations, queue_capacity});
+  return c;
+}
+
+const Channel& LisGraph::channel(ChannelId c) const {
+  check_channel(c);
+  return channels_[static_cast<std::size_t>(c)];
+}
+
+const std::string& LisGraph::core_name(CoreId v) const {
+  LID_ENSURE(v >= 0 && static_cast<std::size_t>(v) < names_.size(), "core id out of range");
+  return names_[static_cast<std::size_t>(v)];
+}
+
+void LisGraph::set_relay_stations(ChannelId c, int relay_stations) {
+  check_channel(c);
+  LID_ENSURE(relay_stations >= 0, "set_relay_stations: negative count");
+  channels_[static_cast<std::size_t>(c)].relay_stations = relay_stations;
+}
+
+void LisGraph::set_queue_capacity(ChannelId c, int queue_capacity) {
+  check_channel(c);
+  LID_ENSURE(queue_capacity >= 1, "set_queue_capacity: capacity must be at least 1");
+  channels_[static_cast<std::size_t>(c)].queue_capacity = queue_capacity;
+}
+
+void LisGraph::set_all_queue_capacities(int q) {
+  LID_ENSURE(q >= 1, "set_all_queue_capacities: capacity must be at least 1");
+  for (auto& ch : channels_) ch.queue_capacity = q;
+}
+
+int LisGraph::total_relay_stations() const {
+  int total = 0;
+  for (const auto& ch : channels_) total += ch.relay_stations;
+  return total;
+}
+
+namespace {
+
+Expansion expand(const LisGraph& lis, bool with_backedges) {
+  Expansion out;
+  out.core_transition.reserve(lis.num_cores());
+  out.core_output_transition.reserve(lis.num_cores());
+  for (CoreId v = 0; v < static_cast<CoreId>(lis.num_cores()); ++v) {
+    const int latency = lis.core_latency(v);
+    if (latency == 1) {
+      // A simple core: one shell transition is both input and output stage.
+      const mg::TransitionId t =
+          out.graph.add_transition(mg::TransitionKind::kShell, lis.core_name(v));
+      out.core_transition.push_back(t);
+      out.core_output_transition.push_back(t);
+      continue;
+    }
+    // A pipelined core (footnote 3): the input stage AND-fires on the input
+    // queues, L - 1 void-initialized places delay the result, and the output
+    // stage (which holds the initial latched output) drives the channels.
+    // In the doubled graph every internal stage is elastic with twofold
+    // capacity (like a relay station's master/slave pair), which keeps the
+    // pipeline bounded without throttling it below one item per period.
+    const mg::TransitionId in =
+        out.graph.add_transition(mg::TransitionKind::kPipelineStage, lis.core_name(v) + ".in");
+    mg::TransitionId prev = in;
+    std::vector<mg::TransitionId> internal_chain{in};
+    for (int stage = 1; stage + 1 < latency; ++stage) {
+      const mg::TransitionId mid = out.graph.add_transition(
+          mg::TransitionKind::kPipelineStage,
+          lis.core_name(v) + ".p" + std::to_string(stage));
+      out.graph.add_place(prev, mid, 0, mg::PlaceKind::kForward);
+      prev = mid;
+      internal_chain.push_back(mid);
+    }
+    const mg::TransitionId outp =
+        out.graph.add_transition(mg::TransitionKind::kShell, lis.core_name(v));
+    out.graph.add_place(prev, outp, 0, mg::PlaceKind::kForward);
+    internal_chain.push_back(outp);
+    if (with_backedges) {
+      for (std::size_t hop = 0; hop + 1 < internal_chain.size(); ++hop) {
+        out.graph.add_place(internal_chain[hop + 1], internal_chain[hop], 2,
+                            mg::PlaceKind::kBackward);
+      }
+    }
+    out.core_transition.push_back(in);
+    out.core_output_transition.push_back(outp);
+  }
+  out.forward_places.resize(lis.num_channels());
+  out.backward_places.resize(lis.num_channels());
+
+  for (ChannelId c = 0; c < static_cast<ChannelId>(lis.num_channels()); ++c) {
+    const Channel& ch = lis.channel(c);
+    // Transition chain along the channel: src core's output stage, relay
+    // stations, dst core's input stage.
+    std::vector<mg::TransitionId> chain;
+    chain.push_back(out.core_output_transition[static_cast<std::size_t>(ch.src)]);
+    for (int r = 0; r < ch.relay_stations; ++r) {
+      chain.push_back(out.graph.add_transition(
+          mg::TransitionKind::kRelayStation,
+          lis.core_name(ch.src) + "->" + lis.core_name(ch.dst) + ".rs" + std::to_string(r)));
+    }
+    chain.push_back(out.core_transition[static_cast<std::size_t>(ch.dst)]);
+
+    auto& fwd = out.forward_places[static_cast<std::size_t>(c)];
+    auto& back = out.backward_places[static_cast<std::size_t>(c)];
+    for (std::size_t hop = 0; hop + 1 < chain.size(); ++hop) {
+      const mg::TransitionId producer = chain[hop];
+      const mg::TransitionId consumer = chain[hop + 1];
+      const bool producer_is_shell =
+          out.graph.transition_kind(producer) == mg::TransitionKind::kShell;
+      fwd.push_back(out.graph.add_place(producer, consumer, producer_is_shell ? 1 : 0,
+                                        mg::PlaceKind::kForward));
+    }
+    if (with_backedges) {
+      // Backpressure per Fig. 3 and Sec. III-B. Each relay station has a
+      // hop-level backedge to its immediate upstream element carrying its two
+      // free slots; the destination shell's input queue has a channel-level
+      // backedge to the source shell carrying the end-to-end free storage the
+      // source can see: q queue slots plus the 2r relay-station slots.
+      //
+      // This is the token placement that reproduces the paper exactly: the
+      // critical cycle of Fig. 5 {A, rs, B, A} gets mean 2/3 via the *other*
+      // channel's backedge, SCCs without reconvergent paths never degrade
+      // (Sec. IV), the NP-reduction's edge-construct cycle has mean 4/6
+      // (Fig. 12), and the Table VI cycle means come out to 5/7 and 4/6.
+      for (int r = 0; r < ch.relay_stations; ++r) {
+        const mg::TransitionId rs = chain[static_cast<std::size_t>(r) + 1];
+        const mg::TransitionId upstream = chain[static_cast<std::size_t>(r)];
+        back.push_back(out.graph.add_place(rs, upstream, 2, mg::PlaceKind::kBackward));
+      }
+      back.push_back(out.graph.add_place(
+          chain.back(), chain.front(),
+          static_cast<std::int64_t>(ch.queue_capacity) + 2 * ch.relay_stations,
+          mg::PlaceKind::kBackward));
+    }
+  }
+
+  out.place_channel.assign(out.graph.num_places(), graph::kInvalidEdge);
+  for (ChannelId c = 0; c < static_cast<ChannelId>(lis.num_channels()); ++c) {
+    for (const mg::PlaceId p : out.forward_places[static_cast<std::size_t>(c)]) {
+      out.place_channel[static_cast<std::size_t>(p)] = c;
+    }
+    for (const mg::PlaceId p : out.backward_places[static_cast<std::size_t>(c)]) {
+      out.place_channel[static_cast<std::size_t>(p)] = c;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Expansion expand_ideal(const LisGraph& lis) { return expand(lis, /*with_backedges=*/false); }
+
+Expansion expand_doubled(const LisGraph& lis) { return expand(lis, /*with_backedges=*/true); }
+
+util::Rational ideal_mst(const LisGraph& lis) { return mg::mst(expand_ideal(lis).graph); }
+
+util::Rational practical_mst(const LisGraph& lis) { return mg::mst(expand_doubled(lis).graph); }
+
+}  // namespace lid::lis

@@ -1,0 +1,134 @@
+#include "lis/netlist_io.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace lid::lis {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  throw std::invalid_argument("netlist line " + std::to_string(line) + ": " + message);
+}
+
+/// Parses "key=value" where value must be a nonnegative integer.
+int parse_kv(const std::string& token, const std::string& key, std::size_t line) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) fail(line, "expected " + key + "=<n>, got '" + token + "'");
+  const std::string value = token.substr(prefix.size());
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size() || v < 0) throw std::invalid_argument("bad");
+    return v;
+  } catch (const std::exception&) {
+    fail(line, "bad integer in '" + token + "'");
+  }
+}
+
+}  // namespace
+
+std::string to_text(const LisGraph& lis) {
+  std::ostringstream os;
+  os << "# latency-insensitive system: " << lis.num_cores() << " cores, " << lis.num_channels()
+     << " channels\n";
+  for (CoreId v = 0; v < static_cast<CoreId>(lis.num_cores()); ++v) {
+    os << "core " << lis.core_name(v);
+    if (lis.core_latency(v) != 1) os << " latency=" << lis.core_latency(v);
+    os << "\n";
+  }
+  for (ChannelId c = 0; c < static_cast<ChannelId>(lis.num_channels()); ++c) {
+    const Channel& ch = lis.channel(c);
+    os << "channel " << lis.core_name(ch.src) << " -> " << lis.core_name(ch.dst);
+    if (ch.relay_stations != 0) os << " rs=" << ch.relay_stations;
+    if (ch.queue_capacity != 1) os << " q=" << ch.queue_capacity;
+    os << "\n";
+  }
+  return os.str();
+}
+
+LisGraph from_text(const std::string& text) {
+  LisGraph lis;
+  std::map<std::string, CoreId> cores;
+
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank line
+
+    if (directive == "core") {
+      std::string name;
+      if (!(line >> name)) fail(line_no, "core needs a name");
+      int latency = 1;
+      std::string token;
+      while (line >> token) {
+        if (token.rfind("latency=", 0) == 0) {
+          latency = parse_kv(token, "latency", line_no);
+          if (latency < 1) fail(line_no, "latency must be at least 1");
+        } else {
+          fail(line_no, "unknown core attribute '" + token + "'");
+        }
+      }
+      const auto [it, inserted] = cores.emplace(name, CoreId{});
+      if (!inserted) fail(line_no, "duplicate core '" + name + "'");
+      it->second = lis.add_core(name);
+      lis.set_core_latency(it->second, latency);
+      continue;
+    }
+    if (directive == "channel") {
+      std::string src;
+      std::string arrow;
+      std::string dst;
+      if (!(line >> src >> arrow >> dst) || arrow != "->") {
+        fail(line_no, "expected: channel <src> -> <dst> [rs=N] [q=N]");
+      }
+      const auto src_it = cores.find(src);
+      if (src_it == cores.end()) fail(line_no, "unknown core '" + src + "'");
+      const auto dst_it = cores.find(dst);
+      if (dst_it == cores.end()) fail(line_no, "unknown core '" + dst + "'");
+      int rs = 0;
+      int q = 1;
+      std::string token;
+      while (line >> token) {
+        if (token.rfind("rs=", 0) == 0) {
+          rs = parse_kv(token, "rs", line_no);
+        } else if (token.rfind("q=", 0) == 0) {
+          q = parse_kv(token, "q", line_no);
+          if (q < 1) fail(line_no, "queue capacity must be at least 1");
+        } else {
+          fail(line_no, "unknown channel attribute '" + token + "'");
+        }
+      }
+      lis.add_channel(src_it->second, dst_it->second, rs, q);
+      continue;
+    }
+    fail(line_no, "unknown directive '" + directive + "'");
+  }
+  return lis;
+}
+
+LisGraph load_netlist(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open netlist file: " + path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return from_text(buffer.str());
+}
+
+void save_netlist(const LisGraph& lis, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write netlist file: " + path);
+  out << to_text(lis);
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace lid::lis

@@ -1,0 +1,30 @@
+// A small text format for LIS netlists, so systems can be stored in files
+// and driven through the command-line tool.
+//
+//   # comment — everything after '#' is ignored
+//   core A
+//   core B
+//   channel A -> B rs=1 q=2     # rs and q are optional (defaults 0 and 1)
+//
+// Core names may contain any non-whitespace characters except '#'.
+#pragma once
+
+#include <string>
+
+#include "lis/lis_graph.hpp"
+
+namespace lid::lis {
+
+/// Serializes a netlist to the text format (stable, round-trip safe).
+std::string to_text(const LisGraph& lis);
+
+/// Parses the text format. Throws std::invalid_argument with the offending
+/// line number on malformed input (unknown directive, duplicate core name,
+/// unknown core in a channel, bad rs/q value).
+LisGraph from_text(const std::string& text);
+
+/// File wrappers. Throw std::runtime_error on I/O failure.
+LisGraph load_netlist(const std::string& path);
+void save_netlist(const LisGraph& lis, const std::string& path);
+
+}  // namespace lid::lis

@@ -1,0 +1,43 @@
+#include "lis/paper_systems.hpp"
+
+namespace lid::lis {
+
+LisGraph make_two_core_example() {
+  LisGraph lis;
+  const CoreId a = lis.add_core("A");
+  const CoreId b = lis.add_core("B");
+  lis.add_channel(a, b, /*relay_stations=*/1, /*queue_capacity=*/1);  // upper
+  lis.add_channel(a, b, /*relay_stations=*/0, /*queue_capacity=*/1);  // lower
+  return lis;
+}
+
+LisGraph make_two_core_example_sized() {
+  LisGraph lis = make_two_core_example();
+  lis.set_queue_capacity(1, 2);  // lower channel queue grows to two (Fig. 6)
+  return lis;
+}
+
+LisGraph make_two_core_example_balanced() {
+  LisGraph lis = make_two_core_example();
+  lis.set_relay_stations(1, 1);  // equalize latencies (Fig. 2, right)
+  return lis;
+}
+
+LisGraph make_fig15_counterexample() {
+  LisGraph lis;
+  const CoreId a = lis.add_core("A");
+  const CoreId b = lis.add_core("B");
+  const CoreId c = lis.add_core("C");
+  const CoreId d = lis.add_core("D");
+  const CoreId e = lis.add_core("E");
+  lis.add_channel(a, e, /*relay_stations=*/1);  // the pipelined long channel
+  lis.add_channel(e, d);
+  lis.add_channel(d, c);
+  lis.add_channel(c, b);
+  lis.add_channel(b, a);
+  lis.add_channel(a, c);
+  lis.add_channel(c, e);
+  return lis;
+}
+
+}  // namespace lid::lis

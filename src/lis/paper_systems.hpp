@@ -1,0 +1,29 @@
+// The small example systems the paper reasons about, as reusable builders.
+// They anchor the test suite: each carries exact published MST values.
+#pragma once
+
+#include "lis/lis_graph.hpp"
+
+namespace lid::lis {
+
+/// Fig. 1 / Fig. 2 (left): cores A and B joined by two channels, one relay
+/// station on the upper channel, queues of size one. Ideal MST 1; practical
+/// MST 2/3 (the Fig. 5 critical cycle).
+/// Core ids: A = 0, B = 1. Channel ids: upper = 0, lower = 1.
+LisGraph make_two_core_example();
+
+/// Fig. 6: the same system with the lower-channel queue grown to two —
+/// practical MST restored to 1.
+LisGraph make_two_core_example_sized();
+
+/// Fig. 2 (right): the same system repaired with an additional relay station
+/// on the lower channel instead — practical MST 1.
+LisGraph make_two_core_example_balanced();
+
+/// Fig. 15: the five-core counterexample where no relay-station insertion
+/// recovers the ideal MST. Ideal MST 5/6 (cycle A→rs→E→D→C→B→A); practical
+/// MST 3/4 (cycle A→rs→E, then backedges E→C and C→A).
+/// Core ids: A = 0, B = 1, C = 2, D = 3, E = 4.
+LisGraph make_fig15_counterexample();
+
+}  // namespace lid::lis

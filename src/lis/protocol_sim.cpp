@@ -1,0 +1,409 @@
+#include "lis/protocol_sim.hpp"
+
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace lid::lis {
+namespace {
+
+/// Mutable state of one channel. Flow control mirrors the doubled marked
+/// graph exactly: the source shell holds end-to-end credits for the channel's
+/// total storage (the channel-level backedge — q queue slots plus 2 per relay
+/// station) and must additionally find a free slot in the first relay station
+/// (the hop-level backedge, 2 credits); relay stations forward into the next
+/// station when it has a slot credit and into the input queue unconditionally
+/// — room there is guaranteed by the end-to-end credit the source consumed at
+/// injection.
+struct ChannelState {
+  std::vector<std::deque<Payload>> rs_buffers;
+  std::deque<Payload> input_queue;
+  /// Slot credits of each relay station (initially 2 each, per Fig. 3).
+  std::vector<int> rs_credits;
+  /// End-to-end credits as seen by the source (initially q + 2·rs).
+  int queue_credits = 0;
+  int queue_capacity = 1;
+
+  /// True when the source shell can inject: an end-to-end credit is
+  /// available and the first relay station (if any) has a slot credit.
+  [[nodiscard]] bool source_can_inject() const {
+    if (queue_credits < 1) return false;
+    if (!rs_credits.empty() && rs_credits.front() < 1) return false;
+    return true;
+  }
+
+  /// Accepts a newly produced item into the first pipeline stage. The
+  /// initial latched output bypasses credit accounting (it occupies the
+  /// source shell's output latch, not a storage slot — this matches the
+  /// initial marking of the doubled graph, where the initial forward token
+  /// coexists with the full complement of backedge tokens).
+  void push_first_stage(Payload v) {
+    if (!rs_buffers.empty()) {
+      rs_buffers.front().push_back(v);
+    } else {
+      input_queue.push_back(v);
+    }
+  }
+};
+
+std::vector<Payload> default_outputs(std::int64_t firing_index, std::size_t n) {
+  return std::vector<Payload>(n, firing_index + 1);
+}
+
+}  // namespace
+
+ProtocolResult simulate_protocol(const LisGraph& lis, const ProtocolOptions& options) {
+  const std::size_t num_cores = lis.num_cores();
+  const std::size_t num_channels = lis.num_channels();
+  LID_ENSURE(options.reference >= 0 && static_cast<std::size_t>(options.reference) < num_cores,
+             "simulate_protocol: reference core out of range");
+  LID_ENSURE(options.behaviors.empty() || options.behaviors.size() == num_cores,
+             "simulate_protocol: behaviors must be empty or one per core");
+  LID_ENSURE(options.periods >= 1, "simulate_protocol: need at least one period");
+
+  ProtocolResult result;
+  result.core_firings.assign(num_cores, 0);
+  result.avg_queue_occupancy.assign(num_channels, 0.0);
+  std::size_t occupancy_samples = 0;
+  // Accumulates queue sizes; normalized into avg_queue_occupancy on return.
+  std::vector<std::int64_t> occupancy_sum(num_channels, 0);
+  const auto finalize_occupancy = [&] {
+    if (occupancy_samples == 0) return;
+    for (std::size_t c = 0; c < num_channels; ++c) {
+      result.avg_queue_occupancy[c] =
+          static_cast<double>(occupancy_sum[c]) / static_cast<double>(occupancy_samples);
+    }
+  };
+
+  // Per-core channel lists, ordered by channel id (the CoreFunction contract).
+  std::vector<std::vector<ChannelId>> in_channels(num_cores);
+  std::vector<std::vector<ChannelId>> out_channels(num_cores);
+  for (ChannelId c = 0; c < static_cast<ChannelId>(num_channels); ++c) {
+    const Channel& ch = lis.channel(c);
+    out_channels[static_cast<std::size_t>(ch.src)].push_back(c);
+    in_channels[static_cast<std::size_t>(ch.dst)].push_back(c);
+  }
+
+  // Internal pipelines of cores with latency > 1 (footnote 3): latency - 1
+  // elastic stages (two slot credits each, like relay stations) between the
+  // AND-firing input and the output latch; each stage advances one result
+  // bundle per period and the output stage is additionally gated by channel
+  // credits — exactly the marked-graph expansion.
+  struct CorePipe {
+    std::vector<std::deque<std::vector<Payload>>> stages;  // size latency - 1
+    std::vector<int> credits;                              // 2 free slots each
+    std::vector<char> shift;                               // per-period decisions
+  };
+  std::vector<CorePipe> pipes(num_cores);
+  for (CoreId v = 0; v < static_cast<CoreId>(num_cores); ++v) {
+    auto& pipe = pipes[static_cast<std::size_t>(v)];
+    pipe.stages.resize(static_cast<std::size_t>(lis.core_latency(v) - 1));
+    pipe.credits.assign(pipe.stages.size(), 2);
+    pipe.shift.assign(pipe.stages.size(), 0);
+  }
+
+  // Channel state, prefilled with each source shell's initial latched output.
+  std::vector<ChannelState> state(num_channels);
+  for (ChannelId c = 0; c < static_cast<ChannelId>(num_channels); ++c) {
+    const Channel& ch = lis.channel(c);
+    auto& cs = state[static_cast<std::size_t>(c)];
+    cs.rs_buffers.resize(static_cast<std::size_t>(ch.relay_stations));
+    cs.rs_credits.assign(static_cast<std::size_t>(ch.relay_stations), 2);
+    cs.queue_capacity = ch.queue_capacity;
+    cs.queue_credits = ch.queue_capacity + 2 * ch.relay_stations;
+  }
+  for (CoreId v = 0; v < static_cast<CoreId>(num_cores); ++v) {
+    const auto& outs = out_channels[static_cast<std::size_t>(v)];
+    std::vector<Payload> initial(outs.size(), 0);
+    if (!options.behaviors.empty()) {
+      const auto& given = options.behaviors[static_cast<std::size_t>(v)].initial_outputs;
+      if (!given.empty()) {
+        LID_ENSURE(given.size() == outs.size(),
+                   "simulate_protocol: initial_outputs size must match out-degree");
+        initial = given;
+      }
+    }
+    for (std::size_t i = 0; i < outs.size(); ++i) {
+      state[static_cast<std::size_t>(outs[i])].push_first_stage(initial[i]);
+    }
+  }
+
+  if (options.record_traces) {
+    result.traces.resize(num_channels);
+    for (ChannelId c = 0; c < static_cast<ChannelId>(num_channels); ++c) {
+      const Channel& ch = lis.channel(c);
+      auto& per_stage = result.traces[static_cast<std::size_t>(c)];
+      per_stage.resize(static_cast<std::size_t>(ch.relay_stations) + 1);
+      // Period 0: shells drive their initial latched output, relay stations τ.
+      const std::size_t chan = static_cast<std::size_t>(c);
+      const Payload init = state[chan].rs_buffers.empty()
+                               ? state[chan].input_queue.back()
+                               : state[chan].rs_buffers.front().back();
+      per_stage[0].push_back(Item{init});
+      for (std::size_t s = 1; s < per_stage.size(); ++s) per_stage[s].push_back(Item{});
+    }
+  }
+
+  // Environment gates make firing decisions time-dependent, which breaks the
+  // occupancy-recurrence argument below.
+  bool has_gates = false;
+  for (const auto& behavior : options.behaviors) {
+    if (behavior.environment_gate) has_gates = true;
+  }
+
+  // Occupancy-state recurrence detection: firing decisions depend only on
+  // fill levels and credit counts, so a repeated occupancy vector proves the
+  // behaviour is periodic from there on.
+  std::map<std::vector<int>, std::pair<std::size_t, std::int64_t>> seen;
+  const auto occupancy = [&] {
+    std::vector<int> occ;
+    occ.reserve(num_channels * 3 + num_cores);
+    for (const auto& cs : state) {
+      for (const auto& buf : cs.rs_buffers) occ.push_back(static_cast<int>(buf.size()));
+      for (const int cr : cs.rs_credits) occ.push_back(cr);
+      occ.push_back(static_cast<int>(cs.input_queue.size()));
+      occ.push_back(cs.queue_credits);
+    }
+    for (const auto& pipe : pipes) {
+      for (const auto& stage : pipe.stages) occ.push_back(static_cast<int>(stage.size()));
+    }
+    return occ;
+  };
+  seen.emplace(occupancy(), std::make_pair(std::size_t{0}, std::int64_t{0}));
+
+  std::vector<char> core_fires(num_cores, 0);
+  std::vector<std::vector<char>> rs_fires(num_channels);
+  for (ChannelId c = 0; c < static_cast<ChannelId>(num_channels); ++c) {
+    rs_fires[static_cast<std::size_t>(c)].assign(
+        static_cast<std::size_t>(lis.channel(c).relay_stations), 0);
+  }
+
+  // Period 0 is the initial latched state; each loop iteration advances one
+  // clock period, so `periods` total periods need periods - 1 updates.
+  result.periods = options.periods;
+  for (std::size_t t = 0; t + 1 < options.periods; ++t) {
+    // --- Decision phase (from pre-step state only). ---
+    std::vector<char> out_fires(num_cores, 0);
+    for (CoreId v = 0; v < static_cast<CoreId>(num_cores); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const bool pipelined = !pipes[vi].stages.empty();
+      // Input stage: AND-firing over the input queues; for a simple core it
+      // is also the output stage and needs channel credits.
+      bool in_ok = true;
+      for (const ChannelId c : in_channels[vi]) {
+        if (state[static_cast<std::size_t>(c)].input_queue.empty()) {
+          in_ok = false;
+          break;
+        }
+      }
+      bool out_ok = true;
+      for (const ChannelId c : out_channels[vi]) {
+        if (!state[static_cast<std::size_t>(c)].source_can_inject()) {
+          out_ok = false;
+          break;
+        }
+      }
+      if (!options.behaviors.empty()) {
+        const auto& gate = options.behaviors[vi].environment_gate;
+        if (gate && !gate(static_cast<std::int64_t>(t))) in_ok = false;
+      }
+      if (pipelined) {
+        auto& pipe = pipes[vi];
+        core_fires[vi] = (in_ok && pipe.credits.front() >= 1) ? 1 : 0;
+        out_fires[vi] = (!pipe.stages.back().empty() && out_ok) ? 1 : 0;
+        // Internal shifts, decided from the pre-update state: stage s
+        // receives from s-1 when s-1 has a bundle and s has a free slot.
+        for (std::size_t s = 1; s < pipe.stages.size(); ++s) {
+          pipe.shift[s] = (!pipe.stages[s - 1].empty() && pipe.credits[s] >= 1) ? 1 : 0;
+        }
+      } else {
+        core_fires[vi] = (in_ok && out_ok) ? 1 : 0;
+        out_fires[vi] = core_fires[vi];
+      }
+    }
+    for (ChannelId c = 0; c < static_cast<ChannelId>(num_channels); ++c) {
+      const auto& cs = state[static_cast<std::size_t>(c)];
+      const std::size_t nrs = cs.rs_buffers.size();
+      for (std::size_t i = 0; i < nrs; ++i) {
+        const bool has_item = !cs.rs_buffers[i].empty();
+        // The last relay station forwards unconditionally; room in the queue
+        // is guaranteed by the end-to-end credit consumed at injection.
+        const bool next_has_space = (i + 1 < nrs) ? cs.rs_credits[i + 1] >= 1 : true;
+        rs_fires[static_cast<std::size_t>(c)][i] = (has_item && next_has_space) ? 1 : 0;
+      }
+    }
+
+    // --- Update phase. Relay stations first (pop own buffer, push next). ---
+    for (ChannelId c = 0; c < static_cast<ChannelId>(num_channels); ++c) {
+      auto& cs = state[static_cast<std::size_t>(c)];
+      const std::size_t nrs = cs.rs_buffers.size();
+      // Process from the last relay station backwards so a pop and a push on
+      // the same buffer within one period cannot interleave incorrectly.
+      for (std::size_t i = nrs; i-- > 0;) {
+        const bool fires = rs_fires[static_cast<std::size_t>(c)][i] != 0;
+        Item out{};  // τ unless the relay station forwards
+        if (fires) {
+          const Payload v = cs.rs_buffers[i].front();
+          cs.rs_buffers[i].pop_front();
+          cs.rs_credits[i] += 1;  // this station's slot frees up
+          if (i + 1 < nrs) {
+            cs.rs_buffers[i + 1].push_back(v);
+            cs.rs_credits[i + 1] -= 1;
+          } else {
+            cs.input_queue.push_back(v);
+          }
+          out = Item{v};
+        }
+        if (options.record_traces) {
+          result.traces[static_cast<std::size_t>(c)][i + 1].push_back(out);
+        }
+      }
+      // The lumped-storage abstraction of Fig. 4: a stage "place" may hold
+      // more items than the physical queue while others stall, but never
+      // more than the channel's total storage plus the initial latch.
+      LID_ASSERT(cs.input_queue.size() <= static_cast<std::size_t>(cs.queue_capacity) +
+                                              2 * cs.rs_buffers.size() + 1,
+                 "protocol invariant violated: input queue overflow");
+    }
+    // Cores. Output stages first: inject the ready result bundle into the
+    // channels (consuming credits); then shift internal pipeline stages; then
+    // input stages consume from the queues (returning credits) and compute.
+    for (CoreId v = 0; v < static_cast<CoreId>(num_cores); ++v) {
+      const auto vi = static_cast<std::size_t>(v);
+      const bool in_fired = core_fires[vi] != 0;
+      const bool out_fired = out_fires[vi] != 0;
+      const auto& ins = in_channels[vi];
+      const auto& outs = out_channels[vi];
+      auto& pipe = pipes[vi];
+      const bool pipelined = !pipe.stages.empty();
+
+      // Compute the input stage's result from the pre-update queue fronts.
+      std::vector<Payload> computed;
+      if (in_fired) {
+        std::vector<Payload> inputs;
+        inputs.reserve(ins.size());
+        for (const ChannelId c : ins) {
+          auto& cs = state[static_cast<std::size_t>(c)];
+          inputs.push_back(cs.input_queue.front());
+          cs.input_queue.pop_front();
+          cs.queue_credits += 1;
+        }
+        const std::int64_t k = result.core_firings[vi];
+        const CoreFunction& fn =
+            options.behaviors.empty() ? nullptr : options.behaviors[vi].function;
+        computed = fn ? fn(k, inputs) : default_outputs(k, outs.size());
+        LID_ENSURE(computed.size() == outs.size(),
+                   "simulate_protocol: core function must return one payload per out channel");
+        result.core_firings[vi] += 1;
+      }
+
+      // Output stage: the computed bundle for a simple core, the pipeline's
+      // oldest bundle for a pipelined one.
+      std::vector<Payload> emitted;
+      if (out_fired) {
+        if (pipelined) {
+          emitted = std::move(pipe.stages.back().front());
+          pipe.stages.back().pop_front();
+          pipe.credits.back() += 1;
+        } else {
+          emitted = computed;
+        }
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+          auto& cs = state[static_cast<std::size_t>(outs[i])];
+          cs.queue_credits -= 1;
+          if (!cs.rs_credits.empty()) cs.rs_credits.front() -= 1;
+          cs.push_first_stage(emitted[i]);
+        }
+      }
+
+      if (pipelined) {
+        // Apply the pre-decided internal shifts (oldest stage first).
+        for (std::size_t s = pipe.stages.size(); s-- > 1;) {
+          if (!pipe.shift[s]) continue;
+          pipe.stages[s].push_back(std::move(pipe.stages[s - 1].front()));
+          pipe.stages[s - 1].pop_front();
+          pipe.credits[s] -= 1;
+          pipe.credits[s - 1] += 1;
+        }
+        if (in_fired) {
+          pipe.stages.front().push_back(std::move(computed));
+          pipe.credits.front() -= 1;
+        }
+      }
+
+      if (options.record_traces) {
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+          result.traces[static_cast<std::size_t>(outs[i])][0].push_back(
+              out_fired ? Item{emitted[i]} : Item{});
+        }
+      }
+    }
+
+    // --- Occupancy sampling (for Little's-law latency estimates). ---
+    for (std::size_t c = 0; c < num_channels; ++c) {
+      occupancy_sum[c] += static_cast<std::int64_t>(state[c].input_queue.size());
+    }
+    ++occupancy_samples;
+
+    if (options.observer && !options.observer(t, core_fires)) {
+      result.periods = t + 2;
+      if (!result.periodic_found) {
+        result.throughput =
+            util::Rational(result.core_firings[static_cast<std::size_t>(options.reference)],
+                           static_cast<std::int64_t>(t + 1));
+      }
+      finalize_occupancy();
+      return result;
+    }
+
+    // --- Recurrence check (skipped once periodicity is established). ---
+    if (!result.periodic_found && !has_gates) {
+      const std::int64_t ref = result.core_firings[static_cast<std::size_t>(options.reference)];
+      const auto [it, inserted] = seen.emplace(occupancy(), std::make_pair(t + 1, ref));
+      if (!inserted) {
+        result.periodic_found = true;
+        const std::size_t span = (t + 1) - it->second.first;
+        result.throughput =
+            util::Rational(ref - it->second.second, static_cast<std::int64_t>(span));
+        if (!options.record_traces && !options.observer) {
+          // Nothing left to learn; report the run as t+2 periods of history.
+          result.periods = t + 2;
+          finalize_occupancy();
+          return result;
+        }
+        // With trace recording or an observer, keep simulating so the
+        // caller sees the full requested window.
+      }
+    }
+  }
+
+  result.periods = options.periods;
+  if (!result.periodic_found) {
+    result.throughput =
+        util::Rational(result.core_firings[static_cast<std::size_t>(options.reference)],
+                       static_cast<std::int64_t>(options.periods));
+  }
+  finalize_occupancy();
+  return result;
+}
+
+double average_queue_latency(const LisGraph& lis, const ProtocolResult& result, ChannelId ch) {
+  LID_ENSURE(ch >= 0 && static_cast<std::size_t>(ch) < result.avg_queue_occupancy.size(),
+             "average_queue_latency: channel out of range");
+  const lis::CoreId dst = lis.channel(ch).dst;
+  const double consumed = static_cast<double>(result.core_firings[static_cast<std::size_t>(dst)]);
+  if (consumed <= 0.0 || result.periods <= 1) return 0.0;
+  const double rate = consumed / static_cast<double>(result.periods - 1);
+  return result.avg_queue_occupancy[static_cast<std::size_t>(ch)] / rate;
+}
+
+std::string format_trace(const std::vector<Item>& trace) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    if (i > 0) os << ' ';
+    os << trace[i].to_string();
+  }
+  return os.str();
+}
+
+}  // namespace lid::lis

@@ -1,0 +1,116 @@
+// Cycle-accurate behavioral simulator of the latency-insensitive protocol.
+//
+// This models the RTL-level system of Fig. 4: shells with AND-firing and
+// bypassable input queues, relay stations with twofold buffering, and
+// lossless backpressure. Flow control is credit-based — a sender stalls when
+// the next stage has no free slot — which is exactly the stop-signal protocol
+// of the paper (stop asserted ⟺ no free slot) and exactly the doubled marked
+// graph d[G] (a backpressure place's tokens are the free slots). The test
+// suite verifies cycle-for-cycle equivalence between this simulator and the
+// marked-graph step semantics, and that the measured sustained throughput
+// equals the statically computed MST.
+//
+// Unlike the token-level simulator (mg/simulate.hpp), this one carries data:
+// each core computes real output values from its consumed inputs, so the
+// simulator reproduces valid/τ traces like Table I of the paper.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::lis {
+
+/// The value carried by one valid data item.
+using Payload = std::int64_t;
+
+/// A valid payload or the void item τ.
+struct Item {
+  std::optional<Payload> value;  ///< nullopt represents τ
+  [[nodiscard]] bool is_void() const { return !value.has_value(); }
+  [[nodiscard]] std::string to_string() const {
+    return value ? std::to_string(*value) : "tau";
+  }
+};
+
+/// Computes a core's outputs for one firing: receives one payload per
+/// incoming channel (ordered by channel id) and must return one payload per
+/// outgoing channel (ordered by channel id).
+using CoreFunction =
+    std::function<std::vector<Payload>(std::int64_t firing_index, const std::vector<Payload>& inputs)>;
+
+/// Configuration of one core's behaviour in the simulation.
+struct CoreBehavior {
+  /// Output computation; when null, the core emits its firing index on every
+  /// outgoing channel.
+  CoreFunction function;
+  /// Initial latched outputs driven at period 0, one per outgoing channel
+  /// (ordered by channel id). When empty, all zeroes are used.
+  std::vector<Payload> initial_outputs;
+  /// Optional environment gate: when set, the shell may fire at period t
+  /// only if this returns true — modeling an open system whose environment
+  /// produces (or accepts) valid data at a limited, possibly irregular rate
+  /// (Sec. II: schedule-based approaches cannot handle this; backpressure
+  /// with sized queues can). Gates disable the recurrence-based exact
+  /// throughput detection, so the reported rate is the full-run average.
+  std::function<bool(std::int64_t period)> environment_gate;
+};
+
+/// Result of a protocol simulation.
+struct ProtocolResult {
+  /// traces[ch][stage] is the output trace of pipeline stage `stage` of
+  /// channel ch: stage 0 is the source shell's output port, stage i >= 1 the
+  /// i-th relay station. Each trace has one Item per simulated period.
+  std::vector<std::vector<std::vector<Item>>> traces;
+  /// Firings of each core over the run.
+  std::vector<std::int64_t> core_firings;
+  /// Average destination-queue occupancy per channel over the run. Divided
+  /// by the channel's delivery rate this gives the average queueing latency
+  /// (Little's law) — see average_queue_latency().
+  std::vector<double> avg_queue_occupancy;
+  /// Periods simulated.
+  std::size_t periods = 0;
+  /// Exact sustained firing rate of the reference core once the occupancy
+  /// state recurs; empirical full-run rate otherwise.
+  util::Rational throughput;
+  bool periodic_found = false;
+};
+
+/// Invoked after every simulated period with the period index (the one whose
+/// firings were just decided) and, per core, whether its shell fired. Return
+/// false to stop the simulation early.
+using ProtocolObserver =
+    std::function<bool(std::size_t period, const std::vector<char>& core_fired)>;
+
+/// Options for a protocol simulation.
+struct ProtocolOptions {
+  std::size_t periods = 1000;
+  /// Core whose firing rate is reported as throughput.
+  CoreId reference = 0;
+  /// Record per-stage traces (costs memory proportional to periods).
+  bool record_traces = false;
+  /// Per-core behaviours, indexed by CoreId; missing entries get defaults.
+  std::vector<CoreBehavior> behaviors;
+  /// Optional per-period callback (see ProtocolObserver).
+  ProtocolObserver observer;
+};
+
+/// Simulates the latency-insensitive protocol on `lis` for the given number
+/// of clock periods.
+ProtocolResult simulate_protocol(const LisGraph& lis, const ProtocolOptions& options);
+
+/// Average number of periods an item waits in channel `ch`'s input queue,
+/// by Little's law: average occupancy divided by the destination core's
+/// firing rate. Returns 0 when the destination never fired.
+double average_queue_latency(const LisGraph& lis, const ProtocolResult& result, ChannelId ch);
+
+/// Renders one channel-stage trace like Table I of the paper.
+std::string format_trace(const std::vector<Item>& trace);
+
+}  // namespace lid::lis

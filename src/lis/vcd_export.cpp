@@ -1,0 +1,112 @@
+#include "lis/vcd_export.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lid::lis {
+namespace {
+
+/// VCD identifier codes: short strings over the printable range '!'..'~'.
+std::string code_for(std::size_t index) {
+  std::string code;
+  do {
+    code += static_cast<char>('!' + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+std::string binary64(Payload value) {
+  std::string bits = "b";
+  auto u = static_cast<std::uint64_t>(value);
+  bool leading = true;
+  for (int i = 63; i >= 0; --i) {
+    const bool bit = ((u >> i) & 1u) != 0;
+    if (bit) leading = false;
+    if (!leading || i == 0) bits += bit ? '1' : '0';
+  }
+  return bits;
+}
+
+/// Signal names: "<src>_to_<dst>[.rs<i>]" sanitized for VCD.
+std::string sanitize(std::string name) {
+  for (char& c : name) {
+    if (c == ' ' || c == '-' || c == '>') c = '_';
+  }
+  return name;
+}
+
+}  // namespace
+
+std::string traces_to_vcd(const LisGraph& lis, const ProtocolResult& result) {
+  LID_ENSURE(!result.traces.empty(), "traces_to_vcd: simulation was run without record_traces");
+  LID_ENSURE(result.traces.size() == lis.num_channels(),
+             "traces_to_vcd: result does not match the netlist");
+
+  std::ostringstream os;
+  os << "$comment lid protocol simulation, " << result.periods << " periods $end\n";
+  os << "$timescale 1ns $end\n";
+  os << "$scope module lis $end\n";
+
+  struct Signal {
+    const std::vector<Item>* trace;
+    std::string valid_code;
+    std::string data_code;
+  };
+  std::vector<Signal> signals;
+  std::size_t next_code = 0;
+  for (ChannelId c = 0; c < static_cast<ChannelId>(lis.num_channels()); ++c) {
+    const Channel& ch = lis.channel(c);
+    const auto& stages = result.traces[static_cast<std::size_t>(c)];
+    for (std::size_t stage = 0; stage < stages.size(); ++stage) {
+      std::string base = lis.core_name(ch.src) + "_to_" + lis.core_name(ch.dst);
+      if (stage > 0) base += "_rs" + std::to_string(stage - 1);
+      base = sanitize(base);
+      Signal sig;
+      sig.trace = &stages[stage];
+      sig.valid_code = code_for(next_code++);
+      sig.data_code = code_for(next_code++);
+      os << "$var wire 1 " << sig.valid_code << " " << base << "_valid $end\n";
+      os << "$var wire 64 " << sig.data_code << " " << base << "_data $end\n";
+      signals.push_back(std::move(sig));
+    }
+  }
+  os << "$upscope $end\n";
+  os << "$enddefinitions $end\n";
+
+  // Emit changes only (proper VCD), tracking the previous value per signal.
+  std::vector<Item> previous(signals.size(), Item{Payload{-1}});
+  std::vector<char> have_previous(signals.size(), 0);
+  for (std::size_t t = 0; t < result.periods; ++t) {
+    std::ostringstream step;
+    for (std::size_t s = 0; s < signals.size(); ++s) {
+      if (t >= signals[s].trace->size()) continue;
+      const Item& item = (*signals[s].trace)[t];
+      const bool valid_changed = !have_previous[s] || item.is_void() != previous[s].is_void();
+      const bool data_changed =
+          !item.is_void() &&
+          (!have_previous[s] || previous[s].is_void() || *item.value != *previous[s].value);
+      if (valid_changed) step << (item.is_void() ? "0" : "1") << signals[s].valid_code << "\n";
+      if (data_changed) step << binary64(*item.value) << " " << signals[s].data_code << "\n";
+      if (valid_changed || data_changed) {
+        previous[s] = item;
+        have_previous[s] = 1;
+      }
+    }
+    const std::string changes = step.str();
+    if (!changes.empty()) os << "#" << t << "\n" << changes;
+  }
+  os << "#" << result.periods << "\n";
+  return os.str();
+}
+
+void save_vcd(const LisGraph& lis, const ProtocolResult& result, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write VCD file: " + path);
+  out << traces_to_vcd(lis, result);
+  if (!out) throw std::runtime_error("VCD write failed: " + path);
+}
+
+}  // namespace lid::lis

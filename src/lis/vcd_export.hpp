@@ -1,0 +1,22 @@
+// VCD (Value Change Dump) export of protocol-simulation traces, so the
+// valid/void activity of a LIS can be inspected in any waveform viewer
+// (GTKWave etc.). Each recorded channel stage contributes two signals: a
+// 1-bit `valid` and a 64-bit `data` (data is meaningful only while valid).
+#pragma once
+
+#include <string>
+
+#include "lis/lis_graph.hpp"
+#include "lis/protocol_sim.hpp"
+
+namespace lid::lis {
+
+/// Renders the traces of `result` (which must have been produced with
+/// record_traces = true from `lis`) as a VCD document. Throws
+/// std::invalid_argument when the result carries no traces.
+std::string traces_to_vcd(const LisGraph& lis, const ProtocolResult& result);
+
+/// Convenience wrapper writing straight to a file (throws on I/O failure).
+void save_vcd(const LisGraph& lis, const ProtocolResult& result, const std::string& path);
+
+}  // namespace lid::lis

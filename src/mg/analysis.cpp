@@ -1,0 +1,121 @@
+#include "mg/analysis.hpp"
+
+#include <limits>
+#include <queue>
+
+#include "graph/cycles.hpp"
+
+namespace lid::mg {
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// Minimum-token path weight from `from` to `to` (sum of place tokens along
+/// the path), or kInf when unreachable. Dijkstra: token counts are >= 0.
+std::int64_t min_token_path(const MarkedGraph& g, TransitionId from, TransitionId to) {
+  const graph::Digraph& s = g.structure();
+  std::vector<std::int64_t> dist(g.num_transitions(), kInf);
+  using Entry = std::pair<std::int64_t, TransitionId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[static_cast<std::size_t>(from)] = 0;
+  heap.emplace(0, from);
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d != dist[static_cast<std::size_t>(v)]) continue;
+    if (v == to) return d;
+    for (const PlaceId p : s.out_edges(v)) {
+      const TransitionId w = g.consumer(p);
+      const std::int64_t nd = d + g.tokens(p);
+      if (nd < dist[static_cast<std::size_t>(w)]) {
+        dist[static_cast<std::size_t>(w)] = nd;
+        heap.emplace(nd, w);
+      }
+    }
+  }
+  return dist[static_cast<std::size_t>(to)];
+}
+
+}  // namespace
+
+bool is_live(const MarkedGraph& g) {
+  // Live iff no token-free cycle: stop enumeration at the first offender.
+  return graph::for_each_cycle(g.structure(),
+                               [&](const graph::Cycle& c) { return g.cycle_tokens(c) >= 1; });
+}
+
+std::optional<std::int64_t> place_bound(const MarkedGraph& g, PlaceId p) {
+  // min over cycles through p of M0(cycle) = tokens(p) + min-token path from
+  // p's consumer back to p's producer.
+  const std::int64_t back = min_token_path(g, g.consumer(p), g.producer(p));
+  if (back == kInf) return std::nullopt;  // p lies on no cycle
+  return g.tokens(p) + back;
+}
+
+std::vector<std::optional<std::int64_t>> place_bounds(const MarkedGraph& g) {
+  std::vector<std::optional<std::int64_t>> bounds;
+  bounds.reserve(g.num_places());
+  for (PlaceId p = 0; p < static_cast<PlaceId>(g.num_places()); ++p) {
+    bounds.push_back(place_bound(g, p));
+  }
+  return bounds;
+}
+
+bool is_bounded(const MarkedGraph& g) {
+  for (PlaceId p = 0; p < static_cast<PlaceId>(g.num_places()); ++p) {
+    if (!place_bound(g, p).has_value()) return false;
+  }
+  return true;
+}
+
+bool is_reachable_marking(const MarkedGraph& g, const std::vector<std::int64_t>& marking) {
+  LID_ENSURE(marking.size() == g.num_places(), "is_reachable_marking: marking size mismatch");
+  LID_ENSURE(is_live(g), "is_reachable_marking: the theorem requires a live marked graph");
+  for (const std::int64_t tokens : marking) {
+    if (tokens < 0) return false;
+  }
+  // M reachable  <=>  M = M0 + C·σ for some firing-count vector σ, i.e. the
+  // difference M - M0 is a "tension": there is a node potential σ with
+  // M(p) - M0(p) = σ(producer(p)) - σ(consumer(p)) for every place. Assign
+  // potentials by BFS over the underlying undirected structure and verify
+  // every place (non-tree places close consistency constraints — exactly the
+  // cycle-invariance condition).
+  const graph::Digraph& s = g.structure();
+  const std::size_t n = g.num_transitions();
+  std::vector<std::int64_t> sigma(n, 0);
+  std::vector<char> visited(n, 0);
+  for (TransitionId root = 0; root < static_cast<TransitionId>(n); ++root) {
+    if (visited[static_cast<std::size_t>(root)]) continue;
+    visited[static_cast<std::size_t>(root)] = 1;
+    std::vector<TransitionId> queue{root};
+    while (!queue.empty()) {
+      const TransitionId v = queue.back();
+      queue.pop_back();
+      const auto expand = [&](PlaceId p, bool outgoing) {
+        const std::int64_t delta =
+            marking[static_cast<std::size_t>(p)] - g.tokens(p);
+        const TransitionId other = outgoing ? g.consumer(p) : g.producer(p);
+        // delta = σ(producer) - σ(consumer).
+        const std::int64_t implied =
+            outgoing ? sigma[static_cast<std::size_t>(v)] - delta
+                     : sigma[static_cast<std::size_t>(v)] + delta;
+        if (!visited[static_cast<std::size_t>(other)]) {
+          visited[static_cast<std::size_t>(other)] = 1;
+          sigma[static_cast<std::size_t>(other)] = implied;
+          queue.push_back(other);
+          return true;
+        }
+        return sigma[static_cast<std::size_t>(other)] == implied;
+      };
+      for (const PlaceId p : s.out_edges(v)) {
+        if (!expand(p, /*outgoing=*/true)) return false;
+      }
+      for (const PlaceId p : s.in_edges(v)) {
+        if (!expand(p, /*outgoing=*/false)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace lid::mg

@@ -1,0 +1,44 @@
+// Structural analysis of marked graphs beyond throughput: liveness,
+// boundedness, and exact per-place token bounds.
+//
+// Classic marked-graph theory (Commoner et al. [22]): a marked graph is
+// *live* iff every cycle carries at least one token, and a place of a live,
+// strongly connected marked graph can never hold more tokens than the
+// minimum of M0(c) over the cycles c through it (token counts on cycles are
+// invariant, and the bound is reached). For a LIS this bound answers a very
+// practical question: how many items can actually pile up in each lumped
+// channel place — i.e. how much physical storage an implementation of the
+// Fig. 4 abstraction must provision.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mg/marked_graph.hpp"
+
+namespace lid::mg {
+
+/// True iff every cycle carries at least one token (no reachable deadlock).
+bool is_live(const MarkedGraph& g);
+
+/// Exact upper bound on the tokens place p can ever hold, for places on at
+/// least one cycle of a live graph: min over cycles through p of the cycle's
+/// initial token count. Places on no cycle are unbounded (nullopt) — in a
+/// LIS this happens only in ideal (backpressure-free) expansions.
+std::optional<std::int64_t> place_bound(const MarkedGraph& g, PlaceId p);
+
+/// All place bounds at once (one Dijkstra per place; see place_bound).
+std::vector<std::optional<std::int64_t>> place_bounds(const MarkedGraph& g);
+
+/// True when every place is bounded (g's every place lies on a cycle).
+bool is_bounded(const MarkedGraph& g);
+
+/// Reachability of a marking in a LIVE marked graph (classic theorem,
+/// Commoner/Murata): M is reachable from the initial marking iff M is
+/// nonnegative and every cycle carries the same token count under M as under
+/// M0 (cycle counts are invariant, and for live marked graphs the invariant
+/// is complete). Requires `marking.size() == g.num_places()` and a live `g`;
+/// throws std::invalid_argument otherwise.
+bool is_reachable_marking(const MarkedGraph& g, const std::vector<std::int64_t>& marking);
+
+}  // namespace lid::mg

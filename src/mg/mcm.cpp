@@ -1,0 +1,370 @@
+#include "mg/mcm.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "graph/cycles.hpp"
+#include "graph/scc.hpp"
+#include "util/check.hpp"
+
+namespace lid::mg {
+namespace {
+
+using graph::EdgeId;
+using graph::NodeId;
+using util::Rational;
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+/// A per-SCC view with local node indices; edges carry their original place
+/// id and token weight.
+struct LocalScc {
+  struct LocalEdge {
+    int src;
+    int dst;
+    std::int64_t weight;
+    PlaceId place;
+  };
+  int n = 0;
+  std::vector<LocalEdge> edges;
+  std::vector<std::vector<int>> out;  // indices into `edges`
+};
+
+LocalScc make_local(const MarkedGraph& g, const graph::SccPartition& part, int comp) {
+  const auto& members = part.members[static_cast<std::size_t>(comp)];
+  std::vector<int> local_of(g.num_transitions(), -1);
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    local_of[static_cast<std::size_t>(members[i])] = static_cast<int>(i);
+  }
+  LocalScc local;
+  local.n = static_cast<int>(members.size());
+  local.out.resize(members.size());
+  const graph::Digraph& s = g.structure();
+  for (const NodeId v : members) {
+    for (const EdgeId e : s.out_edges(v)) {
+      const NodeId w = s.edge(e).dst;
+      if (part.comp_of[static_cast<std::size_t>(w)] != comp) continue;
+      const int lu = local_of[static_cast<std::size_t>(v)];
+      const int lw = local_of[static_cast<std::size_t>(w)];
+      local.out[static_cast<std::size_t>(lu)].push_back(static_cast<int>(local.edges.size()));
+      local.edges.push_back({lu, lw, g.tokens(e), e});
+    }
+  }
+  return local;
+}
+
+/// Karp's minimum cycle mean on one strongly connected component.
+Rational karp_on_scc(const LocalScc& local) {
+  const int n = local.n;
+  LID_ASSERT(n >= 1, "karp_on_scc: empty SCC");
+  // D[k][v] = min weight of a walk with exactly k edges from node 0 to v.
+  std::vector<std::vector<std::int64_t>> d(static_cast<std::size_t>(n) + 1,
+                                           std::vector<std::int64_t>(n, kInf));
+  d[0][0] = 0;
+  for (int k = 1; k <= n; ++k) {
+    for (const auto& e : local.edges) {
+      const std::int64_t base = d[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(e.src)];
+      if (base == kInf) continue;
+      auto& cell = d[static_cast<std::size_t>(k)][static_cast<std::size_t>(e.dst)];
+      cell = std::min(cell, base + e.weight);
+    }
+  }
+
+  bool found = false;
+  Rational best;
+  for (int v = 0; v < n; ++v) {
+    const std::int64_t dn = d[static_cast<std::size_t>(n)][static_cast<std::size_t>(v)];
+    if (dn == kInf) continue;
+    bool have_term = false;
+    Rational worst;
+    for (int k = 0; k < n; ++k) {
+      const std::int64_t dk = d[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
+      if (dk == kInf) continue;
+      const Rational term(dn - dk, n - k);
+      if (!have_term || term > worst) {
+        worst = term;
+        have_term = true;
+      }
+    }
+    LID_ASSERT(have_term, "karp_on_scc: no finite prefix for a reachable node");
+    if (!found || worst < best) {
+      best = worst;
+      found = true;
+    }
+  }
+  LID_ASSERT(found, "karp_on_scc: strongly connected component without a cycle");
+  return best;
+}
+
+/// Exact critical-cycle extraction used when policy iteration fails to
+/// settle: take Karp's minimum mean μ, compute Bellman-Ford potentials for
+/// edge costs (weight - μ), and walk the tight subgraph (edges achieving
+/// equality), which always contains a μ-mean cycle.
+MeanCycle karp_fallback_cycle(const LocalScc& local) {
+  const Rational mu = karp_on_scc(local);
+  const auto n = static_cast<std::size_t>(local.n);
+  // Bellman-Ford from a virtual source connected to every node with cost 0.
+  std::vector<Rational> dist(n, Rational(0));
+  for (int pass = 0; pass < local.n; ++pass) {
+    bool changed = false;
+    for (const auto& e : local.edges) {
+      const Rational cand = dist[static_cast<std::size_t>(e.src)] + Rational(e.weight) - mu;
+      if (cand < dist[static_cast<std::size_t>(e.dst)]) {
+        dist[static_cast<std::size_t>(e.dst)] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  // Tight edges: dist[dst] == dist[src] + w - μ. Around a critical cycle all
+  // inequalities hold with equality, so the tight subgraph contains a cycle,
+  // and every cycle of the tight subgraph has reduced cost 0, i.e. mean μ.
+  graph::Digraph tight_graph(n);
+  std::vector<int> tight_origin;  // tight-graph edge -> local edge index
+  for (int e = 0; e < static_cast<int>(local.edges.size()); ++e) {
+    const auto& edge = local.edges[static_cast<std::size_t>(e)];
+    if (dist[static_cast<std::size_t>(edge.dst)] ==
+        dist[static_cast<std::size_t>(edge.src)] + Rational(edge.weight) - mu) {
+      tight_graph.add_edge(edge.src, edge.dst);
+      tight_origin.push_back(e);
+    }
+  }
+  MeanCycle result;
+  graph::for_each_cycle(tight_graph, [&](const graph::Cycle& cycle) {
+    for (const graph::EdgeId te : cycle) {
+      result.cycle.push_back(
+          local.edges[static_cast<std::size_t>(tight_origin[static_cast<std::size_t>(te)])]
+              .place);
+    }
+    return false;  // one cycle is enough
+  });
+  LID_ASSERT(!result.cycle.empty(), "karp_fallback_cycle: tight subgraph has no cycle");
+  result.mean = mu;
+  return result;
+}
+
+/// Howard's policy iteration (min cycle mean) on one strongly connected
+/// component. Returns the minimum mean and one critical cycle (place ids).
+MeanCycle howard_on_scc(const LocalScc& local) {
+  const int n = local.n;
+  const auto ns = static_cast<std::size_t>(n);
+  // Policy: chosen out-edge (index into local.edges) per node. Seed with the
+  // minimum-weight out-edge.
+  std::vector<int> policy(ns, -1);
+  for (int v = 0; v < n; ++v) {
+    const auto& outs = local.out[static_cast<std::size_t>(v)];
+    LID_ASSERT(!outs.empty(), "howard_on_scc: SCC node without internal out-edge");
+    int best = outs.front();
+    for (const int e : outs) {
+      if (local.edges[static_cast<std::size_t>(e)].weight <
+          local.edges[static_cast<std::size_t>(best)].weight) {
+        best = e;
+      }
+    }
+    policy[static_cast<std::size_t>(v)] = best;
+  }
+
+  std::vector<Rational> lambda(ns);
+  std::vector<Rational> value(ns);
+  std::vector<int> cycle_stamp(ns, -1);  // which evaluation round visited the node
+  std::vector<char> evaluated(ns, 0);
+
+  const auto evaluate = [&] {
+    std::fill(evaluated.begin(), evaluated.end(), 0);
+    std::fill(cycle_stamp.begin(), cycle_stamp.end(), -1);
+    int round = 0;
+    for (int start = 0; start < n; ++start) {
+      if (evaluated[static_cast<std::size_t>(start)]) continue;
+      // Follow the policy chain until we hit an evaluated node or revisit a
+      // node from this walk (found the policy cycle).
+      std::vector<int> chain;
+      int v = start;
+      while (!evaluated[static_cast<std::size_t>(v)] &&
+             cycle_stamp[static_cast<std::size_t>(v)] != round) {
+        cycle_stamp[static_cast<std::size_t>(v)] = round;
+        chain.push_back(v);
+        v = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(v)])].dst;
+      }
+      if (!evaluated[static_cast<std::size_t>(v)]) {
+        // v lies on a fresh policy cycle: compute its mean, then values.
+        std::int64_t tokens = 0;
+        std::int64_t length = 0;
+        int u = v;
+        do {
+          tokens += local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(u)])].weight;
+          ++length;
+          u = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(u)])].dst;
+        } while (u != v);
+        const Rational mean(tokens, length);
+        // Collect the cycle and anchor at its minimum node id (a
+        // deterministic anchor keeps values comparable across evaluation
+        // rounds, which phase-2 termination relies on), then solve
+        // value[u] = w(u) - mean + value[next(u)] in reverse visit order.
+        std::vector<int> cyc;
+        u = v;
+        do {
+          cyc.push_back(u);
+          u = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(u)])].dst;
+        } while (u != v);
+        std::rotate(cyc.begin(), std::min_element(cyc.begin(), cyc.end()), cyc.end());
+        const int anchor = cyc.front();
+        lambda[static_cast<std::size_t>(anchor)] = mean;
+        value[static_cast<std::size_t>(anchor)] = Rational(0);
+        evaluated[static_cast<std::size_t>(anchor)] = 1;
+        for (std::size_t i = cyc.size(); i-- > 1;) {
+          const int node = cyc[i];
+          const auto& e = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(node)])];
+          lambda[static_cast<std::size_t>(node)] = mean;
+          value[static_cast<std::size_t>(node)] =
+              Rational(e.weight) - mean + value[static_cast<std::size_t>(e.dst)];
+          evaluated[static_cast<std::size_t>(node)] = 1;
+        }
+      }
+      // Nodes on the chain before reaching `v` inherit v's cycle data.
+      for (std::size_t i = chain.size(); i-- > 0;) {
+        const int node = chain[i];
+        if (evaluated[static_cast<std::size_t>(node)]) continue;
+        const auto& e = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(node)])];
+        lambda[static_cast<std::size_t>(node)] = lambda[static_cast<std::size_t>(e.dst)];
+        value[static_cast<std::size_t>(node)] =
+            Rational(e.weight) - lambda[static_cast<std::size_t>(node)] +
+            value[static_cast<std::size_t>(e.dst)];
+        evaluated[static_cast<std::size_t>(node)] = 1;
+      }
+      ++round;
+    }
+  };
+
+  const long max_iterations = 1000L * n + 1000L;
+  bool converged = false;
+  for (long iter = 0; iter < max_iterations; ++iter) {
+    evaluate();
+    bool improved = false;
+    // Phase 1: switch to a successor whose policy cycle has a smaller mean.
+    for (int v = 0; v < n; ++v) {
+      int best = policy[static_cast<std::size_t>(v)];
+      Rational best_lambda =
+          lambda[static_cast<std::size_t>(local.edges[static_cast<std::size_t>(best)].dst)];
+      for (const int e : local.out[static_cast<std::size_t>(v)]) {
+        const Rational cand = lambda[static_cast<std::size_t>(local.edges[static_cast<std::size_t>(e)].dst)];
+        if (cand < best_lambda) {
+          best = e;
+          best_lambda = cand;
+        }
+      }
+      if (best != policy[static_cast<std::size_t>(v)]) {
+        policy[static_cast<std::size_t>(v)] = best;
+        improved = true;
+      }
+    }
+    if (improved) continue;
+    // Phase 2: same-lambda value improvement.
+    for (int v = 0; v < n; ++v) {
+      const Rational lam = lambda[static_cast<std::size_t>(v)];
+      int best = policy[static_cast<std::size_t>(v)];
+      const auto reduced = [&](int e) {
+        const auto& edge = local.edges[static_cast<std::size_t>(e)];
+        return Rational(edge.weight) - lam + value[static_cast<std::size_t>(edge.dst)];
+      };
+      Rational best_value = reduced(best);
+      for (const int e : local.out[static_cast<std::size_t>(v)]) {
+        const auto& edge = local.edges[static_cast<std::size_t>(e)];
+        if (lambda[static_cast<std::size_t>(edge.dst)] != lam) continue;
+        const Rational cand = reduced(e);
+        if (cand < best_value) {
+          best = e;
+          best_value = cand;
+        }
+      }
+      if (best_value < value[static_cast<std::size_t>(v)]) {
+        policy[static_cast<std::size_t>(v)] = best;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      converged = true;
+      break;
+    }
+  }
+  if (!converged) {
+    // Degenerate tie structures can make multichain policy iteration cycle;
+    // fall back to the always-exact Karp mean with a tight-subgraph cycle
+    // extraction (Bellman-Ford potentials; edges tight at the optimum form a
+    // subgraph that must contain a critical cycle).
+    return karp_fallback_cycle(local);
+  }
+
+  // Extract the critical policy cycle: start from a node with minimal lambda.
+  int start = 0;
+  for (int v = 1; v < n; ++v) {
+    if (lambda[static_cast<std::size_t>(v)] < lambda[static_cast<std::size_t>(start)]) start = v;
+  }
+  // Walk the policy until a node repeats; then emit the cycle portion.
+  std::vector<int> seen_at(ns, -1);
+  std::vector<int> walk;
+  int v = start;
+  while (seen_at[static_cast<std::size_t>(v)] == -1) {
+    seen_at[static_cast<std::size_t>(v)] = static_cast<int>(walk.size());
+    walk.push_back(v);
+    v = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(v)])].dst;
+  }
+  MeanCycle result;
+  result.mean = lambda[static_cast<std::size_t>(v)];
+  for (std::size_t i = static_cast<std::size_t>(seen_at[static_cast<std::size_t>(v)]);
+       i < walk.size(); ++i) {
+    result.cycle.push_back(
+        local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(walk[i])])].place);
+  }
+  return result;
+}
+
+template <typename PerScc>
+void for_each_cyclic_scc(const MarkedGraph& g, PerScc&& per_scc) {
+  const graph::SccPartition part = graph::scc(g.structure());
+  for (int c = 0; c < part.count; ++c) {
+    if (!part.is_cyclic(c, g.structure())) continue;
+    per_scc(make_local(g, part, c));
+  }
+}
+
+}  // namespace
+
+std::optional<Rational> min_cycle_mean_karp(const MarkedGraph& g) {
+  std::optional<Rational> best;
+  for_each_cyclic_scc(g, [&](const LocalScc& local) {
+    const Rational mean = karp_on_scc(local);
+    if (!best || mean < *best) best = mean;
+  });
+  return best;
+}
+
+std::optional<MeanCycle> min_cycle_mean_howard(const MarkedGraph& g) {
+  std::optional<MeanCycle> best;
+  for_each_cyclic_scc(g, [&](const LocalScc& local) {
+    MeanCycle mc = howard_on_scc(local);
+    if (!best || mc.mean < best->mean) best = std::move(mc);
+  });
+  return best;
+}
+
+Rational cycle_time(const MarkedGraph& g) {
+  LID_ENSURE(graph::is_strongly_connected(g.structure()), "cycle_time: graph must be strongly connected");
+  const std::optional<Rational> mean = min_cycle_mean_karp(g);
+  LID_ENSURE(mean.has_value(), "cycle_time: graph has no cycle");
+  LID_ENSURE(mean->num() != 0, "cycle_time: token-free cycle makes the cycle time infinite");
+  return Rational(1) / *mean;
+}
+
+Rational mst_allowing_deadlock(const MarkedGraph& g) {
+  const std::optional<Rational> mean = min_cycle_mean_karp(g);
+  if (!mean) return Rational(1);  // acyclic
+  return Rational::min(Rational(1), *mean);
+}
+
+Rational mst(const MarkedGraph& g) {
+  const Rational theta = mst_allowing_deadlock(g);
+  LID_ENSURE(theta.num() != 0, "mst: token-free cycle (deadlocked marked graph)");
+  return theta;
+}
+
+}  // namespace lid::mg

@@ -1,0 +1,52 @@
+// Minimum cycle mean and maximal sustainable throughput (MST) of a timed
+// marked graph with unit delays (Sec. III-C of the paper).
+//
+// The cycle mean of a cycle is its token count divided by its place count;
+// the cycle time π(G) of a strongly connected graph is the reciprocal of the
+// minimum cycle mean, and the MST is
+//     θ(G) = 1                         if G is acyclic,
+//     θ(G) = min(1, 1/π(G))            if G is strongly connected,
+//     θ(G) = min over SCCs of θ(SCC)   otherwise.
+// Since every cycle lives inside one SCC, the general case reduces to
+// min(1, minimum cycle mean over the whole graph).
+//
+// Two independent algorithms are provided: Karp's dynamic program (the
+// correctness reference, O(V·E)) and Howard's policy iteration (usually much
+// faster, also yields a critical cycle). Both use exact rational arithmetic.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "mg/marked_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::mg {
+
+/// A cycle together with its (token/place) mean.
+struct MeanCycle {
+  util::Rational mean;
+  std::vector<PlaceId> cycle;
+};
+
+/// Minimum cycle mean via Karp's algorithm, or nullopt if `g` is acyclic.
+std::optional<util::Rational> min_cycle_mean_karp(const MarkedGraph& g);
+
+/// Minimum cycle mean and one critical cycle via Howard's policy iteration,
+/// or nullopt if `g` is acyclic.
+std::optional<MeanCycle> min_cycle_mean_howard(const MarkedGraph& g);
+
+/// Cycle time π(G) = 1 / minimum cycle mean. Requires `g` to be strongly
+/// connected with at least one cycle; throws std::invalid_argument otherwise
+/// (including on a token-free critical cycle, whose cycle time is infinite).
+util::Rational cycle_time(const MarkedGraph& g);
+
+/// Maximal sustainable throughput θ(g) per the definition above.
+/// Throws std::invalid_argument if some cycle carries no token (deadlock —
+/// the throughput would be zero and the LIS model forbids such markings).
+util::Rational mst(const MarkedGraph& g);
+
+/// Like mst() but deadlocked graphs report throughput 0 instead of throwing.
+util::Rational mst_allowing_deadlock(const MarkedGraph& g);
+
+}  // namespace lid::mg

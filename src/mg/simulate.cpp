@@ -1,0 +1,73 @@
+#include "mg/simulate.hpp"
+
+#include <algorithm>
+#include <map>
+#include <utility>
+
+namespace lid::mg {
+
+SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps, TransitionId reference,
+                          const StepObserver& observer) {
+  LID_ENSURE(reference >= 0 && static_cast<std::size_t>(reference) < g.num_transitions(),
+             "simulate: reference transition out of range");
+
+  const graph::Digraph& s = g.structure();
+  const std::size_t nt = g.num_transitions();
+
+  SimulationResult result;
+  result.firings.assign(nt, 0);
+
+  std::vector<std::int64_t> marking = g.marking();
+  result.max_tokens = marking;
+  // Visited markings → (step index, reference firings at that step).
+  std::map<std::vector<std::int64_t>, std::pair<std::size_t, std::int64_t>> seen;
+  seen.emplace(marking, std::make_pair(std::size_t{0}, std::int64_t{0}));
+
+  std::vector<char> fired(nt, 0);
+  for (std::size_t step = 0; step < max_steps; ++step) {
+    // Determine the enabled set from the current marking (all concurrently).
+    for (TransitionId t = 0; t < static_cast<TransitionId>(nt); ++t) {
+      bool enabled = true;
+      for (const PlaceId p : s.in_edges(t)) {
+        if (marking[static_cast<std::size_t>(p)] < 1) {
+          enabled = false;
+          break;
+        }
+      }
+      fired[static_cast<std::size_t>(t)] = enabled ? 1 : 0;
+    }
+    // Fire: consume from inputs, produce to outputs.
+    for (TransitionId t = 0; t < static_cast<TransitionId>(nt); ++t) {
+      if (!fired[static_cast<std::size_t>(t)]) continue;
+      result.firings[static_cast<std::size_t>(t)] += 1;
+      for (const PlaceId p : s.in_edges(t)) marking[static_cast<std::size_t>(p)] -= 1;
+      for (const PlaceId p : s.out_edges(t)) marking[static_cast<std::size_t>(p)] += 1;
+    }
+    for (std::size_t p = 0; p < marking.size(); ++p) {
+      result.max_tokens[p] = std::max(result.max_tokens[p], marking[p]);
+    }
+    result.steps_run = step + 1;
+    if (observer && !observer(step, fired)) break;
+
+    const std::int64_t ref_fired = result.firings[static_cast<std::size_t>(reference)];
+    const auto [it, inserted] =
+        seen.emplace(marking, std::make_pair(result.steps_run, ref_fired));
+    if (!inserted) {
+      // Marking revisited: behaviour is periodic from it->second.first on.
+      result.periodic_found = true;
+      result.transient_steps = it->second.first;
+      result.period_steps = result.steps_run - it->second.first;
+      const std::int64_t window_firings = ref_fired - it->second.second;
+      result.throughput =
+          util::Rational(window_firings, static_cast<std::int64_t>(result.period_steps));
+      return result;
+    }
+  }
+
+  // No recurrence within budget: report the empirical rate over the full run.
+  result.throughput = util::Rational(result.firings[static_cast<std::size_t>(reference)],
+                                     static_cast<std::int64_t>(std::max<std::size_t>(result.steps_run, 1)));
+  return result;
+}
+
+}  // namespace lid::mg

@@ -1,0 +1,49 @@
+// Synchronous step-semantics simulator for marked graphs (Sec. III-B).
+//
+// At every step all enabled transitions fire concurrently — this casts the
+// marked graph into the synchronous paradigm, one step per clock period. The
+// simulator provides a dynamic cross-check of the static MST analysis: for a
+// strongly connected graph the measured firing rate must equal θ(G) exactly,
+// which the test suite verifies on randomly generated systems.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "mg/marked_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::mg {
+
+/// Outcome of a bounded simulation.
+struct SimulationResult {
+  /// True when the marking sequence became periodic within the step budget.
+  bool periodic_found = false;
+  /// Steps before the first marking of the periodic regime (meaningful only
+  /// when periodic_found).
+  std::size_t transient_steps = 0;
+  /// Length of the periodic regime (meaningful only when periodic_found).
+  std::size_t period_steps = 0;
+  /// Exact sustained firing rate of the reference transition over one period
+  /// when periodic_found; otherwise the empirical rate over the full run.
+  util::Rational throughput;
+  /// Total firings of every transition over the full run.
+  std::vector<std::int64_t> firings;
+  /// Highest token count each place reached during the run (including the
+  /// initial marking). Under the synchronous step semantics this is a lower
+  /// bound on the structural place bound of mg/analysis.hpp.
+  std::vector<std::int64_t> max_tokens;
+  /// Steps actually executed.
+  std::size_t steps_run = 0;
+};
+
+/// Callback invoked after every step with the step index and, per transition,
+/// whether it fired. Return false to stop the simulation early.
+using StepObserver = std::function<bool(std::size_t step, const std::vector<char>& fired)>;
+
+/// Simulates up to `max_steps` steps from the graph's initial marking.
+/// `reference` selects the transition whose sustained rate is reported.
+SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps,
+                          TransitionId reference = 0, const StepObserver& observer = nullptr);
+
+}  // namespace lid::mg

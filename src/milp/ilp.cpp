@@ -1,0 +1,109 @@
+#include "milp/ilp.hpp"
+
+#include "util/check.hpp"
+
+namespace lid::milp {
+namespace {
+
+using util::Rational;
+
+/// Depth-first branch and bound with best-incumbent pruning.
+class BranchAndBound {
+ public:
+  BranchAndBound(const LinearProgram& lp, const IlpOptions& options)
+      : lp_(lp), options_(options), deadline_(options.timeout_ms) {}
+
+  IlpResult run() {
+    util::Timer timer;
+    explore(lp_);
+    result_.elapsed_ms = timer.elapsed_ms();
+    if (cut_off_) {
+      result_.status = IlpResult::Status::kCutOff;
+    } else if (unbounded_) {
+      result_.status = IlpResult::Status::kUnbounded;
+    } else if (incumbent_) {
+      result_.status = IlpResult::Status::kOptimal;
+      result_.objective = incumbent_objective_;
+      result_.solution = *incumbent_;
+    } else {
+      result_.status = IlpResult::Status::kInfeasible;
+    }
+    return result_;
+  }
+
+ private:
+  void explore(const LinearProgram& node) {
+    if (cut_off_ || unbounded_) return;
+    ++result_.nodes;
+    if (deadline_.expired() || (options_.max_nodes > 0 && result_.nodes >= options_.max_nodes)) {
+      cut_off_ = true;
+      return;
+    }
+    const LpResult relaxation = solve_lp(node);
+    if (relaxation.status == LpResult::Status::kInfeasible) return;
+    if (relaxation.status == LpResult::Status::kUnbounded) {
+      // The integral problem is unbounded too when the relaxation is (for
+      // rational-coefficient covering programs this implies integral rays).
+      unbounded_ = true;
+      return;
+    }
+    // Bound: the relaxation value can only go up along this branch.
+    if (incumbent_ && relaxation.objective >= incumbent_objective_) return;
+
+    // Find a fractional variable; if none, we have an integral solution.
+    std::size_t fractional = node.num_variables();
+    for (std::size_t j = 0; j < relaxation.solution.size(); ++j) {
+      if (relaxation.solution[j].den() != 1) {
+        fractional = j;
+        break;
+      }
+    }
+    if (fractional == node.num_variables()) {
+      std::vector<std::int64_t> integral;
+      integral.reserve(relaxation.solution.size());
+      for (const Rational& v : relaxation.solution) integral.push_back(v.num());
+      if (!incumbent_ || relaxation.objective < incumbent_objective_) {
+        incumbent_ = std::move(integral);
+        incumbent_objective_ = relaxation.objective;
+      }
+      return;
+    }
+
+    const Rational value = relaxation.solution[fractional];
+    // Branch down: x_j <= floor(value).
+    {
+      LinearProgram down = node;
+      std::vector<Rational> coeffs(node.num_variables(), Rational(0));
+      coeffs[fractional] = Rational(1);
+      down.add_constraint(std::move(coeffs), Relation::kLessEq, Rational(value.floor()));
+      explore(down);
+    }
+    // Branch up: x_j >= ceil(value).
+    {
+      LinearProgram up = node;
+      std::vector<Rational> coeffs(node.num_variables(), Rational(0));
+      coeffs[fractional] = Rational(1);
+      up.add_constraint(std::move(coeffs), Relation::kGreaterEq, Rational(value.ceil()));
+      explore(up);
+    }
+  }
+
+  const LinearProgram& lp_;
+  const IlpOptions& options_;
+  util::Deadline deadline_;
+
+  IlpResult result_;
+  std::optional<std::vector<std::int64_t>> incumbent_;
+  Rational incumbent_objective_;
+  bool cut_off_ = false;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+IlpResult solve_ilp(const LinearProgram& lp, const IlpOptions& options) {
+  BranchAndBound search(lp, options);
+  return search.run();
+}
+
+}  // namespace lid::milp

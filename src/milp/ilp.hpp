@@ -1,0 +1,38 @@
+// Integer linear programming by LP-relaxation branch and bound, over the
+// exact simplex of simplex.hpp. All variables are nonnegative integers.
+// Built for the small covering programs of queue sizing (the Lu–Koh MILP
+// baseline), not for industrial-scale MILP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "milp/simplex.hpp"
+#include "util/timer.hpp"
+
+namespace lid::milp {
+
+/// Options for the branch-and-bound search.
+struct IlpOptions {
+  /// Wall-clock budget; <= 0 means unlimited.
+  double timeout_ms = 0.0;
+  /// Cap on branch-and-bound nodes; 0 means unlimited.
+  std::int64_t max_nodes = 0;
+};
+
+/// Outcome of an ILP solve.
+struct IlpResult {
+  enum class Status { kOptimal, kInfeasible, kUnbounded, kCutOff };
+  Status status = Status::kInfeasible;
+  util::Rational objective;
+  /// Integral assignment (when kOptimal).
+  std::vector<std::int64_t> solution;
+  /// Branch-and-bound nodes explored.
+  std::int64_t nodes = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// Minimizes lp.objective over integral x >= 0 satisfying lp's constraints.
+IlpResult solve_ilp(const LinearProgram& lp, const IlpOptions& options = {});
+
+}  // namespace lid::milp

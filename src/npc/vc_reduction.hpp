@@ -1,0 +1,61 @@
+// The Vertex-Cover → Queue-Sizing reduction of Sec. V, plus a brute-force
+// vertex-cover solver used to validate the reduction computationally.
+//
+// For a VC instance G_VC = (V, E) the reduction builds a LIS whose doubled
+// graph needs exactly K extra queue tokens (K = minimum vertex cover of
+// G_VC) to recover the ideal MST of 5/6:
+//   * per VC vertex v: a "vertex construct" — channel a_v -> b_v (q = 1);
+//     the extra tokens of a QS solution land on its queue backedge;
+//   * per VC edge (u, v): two cross channels a_u -> b_v and a_v -> b_u, each
+//     pipelined by one relay station; doubling yields the Fig. 12 cycle with
+//     mean 4/6, fixable only by a token on u's or v's construct backedge;
+//   * a separate 6-place / 5-token limiter ring (Fig. 10) pinning θ(G) = 5/6.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/token_deficit.hpp"
+#include "lis/lis_graph.hpp"
+#include "util/rng.hpp"
+
+namespace lid::npc {
+
+/// An undirected simple graph for vertex cover.
+struct VcInstance {
+  int vertices = 0;
+  /// Undirected edges (u, v) with u < v, no duplicates.
+  std::vector<std::pair<int, int>> edges;
+};
+
+/// Uniformly random VC instance: each possible edge present with prob. p.
+VcInstance random_vc(int vertices, double edge_prob, util::Rng& rng);
+
+/// Exact minimum vertex cover size by branch and bound (small instances).
+int min_vertex_cover(const VcInstance& instance);
+
+/// The LIS produced by the reduction plus bookkeeping maps.
+struct QsReduction {
+  lis::LisGraph lis;
+  /// Per VC vertex: its construct channel (whose queue the QS solution grows).
+  std::vector<lis::ChannelId> vertex_construct;
+  /// Per VC edge: the two cross channels.
+  std::vector<std::pair<lis::ChannelId, lis::ChannelId>> cross_channels;
+};
+
+/// Builds the QS instance for a VC instance (Sec. V construction).
+QsReduction reduce_vc_to_qs(const VcInstance& instance);
+
+/// Exact minimum dominating set size by branch and bound (small instances).
+/// A dominating set D covers every vertex: v ∈ D or some neighbour of v ∈ D.
+int min_dominating_set(const VcInstance& instance);
+
+/// The Sec. VII-A reduction showing the Token-Deficit problem itself is
+/// NP-complete: from a dominating-set instance build a TD instance whose
+/// sets are the closed neighbourhoods and whose cycles are the vertices
+/// (deficit 1 each) — the minimum total weight equals the minimum dominating
+/// set. (The paper cites its tech report [20] for this; the construction is
+/// the natural one and the tests validate it computationally.)
+core::TdInstance reduce_dominating_set_to_td(const VcInstance& instance);
+
+}  // namespace lid::npc

@@ -1,0 +1,90 @@
+#include "soc/cofdm.hpp"
+
+#include <array>
+
+#include "util/check.hpp"
+
+namespace lid::soc {
+namespace {
+
+constexpr std::array<const char*, kBlockCount> kNames = {
+    "PI",  "PO",      "FEC",      "Spread",   "Pilot", "FFT_in",
+    "FFT", "Control", "tx_Ctrl",  "Preamble", "Clip",  "tx_Filter",
+};
+
+}  // namespace
+
+const char* block_name(Block b) {
+  LID_ENSURE(b >= 0 && b < kBlockCount, "block_name: out of range");
+  return kNames[static_cast<std::size_t>(b)];
+}
+
+lis::LisGraph build_cofdm() {
+  lis::LisGraph lis;
+  for (int b = 0; b < kBlockCount; ++b) {
+    lis.add_core(kNames[static_cast<std::size_t>(b)]);
+  }
+  const auto ch = [&](Block src, Block dst) { lis.add_channel(src, dst); };
+
+  // Main datapath (Fig. 18): packets enter through PI/PO, are encoded,
+  // spread, pilot-inserted, transformed, clipped and filtered out; the
+  // preamble generator feeds the packet path.
+  ch(kPI, kFEC);
+  ch(kPO, kFEC);
+  ch(kFEC, kSpread);
+  ch(kSpread, kPilot);
+  ch(kPilot, kFFTin);
+  ch(kFFTin, kFFT);
+  ch(kFFT, kClip);
+  ch(kClip, kTxFilter);
+  ch(kPreamble, kPO);
+
+  // Transmission control feedback — Sec. IX's forward loop
+  // (FEC, Spread, Pilot, FFT_in, FFT, tx_Ctrl, FEC).
+  ch(kFFT, kTxCtrl);
+  ch(kTxCtrl, kFEC);
+
+  // Control orchestration: Control drives the pipeline stages; the reverses
+  // of Control→Pilot and Control→FFT_in are the (Pilot, Control) and
+  // (FFT_in, Control) backedges that Table VI's cycles traverse and the QS
+  // solution grows.
+  ch(kControl, kPI);
+  ch(kControl, kPO);
+  ch(kControl, kFEC);
+  ch(kControl, kPilot);
+  ch(kControl, kFFTin);
+  ch(kControl, kTxCtrl);
+  ch(kControl, kSpread);
+  ch(kControl, kPreamble);
+
+  // Status returns to Control (tx_Ctrl's return is what makes C6 a cycle).
+  ch(kTxCtrl, kControl);
+  ch(kSpread, kControl);
+  ch(kPreamble, kControl);
+
+  // Secondary spreading input for the preamble path.
+  ch(kPO, kSpread);
+
+  // Per-stage scaling/configuration taps into the clipper, a second
+  // (I/Q-split) data channel into it, and the matching dual output bus.
+  ch(kControl, kClip);
+  ch(kPI, kClip);
+  ch(kPO, kClip);
+  ch(kSpread, kClip);
+  ch(kPreamble, kClip);
+  ch(kFFT, kClip);
+  ch(kClip, kTxFilter);
+
+  LID_ASSERT(lis.num_cores() == static_cast<std::size_t>(kBlockCount),
+             "COFDM netlist must have 12 blocks");
+  LID_ASSERT(lis.num_channels() == 30, "COFDM netlist must have 30 channels");
+  return lis;
+}
+
+lis::ChannelId find_channel(const lis::LisGraph& lis, Block src, Block dst) {
+  const auto found = lis.structure().edges_between(src, dst);
+  LID_ENSURE(!found.empty(), "find_channel: no such channel in the COFDM netlist");
+  return found.front();
+}
+
+}  // namespace lid::soc

@@ -1,0 +1,50 @@
+// The COFDM UWB transmitter case study (Sec. IX).
+//
+// The paper's SoC is a 480-Mb/s LDPC-COFDM ultrawideband transmitter with 12
+// top-level blocks, 30 channels and 22 cycles. Its exact RTL netlist is
+// proprietary; this module reconstructs a netlist that is faithful to every
+// published structural fact:
+//   * the 12 blocks of Fig. 18 (PI, PO, FEC, Spread, Pilot, FFT_in, FFT,
+//     Control, tx_Ctrl, Preamble, Clip, tx_Filter) and 30 channels;
+//   * the forward pipeline PI/PO → FEC → Spread → Pilot → FFT_in → FFT and
+//     the feedback loop (FEC, Spread, Pilot, FFT_in, FFT, tx_Ctrl, FEC)
+//     named in Sec. IX;
+//   * the six Table VI cycles (means 5/7 and 4/6 when relay stations sit on
+//     (FEC, Spread) and (Spread, Pilot)), including the backedges
+//     (Pilot, Control) and (FFT_in, Control) that the QS solution grows.
+// DESIGN.md records this substitution.
+#pragma once
+
+#include "lis/lis_graph.hpp"
+
+namespace lid::soc {
+
+/// Block indices in the returned netlist (stable, also used as core ids).
+enum Block : lis::CoreId {
+  kPI = 0,
+  kPO,
+  kFEC,
+  kSpread,
+  kPilot,
+  kFFTin,
+  kFFT,
+  kControl,
+  kTxCtrl,
+  kPreamble,
+  kClip,
+  kTxFilter,
+  kBlockCount,
+};
+
+/// Returns the human-readable block name.
+const char* block_name(Block b);
+
+/// Builds the reconstructed COFDM transmitter netlist (no relay stations,
+/// all queue capacities 1).
+lis::LisGraph build_cofdm();
+
+/// Channel id of the (src -> dst) channel in the netlist built by
+/// build_cofdm(). Throws std::invalid_argument when absent.
+lis::ChannelId find_channel(const lis::LisGraph& lis, Block src, Block dst);
+
+}  // namespace lid::soc

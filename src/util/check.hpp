@@ -1,0 +1,40 @@
+// Lightweight precondition / invariant checking for the lid libraries.
+//
+// LID_ENSURE is used at public API boundaries: it throws std::invalid_argument
+// so callers can recover. LID_ASSERT guards internal invariants and throws
+// std::logic_error — if one fires there is a bug in this library.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lid::util {
+
+[[noreturn]] inline void throw_ensure_failure(const char* expr, const char* file, int line,
+                                              const std::string& message) {
+  std::ostringstream os;
+  os << "precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_assert_failure(const char* expr, const char* file, int line,
+                                              const std::string& message) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!message.empty()) os << " — " << message;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace lid::util
+
+#define LID_ENSURE(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) ::lid::util::throw_ensure_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define LID_ASSERT(expr, msg)                                                  \
+  do {                                                                         \
+    if (!(expr)) ::lid::util::throw_assert_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

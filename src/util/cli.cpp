@@ -1,0 +1,76 @@
+#include "util/cli.hpp"
+
+#include <stdexcept>
+
+namespace lid::util {
+namespace {
+
+bool is_flag(const std::string& arg) { return arg.size() > 2 && arg.rfind("--", 0) == 0; }
+
+}  // namespace
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (!is_flag(arg)) {
+      throw std::invalid_argument("Cli: expected --flag, got '" + arg + "'");
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag; bare `--name`
+    // is a boolean set to "true".
+    if (i + 1 < argc && !is_flag(argv[i + 1])) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const std::int64_t v = std::stoll(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(it->second, &pos);
+    if (pos != it->second.size()) throw std::invalid_argument("trailing chars");
+    return v;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Cli: flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+std::string Cli::get_string(const std::string& name, const std::string& fallback) const {
+  const auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw std::invalid_argument("Cli: flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+}  // namespace lid::util

@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing shared by the bench and example binaries.
+//
+// Flags use the form `--name value` or `--name=value`. Unknown flags are an
+// error so typos in experiment scripts fail loudly instead of silently
+// running the default configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace lid::util {
+
+/// Parsed command line. Construct once from main()'s argc/argv, then query.
+class Cli {
+ public:
+  /// Parses argv. Throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv);
+
+  /// Integer flag with a default. Throws if present but not an integer.
+  [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+
+  /// Floating-point flag with a default.
+  [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// String flag with a default.
+  [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;
+
+  /// Boolean flag: `--name`, `--name true/false`, or `--name=1/0`.
+  [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;
+
+  [[nodiscard]] bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace lid::util

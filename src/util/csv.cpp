@@ -1,0 +1,44 @@
+#include "util/csv.hpp"
+
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace lid::util {
+namespace {
+
+std::string escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path, const std::vector<std::string>& header)
+    : out_(path), width_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  LID_ENSURE(width_ > 0, "CsvWriter: header must be non-empty");
+  write_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  LID_ENSURE(row.size() == width_, "CsvWriter: row width must match header");
+  write_row(row);
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(row[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw std::runtime_error("CsvWriter: write failed");
+}
+
+}  // namespace lid::util

@@ -1,0 +1,27 @@
+// CSV emission so experiment outputs can be post-processed (plotting the
+// paper's figures) without re-running the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace lid::util {
+
+/// Streams rows to a CSV file; quoting is applied when a cell needs it.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path` and writes the header. Throws on I/O failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  /// Writes one row; must match the header width.
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  void write_row(const std::vector<std::string>& row);
+
+  std::ofstream out_;
+  std::size_t width_;
+};
+
+}  // namespace lid::util

@@ -1,0 +1,111 @@
+#include "util/rational.hpp"
+
+#include <cstdlib>
+#include <numeric>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lid::util {
+namespace {
+
+using I64 = std::int64_t;
+using I128 = __int128;
+
+I64 narrow_checked(I128 v) {
+  if (v > static_cast<I128>(INT64_MAX) || v < static_cast<I128>(INT64_MIN)) {
+    throw std::overflow_error("Rational: 64-bit overflow");
+  }
+  return static_cast<I64>(v);
+}
+
+}  // namespace
+
+Rational::Rational(I64 num, I64 den) {
+  if (den == 0) throw std::invalid_argument("Rational: zero denominator");
+  if (num == 0) {
+    num_ = 0;
+    den_ = 1;
+    return;
+  }
+  if (den < 0) {
+    num = -num;
+    den = -den;
+  }
+  const I64 g = std::gcd(num < 0 ? -num : num, den);
+  num_ = num / g;
+  den_ = den / g;
+}
+
+double Rational::to_double() const { return static_cast<double>(num_) / static_cast<double>(den_); }
+
+std::string Rational::to_string() const {
+  std::ostringstream os;
+  os << *this;
+  return os.str();
+}
+
+I64 Rational::ceil() const {
+  const I64 q = num_ / den_;
+  return (num_ % den_ > 0) ? q + 1 : q;
+}
+
+I64 Rational::floor() const {
+  const I64 q = num_ / den_;
+  return (num_ % den_ < 0) ? q - 1 : q;
+}
+
+Rational Rational::operator-() const {
+  Rational r;
+  r.num_ = narrow_checked(-static_cast<I128>(num_));
+  r.den_ = den_;
+  return r;
+}
+
+Rational Rational::operator+(const Rational& o) const {
+  const I128 n = static_cast<I128>(num_) * o.den_ + static_cast<I128>(o.num_) * den_;
+  const I128 d = static_cast<I128>(den_) * o.den_;
+  // Normalize in 128-bit before narrowing so intermediate blowup is tolerated.
+  I128 a = n < 0 ? -n : n;
+  I128 b = d;
+  while (b != 0) {
+    const I128 t = a % b;
+    a = b;
+    b = t;
+  }
+  const I128 g = (a == 0) ? 1 : a;
+  return Rational(narrow_checked(n / g), narrow_checked(d / g));
+}
+
+Rational Rational::operator-(const Rational& o) const { return *this + (-o); }
+
+Rational Rational::operator*(const Rational& o) const {
+  // Cross-reduce first to keep intermediates small.
+  const Rational a(num_, o.den_ == 0 ? 1 : o.den_);
+  const Rational b(o.num_, den_);
+  const I128 n = static_cast<I128>(a.num_) * b.num_;
+  const I128 d = static_cast<I128>(a.den_) * b.den_;
+  return Rational(narrow_checked(n), narrow_checked(d));
+}
+
+Rational Rational::operator/(const Rational& o) const {
+  if (o.num_ == 0) throw std::domain_error("Rational: division by zero");
+  const Rational inv(o.den_, o.num_);
+  return *this * inv;
+}
+
+std::strong_ordering Rational::operator<=>(const Rational& o) const {
+  const I128 lhs = static_cast<I128>(num_) * o.den_;
+  const I128 rhs = static_cast<I128>(o.num_) * den_;
+  if (lhs < rhs) return std::strong_ordering::less;
+  if (lhs > rhs) return std::strong_ordering::greater;
+  return std::strong_ordering::equal;
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  os << r.num();
+  if (r.den() != 1) os << '/' << r.den();
+  return os;
+}
+
+}  // namespace lid::util

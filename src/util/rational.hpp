@@ -1,0 +1,72 @@
+// Exact rational arithmetic on 64-bit integers.
+//
+// All throughput / cycle-mean quantities in this library are ratios of small
+// integers (tokens over places). Comparing them in floating point is unsafe
+// exactly at the thresholds the paper's theorems live on (e.g. "is this cycle
+// mean below 5/6?"), so every analysis runs on Rational and converts to
+// double only for reporting.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+namespace lid::util {
+
+/// An always-normalized rational number num/den with den > 0.
+///
+/// Overflow policy: operations detect signed-64 overflow and throw
+/// std::overflow_error. The graphs this library analyzes keep numerators and
+/// denominators tiny (bounded by token and place counts), so overflow
+/// indicates a usage bug rather than a capacity limit.
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// The integer `value`.
+  constexpr Rational(std::int64_t value) : num_(value), den_(1) {}  // NOLINT(google-explicit-constructor)
+
+  /// num/den, normalized. Throws std::invalid_argument if den == 0.
+  Rational(std::int64_t num, std::int64_t den);
+
+  [[nodiscard]] constexpr std::int64_t num() const { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const { return den_; }
+
+  [[nodiscard]] double to_double() const;
+  [[nodiscard]] std::string to_string() const;
+
+  /// Smallest integer >= this value.
+  [[nodiscard]] std::int64_t ceil() const;
+  /// Largest integer <= this value.
+  [[nodiscard]] std::int64_t floor() const;
+
+  Rational operator-() const;
+  Rational operator+(const Rational& o) const;
+  Rational operator-(const Rational& o) const;
+  Rational operator*(const Rational& o) const;
+  /// Throws std::domain_error when dividing by zero.
+  Rational operator/(const Rational& o) const;
+
+  Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  /// Exact ordering; never overflows (cross-multiplication in 128-bit).
+  std::strong_ordering operator<=>(const Rational& o) const;
+  bool operator==(const Rational& o) const = default;
+
+  /// min/max by exact comparison.
+  static Rational min(const Rational& a, const Rational& b) { return a < b ? a : b; }
+  static Rational max(const Rational& a, const Rational& b) { return a > b ? a : b; }
+
+ private:
+  std::int64_t num_ = 0;
+  std::int64_t den_ = 1;
+};
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace lid::util

@@ -1,0 +1,62 @@
+// Seeded random-number utilities.
+//
+// Every stochastic component of this library (the synthetic LIS generator,
+// relay-station placement, experiment trials) draws from an explicitly seeded
+// Rng so that all experiments in EXPERIMENTS.md are reproducible bit-for-bit.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace lid::util {
+
+/// A thin wrapper over std::mt19937_64 with convenience draws.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int uniform_int(int lo, int hi) {
+    LID_ENSURE(lo <= hi, "uniform_int: empty range");
+    return std::uniform_int_distribution<int>(lo, hi)(engine_);
+  }
+
+  /// Uniform std::size_t in [0, n). Requires n > 0.
+  std::size_t uniform_index(std::size_t n) {
+    LID_ENSURE(n > 0, "uniform_index: empty range");
+    return std::uniform_int_distribution<std::size_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return std::uniform_real_distribution<double>(0.0, 1.0)(engine_); }
+
+  /// Bernoulli draw with probability p of true.
+  bool flip(double p) { return uniform01() < p; }
+
+  /// Picks a uniformly random element of a non-empty vector.
+  template <typename T>
+  const T& pick(const std::vector<T>& v) {
+    LID_ENSURE(!v.empty(), "pick: empty vector");
+    return v[uniform_index(v.size())];
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    std::shuffle(v.begin(), v.end(), engine_);
+  }
+
+  /// Derives an independent child seed (e.g. one per trial).
+  std::uint64_t fork_seed() { return engine_(); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace lid::util

@@ -1,0 +1,32 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace lid::util {
+
+double mean(const std::vector<double>& sample) {
+  if (sample.empty()) return 0.0;
+  return std::accumulate(sample.begin(), sample.end(), 0.0) / static_cast<double>(sample.size());
+}
+
+Summary summarize(const std::vector<double>& sample) {
+  Summary s;
+  if (sample.empty()) return s;
+  s.count = sample.size();
+  s.mean = mean(sample);
+  double sq = 0.0;
+  for (const double x : sample) sq += (x - s.mean) * (x - s.mean);
+  s.stddev = sample.size() > 1 ? std::sqrt(sq / static_cast<double>(sample.size() - 1)) : 0.0;
+  const auto [mn, mx] = std::minmax_element(sample.begin(), sample.end());
+  s.min = *mn;
+  s.max = *mx;
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t n = sorted.size();
+  s.median = (n % 2 == 1) ? sorted[n / 2] : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+  return s;
+}
+
+}  // namespace lid::util

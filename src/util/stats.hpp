@@ -1,0 +1,24 @@
+// Small descriptive-statistics helpers used by the experiment harnesses.
+#pragma once
+
+#include <vector>
+
+namespace lid::util {
+
+/// Summary of a sample: count, mean, (sample) standard deviation, extremes.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes a Summary over the sample. Empty samples yield all-zero summaries.
+Summary summarize(const std::vector<double>& sample);
+
+/// Arithmetic mean (0 for an empty sample).
+double mean(const std::vector<double>& sample);
+
+}  // namespace lid::util

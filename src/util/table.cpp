@@ -1,0 +1,59 @@
+#include "util/table.hpp"
+
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace lid::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  LID_ENSURE(!header_.empty(), "Table: header must be non-empty");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  LID_ENSURE(row.size() == header_.size(), "Table: row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) width[c] = std::max(width[c], row[c].size());
+  }
+
+  const auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << (c == 0 ? "| " : " | ");
+      if (c == 0) {
+        os << std::left << std::setw(static_cast<int>(width[c])) << row[c];
+      } else {
+        os << std::right << std::setw(static_cast<int>(width[c])) << row[c];
+      }
+    }
+    os << " |\n";
+  };
+
+  const auto rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      os << (c == 0 ? "|-" : "-|-") << std::string(width[c], '-');
+    }
+    os << "-|\n";
+  };
+
+  print_row(header_);
+  rule();
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string Table::fmt(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string Table::fmt(std::int64_t value) { return std::to_string(value); }
+
+}  // namespace lid::util

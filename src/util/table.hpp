@@ -1,0 +1,35 @@
+// Console table rendering for the benchmark harnesses.
+//
+// Every bench binary prints the same rows the paper's tables/figures report;
+// Table keeps the formatting consistent across all of them.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lid::util {
+
+/// A simple left/right-aligned text table with a header row.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; it must have exactly as many cells as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with aligned columns: first column left-aligned, rest right-aligned.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+  /// Formats a double with the given number of decimals.
+  static std::string fmt(double value, int decimals = 2);
+  static std::string fmt(std::int64_t value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace lid::util

@@ -1,0 +1,44 @@
+// Wall-clock timing helpers for the experiment harnesses and the exact
+// algorithm's timeout handling.
+#pragma once
+
+#include <chrono>
+
+namespace lid::util {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  [[nodiscard]] double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double elapsed_s() const { return elapsed_ms() / 1000.0; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A wall-clock budget; `expired()` turns true once the budget has elapsed.
+/// A non-positive budget means "no limit".
+class Deadline {
+ public:
+  explicit Deadline(double budget_ms) : budget_ms_(budget_ms) {}
+
+  [[nodiscard]] bool expired() const {
+    return budget_ms_ > 0.0 && timer_.elapsed_ms() >= budget_ms_;
+  }
+
+  [[nodiscard]] double budget_ms() const { return budget_ms_; }
+
+ private:
+  double budget_ms_;
+  Timer timer_;
+};
+
+}  // namespace lid::util

@@ -1,0 +1,94 @@
+// Regression corpus: twenty checked-in netlists spanning the generator's
+// regimes (scc/any insertion, tori, pipelined cores) with their expected
+// ideal/practical MSTs and exact queue-sizing totals recorded in a manifest.
+// Any analysis change that shifts a number shows up here immediately.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "core/queue_sizing.hpp"
+#include "lis/netlist_io.hpp"
+#include "util/rational.hpp"
+
+#ifndef LID_DATA_DIR
+#define LID_DATA_DIR "data"
+#endif
+
+namespace lid {
+namespace {
+
+struct Expectation {
+  std::string file;
+  util::Rational ideal;
+  util::Rational practical;
+  std::int64_t exact_tokens = 0;
+};
+
+util::Rational parse_rational(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return util::Rational(std::stoll(text));
+  return util::Rational(std::stoll(text.substr(0, slash)), std::stoll(text.substr(slash + 1)));
+}
+
+std::vector<Expectation> load_manifest() {
+  std::ifstream in(std::string(LID_DATA_DIR) + "/corpus/manifest.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus manifest";
+  std::vector<Expectation> expectations;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    Expectation e;
+    std::string ideal;
+    std::string practical;
+    row >> e.file >> ideal >> practical >> e.exact_tokens;
+    e.ideal = parse_rational(ideal);
+    e.practical = parse_rational(practical);
+    expectations.push_back(std::move(e));
+  }
+  EXPECT_EQ(expectations.size(), 20u);
+  return expectations;
+}
+
+TEST(Corpus, EveryRecordedValueStillHolds) {
+  for (const Expectation& e : load_manifest()) {
+    SCOPED_TRACE(e.file);
+    const lis::LisGraph system =
+        lis::load_netlist(std::string(LID_DATA_DIR) + "/corpus/" + e.file);
+    EXPECT_EQ(lis::ideal_mst(system), e.ideal);
+    EXPECT_EQ(lis::practical_mst(system), e.practical);
+    if (e.exact_tokens < 0) continue;  // recorded as timed out at capture time
+    core::QsOptions options;
+    options.method = core::QsMethod::kExact;
+    options.exact.timeout_ms = 30000;
+    const core::QsReport report = core::size_queues(system, options);
+    ASSERT_TRUE(report.exact->finished);
+    EXPECT_EQ(report.exact->total_extra_tokens, e.exact_tokens);
+    EXPECT_EQ(report.achieved_mst, e.ideal);
+  }
+}
+
+TEST(Corpus, HeuristicStaysWithinTenPercentOnTheCorpus) {
+  // The paper's headline: heuristic solutions close to exact. Lock that in
+  // as an aggregate regression over the corpus.
+  std::int64_t exact_total = 0;
+  std::int64_t heuristic_total = 0;
+  for (const Expectation& e : load_manifest()) {
+    if (e.exact_tokens <= 0) continue;
+    const lis::LisGraph system =
+        lis::load_netlist(std::string(LID_DATA_DIR) + "/corpus/" + e.file);
+    core::QsOptions options;
+    options.method = core::QsMethod::kHeuristic;
+    const core::QsReport report = core::size_queues(system, options);
+    exact_total += e.exact_tokens;
+    heuristic_total += report.heuristic->total_extra_tokens;
+    EXPECT_EQ(report.achieved_mst, e.ideal);
+  }
+  ASSERT_GT(exact_total, 0);
+  EXPECT_LE(heuristic_total, exact_total + (exact_total + 9) / 10);
+}
+
+}  // namespace
+}  // namespace lid

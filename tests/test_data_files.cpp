@@ -1,0 +1,42 @@
+// The sample netlists shipped under data/ must stay parseable and equivalent
+// to their in-code builders.
+#include <gtest/gtest.h>
+
+#include "lis/netlist_io.hpp"
+#include "lis/paper_systems.hpp"
+#include "soc/cofdm.hpp"
+
+#ifndef LID_DATA_DIR
+#define LID_DATA_DIR "data"
+#endif
+
+namespace lid::lis {
+namespace {
+
+std::string data_path(const std::string& name) {
+  return std::string(LID_DATA_DIR) + "/" + name;
+}
+
+TEST(DataFiles, Fig1MatchesTheBuilder) {
+  const LisGraph loaded = load_netlist(data_path("fig1.lis"));
+  const LisGraph built = make_two_core_example();
+  EXPECT_EQ(to_text(loaded), to_text(built));
+  EXPECT_EQ(practical_mst(loaded), util::Rational(2, 3));
+}
+
+TEST(DataFiles, Fig15MatchesTheBuilder) {
+  const LisGraph loaded = load_netlist(data_path("fig15.lis"));
+  EXPECT_EQ(to_text(loaded), to_text(make_fig15_counterexample()));
+  EXPECT_EQ(ideal_mst(loaded), util::Rational(5, 6));
+  EXPECT_EQ(practical_mst(loaded), util::Rational(3, 4));
+}
+
+TEST(DataFiles, CofdmMatchesTheBuilder) {
+  const LisGraph loaded = load_netlist(data_path("cofdm.lis"));
+  EXPECT_EQ(to_text(loaded), to_text(soc::build_cofdm()));
+  EXPECT_EQ(loaded.num_cores(), 12u);
+  EXPECT_EQ(loaded.num_channels(), 30u);
+}
+
+}  // namespace
+}  // namespace lid::lis

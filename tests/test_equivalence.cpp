@@ -1,0 +1,90 @@
+// Cycle-for-cycle equivalence of the two simulators: the token-level
+// marked-graph simulator running the doubled expansion and the data-level
+// protocol simulator running the netlist must fire every shell in exactly
+// the same periods — the protocol IS the marked graph.
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/paper_systems.hpp"
+#include "lis/protocol_sim.hpp"
+#include "mg/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace lid {
+namespace {
+
+/// Per-period shell firing matrix from the marked-graph simulator.
+std::vector<std::vector<char>> mg_firing_matrix(const lis::LisGraph& system,
+                                                std::size_t periods) {
+  const lis::Expansion ex = lis::expand_doubled(system);
+  std::vector<std::vector<char>> matrix;
+  mg::simulate(ex.graph, periods, 0, [&](std::size_t, const std::vector<char>& fired) {
+    std::vector<char> shells;
+    shells.reserve(system.num_cores());
+    for (const mg::TransitionId t : ex.core_transition) {
+      shells.push_back(fired[static_cast<std::size_t>(t)]);
+    }
+    matrix.push_back(std::move(shells));
+    return matrix.size() < periods;
+  });
+  return matrix;
+}
+
+/// Per-period shell firing matrix from the protocol simulator.
+std::vector<std::vector<char>> protocol_firing_matrix(const lis::LisGraph& system,
+                                                      std::size_t periods) {
+  std::vector<std::vector<char>> matrix;
+  lis::ProtocolOptions options;
+  options.periods = periods + 1;
+  options.observer = [&](std::size_t, const std::vector<char>& fired) {
+    matrix.push_back(fired);
+    return matrix.size() < periods;
+  };
+  simulate_protocol(system, options);
+  return matrix;
+}
+
+void expect_equivalent(const lis::LisGraph& system, std::size_t periods) {
+  const auto mg_matrix = mg_firing_matrix(system, periods);
+  const auto proto_matrix = protocol_firing_matrix(system, periods);
+  const std::size_t common = std::min(mg_matrix.size(), proto_matrix.size());
+  ASSERT_GT(common, 0u);
+  for (std::size_t t = 0; t < common; ++t) {
+    ASSERT_EQ(mg_matrix[t], proto_matrix[t]) << "divergence at period " << t;
+  }
+}
+
+TEST(SimulatorEquivalence, TwoCoreExample) {
+  expect_equivalent(lis::make_two_core_example(), 50);
+}
+
+TEST(SimulatorEquivalence, TwoCoreSized) {
+  expect_equivalent(lis::make_two_core_example_sized(), 50);
+}
+
+TEST(SimulatorEquivalence, Fig15Counterexample) {
+  expect_equivalent(lis::make_fig15_counterexample(), 80);
+}
+
+class SimulatorEquivalenceProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorEquivalenceProperty, OnGeneratedSystems) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(3, 12);
+    params.sccs = rng.uniform_int(1, 3);
+    params.min_cycles = rng.uniform_int(0, 3);
+    params.relay_stations = rng.uniform_int(0, 4);
+    params.policy = gen::RsPolicy::kAny;
+    params.queue_capacity = rng.uniform_int(1, 3);
+    expect_equivalent(gen::generate(params, rng), 60);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorEquivalenceProperty,
+                         ::testing::Values(111, 222, 333, 444, 555));
+
+}  // namespace
+}  // namespace lid

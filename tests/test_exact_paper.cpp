@@ -1,0 +1,128 @@
+// The paper's literal exact algorithm (set replication + K-depth search,
+// Sec. VII-B) must agree with the branch-and-bound solver everywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/exact.hpp"
+#include "core/exact_paper.hpp"
+#include "core/heuristic.hpp"
+#include "core/qs_problem.hpp"
+#include "gen/generator.hpp"
+#include "util/rng.hpp"
+
+namespace lid::core {
+namespace {
+
+TEST(ExactPaper, SolvesKnownInstances) {
+  TdInstance inst;
+  inst.deficits = {1, 1, 1};
+  inst.set_members = {{0, 1}, {1, 2}, {0, 2}};
+  const TdSolution upper = solve_heuristic(inst);
+  const ExactResult r = solve_exact_paper(inst, upper);
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_EQ(r.solution->total, 2);
+  EXPECT_TRUE(inst.is_feasible(r.solution->weights));
+}
+
+TEST(ExactPaper, HandlesMultiTokenDeficits) {
+  // One cycle with deficit 3 covered by two sets: any split of 3 works.
+  TdInstance inst;
+  inst.deficits = {3};
+  inst.set_members = {{0}, {0}};
+  const TdSolution upper = solve_heuristic(inst);
+  const ExactResult r = solve_exact_paper(inst, upper);
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_EQ(r.solution->total, 3);
+}
+
+TEST(ExactPaper, EmptyInstance) {
+  const ExactResult r = solve_exact_paper(TdInstance{}, TdSolution{});
+  ASSERT_TRUE(r.solution.has_value());
+  EXPECT_EQ(r.solution->total, 0);
+}
+
+TEST(ExactPaper, HonorsTimeout) {
+  // A dense instance with a tight node cap must report a cut-off cleanly.
+  util::Rng rng(3);
+  TdInstance inst;
+  for (int c = 0; c < 16; ++c) inst.deficits.push_back(3);
+  inst.set_members.resize(12);
+  for (int c = 0; c < 16; ++c) {
+    for (int k = 0; k < 3; ++k) inst.set_members[rng.uniform_index(12)].push_back(c);
+  }
+  for (auto& m : inst.set_members) {
+    std::sort(m.begin(), m.end());
+    m.erase(std::unique(m.begin(), m.end()), m.end());
+  }
+  const TdSolution upper = solve_heuristic(inst);
+  ExactOptions options;
+  options.max_nodes = 200;
+  const ExactResult r = solve_exact_paper(inst, upper, options);
+  if (r.cut_off) {
+    EXPECT_FALSE(r.solution.has_value());
+  }
+}
+
+class ExactSolversAgree : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactSolversAgree, OnRandomTdInstances) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n_cycles = rng.uniform_int(1, 5);
+    const int n_sets = rng.uniform_int(1, 4);
+    TdInstance inst;
+    for (int c = 0; c < n_cycles; ++c) inst.deficits.push_back(rng.uniform_int(1, 3));
+    inst.set_members.resize(static_cast<std::size_t>(n_sets));
+    for (int c = 0; c < n_cycles; ++c) {
+      inst.set_members[rng.uniform_index(static_cast<std::size_t>(n_sets))].push_back(c);
+      if (rng.flip(0.5)) {
+        inst.set_members[rng.uniform_index(static_cast<std::size_t>(n_sets))].push_back(c);
+      }
+    }
+    for (auto& m : inst.set_members) {
+      std::sort(m.begin(), m.end());
+      m.erase(std::unique(m.begin(), m.end()), m.end());
+    }
+    const TdSolution upper = solve_heuristic(inst);
+    const ExactResult bnb = solve_exact(inst, upper);
+    const ExactResult paper = solve_exact_paper(inst, upper);
+    ASSERT_TRUE(bnb.solution.has_value());
+    ASSERT_TRUE(paper.solution.has_value());
+    EXPECT_EQ(bnb.solution->total, paper.solution->total);
+    EXPECT_TRUE(inst.is_feasible(paper.solution->weights));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSolversAgree, ::testing::Values(9, 19, 29, 39));
+
+class ExactSolversAgreeOnLis : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactSolversAgreeOnLis, OnGeneratedSystems) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(10, 24);
+    params.sccs = rng.uniform_int(2, 4);
+    params.min_cycles = 2;
+    params.relay_stations = rng.uniform_int(2, 6);
+    params.reconvergent = true;
+    params.policy = gen::RsPolicy::kScc;
+    const lis::LisGraph system = gen::generate(params, rng);
+    const QsProblem problem = build_qs_problem(system);
+    if (!problem.has_degradation()) continue;
+    const TdSolution upper = solve_heuristic(problem.td);
+    ExactOptions options;
+    options.timeout_ms = 10000;
+    const ExactResult bnb = solve_exact(problem.td, upper, options);
+    const ExactResult paper = solve_exact_paper(problem.td, upper, options);
+    if (bnb.solution && paper.solution) {
+      EXPECT_EQ(bnb.solution->total, paper.solution->total);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactSolversAgreeOnLis, ::testing::Values(41, 43));
+
+}  // namespace
+}  // namespace lid::core

@@ -1,0 +1,125 @@
+// Floorplan-driven relay-station insertion: placements, wire lengths, and
+// the reach -> pipelining arithmetic.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/floorplan.hpp"
+#include "core/queue_sizing.hpp"
+#include "gen/generator.hpp"
+#include "graph/scc.hpp"
+#include "lis/paper_systems.hpp"
+#include "util/rng.hpp"
+
+namespace lid::core {
+namespace {
+
+TEST(Floorplan, RequiredRelayStationArithmetic) {
+  EXPECT_EQ(required_relay_stations(0, 4), 0);
+  EXPECT_EQ(required_relay_stations(4, 4), 0);   // fits in one period
+  EXPECT_EQ(required_relay_stations(5, 4), 1);   // two segments
+  EXPECT_EQ(required_relay_stations(8, 4), 1);
+  EXPECT_EQ(required_relay_stations(9, 4), 2);
+  EXPECT_EQ(required_relay_stations(12, 3), 3);
+  EXPECT_THROW(required_relay_stations(5, 0), std::invalid_argument);
+  EXPECT_THROW(required_relay_stations(-1, 4), std::invalid_argument);
+}
+
+TEST(Floorplan, RandomPlacementIsInjectiveAndInBounds) {
+  util::Rng rng(1);
+  gen::GeneratorParams params;
+  params.vertices = 20;
+  params.sccs = 3;
+  const lis::LisGraph lis = gen::generate(params, rng);
+  const Placement placement = random_placement(lis, 5, rng);
+  ASSERT_EQ(placement.position.size(), 20u);
+  std::set<std::pair<int, int>> cells;
+  for (const auto& p : placement.position) {
+    EXPECT_GE(p.x, 0);
+    EXPECT_LT(p.x, 5);
+    EXPECT_GE(p.y, 0);
+    EXPECT_LT(p.y, 5);
+    EXPECT_TRUE(cells.emplace(p.x, p.y).second) << "two cores share a cell";
+  }
+  EXPECT_THROW(random_placement(lis, 4, rng), std::invalid_argument);  // 16 < 20
+}
+
+TEST(Floorplan, ApplySetsTheRightStationCounts) {
+  lis::LisGraph lis = lis::make_two_core_example();
+  Placement placement;
+  placement.position = {{0, 0}, {7, 0}};  // both channels are 7 units long
+  const lis::LisGraph placed = apply_floorplan(lis, placement, 3);
+  // 7 units at reach 3 -> 3 segments -> 2 stations per channel.
+  EXPECT_EQ(placed.channel(0).relay_stations, 2);
+  EXPECT_EQ(placed.channel(1).relay_stations, 2);
+  EXPECT_EQ(placement.wire_length(lis, 0), 7);
+}
+
+TEST(Floorplan, ClusteredPlacementKeepsSccsCompact) {
+  util::Rng rng(4);
+  gen::GeneratorParams params;
+  params.vertices = 24;
+  params.sccs = 4;
+  params.min_cycles = 2;
+  params.policy = gen::RsPolicy::kScc;
+  const lis::LisGraph lis = gen::generate(params, rng);
+  const Placement clustered = clustered_placement(lis, 5, rng);
+  const Placement random = random_placement(lis, 5, rng);
+  // Total intra-SCC wire length must be significantly shorter clustered.
+  const auto intra_total = [&](const Placement& placement) {
+    const graph::SccPartition part = graph::scc(lis.structure());
+    int total = 0;
+    for (lis::ChannelId c = 0; c < static_cast<lis::ChannelId>(lis.num_channels()); ++c) {
+      const lis::Channel& ch = lis.channel(c);
+      if (part.comp_of[static_cast<std::size_t>(ch.src)] ==
+          part.comp_of[static_cast<std::size_t>(ch.dst)]) {
+        total += placement.wire_length(lis, c);
+      }
+    }
+    return total;
+  };
+  EXPECT_LT(intra_total(clustered), intra_total(random));
+  // Still a valid injective placement.
+  std::set<std::pair<int, int>> cells;
+  for (const auto& p : clustered.position) {
+    EXPECT_TRUE(cells.emplace(p.x, p.y).second);
+  }
+}
+
+TEST(Floorplan, GenerousReachNeedsNoStationsAndKeepsMstOne) {
+  util::Rng rng(2);
+  gen::GeneratorParams params;
+  params.vertices = 12;
+  params.sccs = 2;
+  params.policy = gen::RsPolicy::kScc;
+  const lis::LisGraph logical = gen::generate(params, rng);
+  const Placement placement = random_placement(logical, 6, rng);
+  const lis::LisGraph placed = apply_floorplan(logical, placement, 100);
+  EXPECT_EQ(placed.total_relay_stations(), 0);
+  EXPECT_EQ(lis::practical_mst(placed), lis::ideal_mst(placed));
+}
+
+TEST(Floorplan, TighterClocksNeedMoreStationsAndRepairStillWorks) {
+  util::Rng rng(3);
+  gen::GeneratorParams params;
+  params.vertices = 16;
+  params.sccs = 3;
+  params.min_cycles = 2;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  const lis::LisGraph logical = gen::generate(params, rng);
+  const Placement placement = random_placement(logical, 8, rng);
+  int previous = -1;
+  for (const int reach : {10, 5, 3, 2, 1}) {
+    const lis::LisGraph placed = apply_floorplan(logical, placement, reach);
+    EXPECT_GE(placed.total_relay_stations(), previous);
+    previous = placed.total_relay_stations();
+    QsOptions options;
+    options.method = QsMethod::kHeuristic;
+    const QsReport report = size_queues(placed, options);
+    EXPECT_EQ(report.achieved_mst, report.problem.theta_ideal);
+  }
+}
+
+}  // namespace
+}  // namespace lid::core

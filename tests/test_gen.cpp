@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "graph/cycles.hpp"
+#include "graph/scc.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace lid::gen {
+namespace {
+
+TEST(Generator, RespectsBasicParameters) {
+  util::Rng rng(1);
+  GeneratorParams params;
+  params.vertices = 30;
+  params.sccs = 3;
+  params.min_cycles = 2;
+  params.relay_stations = 5;
+  params.queue_capacity = 2;
+  const lis::LisGraph lis = generate(params, rng);
+  EXPECT_EQ(lis.num_cores(), 30u);
+  EXPECT_EQ(lis.total_relay_stations(), 5);
+  for (lis::ChannelId c = 0; c < static_cast<lis::ChannelId>(lis.num_channels()); ++c) {
+    EXPECT_EQ(lis.channel(c).queue_capacity, 2);
+  }
+  const graph::SccPartition part = graph::scc(lis.structure());
+  int cyclic = 0;
+  for (int c = 0; c < part.count; ++c) {
+    if (part.is_cyclic(c, lis.structure())) ++cyclic;
+  }
+  EXPECT_EQ(cyclic, 3);
+}
+
+TEST(Generator, SccPolicyPlacesRelayStationsBetweenSccsOnly) {
+  util::Rng rng(2);
+  GeneratorParams params;
+  params.vertices = 24;
+  params.sccs = 4;
+  params.relay_stations = 8;
+  params.policy = RsPolicy::kScc;
+  const lis::LisGraph lis = generate(params, rng);
+  const graph::SccPartition part = graph::scc(lis.structure());
+  for (lis::ChannelId c = 0; c < static_cast<lis::ChannelId>(lis.num_channels()); ++c) {
+    const lis::Channel& ch = lis.channel(c);
+    if (ch.relay_stations > 0) {
+      EXPECT_NE(part.comp_of[static_cast<std::size_t>(ch.src)],
+                part.comp_of[static_cast<std::size_t>(ch.dst)]);
+    }
+  }
+}
+
+TEST(Generator, EachSccGetsItsExtraCycles) {
+  util::Rng rng(3);
+  GeneratorParams params;
+  params.vertices = 20;
+  params.sccs = 2;
+  params.min_cycles = 4;
+  params.relay_stations = 0;
+  const lis::LisGraph lis = generate(params, rng);
+  // Each SCC has a Hamiltonian cycle plus 4 chords: at least 5 cycles each.
+  const graph::SccPartition part = graph::scc(lis.structure());
+  for (int comp = 0; comp < part.count; ++comp) {
+    if (!part.is_cyclic(comp, lis.structure())) continue;
+    std::size_t count = 0;
+    graph::for_each_cycle(
+        lis.structure(),
+        [&](const graph::Cycle&) {
+          ++count;
+          return count < 100000;
+        },
+        [&](graph::EdgeId e) {
+          return part.comp_of[static_cast<std::size_t>(lis.structure().edge(e).src)] == comp &&
+                 part.comp_of[static_cast<std::size_t>(lis.structure().edge(e).dst)] == comp;
+        });
+    EXPECT_GE(count, 5u);
+  }
+}
+
+TEST(Generator, NoReconvergenceMeansArborescenceBetweenSccs) {
+  util::Rng rng(4);
+  GeneratorParams params;
+  params.vertices = 20;
+  params.sccs = 5;
+  params.reconvergent = false;
+  params.relay_stations = 0;
+  const lis::LisGraph lis = generate(params, rng);
+  // Condensation must be a forest: #inter-SCC edges == sccs - 1.
+  const graph::Condensation cond = graph::condense(lis.structure());
+  EXPECT_EQ(cond.dag.num_edges(), 4u);
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+  GeneratorParams params;
+  params.vertices = 15;
+  params.sccs = 3;
+  params.relay_stations = 4;
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  const lis::LisGraph a = generate(params, rng1);
+  const lis::LisGraph b = generate(params, rng2);
+  ASSERT_EQ(a.num_channels(), b.num_channels());
+  for (lis::ChannelId c = 0; c < static_cast<lis::ChannelId>(a.num_channels()); ++c) {
+    EXPECT_EQ(a.channel(c).src, b.channel(c).src);
+    EXPECT_EQ(a.channel(c).dst, b.channel(c).dst);
+    EXPECT_EQ(a.channel(c).relay_stations, b.channel(c).relay_stations);
+  }
+}
+
+TEST(Generator, ValidatesParameters) {
+  util::Rng rng(5);
+  GeneratorParams params;
+  params.vertices = 3;
+  params.sccs = 5;  // more SCCs than vertices
+  EXPECT_THROW(generate(params, rng), std::invalid_argument);
+  params.sccs = 1;
+  params.relay_stations = -1;
+  EXPECT_THROW(generate(params, rng), std::invalid_argument);
+}
+
+TEST(Generator, TreeIsATree) {
+  util::Rng rng(6);
+  const lis::LisGraph tree = generate_tree(12, 4, rng);
+  EXPECT_EQ(tree.num_cores(), 12u);
+  EXPECT_EQ(tree.num_channels(), 11u);
+  EXPECT_EQ(tree.total_relay_stations(), 4);
+  EXPECT_EQ(graph::classify(tree.structure()), graph::TopologyClass::kTree);
+}
+
+TEST(Generator, CactusIsACactus) {
+  util::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const lis::LisGraph cactus = generate_cactus(4, 5, 3, rng);
+    EXPECT_EQ(graph::classify(cactus.structure()), graph::TopologyClass::kCactusScc);
+  }
+}
+
+TEST(Generator, ExpectedEdgeCountsMatchTableIV) {
+  // Table IV row 1: v=50, s=10, c=2 gives ~82 edges with ~12 inter-SCC.
+  util::Rng rng(8);
+  double edges = 0.0;
+  double inter = 0.0;
+  const int trials = 30;
+  for (int t = 0; t < trials; ++t) {
+    GeneratorParams params;
+    params.vertices = 50;
+    params.sccs = 10;
+    params.min_cycles = 2;
+    params.relay_stations = 10;
+    params.reconvergent = true;
+    params.policy = RsPolicy::kScc;
+    const lis::LisGraph lis = generate(params, rng);
+    edges += static_cast<double>(lis.num_channels());
+    inter += static_cast<double>(graph::condense(lis.structure()).dag.num_edges());
+  }
+  edges /= trials;
+  inter /= trials;
+  EXPECT_NEAR(edges, 82.0, 3.0);
+  EXPECT_NEAR(inter, 12.0, 1.5);
+}
+
+}  // namespace
+}  // namespace lid::gen

@@ -1,0 +1,477 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <functional>
+#include <set>
+
+#include "graph/cycles.hpp"
+#include "graph/digraph.hpp"
+#include "graph/scc.hpp"
+#include "graph/topology.hpp"
+#include "util/rng.hpp"
+
+namespace lid::graph {
+namespace {
+
+Digraph ring(std::size_t n) {
+  Digraph g(n);
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    g.add_edge(v, static_cast<NodeId>((static_cast<std::size_t>(v) + 1) % n));
+  }
+  return g;
+}
+
+TEST(Digraph, BasicConstruction) {
+  Digraph g;
+  const NodeId a = g.add_node();
+  const NodeId b = g.add_node();
+  const EdgeId e = g.add_edge(a, b);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge(e).src, a);
+  EXPECT_EQ(g.edge(e).dst, b);
+  EXPECT_TRUE(g.has_edge(a, b));
+  EXPECT_FALSE(g.has_edge(b, a));
+  EXPECT_EQ(g.out_degree(a), 1u);
+  EXPECT_EQ(g.in_degree(b), 1u);
+}
+
+TEST(Digraph, SupportsParallelEdgesAndSelfLoops) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(0, 0);
+  EXPECT_EQ(g.edges_between(0, 1).size(), 2u);
+  EXPECT_EQ(g.edges_between(0, 0).size(), 1u);
+}
+
+TEST(Digraph, RejectsBadIds) {
+  Digraph g(2);
+  EXPECT_THROW(g.add_edge(0, 5), std::invalid_argument);
+  EXPECT_THROW((void)g.edge(3), std::invalid_argument);
+  EXPECT_THROW((void)g.out_edges(-1), std::invalid_argument);
+}
+
+TEST(Digraph, Reversed) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Digraph r = g.reversed();
+  EXPECT_TRUE(r.has_edge(1, 0));
+  EXPECT_TRUE(r.has_edge(2, 1));
+  EXPECT_FALSE(r.has_edge(0, 1));
+}
+
+TEST(Scc, RingIsOneComponent) {
+  const SccPartition part = scc(ring(5));
+  EXPECT_EQ(part.count, 1);
+  EXPECT_TRUE(part.is_cyclic(0, ring(5)));
+  EXPECT_TRUE(is_strongly_connected(ring(5)));
+}
+
+TEST(Scc, DagIsAllSingletons) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);
+  const SccPartition part = scc(g);
+  EXPECT_EQ(part.count, 4);
+  for (int c = 0; c < 4; ++c) EXPECT_FALSE(part.is_cyclic(c, g));
+  EXPECT_FALSE(is_strongly_connected(g));
+}
+
+TEST(Scc, ComponentIndicesAreReverseTopological) {
+  // Two rings joined by a bridge: the downstream ring must get the smaller
+  // component index (reverse topological order).
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // ring A
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);  // ring B
+  g.add_edge(1, 2);  // A -> B
+  const SccPartition part = scc(g);
+  ASSERT_EQ(part.count, 2);
+  EXPECT_GT(part.comp_of[0], part.comp_of[2]);
+}
+
+TEST(Scc, SelfLoopMakesSingletonCyclic) {
+  Digraph g(2);
+  g.add_edge(0, 0);
+  const SccPartition part = scc(g);
+  EXPECT_EQ(part.count, 2);
+  EXPECT_TRUE(part.is_cyclic(part.comp_of[0], g));
+  EXPECT_FALSE(part.is_cyclic(part.comp_of[1], g));
+}
+
+TEST(Scc, CondensationKeepsParallelInterEdges) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  g.add_edge(1, 2);
+  g.add_edge(0, 3);  // second inter-SCC edge
+  const Condensation c = condense(g);
+  EXPECT_EQ(c.dag.num_nodes(), 2u);
+  EXPECT_EQ(c.dag.num_edges(), 2u);
+  EXPECT_EQ(c.edge_origin.size(), 2u);
+}
+
+TEST(Cycles, RingHasExactlyOneCycle) {
+  const CycleEnumResult r = enumerate_cycles(ring(6));
+  ASSERT_EQ(r.cycles.size(), 1u);
+  EXPECT_EQ(r.cycles.front().size(), 6u);
+  EXPECT_FALSE(r.truncated);
+}
+
+TEST(Cycles, ParallelEdgesYieldDistinctCycles) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  // Two 2-cycles, one per parallel forward edge.
+  EXPECT_EQ(enumerate_cycles(g).cycles.size(), 2u);
+}
+
+TEST(Cycles, SelfLoopIsACycle) {
+  Digraph g(1);
+  g.add_edge(0, 0);
+  const CycleEnumResult r = enumerate_cycles(g);
+  ASSERT_EQ(r.cycles.size(), 1u);
+  EXPECT_EQ(r.cycles.front().size(), 1u);
+  EXPECT_TRUE(has_cycle(g));
+}
+
+TEST(Cycles, CompleteGraphCount) {
+  // K4 has 20 elementary cycles: 12 triangles+... exactly C(4,2)=6 2-cycles,
+  // 8 3-cycles, 6 4-cycles — total 20.
+  Digraph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  EXPECT_EQ(enumerate_cycles(g).cycles.size(), 20u);
+}
+
+TEST(Cycles, MaxCyclesCapTruncates) {
+  Digraph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  CycleEnumOptions options;
+  options.max_cycles = 5;
+  const CycleEnumResult r = enumerate_cycles(g, options);
+  EXPECT_EQ(r.cycles.size(), 5u);
+  EXPECT_TRUE(r.truncated);
+}
+
+TEST(Cycles, EdgeFilterRestrictsSubgraph) {
+  Digraph g(3);
+  const EdgeId a = g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 2);
+  g.add_edge(2, 1);
+  CycleEnumOptions options;
+  options.edge_filter = [&](EdgeId e) { return e != a; };
+  // Without 0->1 the only cycle left is {1,2}.
+  EXPECT_EQ(enumerate_cycles(g, options).cycles.size(), 1u);
+}
+
+/// Brute-force elementary cycle enumeration by DFS over vertex permutations,
+/// for cross-checking Johnson on small random graphs.
+std::set<std::vector<EdgeId>> brute_force_cycles(const Digraph& g) {
+  std::set<std::vector<EdgeId>> found;
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  std::vector<char> visited(g.num_nodes(), 0);
+  std::vector<EdgeId> path;
+  std::function<void(NodeId, NodeId)> dfs = [&](NodeId start, NodeId v) {
+    for (const EdgeId e : g.out_edges(v)) {
+      const NodeId w = g.edge(e).dst;
+      if (w == start) {
+        std::vector<EdgeId> cycle = path;
+        cycle.push_back(e);
+        // Canonicalize by rotating the smallest edge id first.
+        const auto smallest = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), smallest, cycle.end());
+        found.insert(cycle);
+      } else if (w > start && !visited[static_cast<std::size_t>(w)]) {
+        visited[static_cast<std::size_t>(w)] = 1;
+        path.push_back(e);
+        dfs(start, w);
+        path.pop_back();
+        visited[static_cast<std::size_t>(w)] = 0;
+      }
+    }
+  };
+  for (NodeId s = 0; s < n; ++s) {
+    visited.assign(g.num_nodes(), 0);
+    visited[static_cast<std::size_t>(s)] = 1;
+    dfs(s, s);
+  }
+  return found;
+}
+
+class JohnsonVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(JohnsonVsBruteForce, AgreeOnRandomMultigraphs) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = rng.uniform_int(2, 7);
+    Digraph g(static_cast<std::size_t>(n));
+    const int edges = rng.uniform_int(1, 2 * n);
+    for (int e = 0; e < edges; ++e) {
+      g.add_edge(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+    }
+    const auto expected = brute_force_cycles(g);
+    const CycleEnumResult r = enumerate_cycles(g);
+    std::set<std::vector<EdgeId>> got;
+    for (Cycle c : r.cycles) {
+      const auto smallest = std::min_element(c.begin(), c.end());
+      std::rotate(c.begin(), smallest, c.end());
+      const bool inserted = got.insert(c).second;
+      EXPECT_TRUE(inserted) << "duplicate cycle emitted";
+    }
+    EXPECT_EQ(got, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JohnsonVsBruteForce,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(Topology, TreeClassification) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(is_underlying_forest(g));
+  EXPECT_FALSE(has_reconvergent_paths(g));
+  EXPECT_EQ(classify(g), TopologyClass::kTree);
+}
+
+TEST(Topology, JoinIsStillTreeClass) {
+  // a->c, b->c: converging edges, but no undirected cycle.
+  Digraph g(3);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  EXPECT_EQ(classify(g), TopologyClass::kTree);
+}
+
+TEST(Topology, DiamondIsGeneral) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  EXPECT_TRUE(has_reconvergent_paths(g));
+  EXPECT_EQ(classify(g), TopologyClass::kGeneral);
+}
+
+TEST(Topology, MixedOrientationUndirectedCycleIsReconvergent) {
+  // a->b, c->b, c->d, a->d: an undirected cycle with no two directed paths
+  // sharing endpoints — still reconvergent per the paper's definition.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 1);
+  g.add_edge(2, 3);
+  g.add_edge(0, 3);
+  EXPECT_TRUE(has_reconvergent_paths(g));
+  EXPECT_EQ(classify(g), TopologyClass::kGeneral);
+}
+
+TEST(Topology, ParallelChannelsAreReconvergent) {
+  // The Fig. 1 topology: two channels A -> B.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(has_reconvergent_paths(g));
+}
+
+TEST(Topology, RingIsCactusScc) {
+  EXPECT_EQ(classify(ring(5)), TopologyClass::kCactusScc);
+  EXPECT_FALSE(has_reconvergent_paths(ring(5)));
+}
+
+TEST(Topology, TwoCyclesSharingAVertexAreCactus) {
+  // Figure-eight: cycles {0,1,2} and {0,3,4} sharing articulation point 0.
+  Digraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  EXPECT_EQ(classify(g), TopologyClass::kCactusScc);
+  const std::vector<NodeId> arts = articulation_points(g);
+  ASSERT_EQ(arts.size(), 1u);
+  EXPECT_EQ(arts.front(), 0);
+}
+
+TEST(Topology, TwoCyclesSharingAnEdgeAreGeneral) {
+  // Cycles {0,1,2} and {0,1,3} share edge 0->1: reconvergent.
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(1, 3);
+  g.add_edge(3, 0);
+  EXPECT_TRUE(has_reconvergent_paths(g));
+  EXPECT_EQ(classify(g), TopologyClass::kGeneral);
+}
+
+TEST(Topology, NetworkOfCactusSccs) {
+  // Two rings joined by one channel: cactus SCCs on a forest.
+  Digraph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 3);
+  g.add_edge(2, 3);
+  EXPECT_EQ(classify(g), TopologyClass::kNetworkOfCactusSccs);
+}
+
+TEST(Topology, SccIsCactusHelper) {
+  const Digraph r = ring(4);
+  const SccPartition part = scc(r);
+  EXPECT_TRUE(scc_is_cactus(r, part.members.front()));
+
+  Digraph g(3);  // triangle plus a chord: not cactus
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 2);
+  const SccPartition part2 = scc(g);
+  EXPECT_FALSE(scc_is_cactus(g, part2.members.front()));
+}
+
+TEST(Topology, UndirectedTwoCycleFromOppositeEdgesIsDirectedCycle) {
+  // u->v and v->u form a directed 2-cycle: cactus, not reconvergent.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  EXPECT_FALSE(has_reconvergent_paths(g));
+  EXPECT_EQ(classify(g), TopologyClass::kCactusScc);
+}
+
+TEST(Topology, ArticulationPointsOfChain) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const std::vector<NodeId> arts = articulation_points(g);
+  ASSERT_EQ(arts.size(), 1u);
+  EXPECT_EQ(arts.front(), 1);
+}
+
+TEST(Topology, ParallelEdgesDoNotArticulate) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  EXPECT_TRUE(articulation_points(g).empty());
+}
+
+/// Brute-force articulation points: a vertex articulates iff removing it
+/// increases the number of connected components of the underlying graph.
+std::vector<NodeId> brute_force_articulation(const Digraph& g) {
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  const auto components_without = [&](NodeId removed) {
+    std::vector<int> comp(g.num_nodes(), -1);
+    int count = 0;
+    for (NodeId s = 0; s < n; ++s) {
+      if (s == removed || comp[static_cast<std::size_t>(s)] != -1) continue;
+      std::vector<NodeId> stack{s};
+      comp[static_cast<std::size_t>(s)] = count;
+      while (!stack.empty()) {
+        const NodeId v = stack.back();
+        stack.pop_back();
+        const auto visit = [&](NodeId w) {
+          if (w != removed && comp[static_cast<std::size_t>(w)] == -1) {
+            comp[static_cast<std::size_t>(w)] = count;
+            stack.push_back(w);
+          }
+        };
+        for (const EdgeId e : g.out_edges(v)) visit(g.edge(e).dst);
+        for (const EdgeId e : g.in_edges(v)) visit(g.edge(e).src);
+      }
+      ++count;
+    }
+    return count;
+  };
+  const int base = components_without(static_cast<NodeId>(-1));
+  std::vector<NodeId> result;
+  for (NodeId v = 0; v < n; ++v) {
+    // Removing an isolated vertex reduces the count by one; an articulation
+    // point strictly increases it net of the removed vertex itself.
+    bool isolated = g.out_degree(v) == 0 && g.in_degree(v) == 0;
+    if (!isolated && components_without(v) > base) result.push_back(v);
+  }
+  return result;
+}
+
+class ArticulationCrossCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ArticulationCrossCheck, AgreesWithBruteForceOnRandomGraphs) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = rng.uniform_int(2, 9);
+    Digraph g(static_cast<std::size_t>(n));
+    const int edges = rng.uniform_int(1, 2 * n);
+    for (int e = 0; e < edges; ++e) {
+      const NodeId u = rng.uniform_int(0, n - 1);
+      const NodeId v = rng.uniform_int(0, n - 1);
+      if (u != v) g.add_edge(u, v);
+    }
+    std::vector<NodeId> fast = articulation_points(g);
+    std::vector<NodeId> brute = brute_force_articulation(g);
+    std::sort(fast.begin(), fast.end());
+    std::sort(brute.begin(), brute.end());
+    EXPECT_EQ(fast, brute);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ArticulationCrossCheck, ::testing::Values(91, 92, 93, 94));
+
+class CondensationProperties : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CondensationProperties, DagAndOriginMapHold) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 25; ++trial) {
+    const int n = rng.uniform_int(2, 10);
+    Digraph g(static_cast<std::size_t>(n));
+    const int edges = rng.uniform_int(0, 3 * n);
+    for (int e = 0; e < edges; ++e) {
+      g.add_edge(rng.uniform_int(0, n - 1), rng.uniform_int(0, n - 1));
+    }
+    const Condensation c = condense(g);
+    // The condensation is acyclic.
+    EXPECT_FALSE(has_cycle(c.dag));
+    // Every condensation edge maps to an inter-SCC edge of g with matching
+    // component endpoints.
+    for (EdgeId e = 0; e < static_cast<EdgeId>(c.dag.num_edges()); ++e) {
+      const Edge orig = g.edge(c.edge_origin[static_cast<std::size_t>(e)]);
+      EXPECT_EQ(c.dag.edge(e).src, c.partition.comp_of[static_cast<std::size_t>(orig.src)]);
+      EXPECT_EQ(c.dag.edge(e).dst, c.partition.comp_of[static_cast<std::size_t>(orig.dst)]);
+    }
+    // Reverse-topological index guarantee.
+    for (EdgeId e = 0; e < static_cast<EdgeId>(g.num_edges()); ++e) {
+      const Edge edge = g.edge(e);
+      const int cs = c.partition.comp_of[static_cast<std::size_t>(edge.src)];
+      const int cd = c.partition.comp_of[static_cast<std::size_t>(edge.dst)];
+      if (cs != cd) {
+        EXPECT_GT(cs, cd);
+      }
+    }
+    // Components partition the vertex set.
+    std::size_t total = 0;
+    for (const auto& members : c.partition.members) total += members.size();
+    EXPECT_EQ(total, g.num_nodes());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CondensationProperties, ::testing::Values(95, 96, 97));
+
+}  // namespace
+}  // namespace lid::graph

@@ -1,0 +1,205 @@
+// Marked-graph structural analysis: liveness, boundedness, place bounds —
+// cross-checked against the step-semantics simulator — and the LIS-level
+// channel storage bounds built on them.
+#include <gtest/gtest.h>
+
+#include "core/storage.hpp"
+#include "gen/generator.hpp"
+#include "lis/paper_systems.hpp"
+#include "mg/analysis.hpp"
+#include "mg/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace lid::mg {
+namespace {
+
+MarkedGraph ring_with_tokens(const std::vector<std::int64_t>& tokens) {
+  MarkedGraph g;
+  const int n = static_cast<int>(tokens.size());
+  for (int i = 0; i < n; ++i) g.add_transition(TransitionKind::kShell);
+  for (int i = 0; i < n; ++i) {
+    g.add_place(i, (i + 1) % n, tokens[static_cast<std::size_t>(i)]);
+  }
+  return g;
+}
+
+TEST(Analysis, LivenessDetectsTokenFreeCycles) {
+  EXPECT_TRUE(is_live(ring_with_tokens({1, 0, 0})));
+  EXPECT_FALSE(is_live(ring_with_tokens({0, 0, 0})));
+}
+
+TEST(Analysis, RingPlaceBoundIsTheCycleTokenCount) {
+  // One cycle: every place can accumulate at most the cycle's 3 tokens.
+  const MarkedGraph g = ring_with_tokens({1, 2, 0, 0});
+  for (PlaceId p = 0; p < 4; ++p) {
+    ASSERT_TRUE(place_bound(g, p).has_value());
+    EXPECT_EQ(*place_bound(g, p), 3);
+  }
+  EXPECT_TRUE(is_bounded(g));
+}
+
+TEST(Analysis, PlaceOffAnyCycleIsUnbounded) {
+  MarkedGraph g;
+  const TransitionId a = g.add_transition(TransitionKind::kShell);
+  const TransitionId b = g.add_transition(TransitionKind::kShell);
+  const PlaceId p = g.add_place(a, b, 1);
+  EXPECT_FALSE(place_bound(g, p).has_value());
+  EXPECT_FALSE(is_bounded(g));
+}
+
+TEST(Analysis, TwoCyclesTakeTheTighterBound) {
+  // Place on two cycles: bound is the smaller cycle-token count.
+  MarkedGraph g;
+  for (int i = 0; i < 3; ++i) g.add_transition(TransitionKind::kShell);
+  const PlaceId shared = g.add_place(0, 1, 1);  // on both cycles
+  g.add_place(1, 0, 3);                         // cycle A: 4 tokens
+  g.add_place(1, 2, 0);                         // cycle B: via 2
+  g.add_place(2, 0, 1);                         // cycle B: 2 tokens
+  ASSERT_TRUE(place_bound(g, shared).has_value());
+  EXPECT_EQ(*place_bound(g, shared), 2);
+}
+
+class BoundsVsSimulation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsVsSimulation, SimulatedOccupancyNeverExceedsTheStructuralBound) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(4, 10);
+    params.sccs = rng.uniform_int(1, 3);
+    params.min_cycles = rng.uniform_int(0, 3);
+    params.relay_stations = rng.uniform_int(0, 4);
+    params.policy = gen::RsPolicy::kAny;
+    params.queue_capacity = rng.uniform_int(1, 3);
+    const lis::Expansion ex = lis::expand_doubled(gen::generate(params, rng));
+    const SimulationResult sim = simulate(ex.graph, 5000);
+    const auto bounds = place_bounds(ex.graph);
+    for (PlaceId p = 0; p < static_cast<PlaceId>(ex.graph.num_places()); ++p) {
+      ASSERT_TRUE(bounds[static_cast<std::size_t>(p)].has_value())
+          << "doubled graphs are bounded";
+      EXPECT_LE(sim.max_tokens[static_cast<std::size_t>(p)],
+                *bounds[static_cast<std::size_t>(p)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsVsSimulation, ::testing::Values(1, 2, 3, 4));
+
+TEST(Analysis, ReachabilityFollowsTheCycleInvariant) {
+  // Ring: only rotations of the initial marking are reachable.
+  const MarkedGraph ring = ring_with_tokens({2, 1, 0, 0});
+  EXPECT_TRUE(is_reachable_marking(ring, {2, 1, 0, 0}));  // M0 itself
+  EXPECT_TRUE(is_reachable_marking(ring, {0, 2, 1, 0}));
+  EXPECT_TRUE(is_reachable_marking(ring, {3, 0, 0, 0}));
+  EXPECT_TRUE(is_reachable_marking(ring, {0, 0, 0, 3}));
+  EXPECT_FALSE(is_reachable_marking(ring, {2, 2, 0, 0}));   // cycle count 4
+  EXPECT_FALSE(is_reachable_marking(ring, {1, 1, 0, 0}));   // cycle count 2
+  EXPECT_FALSE(is_reachable_marking(ring, {4, -1, 0, 0}));  // negative
+  EXPECT_THROW(is_reachable_marking(ring, {1, 1}), std::invalid_argument);
+}
+
+TEST(Analysis, ReachabilityRequiresLiveness) {
+  MarkedGraph dead = ring_with_tokens({0, 0, 0});
+  EXPECT_THROW(is_reachable_marking(dead, {0, 0, 0}), std::invalid_argument);
+}
+
+class ReachabilityVsSimulation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReachabilityVsSimulation, EveryVisitedMarkingIsDeclaredReachable) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(3, 8);
+    params.sccs = rng.uniform_int(1, 2);
+    params.min_cycles = rng.uniform_int(0, 2);
+    params.relay_stations = rng.uniform_int(0, 3);
+    params.policy = gen::RsPolicy::kAny;
+    const lis::Expansion ex = lis::expand_doubled(gen::generate(params, rng));
+    // Drive the graph and verify every marking the step semantics visits
+    // satisfies the reachability criterion (it is a necessary condition, so
+    // any failure would expose a bug in either side).
+    MarkedGraph g = ex.graph;  // mutate a copy to walk markings
+    std::vector<std::int64_t> marking = g.marking();
+    const graph::Digraph& s = g.structure();
+    for (int step = 0; step < 40; ++step) {
+      ASSERT_TRUE(is_reachable_marking(ex.graph, marking)) << "at step " << step;
+      // One synchronous step, inline.
+      std::vector<char> enabled(g.num_transitions(), 1);
+      for (TransitionId t = 0; t < static_cast<TransitionId>(g.num_transitions()); ++t) {
+        for (const PlaceId p : s.in_edges(t)) {
+          if (marking[static_cast<std::size_t>(p)] < 1) {
+            enabled[static_cast<std::size_t>(t)] = 0;
+            break;
+          }
+        }
+      }
+      for (TransitionId t = 0; t < static_cast<TransitionId>(g.num_transitions()); ++t) {
+        if (!enabled[static_cast<std::size_t>(t)]) continue;
+        for (const PlaceId p : s.in_edges(t)) marking[static_cast<std::size_t>(p)] -= 1;
+        for (const PlaceId p : s.out_edges(t)) marking[static_cast<std::size_t>(p)] += 1;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReachabilityVsSimulation, ::testing::Values(8, 18, 28));
+
+TEST(Analysis, IdealExpansionOfAcyclicLisIsUnbounded) {
+  const lis::Expansion ideal = lis::expand_ideal(lis::make_two_core_example());
+  EXPECT_FALSE(is_bounded(ideal.graph));  // no backpressure: tokens pile up
+  const lis::Expansion doubled = lis::expand_doubled(lis::make_two_core_example());
+  EXPECT_TRUE(is_bounded(doubled.graph));  // backpressure bounds everything
+}
+
+}  // namespace
+}  // namespace lid::mg
+
+namespace lid::core {
+namespace {
+
+TEST(Storage, TwoCoreExampleBounds) {
+  // Upper channel (1 relay station, q = 1): its queue backedge carries
+  // q + 2r = 3 tokens, and the tightest cycle through the delivery place is
+  // the channel's own forward-plus-backedge loop with 1 + 3 = 4 tokens...
+  // except shorter mixed cycles through the lower channel can be tighter.
+  const auto bounds = storage_bounds(lis::make_two_core_example());
+  ASSERT_EQ(bounds.size(), 2u);
+  for (const ChannelStorage& s : bounds) {
+    EXPECT_GE(s.occupancy_bound, 1);
+    // The lumped stage never needs more than the channel's total storage
+    // plus the source's output latch.
+    EXPECT_LE(s.occupancy_bound,
+              s.configured_capacity + 2 * s.relay_stations + 1);
+  }
+}
+
+TEST(Storage, SizingQueuesGrowsTheBound) {
+  const std::int64_t before = total_storage_bound(lis::make_two_core_example());
+  const std::int64_t after = total_storage_bound(lis::make_two_core_example_sized());
+  EXPECT_GT(after, before);
+}
+
+class StorageInvariant : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StorageInvariant, BoundNeverExceedsTotalChannelStorage) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(5, 15);
+    params.sccs = rng.uniform_int(1, 3);
+    params.min_cycles = rng.uniform_int(0, 3);
+    params.relay_stations = rng.uniform_int(0, 5);
+    params.policy = gen::RsPolicy::kAny;
+    params.queue_capacity = rng.uniform_int(1, 3);
+    const lis::LisGraph system = gen::generate(params, rng);
+    for (const ChannelStorage& s : storage_bounds(system)) {
+      EXPECT_GE(s.occupancy_bound, 1);
+      EXPECT_LE(s.occupancy_bound, s.configured_capacity + 2 * s.relay_stations + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageInvariant, ::testing::Values(5, 6, 7));
+
+}  // namespace
+}  // namespace lid::core

@@ -1,0 +1,290 @@
+// The exact-rational simplex, the branch-and-bound ILP, and the MILP
+// formulation of queue sizing (the Lu–Koh baseline).
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/exact.hpp"
+#include "core/exact_milp.hpp"
+#include "core/heuristic.hpp"
+#include "core/qs_problem.hpp"
+#include "gen/generator.hpp"
+#include "milp/ilp.hpp"
+#include "milp/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace lid::milp {
+namespace {
+
+using util::Rational;
+
+TEST(Simplex, SolvesATextbookLp) {
+  // min -3x - 5y  s.t.  x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig).
+  LinearProgram lp;
+  lp.objective = {Rational(-3), Rational(-5)};
+  lp.add_constraint({Rational(1), Rational(0)}, Relation::kLessEq, Rational(4));
+  lp.add_constraint({Rational(0), Rational(2)}, Relation::kLessEq, Rational(12));
+  lp.add_constraint({Rational(3), Rational(2)}, Relation::kLessEq, Rational(18));
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(-36));
+  EXPECT_EQ(r.solution[0], Rational(2));
+  EXPECT_EQ(r.solution[1], Rational(6));
+}
+
+TEST(Simplex, HandlesGreaterEqAndEquality) {
+  // min x + y  s.t.  x + y >= 3, x - y == 1  ->  x = 2, y = 1.
+  LinearProgram lp;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.add_constraint({Rational(1), Rational(1)}, Relation::kGreaterEq, Rational(3));
+  lp.add_constraint({Rational(1), Rational(-1)}, Relation::kEqual, Rational(1));
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(3));
+  EXPECT_EQ(r.solution[0], Rational(2));
+  EXPECT_EQ(r.solution[1], Rational(1));
+}
+
+TEST(Simplex, DetectsInfeasibility) {
+  // x >= 2 and x <= 1 cannot both hold.
+  LinearProgram lp;
+  lp.objective = {Rational(1)};
+  lp.add_constraint({Rational(1)}, Relation::kGreaterEq, Rational(2));
+  lp.add_constraint({Rational(1)}, Relation::kLessEq, Rational(1));
+  EXPECT_EQ(solve_lp(lp).status, LpResult::Status::kInfeasible);
+}
+
+TEST(Simplex, DetectsUnboundedness) {
+  // min -x with only x >= 0: unbounded below.
+  LinearProgram lp;
+  lp.objective = {Rational(-1)};
+  lp.add_constraint({Rational(1)}, Relation::kGreaterEq, Rational(0));
+  EXPECT_EQ(solve_lp(lp).status, LpResult::Status::kUnbounded);
+}
+
+TEST(Simplex, NegativeRhsIsNormalized) {
+  // -x <= -2  is  x >= 2.
+  LinearProgram lp;
+  lp.objective = {Rational(1)};
+  lp.add_constraint({Rational(-1)}, Relation::kLessEq, Rational(-2));
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(r.solution[0], Rational(2));
+}
+
+TEST(Simplex, ExactFractionalOptimum) {
+  // min x + y  s.t.  2x + y >= 1, x + 2y >= 1: optimum at x = y = 1/3.
+  LinearProgram lp;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.add_constraint({Rational(2), Rational(1)}, Relation::kGreaterEq, Rational(1));
+  lp.add_constraint({Rational(1), Rational(2)}, Relation::kGreaterEq, Rational(1));
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(2, 3));
+  EXPECT_EQ(r.solution[0], Rational(1, 3));
+}
+
+TEST(Simplex, BealeCyclingExampleTerminates) {
+  // Beale's classic degenerate LP makes naive pivot rules cycle forever;
+  // Bland's rule must terminate at the optimum -1/20.
+  //   min -3/4 x4 + 150 x5 - 1/50 x6 + 6 x7
+  //   s.t. 1/4 x4 - 60 x5 - 1/25 x6 + 9 x7 <= 0
+  //        1/2 x4 - 90 x5 - 1/50 x6 + 3 x7 <= 0
+  //        x6 <= 1
+  LinearProgram lp;
+  lp.objective = {Rational(-3, 4), Rational(150), Rational(-1, 50), Rational(6)};
+  lp.add_constraint({Rational(1, 4), Rational(-60), Rational(-1, 25), Rational(9)},
+                    Relation::kLessEq, Rational(0));
+  lp.add_constraint({Rational(1, 2), Rational(-90), Rational(-1, 50), Rational(3)},
+                    Relation::kLessEq, Rational(0));
+  lp.add_constraint({Rational(0), Rational(0), Rational(1), Rational(0)},
+                    Relation::kLessEq, Rational(1));
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(-1, 20));
+  EXPECT_EQ(r.solution[2], Rational(1));  // x6 at its bound
+}
+
+TEST(Simplex, DegenerateRedundantEqualities) {
+  // Redundant equalities leave zero-level artificials after phase 1; the
+  // solver must still reach the optimum.
+  LinearProgram lp;
+  lp.objective = {Rational(1), Rational(2)};
+  lp.add_constraint({Rational(1), Rational(1)}, Relation::kEqual, Rational(4));
+  lp.add_constraint({Rational(2), Rational(2)}, Relation::kEqual, Rational(8));  // redundant
+  lp.add_constraint({Rational(1), Rational(0)}, Relation::kLessEq, Rational(3));
+  const LpResult r = solve_lp(lp);
+  ASSERT_EQ(r.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(5));  // x = 3, y = 1
+}
+
+TEST(Simplex, RejectsMalformedConstraints) {
+  LinearProgram lp;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.add_constraint({Rational(1)}, Relation::kGreaterEq, Rational(1));  // too narrow
+  EXPECT_THROW(solve_lp(lp), std::invalid_argument);
+}
+
+TEST(Ilp, BranchesToIntegrality) {
+  // The fractional LP optimum above (1/3, 1/3) must round up to total 1.
+  LinearProgram lp;
+  lp.objective = {Rational(1), Rational(1)};
+  lp.add_constraint({Rational(2), Rational(1)}, Relation::kGreaterEq, Rational(1));
+  lp.add_constraint({Rational(1), Rational(2)}, Relation::kGreaterEq, Rational(1));
+  const IlpResult r = solve_ilp(lp);
+  ASSERT_EQ(r.status, IlpResult::Status::kOptimal);
+  EXPECT_EQ(r.objective, Rational(1));
+  EXPECT_EQ(r.solution[0] + r.solution[1], 1);
+}
+
+TEST(Ilp, OddCycleCoverNeedsRoundedHalf) {
+  // Vertex cover LP of a 5-cycle relaxes to 5/2; the ILP needs 3.
+  LinearProgram lp;
+  lp.objective.assign(5, Rational(1));
+  for (int i = 0; i < 5; ++i) {
+    std::vector<Rational> coeffs(5, Rational(0));
+    coeffs[static_cast<std::size_t>(i)] = Rational(1);
+    coeffs[static_cast<std::size_t>((i + 1) % 5)] = Rational(1);
+    lp.add_constraint(std::move(coeffs), Relation::kGreaterEq, Rational(1));
+  }
+  const LpResult relaxed = solve_lp(lp);
+  ASSERT_EQ(relaxed.status, LpResult::Status::kOptimal);
+  EXPECT_EQ(relaxed.objective, Rational(5, 2));
+  const IlpResult integral = solve_ilp(lp);
+  ASSERT_EQ(integral.status, IlpResult::Status::kOptimal);
+  EXPECT_EQ(integral.objective, Rational(3));
+}
+
+TEST(Ilp, ReportsInfeasibility) {
+  LinearProgram lp;
+  lp.objective = {Rational(1)};
+  lp.add_constraint({Rational(1)}, Relation::kGreaterEq, Rational(2));
+  lp.add_constraint({Rational(1)}, Relation::kLessEq, Rational(1));
+  EXPECT_EQ(solve_ilp(lp).status, IlpResult::Status::kInfeasible);
+}
+
+TEST(Ilp, HonorsNodeCap) {
+  LinearProgram lp;
+  lp.objective.assign(8, Rational(1));
+  util::Rng rng(12);
+  for (int c = 0; c < 12; ++c) {
+    std::vector<Rational> coeffs(8, Rational(0));
+    for (int k = 0; k < 3; ++k) coeffs[rng.uniform_index(8)] = Rational(1);
+    lp.add_constraint(std::move(coeffs), Relation::kGreaterEq, Rational(2));
+  }
+  IlpOptions options;
+  options.max_nodes = 2;
+  const IlpResult r = solve_ilp(lp, options);
+  EXPECT_TRUE(r.status == IlpResult::Status::kCutOff ||
+              r.status == IlpResult::Status::kOptimal);
+}
+
+class IlpVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IlpVsBruteForce, OnRandomCoveringPrograms) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 12; ++trial) {
+    const int vars = rng.uniform_int(2, 4);
+    const int cons = rng.uniform_int(1, 5);
+    LinearProgram lp;
+    lp.objective.assign(static_cast<std::size_t>(vars), Rational(1));
+    std::vector<std::vector<int>> rows;
+    std::vector<int> rhs;
+    for (int c = 0; c < cons; ++c) {
+      std::vector<Rational> coeffs(static_cast<std::size_t>(vars), Rational(0));
+      std::vector<int> row(static_cast<std::size_t>(vars), 0);
+      bool any = false;
+      for (int j = 0; j < vars; ++j) {
+        if (rng.flip(0.6)) {
+          coeffs[static_cast<std::size_t>(j)] = Rational(1);
+          row[static_cast<std::size_t>(j)] = 1;
+          any = true;
+        }
+      }
+      if (!any) {
+        coeffs[0] = Rational(1);
+        row[0] = 1;
+      }
+      const int d = rng.uniform_int(1, 3);
+      lp.add_constraint(std::move(coeffs), Relation::kGreaterEq, Rational(d));
+      rows.push_back(std::move(row));
+      rhs.push_back(d);
+    }
+    const IlpResult ilp = solve_ilp(lp);
+    ASSERT_EQ(ilp.status, IlpResult::Status::kOptimal);
+
+    // Brute force over bounded assignments (max rhs bounds any single var).
+    std::int64_t best = 1000;
+    std::vector<int> w(static_cast<std::size_t>(vars), 0);
+    const std::function<void(int, std::int64_t)> rec = [&](int j, std::int64_t used) {
+      if (used >= best) return;
+      if (j == vars) {
+        for (std::size_t c = 0; c < rows.size(); ++c) {
+          int got = 0;
+          for (int k = 0; k < vars; ++k) got += rows[c][static_cast<std::size_t>(k)] * w[static_cast<std::size_t>(k)];
+          if (got < rhs[c]) return;
+        }
+        best = used;
+        return;
+      }
+      for (int v = 0; v <= 3; ++v) {
+        w[static_cast<std::size_t>(j)] = v;
+        rec(j + 1, used + v);
+      }
+      w[static_cast<std::size_t>(j)] = 0;
+    };
+    rec(0, 0);
+    EXPECT_EQ(ilp.objective, Rational(best));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IlpVsBruteForce, ::testing::Values(31, 41, 51, 61));
+
+}  // namespace
+}  // namespace lid::milp
+
+namespace lid::core {
+namespace {
+
+TEST(ExactMilp, MatchesCombinatorialExactOnKnownInstances) {
+  TdInstance inst;
+  inst.deficits = {1, 1, 1};
+  inst.set_members = {{0, 1}, {1, 2}, {0, 2}};
+  const TdSolution upper = solve_heuristic(inst);
+  const ExactResult milp = solve_exact_milp(inst, upper);
+  const ExactResult bnb = solve_exact(inst, upper);
+  ASSERT_TRUE(milp.solution.has_value());
+  ASSERT_TRUE(bnb.solution.has_value());
+  EXPECT_EQ(milp.solution->total, bnb.solution->total);
+}
+
+class MilpVsCombinatorial : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MilpVsCombinatorial, AgreeOnGeneratedSystems) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(10, 24);
+    params.sccs = rng.uniform_int(2, 4);
+    params.min_cycles = 2;
+    params.relay_stations = rng.uniform_int(2, 6);
+    params.reconvergent = true;
+    params.policy = gen::RsPolicy::kScc;
+    const QsProblem problem = build_qs_problem(gen::generate(params, rng));
+    if (!problem.has_degradation()) continue;
+    const TdSolution upper = solve_heuristic(problem.td);
+    ExactOptions options;
+    options.timeout_ms = 20000;
+    const ExactResult milp = solve_exact_milp(problem.td, upper, options);
+    const ExactResult bnb = solve_exact(problem.td, upper, options);
+    ASSERT_TRUE(bnb.solution.has_value());
+    ASSERT_TRUE(milp.solution.has_value()) << "MILP cut off on a small instance";
+    EXPECT_EQ(milp.solution->total, bnb.solution->total);
+    EXPECT_TRUE(problem.td.is_feasible(milp.solution->weights));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MilpVsCombinatorial, ::testing::Values(71, 72, 73));
+
+}  // namespace
+}  // namespace lid::core

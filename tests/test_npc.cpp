@@ -1,0 +1,153 @@
+// Computational validation of the Sec. V NP-completeness reduction: for
+// random small vertex-cover instances, the minimum number of extra queue
+// tokens that restores the ideal MST of the reduced LIS equals the minimum
+// vertex cover size exactly.
+#include <gtest/gtest.h>
+
+#include "core/exact.hpp"
+#include "core/heuristic.hpp"
+#include "core/queue_sizing.hpp"
+#include "lis/lis_graph.hpp"
+#include "npc/vc_reduction.hpp"
+#include "util/rng.hpp"
+
+namespace lid::npc {
+namespace {
+
+using util::Rational;
+
+TEST(VertexCover, BruteForceOnKnownGraphs) {
+  // Triangle: cover 2. Star: cover 1. Path of 4: cover 2 (hmm: edges
+  // (0,1),(1,2),(2,3) -> {1,2}).
+  VcInstance triangle{3, {{0, 1}, {0, 2}, {1, 2}}};
+  EXPECT_EQ(min_vertex_cover(triangle), 2);
+  VcInstance star{4, {{0, 1}, {0, 2}, {0, 3}}};
+  EXPECT_EQ(min_vertex_cover(star), 1);
+  VcInstance path{4, {{0, 1}, {1, 2}, {2, 3}}};
+  EXPECT_EQ(min_vertex_cover(path), 2);
+  VcInstance empty{3, {}};
+  EXPECT_EQ(min_vertex_cover(empty), 0);
+}
+
+TEST(Reduction, StructureMatchesThePaper) {
+  const VcInstance vc{2, {{0, 1}}};
+  const QsReduction red = reduce_vc_to_qs(vc);
+  // 2 constructs (4 cores) + 2 relay-stationed cross channels + 5-core ring.
+  EXPECT_EQ(red.lis.num_cores(), 9u);
+  EXPECT_EQ(red.lis.num_channels(), 2u + 2u + 5u);
+  EXPECT_EQ(red.lis.total_relay_stations(), 3);  // 2 cross + 1 limiter
+  // The limiter ring pins the ideal MST at 5/6.
+  EXPECT_EQ(lis::ideal_mst(red.lis), Rational(5, 6));
+  // Doubling exposes the Fig. 12 cycle of mean 4/6.
+  EXPECT_EQ(lis::practical_mst(red.lis), Rational(2, 3));
+}
+
+TEST(Reduction, SingleEdgeNeedsOneToken) {
+  const VcInstance vc{2, {{0, 1}}};
+  const QsReduction red = reduce_vc_to_qs(vc);
+  core::QsOptions options;
+  options.method = core::QsMethod::kExact;
+  const core::QsReport report = core::size_queues(red.lis, options);
+  ASSERT_TRUE(report.exact.has_value());
+  ASSERT_TRUE(report.exact->finished);
+  EXPECT_EQ(report.exact->total_extra_tokens, 1);  // min cover of one edge
+  EXPECT_EQ(report.achieved_mst, Rational(5, 6));
+  // The token must sit on a vertex-construct backedge.
+  bool on_construct = false;
+  for (std::size_t s = 0; s < report.problem.channels.size(); ++s) {
+    if (report.exact->weights[s] == 0) continue;
+    for (const lis::ChannelId construct : red.vertex_construct) {
+      if (report.problem.channels[s] == construct) on_construct = true;
+    }
+  }
+  EXPECT_TRUE(on_construct);
+}
+
+TEST(Reduction, NoEdgesNeedsNoTokens) {
+  const VcInstance vc{3, {}};
+  const QsReduction red = reduce_vc_to_qs(vc);
+  EXPECT_EQ(lis::ideal_mst(red.lis), Rational(5, 6));
+  EXPECT_EQ(lis::practical_mst(red.lis), Rational(5, 6));  // no degradation
+}
+
+TEST(Reduction, TriangleNeedsTwoTokens) {
+  const VcInstance vc{3, {{0, 1}, {0, 2}, {1, 2}}};
+  const QsReduction red = reduce_vc_to_qs(vc);
+  core::QsOptions options;
+  options.method = core::QsMethod::kExact;
+  const core::QsReport report = core::size_queues(red.lis, options);
+  ASSERT_TRUE(report.exact.has_value());
+  ASSERT_TRUE(report.exact->finished);
+  EXPECT_EQ(report.exact->total_extra_tokens, min_vertex_cover(vc));
+  EXPECT_EQ(report.achieved_mst, Rational(5, 6));
+}
+
+class ReductionEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ReductionEquivalence, MinimumTokensEqualsMinimumCover) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    const VcInstance vc = random_vc(rng.uniform_int(2, 5), 0.5, rng);
+    const int cover = min_vertex_cover(vc);
+    const QsReduction red = reduce_vc_to_qs(vc);
+
+    core::QsOptions options;
+    options.method = core::QsMethod::kBoth;
+    options.exact.timeout_ms = 20000;
+    const core::QsReport report = core::size_queues(red.lis, options);
+
+    ASSERT_TRUE(report.exact.has_value());
+    ASSERT_TRUE(report.exact->finished) << "exact search timed out on a tiny instance";
+    EXPECT_EQ(report.exact->total_extra_tokens, cover)
+        << "reduction broken: optimal QS tokens != min vertex cover";
+    EXPECT_EQ(report.achieved_mst, Rational(5, 6));
+
+    // The heuristic is feasible and no better than optimal.
+    ASSERT_TRUE(report.heuristic.has_value());
+    EXPECT_GE(report.heuristic->total_extra_tokens, cover);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReductionEquivalence,
+                         ::testing::Values(21, 42, 63, 84, 105));
+
+TEST(DominatingSet, BruteForceOnKnownGraphs) {
+  // Star: the center dominates everything. Path of 5: {1, 3} suffices.
+  VcInstance star{4, {{0, 1}, {0, 2}, {0, 3}}};
+  EXPECT_EQ(min_dominating_set(star), 1);
+  VcInstance path{5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}}};
+  EXPECT_EQ(min_dominating_set(path), 2);
+  VcInstance empty{3, {}};
+  EXPECT_EQ(min_dominating_set(empty), 3);  // no edges: everyone for himself
+}
+
+class DominatingSetToTd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DominatingSetToTd, MinimumWeightEqualsMinimumDominatingSet) {
+  // The Sec. VII-A reduction proving TD NP-complete: minimum TD weight ==
+  // minimum dominating set, validated via the exact TD solver.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 10; ++trial) {
+    const VcInstance graph = random_vc(rng.uniform_int(2, 8), 0.35, rng);
+    const core::TdInstance td = reduce_dominating_set_to_td(graph);
+    const core::TdSolution upper = core::solve_heuristic(td);
+    const core::ExactResult exact = core::solve_exact(td, upper);
+    ASSERT_TRUE(exact.solution.has_value());
+    EXPECT_EQ(exact.solution->total, min_dominating_set(graph));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominatingSetToTd, ::testing::Values(201, 202, 203));
+
+TEST(RandomVc, RespectsProbabilityBounds) {
+  util::Rng rng(5);
+  const VcInstance none = random_vc(5, 0.0, rng);
+  EXPECT_TRUE(none.edges.empty());
+  const VcInstance all = random_vc(5, 1.0, rng);
+  EXPECT_EQ(all.edges.size(), 10u);
+  EXPECT_THROW(random_vc(0, 0.5, rng), std::invalid_argument);
+  EXPECT_THROW(random_vc(3, 1.5, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lid::npc

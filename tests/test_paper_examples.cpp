@@ -1,0 +1,104 @@
+// Anchors: every numeric claim the paper makes about its small running
+// examples, checked exactly.
+#include <gtest/gtest.h>
+
+#include "core/fixed_qs.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/rs_insertion.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/paper_systems.hpp"
+#include "util/rational.hpp"
+
+namespace lid {
+namespace {
+
+using util::Rational;
+
+TEST(TwoCoreExample, IdealMstIsOne) {
+  // Fig. 1: no feedback loop, the relay station's τ leaves the system.
+  EXPECT_EQ(lis::ideal_mst(lis::make_two_core_example()), Rational(1));
+}
+
+TEST(TwoCoreExample, PracticalMstDegradesToTwoThirds) {
+  // Fig. 5: with q = 1 the critical cycle {A, rs, B, A} has mean 2/3.
+  EXPECT_EQ(lis::practical_mst(lis::make_two_core_example()), Rational(2, 3));
+}
+
+TEST(TwoCoreExample, GrowingLowerQueueRestoresIdeal) {
+  // Fig. 6: queue of two on the lower channel recovers MST 1.
+  EXPECT_EQ(lis::practical_mst(lis::make_two_core_example_sized()), Rational(1));
+}
+
+TEST(TwoCoreExample, BalancingRelayStationRestoresIdeal) {
+  // Fig. 2 (right): one extra relay station on the lower channel.
+  const lis::LisGraph balanced = lis::make_two_core_example_balanced();
+  EXPECT_EQ(lis::ideal_mst(balanced), Rational(1));
+  EXPECT_EQ(lis::practical_mst(balanced), Rational(1));
+}
+
+TEST(TwoCoreExample, QueueSizingFindsTheOneTokenFix) {
+  core::QsOptions options;
+  options.method = core::QsMethod::kBoth;
+  const core::QsReport report = core::size_queues(lis::make_two_core_example(), options);
+  EXPECT_EQ(report.problem.theta_ideal, Rational(1));
+  EXPECT_EQ(report.problem.theta_practical, Rational(2, 3));
+  ASSERT_TRUE(report.exact.has_value());
+  EXPECT_TRUE(report.exact->finished);
+  EXPECT_EQ(report.exact->total_extra_tokens, 1);
+  ASSERT_TRUE(report.heuristic.has_value());
+  EXPECT_EQ(report.heuristic->total_extra_tokens, 1);
+  EXPECT_EQ(report.achieved_mst, Rational(1));
+}
+
+TEST(Fig15Counterexample, IdealMstIsFiveSixths) {
+  EXPECT_EQ(lis::ideal_mst(lis::make_fig15_counterexample()), Rational(5, 6));
+}
+
+TEST(Fig15Counterexample, PracticalMstIsThreeQuarters) {
+  // The cycle {A, rs, E, C, A} (backedges E→C and C→A) has mean 3/4.
+  EXPECT_EQ(lis::practical_mst(lis::make_fig15_counterexample()), Rational(3, 4));
+}
+
+TEST(Fig15Counterexample, NoRelayStationInsertionRecoversIdeal) {
+  // Sec. VI: an extra relay station on (A,C) or (C,E) lowers the ideal MST
+  // (cycles {A,rs,C,B,A} and {C,rs,E,D,C} drop to 3/4); anywhere else it
+  // leaves the degrading cycle in place. Exhaustive search confirms no
+  // distribution of up to 3 extra stations reaches 5/6.
+  const core::RsInsertionResult result =
+      core::exhaustive_rs_insertion(lis::make_fig15_counterexample(), 3);
+  EXPECT_EQ(result.original_ideal, Rational(5, 6));
+  EXPECT_FALSE(result.reached_ideal);
+  EXPECT_LT(result.best_practical, Rational(5, 6));
+}
+
+TEST(Fig15Counterexample, QueueSizingDoesRecoverIdeal) {
+  core::QsOptions options;
+  options.method = core::QsMethod::kBoth;
+  const core::QsReport report = core::size_queues(lis::make_fig15_counterexample(), options);
+  ASSERT_TRUE(report.exact.has_value());
+  EXPECT_TRUE(report.exact->finished);
+  EXPECT_EQ(report.achieved_mst, Rational(5, 6));
+}
+
+TEST(Fig15Counterexample, InsertingOnACLowersIdealMst) {
+  lis::LisGraph lis = lis::make_fig15_counterexample();
+  lis.set_relay_stations(5, 1);  // channel (A, C)
+  EXPECT_EQ(lis::ideal_mst(lis), Rational(3, 4));
+}
+
+TEST(FixedQs, TwoCoreExampleNeedsQTwo) {
+  EXPECT_EQ(core::smallest_sufficient_fixed_q(lis::make_two_core_example(), 10), 2);
+}
+
+TEST(FixedQs, AdversarialChainNeedsQProportionalToRelayStations) {
+  // Sec. VIII-B: take Fig. 2 and add (q - 1) more relay stations to the
+  // upper channel — fixed queues of size q then fail, q + 1 succeeds.
+  for (int extra = 1; extra <= 4; ++extra) {
+    lis::LisGraph lis = lis::make_two_core_example();
+    lis.set_relay_stations(0, 1 + extra);
+    EXPECT_EQ(core::smallest_sufficient_fixed_q(lis, 20), 2 + extra);
+  }
+}
+
+}  // namespace
+}  // namespace lid

@@ -1,0 +1,99 @@
+// Budgeted (partial) queue sizing and the tokens-vs-throughput frontier.
+#include <gtest/gtest.h>
+
+#include "core/pareto.hpp"
+#include "core/queue_sizing.hpp"
+#include "gen/generator.hpp"
+#include "lis/paper_systems.hpp"
+#include "soc/cofdm.hpp"
+#include "util/rng.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+TEST(TargetMst, LoweredTargetCostsNoMoreThanFullRepair) {
+  lis::LisGraph lis = lis::make_fig15_counterexample();
+  QsOptions full;
+  full.method = QsMethod::kExact;
+  const QsReport full_report = size_queues(lis, full);
+
+  QsOptions partial = full;
+  partial.build.target_mst = Rational(4, 5);  // between 3/4 and 5/6
+  const QsReport partial_report = size_queues(lis, partial);
+  ASSERT_TRUE(partial_report.exact.has_value());
+  EXPECT_LE(partial_report.exact->total_extra_tokens, full_report.exact->total_extra_tokens);
+  EXPECT_GE(partial_report.achieved_mst, Rational(4, 5));
+}
+
+TEST(TargetMst, TargetAboveIdealIsClamped) {
+  QsBuildOptions build;
+  build.target_mst = Rational(2);
+  const QsProblem problem = build_qs_problem(lis::make_two_core_example(), build);
+  EXPECT_EQ(problem.theta_target, Rational(1));
+}
+
+TEST(TargetMst, TargetBelowPracticalNeedsNothing) {
+  QsBuildOptions build;
+  build.target_mst = Rational(1, 2);  // below the practical 2/3
+  const QsProblem problem = build_qs_problem(lis::make_two_core_example(), build);
+  EXPECT_FALSE(problem.has_degradation());
+}
+
+TEST(Pareto, TwoCoreFrontierIsASingleStep) {
+  const auto frontier = qs_pareto_frontier(lis::make_two_core_example());
+  ASSERT_EQ(frontier.size(), 2u);
+  EXPECT_EQ(frontier[0].extra_tokens, 0);
+  EXPECT_EQ(frontier[0].achieved_mst, Rational(2, 3));
+  EXPECT_EQ(frontier[1].extra_tokens, 1);
+  EXPECT_EQ(frontier[1].achieved_mst, Rational(1));
+}
+
+TEST(Pareto, CofdmScenarioFrontier) {
+  // Fig. 19 scenario: 0 tokens -> 2/3; the full repair needs 2 tokens for
+  // 3/4. One token buys the intermediate level where only C4 is fixed.
+  lis::LisGraph lis = soc::build_cofdm();
+  lis.set_relay_stations(soc::find_channel(lis, soc::kFEC, soc::kSpread), 1);
+  lis.set_relay_stations(soc::find_channel(lis, soc::kSpread, soc::kPilot), 1);
+  const auto frontier = qs_pareto_frontier(lis);
+  ASSERT_GE(frontier.size(), 2u);
+  EXPECT_EQ(frontier.front().extra_tokens, 0);
+  EXPECT_EQ(frontier.front().achieved_mst, Rational(2, 3));
+  EXPECT_EQ(frontier.back().extra_tokens, 2);
+  EXPECT_EQ(frontier.back().achieved_mst, Rational(3, 4));
+  if (frontier.size() == 3) {
+    EXPECT_EQ(frontier[1].extra_tokens, 1);
+    EXPECT_EQ(frontier[1].achieved_mst, Rational(5, 7));
+  }
+}
+
+class ParetoProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParetoProperty, FrontierIsAStrictlyIncreasingStaircase) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(8, 16);
+    params.sccs = rng.uniform_int(2, 3);
+    params.min_cycles = rng.uniform_int(1, 2);
+    params.relay_stations = rng.uniform_int(2, 5);
+    params.reconvergent = true;
+    params.policy = gen::RsPolicy::kScc;
+    const lis::LisGraph lis = gen::generate(params, rng);
+    const auto frontier = qs_pareto_frontier(lis);
+    ASSERT_FALSE(frontier.empty());
+    EXPECT_EQ(frontier.front().extra_tokens, 0);
+    for (std::size_t i = 1; i < frontier.size(); ++i) {
+      EXPECT_GT(frontier[i].extra_tokens, frontier[i - 1].extra_tokens);
+      EXPECT_GT(frontier[i].achieved_mst, frontier[i - 1].achieved_mst);
+    }
+    // The frontier ends at the full repair: the ideal MST.
+    EXPECT_EQ(frontier.back().achieved_mst, lis::ideal_mst(lis));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParetoProperty, ::testing::Values(14, 24, 34));
+
+}  // namespace
+}  // namespace lid::core

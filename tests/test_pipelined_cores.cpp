@@ -1,0 +1,196 @@
+// Pipelined cores (footnote 3 of the paper): cores whose shell-to-shell
+// latency exceeds one clock period. Loops through such cores lose throughput
+// exactly like loops through relay stations, queue sizing still repairs the
+// backpressure share, and the protocol simulator stays period-for-period
+// equivalent to the marked-graph expansion.
+#include <gtest/gtest.h>
+
+#include "core/queue_sizing.hpp"
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/netlist_io.hpp"
+#include "lis/paper_systems.hpp"
+#include "lis/protocol_sim.hpp"
+#include "mg/simulate.hpp"
+#include "util/rng.hpp"
+
+namespace lid {
+namespace {
+
+using util::Rational;
+
+TEST(PipelinedCores, LatencyValidation) {
+  lis::LisGraph lis;
+  const lis::CoreId a = lis.add_core("A");
+  EXPECT_EQ(lis.core_latency(a), 1);
+  lis.set_core_latency(a, 3);
+  EXPECT_EQ(lis.core_latency(a), 3);
+  EXPECT_THROW(lis.set_core_latency(a, 0), std::invalid_argument);
+  EXPECT_THROW(lis.set_core_latency(99, 2), std::invalid_argument);
+}
+
+TEST(PipelinedCores, ExpansionSplitsTheCore) {
+  lis::LisGraph lis;
+  const lis::CoreId a = lis.add_core("A");
+  const lis::CoreId b = lis.add_core("B");
+  lis.set_core_latency(b, 3);
+  lis.add_channel(a, b);
+  const lis::Expansion ex = lis::expand_ideal(lis);
+  // A (1 transition) + B (3 transitions: in, p1, out).
+  EXPECT_EQ(ex.graph.num_transitions(), 4u);
+  EXPECT_NE(ex.core_transition[b], ex.core_output_transition[b]);
+  EXPECT_EQ(ex.core_transition[a], ex.core_output_transition[a]);
+  EXPECT_EQ(ex.graph.transition_kind(ex.core_transition[b]),
+            mg::TransitionKind::kPipelineStage);
+  EXPECT_EQ(ex.graph.transition_kind(ex.core_output_transition[b]),
+            mg::TransitionKind::kShell);
+  EXPECT_NO_THROW(ex.graph.validate_lis_structure());
+}
+
+TEST(PipelinedCores, LoopThroughputDropsWithLatency) {
+  // Two cores in a loop; B pipelined with latency L: the loop has 2 + (L-1)
+  // places and 2 tokens, so the ideal MST is 2 / (L + 1).
+  for (int latency = 1; latency <= 4; ++latency) {
+    lis::LisGraph lis;
+    const lis::CoreId a = lis.add_core("A");
+    const lis::CoreId b = lis.add_core("B");
+    lis.set_core_latency(b, latency);
+    lis.add_channel(a, b);
+    lis.add_channel(b, a);
+    EXPECT_EQ(lis::ideal_mst(lis), Rational(2, latency + 1)) << "latency " << latency;
+  }
+}
+
+TEST(PipelinedCores, AcyclicSystemsKeepFullThroughput) {
+  // Without feedback, pipeline latency adds delay but not rate loss.
+  lis::LisGraph lis = lis::make_two_core_example_sized();
+  lis.set_core_latency(1, 4);
+  EXPECT_EQ(lis::ideal_mst(lis), Rational(1));
+  EXPECT_EQ(lis::practical_mst(lis), Rational(1));
+}
+
+TEST(PipelinedCores, QueueSizingStillRestoresTheIdeal) {
+  // Degraded two-core example with a pipelined consumer: sizing must bring
+  // the practical MST back to the (latency-limited) ideal.
+  lis::LisGraph lis = lis::make_two_core_example();
+  lis.set_core_latency(0, 2);
+  const Rational ideal = lis::ideal_mst(lis);
+  core::QsOptions options;
+  options.method = core::QsMethod::kBoth;
+  const core::QsReport report = core::size_queues(lis, options);
+  EXPECT_EQ(report.achieved_mst, ideal);
+}
+
+TEST(PipelinedCores, NetlistRoundTripKeepsLatency) {
+  lis::LisGraph lis;
+  lis.add_core("A");
+  lis.add_core("B");
+  lis.set_core_latency(1, 3);
+  lis.add_channel(0, 1);
+  const lis::LisGraph parsed = lis::from_text(lis::to_text(lis));
+  EXPECT_EQ(parsed.core_latency(0), 1);
+  EXPECT_EQ(parsed.core_latency(1), 3);
+  EXPECT_THROW(lis::from_text("core A latency=0\n"), std::invalid_argument);
+  EXPECT_THROW(lis::from_text("core A speed=2\n"), std::invalid_argument);
+}
+
+TEST(PipelinedCores, SimulatedThroughputMatchesAnalysis) {
+  lis::LisGraph lis;
+  const lis::CoreId a = lis.add_core("A");
+  const lis::CoreId b = lis.add_core("B");
+  lis.set_core_latency(b, 3);
+  lis.add_channel(a, b);
+  lis.add_channel(b, a);
+  const Rational expected = lis::practical_mst(lis);  // 2/4 = 1/2
+  EXPECT_EQ(expected, Rational(1, 2));
+  lis::ProtocolOptions options;
+  options.periods = 2000;
+  const lis::ProtocolResult r = simulate_protocol(lis, options);
+  ASSERT_TRUE(r.periodic_found);
+  EXPECT_EQ(r.throughput, expected);
+}
+
+TEST(PipelinedCores, DataFlowsCorrectlyThroughThePipe) {
+  // A latency-2 doubler: outputs must be doubled inputs, delayed but intact.
+  lis::LisGraph lis;
+  const lis::CoreId src = lis.add_core("src");
+  const lis::CoreId dbl = lis.add_core("dbl");
+  const lis::CoreId sink = lis.add_core("sink");
+  lis.set_core_latency(dbl, 2);
+  lis.add_channel(src, dbl, 0, 2);
+  lis.add_channel(dbl, sink, 0, 2);
+  lis::ProtocolOptions options;
+  options.periods = 12;
+  options.record_traces = true;
+  options.behaviors.resize(3);
+  options.behaviors[0].function = [](std::int64_t k, const std::vector<lis::Payload>&) {
+    return std::vector<lis::Payload>{k + 1};
+  };
+  options.behaviors[1].function = [](std::int64_t, const std::vector<lis::Payload>& in) {
+    return std::vector<lis::Payload>{2 * in[0]};
+  };
+  const lis::ProtocolResult r = simulate_protocol(lis, options);
+  // dbl's output port: initial 0, then void while the pipe fills, then 2·k.
+  const auto& out = r.traces[1][0];
+  std::vector<lis::Payload> valid;
+  for (const lis::Item& item : out) {
+    if (!item.is_void()) valid.push_back(*item.value);
+  }
+  ASSERT_GE(valid.size(), 5u);
+  EXPECT_EQ(valid[0], 0);  // initial latch
+  // The doubler consumes src's stream 0, 1, 2, ... (starting with src's own
+  // initial latch), so its k-th computed output is 2·(k - 1).
+  for (std::size_t i = 1; i < valid.size(); ++i) {
+    EXPECT_EQ(valid[i], static_cast<lis::Payload>(2 * (i - 1))) << "wrong value at " << i;
+  }
+}
+
+class PipelinedEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelinedEquivalence, ProtocolMatchesMarkedGraphPeriodForPeriod) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(3, 8);
+    params.sccs = rng.uniform_int(1, 2);
+    params.min_cycles = rng.uniform_int(0, 2);
+    params.relay_stations = rng.uniform_int(0, 3);
+    params.policy = gen::RsPolicy::kAny;
+    lis::LisGraph system = gen::generate(params, rng);
+    for (lis::CoreId v = 0; v < static_cast<lis::CoreId>(system.num_cores()); ++v) {
+      if (rng.flip(0.4)) system.set_core_latency(v, rng.uniform_int(2, 4));
+    }
+
+    // Marked-graph firing matrix of the cores' input transitions.
+    const lis::Expansion ex = lis::expand_doubled(system);
+    std::vector<std::vector<char>> mg_matrix;
+    mg::simulate(ex.graph, 60, 0, [&](std::size_t, const std::vector<char>& fired) {
+      std::vector<char> shells;
+      for (const mg::TransitionId t : ex.core_transition) {
+        shells.push_back(fired[static_cast<std::size_t>(t)]);
+      }
+      mg_matrix.push_back(std::move(shells));
+      return mg_matrix.size() < 60;
+    });
+
+    std::vector<std::vector<char>> proto_matrix;
+    lis::ProtocolOptions options;
+    options.periods = 61;
+    options.observer = [&](std::size_t, const std::vector<char>& fired) {
+      proto_matrix.push_back(fired);
+      return proto_matrix.size() < 60;
+    };
+    simulate_protocol(system, options);
+
+    const std::size_t common = std::min(mg_matrix.size(), proto_matrix.size());
+    ASSERT_GT(common, 0u);
+    for (std::size_t t = 0; t < common; ++t) {
+      ASSERT_EQ(mg_matrix[t], proto_matrix[t]) << "divergence at period " << t;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelinedEquivalence, ::testing::Values(81, 82, 83, 84));
+
+}  // namespace
+}  // namespace lid

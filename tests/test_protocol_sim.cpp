@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/paper_systems.hpp"
+#include "lis/protocol_sim.hpp"
+#include "util/rng.hpp"
+
+namespace lid::lis {
+namespace {
+
+using util::Rational;
+
+/// Behaviours reproducing Table I: A generates even numbers on the upper
+/// channel and odd numbers on the lower; B adds its two inputs.
+std::vector<CoreBehavior> table1_behaviors() {
+  std::vector<CoreBehavior> behaviors(2);
+  behaviors[0].initial_outputs = {0, 1};
+  behaviors[0].function = [](std::int64_t k, const std::vector<Payload>&) {
+    return std::vector<Payload>{2 * (k + 1), 2 * (k + 1) + 1};
+  };
+  behaviors[1].function = [](std::int64_t, const std::vector<Payload>& in) {
+    return std::vector<Payload>{in[0] + in[1]};
+  };
+  return behaviors;
+}
+
+TEST(ProtocolSim, ReproducesTableOne) {
+  // The ideal LIS of Fig. 1 (no backpressure constraints bind because the
+  // queues never fill with q = 2): output traces must match Table I.
+  LisGraph lis = make_two_core_example();
+  lis.set_all_queue_capacities(2);
+  // B needs an output channel for its trace; add a sink consuming B's data.
+  const CoreId sink = lis.add_core("sink");
+  lis.add_channel(1, sink, 0, 2);
+
+  ProtocolOptions options;
+  options.periods = 4;
+  options.record_traces = true;
+  options.behaviors = table1_behaviors();
+  options.behaviors.resize(3);
+  const ProtocolResult r = simulate_protocol(lis, options);
+
+  // Channel 0 = upper (through the relay station), 1 = lower, 2 = B -> sink.
+  const auto& upper_a = r.traces[0][0];   // A's upper output port
+  const auto& upper_rs = r.traces[0][1];  // relay-station output
+  const auto& lower_a = r.traces[1][0];   // A's lower output port
+  const auto& b_out = r.traces[2][0];     // B's output port
+  EXPECT_EQ(format_trace(upper_a), "0 2 4 6");
+  EXPECT_EQ(format_trace(lower_a), "1 3 5 7");
+  EXPECT_EQ(format_trace(upper_rs), "tau 0 2 4");
+  EXPECT_EQ(format_trace(b_out), "0 tau 1 5");
+}
+
+TEST(ProtocolSim, TwoCoreThroughputMatchesAnalysis) {
+  ProtocolOptions options;
+  options.periods = 2000;
+  options.reference = 1;
+  const ProtocolResult r = simulate_protocol(make_two_core_example(), options);
+  ASSERT_TRUE(r.periodic_found);
+  EXPECT_EQ(r.throughput, Rational(2, 3));  // the Fig. 5 degraded MST
+}
+
+TEST(ProtocolSim, SizedSystemRunsAtFullRate) {
+  ProtocolOptions options;
+  options.periods = 2000;
+  options.reference = 1;
+  const ProtocolResult r = simulate_protocol(make_two_core_example_sized(), options);
+  ASSERT_TRUE(r.periodic_found);
+  EXPECT_EQ(r.throughput, Rational(1));
+}
+
+TEST(ProtocolSim, Fig15ThroughputMatchesAnalysis) {
+  ProtocolOptions options;
+  options.periods = 5000;
+  const ProtocolResult r = simulate_protocol(make_fig15_counterexample(), options);
+  ASSERT_TRUE(r.periodic_found);
+  EXPECT_EQ(r.throughput, Rational(3, 4));
+}
+
+TEST(ProtocolSim, DefaultBehaviorCountsFirings) {
+  LisGraph lis;
+  const CoreId a = lis.add_core();
+  const CoreId b = lis.add_core();
+  lis.add_channel(a, b);
+  ProtocolOptions options;
+  options.periods = 10;
+  options.record_traces = true;
+  const ProtocolResult r = simulate_protocol(lis, options);
+  // With no stalls, A emits its firing index + 1 each period after the
+  // initial 0.
+  EXPECT_EQ(format_trace(r.traces[0][0]), "0 1 2 3 4 5 6 7 8 9");
+}
+
+TEST(ProtocolSim, ValidatesInputs) {
+  LisGraph lis = make_two_core_example();
+  ProtocolOptions options;
+  options.periods = 0;
+  EXPECT_THROW(simulate_protocol(lis, options), std::invalid_argument);
+  options.periods = 10;
+  options.reference = 99;
+  EXPECT_THROW(simulate_protocol(lis, options), std::invalid_argument);
+  options.reference = 0;
+  options.behaviors.resize(1);  // must be one per core or empty
+  EXPECT_THROW(simulate_protocol(lis, options), std::invalid_argument);
+}
+
+TEST(ProtocolSim, WrongInitialOutputArityIsRejected) {
+  LisGraph lis = make_two_core_example();
+  ProtocolOptions options;
+  options.periods = 10;
+  options.behaviors.resize(2);
+  options.behaviors[0].initial_outputs = {1, 2, 3};  // A has two outputs
+  EXPECT_THROW(simulate_protocol(lis, options), std::invalid_argument);
+}
+
+class ProtocolVsAnalysis : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ProtocolVsAnalysis, SustainedRateEqualsPracticalMst) {
+  // End-to-end validation on random strongly-connected-ish systems: the
+  // cycle-accurate protocol simulator and the static marked-graph analysis
+  // must agree exactly.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 8; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(4, 12);
+    params.sccs = rng.uniform_int(1, 3);
+    params.min_cycles = rng.uniform_int(0, 3);
+    params.relay_stations = rng.uniform_int(0, 4);
+    params.policy = rng.flip(0.5) ? gen::RsPolicy::kAny : gen::RsPolicy::kScc;
+    params.queue_capacity = rng.uniform_int(1, 3);
+    LisGraph lis;
+    try {
+      lis = gen::generate(params, rng);
+    } catch (const std::invalid_argument&) {
+      continue;  // e.g. no eligible channel for the requested policy
+    }
+    // The practical system is strongly connected thanks to the backedges, so
+    // every shell settles to the same sustained rate.
+    const Rational expected = practical_mst(lis);
+    ProtocolOptions options;
+    options.periods = 30000;
+    const ProtocolResult r = simulate_protocol(lis, options);
+    ASSERT_TRUE(r.periodic_found) << "no recurrence in budget";
+    EXPECT_EQ(r.throughput, Rational::min(Rational(1), expected));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolVsAnalysis, ::testing::Values(3, 13, 23, 33, 43));
+
+TEST(ProtocolSim, EnvironmentGateThrottlesThroughput) {
+  // An open system: the environment provides valid data only every other
+  // period, so the sustained rate is min(environment rate, MST) = 1/2.
+  LisGraph lis;
+  const CoreId src = lis.add_core("env");
+  const CoreId dst = lis.add_core("sink");
+  lis.add_channel(src, dst, 0, 2);
+  ProtocolOptions options;
+  options.periods = 2000;
+  options.reference = dst;
+  options.behaviors.resize(2);
+  options.behaviors[0].environment_gate = [](std::int64_t t) { return t % 2 == 0; };
+  const ProtocolResult r = simulate_protocol(lis, options);
+  EXPECT_FALSE(r.periodic_found);  // gates disable exact detection
+  const double rate = r.throughput.to_double();
+  EXPECT_NEAR(rate, 0.5, 0.01);
+}
+
+TEST(ProtocolSim, GateSlowerThanMstDominates) {
+  // The Fig. 5 system has MST 2/3; an environment at rate 1/3 dominates.
+  LisGraph lis = make_two_core_example();
+  ProtocolOptions options;
+  options.periods = 3000;
+  options.reference = 1;
+  options.behaviors.resize(2);
+  options.behaviors[0].environment_gate = [](std::int64_t t) { return t % 3 == 0; };
+  const ProtocolResult r = simulate_protocol(lis, options);
+  EXPECT_NEAR(r.throughput.to_double(), 1.0 / 3.0, 0.01);
+}
+
+TEST(ProtocolSim, GateFasterThanMstIsLimitedByMst) {
+  // Environment at rate 5/6 > MST 2/3: the internal structure dominates.
+  LisGraph lis = make_two_core_example();
+  ProtocolOptions options;
+  options.periods = 6000;
+  options.reference = 1;
+  options.behaviors.resize(2);
+  options.behaviors[0].environment_gate = [](std::int64_t t) { return t % 6 != 5; };
+  const ProtocolResult r = simulate_protocol(lis, options);
+  EXPECT_NEAR(r.throughput.to_double(), 2.0 / 3.0, 0.01);
+}
+
+/// Collects the sequence of valid payloads seen on a channel stage.
+std::vector<Payload> valid_sequence(const std::vector<Item>& trace) {
+  std::vector<Payload> values;
+  for (const Item& item : trace) {
+    if (!item.is_void()) values.push_back(*item.value);
+  }
+  return values;
+}
+
+class LatencyEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatencyEquivalence, QueueSizesNeverChangeTheValidDataSequences) {
+  // The central theorem of latency-insensitive design: implementations with
+  // different queue capacities (and hence different stalling patterns) are
+  // latency-equivalent — every channel carries exactly the same sequence of
+  // valid values, only the interleaving of τ differs.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 5; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(3, 8);
+    params.sccs = rng.uniform_int(1, 2);
+    params.min_cycles = rng.uniform_int(0, 2);
+    params.relay_stations = rng.uniform_int(0, 3);
+    params.policy = gen::RsPolicy::kAny;
+    lis::LisGraph small = gen::generate(params, rng);
+    lis::LisGraph big = small;
+    big.set_all_queue_capacities(5);
+
+    ProtocolOptions options;
+    options.periods = 300;
+    options.record_traces = true;
+    // Give every core a data-dependent function so value errors would show.
+    options.behaviors.resize(small.num_cores());
+    for (std::size_t v = 0; v < small.num_cores(); ++v) {
+      std::size_t outs = 0;
+      for (ChannelId c = 0; c < static_cast<ChannelId>(small.num_channels()); ++c) {
+        if (small.channel(c).src == static_cast<CoreId>(v)) ++outs;
+      }
+      options.behaviors[v].function = [v, outs](std::int64_t k,
+                                                const std::vector<Payload>& in) {
+        Payload acc = static_cast<Payload>(v) + 17 * k;
+        for (const Payload x : in) acc = acc * 31 + x;
+        return std::vector<Payload>(outs, acc);
+      };
+    }
+
+    const ProtocolResult a = simulate_protocol(small, options);
+    const ProtocolResult b = simulate_protocol(big, options);
+    for (ChannelId c = 0; c < static_cast<ChannelId>(small.num_channels()); ++c) {
+      const auto seq_a = valid_sequence(a.traces[static_cast<std::size_t>(c)][0]);
+      const auto seq_b = valid_sequence(b.traces[static_cast<std::size_t>(c)][0]);
+      const std::size_t common = std::min(seq_a.size(), seq_b.size());
+      ASSERT_GT(common, 0u);
+      for (std::size_t i = 0; i < common; ++i) {
+        ASSERT_EQ(seq_a[i], seq_b[i])
+            << "latency equivalence violated on channel " << c << " at item " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatencyEquivalence, ::testing::Values(51, 61, 71));
+
+}  // namespace
+}  // namespace lid::lis

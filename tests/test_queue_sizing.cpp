@@ -1,0 +1,256 @@
+// End-to-end queue-sizing pipeline tests: instance construction, solver
+// integration, SCC-collapse fast path, and full-loop restoration of the
+// ideal MST on randomly generated systems.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "core/queue_sizing.hpp"
+#include "gen/generator.hpp"
+#include "lis/paper_systems.hpp"
+#include "util/rng.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+TEST(QsProblem, NoDegradationYieldsEmptyInstance) {
+  const QsProblem p = build_qs_problem(lis::make_two_core_example_sized());
+  EXPECT_FALSE(p.has_degradation());
+  EXPECT_EQ(p.td.num_cycles(), 0u);
+  EXPECT_TRUE(p.channels.empty());
+}
+
+TEST(QsProblem, TwoCoreInstance) {
+  const QsProblem p = build_qs_problem(lis::make_two_core_example());
+  EXPECT_TRUE(p.has_degradation());
+  EXPECT_EQ(p.theta_ideal, Rational(1));
+  EXPECT_EQ(p.theta_practical, Rational(2, 3));
+  ASSERT_EQ(p.td.num_cycles(), 1u);
+  EXPECT_EQ(p.td.deficits.front(), 1);
+  // The degrading cycle's only sizable queue is the lower channel's.
+  ASSERT_EQ(p.channels.size(), 1u);
+  EXPECT_EQ(p.channels.front(), 1);
+}
+
+TEST(QsProblem, SccCollapseDetection) {
+  // Two rings joined by a pipelined channel: relay stations inter-SCC only.
+  lis::LisGraph lis;
+  for (int i = 0; i < 6; ++i) lis.add_core();
+  lis.add_channel(0, 1);
+  lis.add_channel(1, 2);
+  lis.add_channel(2, 0);
+  lis.add_channel(3, 4);
+  lis.add_channel(4, 5);
+  lis.add_channel(5, 3);
+  lis.add_channel(2, 3, /*relay_stations=*/1);
+  EXPECT_TRUE(relay_stations_only_between_sccs(lis));
+
+  lis::LisGraph intra = lis;
+  intra.set_relay_stations(0, 1);  // relay station inside the first ring
+  EXPECT_FALSE(relay_stations_only_between_sccs(intra));
+}
+
+TEST(QsProblem, ApplySolutionGrowsQueues) {
+  const lis::LisGraph lis = lis::make_two_core_example();
+  const QsProblem p = build_qs_problem(lis);
+  const lis::LisGraph sized = apply_solution(lis, p, {2});
+  EXPECT_EQ(sized.channel(p.channels.front()).queue_capacity, 3);
+  EXPECT_THROW(apply_solution(lis, p, {1, 1}), std::invalid_argument);
+  EXPECT_THROW(apply_solution(lis, p, {-1}), std::invalid_argument);
+}
+
+TEST(SizeQueues, HeuristicOnlyAndExactOnly) {
+  QsOptions heuristic_only;
+  heuristic_only.method = QsMethod::kHeuristic;
+  const QsReport h = size_queues(lis::make_two_core_example(), heuristic_only);
+  EXPECT_TRUE(h.heuristic.has_value());
+  EXPECT_FALSE(h.exact.has_value());
+  EXPECT_EQ(h.achieved_mst, Rational(1));
+
+  QsOptions exact_only;
+  exact_only.method = QsMethod::kExact;
+  const QsReport e = size_queues(lis::make_two_core_example(), exact_only);
+  EXPECT_FALSE(e.heuristic.has_value());
+  ASSERT_TRUE(e.exact.has_value());
+  EXPECT_TRUE(e.exact->finished);
+  EXPECT_EQ(e.achieved_mst, Rational(1));
+}
+
+TEST(QsProblem, TruncatedEnumerationIsReported) {
+  // An absurdly small cycle cap: the instance is built from whatever was
+  // enumerated and flags the truncation; sizing still applies a feasible
+  // (possibly insufficient) solution and verification reports honestly.
+  lis::LisGraph lis = lis::make_fig15_counterexample();
+  QsBuildOptions build;
+  build.max_cycles = 2;
+  const QsProblem truncated = build_qs_problem(lis, build);
+  EXPECT_TRUE(truncated.truncated);
+  QsOptions options;
+  options.method = QsMethod::kHeuristic;
+  options.build = build;
+  const QsReport report = size_queues(lis, options);
+  EXPECT_TRUE(report.problem.truncated);
+  // achieved_mst is computed on the real sized netlist, so it can fall
+  // short of the ideal — but never below the unsized practical MST.
+  EXPECT_GE(report.achieved_mst, report.problem.theta_practical);
+}
+
+TEST(SizeQueues, WithoutSimplification) {
+  QsOptions options;
+  options.method = QsMethod::kBoth;
+  options.simplify = false;
+  const QsReport r = size_queues(lis::make_fig15_counterexample(), options);
+  EXPECT_EQ(r.achieved_mst, Rational(5, 6));
+  ASSERT_TRUE(r.exact.has_value());
+  ASSERT_TRUE(r.heuristic.has_value());
+  EXPECT_LE(r.exact->total_extra_tokens, r.heuristic->total_extra_tokens);
+}
+
+class QueueSizingOnGeneratedSystems : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueSizingOnGeneratedSystems, RestoresIdealMst) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(8, 20);
+    params.sccs = rng.uniform_int(2, 4);
+    params.min_cycles = rng.uniform_int(1, 3);
+    params.relay_stations = rng.uniform_int(1, 5);
+    params.reconvergent = true;
+    params.policy = gen::RsPolicy::kScc;
+    const lis::LisGraph lis = gen::generate(params, rng);
+
+    QsOptions options;
+    options.method = QsMethod::kBoth;
+    options.exact.timeout_ms = 10000;
+    const QsReport report = size_queues(lis, options);
+
+    // With scc insertion the ideal MST is 1 and sizing must recover it.
+    EXPECT_EQ(report.problem.theta_ideal, Rational(1));
+    EXPECT_EQ(report.achieved_mst, Rational(1)) << "sizing failed to restore ideal MST";
+
+    ASSERT_TRUE(report.heuristic.has_value());
+    ASSERT_TRUE(report.exact.has_value());
+    if (report.exact->finished) {
+      EXPECT_LE(report.exact->total_extra_tokens, report.heuristic->total_extra_tokens);
+      // Applying the exact solution must also restore the ideal MST.
+      const lis::LisGraph sized =
+          apply_solution(lis, report.problem, report.exact->weights);
+      EXPECT_EQ(lis::practical_mst(sized), Rational(1));
+    }
+    // Applying the heuristic solution restores the ideal MST too.
+    const lis::LisGraph sized_h =
+        apply_solution(lis, report.problem, report.heuristic->weights);
+    EXPECT_EQ(lis::practical_mst(sized_h), Rational(1));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueSizingOnGeneratedSystems,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+class CollapseEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CollapseEquivalence, CollapsedSolutionsAreValidUpperBounds) {
+  // The SCC-collapse fast path restricts the sizable queues to inter-SCC
+  // channels, so its optimum can exceed the full instance's optimum (which
+  // may exploit shared intra-SCC queues) — but it must always restore the
+  // ideal MST and never beat the full optimum.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 4; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(8, 14);
+    params.sccs = rng.uniform_int(2, 4);
+    params.min_cycles = rng.uniform_int(1, 2);
+    params.relay_stations = rng.uniform_int(1, 4);
+    params.policy = gen::RsPolicy::kScc;
+    const lis::LisGraph lis = gen::generate(params, rng);
+
+    QsOptions with;
+    with.method = QsMethod::kExact;
+    with.build.allow_scc_collapse = true;
+    QsOptions without = with;
+    without.build.allow_scc_collapse = false;
+
+    const QsReport a = size_queues(lis, with);
+    const QsReport b = size_queues(lis, without);
+    if (a.problem.has_degradation()) {
+      EXPECT_TRUE(a.problem.scc_collapsed);
+    }
+    EXPECT_FALSE(b.problem.scc_collapsed);
+    ASSERT_TRUE(a.exact.has_value());
+    ASSERT_TRUE(b.exact.has_value());
+    ASSERT_TRUE(a.exact->finished);
+    ASSERT_TRUE(b.exact->finished);
+    EXPECT_GE(a.exact->total_extra_tokens, b.exact->total_extra_tokens);
+    EXPECT_EQ(a.achieved_mst, b.achieved_mst);
+    // The collapsed instance must never enumerate more cycles.
+    EXPECT_LE(a.problem.cycles_enumerated, b.problem.cycles_enumerated);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CollapseEquivalence, ::testing::Values(5, 15, 25));
+
+/// True minimum extra tokens over ALL queue assignments (brute force over
+/// every channel, not just the solver's candidates), bounded by `cap` extra
+/// tokens total.
+std::int64_t brute_force_min_tokens(const lis::LisGraph& lis, std::int64_t cap) {
+  const Rational ideal = lis::ideal_mst(lis);
+  const auto channels = static_cast<lis::ChannelId>(lis.num_channels());
+  std::int64_t best = cap + 1;
+  std::vector<int> extra(lis.num_channels(), 0);
+  const std::function<void(lis::ChannelId, std::int64_t)> recurse =
+      [&](lis::ChannelId ch, std::int64_t used) {
+        if (used >= best) return;
+        if (ch == channels) {
+          lis::LisGraph sized = lis;
+          for (lis::ChannelId c = 0; c < channels; ++c) {
+            sized.set_queue_capacity(c, lis.channel(c).queue_capacity + extra[c]);
+          }
+          if (lis::practical_mst(sized) >= ideal) best = used;
+          return;
+        }
+        for (int w = 0; used + w <= std::min(best - 1, cap); ++w) {
+          extra[static_cast<std::size_t>(ch)] = w;
+          recurse(ch + 1, used + w);
+        }
+        extra[static_cast<std::size_t>(ch)] = 0;
+      };
+  recurse(0, 0);
+  return best;
+}
+
+class ExactVsBruteForce : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExactVsBruteForce, SolverMatchesExhaustiveQueueSearch) {
+  // End-to-end ground truth: on tiny systems the whole pipeline (cycle
+  // enumeration -> deficits -> TD -> exact solver) must find the same
+  // minimum total extra queue slots as exhaustive search over assignments.
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 6; ++trial) {
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(3, 6);
+    params.sccs = rng.uniform_int(1, 2);
+    params.min_cycles = rng.uniform_int(0, 2);
+    params.relay_stations = rng.uniform_int(1, 3);
+    params.policy = gen::RsPolicy::kAny;
+    const lis::LisGraph system = gen::generate(params, rng);
+
+    QsOptions options;
+    options.method = QsMethod::kExact;
+    options.build.allow_scc_collapse = false;  // compare the full problem
+    const QsReport report = size_queues(system, options);
+    ASSERT_TRUE(report.exact.has_value());
+    ASSERT_TRUE(report.exact->finished);
+
+    const std::int64_t cap = report.exact->total_extra_tokens;
+    const std::int64_t truth = brute_force_min_tokens(system, cap);
+    EXPECT_EQ(report.exact->total_extra_tokens, truth);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactVsBruteForce, ::testing::Values(3, 7, 11, 13));
+
+}  // namespace
+}  // namespace lid::core

@@ -1,0 +1,88 @@
+// Rate-safety analysis (Sec. III-C): detecting faster-feeds-slower hazards.
+#include <gtest/gtest.h>
+
+#include "core/rate_safety.hpp"
+#include "lis/paper_systems.hpp"
+#include "mg/simulate.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+lis::LisGraph ring_feeding_ring(int rs_up, int rs_down) {
+  // Ring A (3 cores) feeds ring B (3 cores); rs counts set the rates.
+  lis::LisGraph lis;
+  for (int i = 0; i < 6; ++i) lis.add_core();
+  lis.add_channel(0, 1);
+  lis.add_channel(1, 2);
+  lis.add_channel(2, 0, rs_up);
+  lis.add_channel(3, 4);
+  lis.add_channel(4, 5);
+  lis.add_channel(5, 3, rs_down);
+  lis.add_channel(0, 3);  // A -> B
+  return lis;
+}
+
+TEST(RateSafety, FasterUplinkIsFlagged) {
+  // Sec. III-C's example shape: uplink 3/4, downlink 2/3 -> unsafe.
+  const lis::LisGraph lis = ring_feeding_ring(1, 2);
+  const RateSafetyReport report = analyze_rate_safety(lis);
+  ASSERT_EQ(report.sccs.size(), 2u);
+  EXPECT_FALSE(report.safe());
+  ASSERT_EQ(report.hazards.size(), 1u);
+  EXPECT_EQ(report.hazards[0].producer_rate, Rational(3, 4));
+  EXPECT_EQ(report.hazards[0].consumer_rate, Rational(3, 5));
+  EXPECT_NE(report.to_string(lis).find("rate hazard"), std::string::npos);
+}
+
+TEST(RateSafety, SlowerUplinkIsSafe) {
+  const lis::LisGraph lis = ring_feeding_ring(2, 1);
+  const RateSafetyReport report = analyze_rate_safety(lis);
+  EXPECT_TRUE(report.safe());
+  EXPECT_NE(report.to_string(lis).find("rate-safe"), std::string::npos);
+}
+
+TEST(RateSafety, HazardMeansUnboundedAccumulationInTheIdealRun) {
+  // Cross-check with the simulator: the ideal expansion of a hazardous
+  // system never recurs (tokens pile up), a safe one does.
+  const lis::LisGraph unsafe = ring_feeding_ring(1, 2);
+  const lis::Expansion unsafe_ideal = lis::expand_ideal(unsafe);
+  EXPECT_FALSE(mg::simulate(unsafe_ideal.graph, 3000).periodic_found);
+
+  const lis::LisGraph safe = ring_feeding_ring(2, 1);
+  const lis::Expansion safe_ideal = lis::expand_ideal(safe);
+  EXPECT_TRUE(mg::simulate(safe_ideal.graph, 3000).periodic_found);
+}
+
+TEST(RateSafety, ThrottlingPropagatesDownstream) {
+  // Chain of three rings with rates 1/2, 1, 2/3: the middle full-rate ring
+  // is throttled to 1/2 by its ancestor, so it does NOT hazard the third
+  // (1/2 < 2/3), even though its own rate (1) would.
+  lis::LisGraph lis;
+  for (int i = 0; i < 6; ++i) lis.add_core();
+  lis.add_channel(0, 1);
+  lis.add_channel(1, 0, 2);  // ring A: 2 places + 2 rs -> mean 2/4 = 1/2
+  lis.add_channel(2, 3);
+  lis.add_channel(3, 2);  // ring B: rate 1
+  lis.add_channel(4, 5);
+  lis.add_channel(5, 4, 1);  // ring C: 2 tokens / 3 places
+  lis.add_channel(0, 2);     // A -> B
+  lis.add_channel(2, 4);     // B -> C
+  const RateSafetyReport report = analyze_rate_safety(lis);
+  EXPECT_TRUE(report.safe());
+  // B's effective rate must reflect A's throttle.
+  const int b_scc = report.scc_of[2];
+  EXPECT_EQ(report.sccs[static_cast<std::size_t>(b_scc)].rate, Rational(1));
+  EXPECT_EQ(report.sccs[static_cast<std::size_t>(b_scc)].effective_rate, Rational(1, 2));
+}
+
+TEST(RateSafety, TwoCoreExampleIsSafe) {
+  const RateSafetyReport report = analyze_rate_safety(lis::make_two_core_example());
+  EXPECT_TRUE(report.safe());
+  EXPECT_EQ(report.sccs.size(), 2u);  // A and B are their own components
+}
+
+}  // namespace
+}  // namespace lid::core

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "core/rs_insertion.hpp"
+#include "lis/paper_systems.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+TEST(GreedyRsInsertion, RepairsTheTwoCoreExample) {
+  // Sec. VI / Fig. 2: one relay station on the lower channel equalizes the
+  // two paths and restores the ideal MST of 1.
+  const RsInsertionResult r = greedy_rs_insertion(lis::make_two_core_example(), 3);
+  EXPECT_EQ(r.original_ideal, Rational(1));
+  EXPECT_TRUE(r.reached_ideal);
+  EXPECT_EQ(r.best_practical, Rational(1));
+  EXPECT_EQ(r.relay_stations_added, 1);
+  EXPECT_EQ(r.best.channel(1).relay_stations, 1);
+}
+
+TEST(GreedyRsInsertion, NoBudgetMeansNoChange) {
+  const RsInsertionResult r = greedy_rs_insertion(lis::make_two_core_example(), 0);
+  EXPECT_EQ(r.relay_stations_added, 0);
+  EXPECT_EQ(r.best_practical, Rational(2, 3));
+  EXPECT_FALSE(r.reached_ideal);
+}
+
+TEST(GreedyRsInsertion, AlreadyOptimalSystemsUntouched) {
+  const RsInsertionResult r = greedy_rs_insertion(lis::make_two_core_example_sized(), 5);
+  EXPECT_EQ(r.relay_stations_added, 0);
+  EXPECT_TRUE(r.reached_ideal);
+}
+
+TEST(ExhaustiveRsInsertion, MatchesGreedyOnTheEasyCase) {
+  const RsInsertionResult r = exhaustive_rs_insertion(lis::make_two_core_example(), 2);
+  EXPECT_TRUE(r.reached_ideal);
+  EXPECT_EQ(r.relay_stations_added, 1);
+}
+
+TEST(ExhaustiveRsInsertion, ProvesTheFig15Counterexample) {
+  const RsInsertionResult r = exhaustive_rs_insertion(lis::make_fig15_counterexample(), 2);
+  EXPECT_FALSE(r.reached_ideal);
+  EXPECT_EQ(r.original_ideal, Rational(5, 6));
+  EXPECT_LT(r.best_practical, Rational(5, 6));
+  // The search really did look at every distribution of up to 2 stations
+  // over 7 channels: C(7,1) + (C(7,2) + 7) = multisets of size 1 and 2 = 35,
+  // plus the baseline.
+  EXPECT_EQ(r.configurations_tried, 36u);
+}
+
+TEST(ExhaustiveRsInsertion, GreedyCannotBeatExhaustive) {
+  const RsInsertionResult greedy = greedy_rs_insertion(lis::make_fig15_counterexample(), 2);
+  const RsInsertionResult exhaustive =
+      exhaustive_rs_insertion(lis::make_fig15_counterexample(), 2);
+  EXPECT_LE(greedy.best_practical, exhaustive.best_practical);
+}
+
+TEST(RsInsertion, RejectsNegativeBudget) {
+  EXPECT_THROW(greedy_rs_insertion(lis::make_two_core_example(), -1), std::invalid_argument);
+  EXPECT_THROW(exhaustive_rs_insertion(lis::make_two_core_example(), -1),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lid::core

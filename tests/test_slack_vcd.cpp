@@ -1,0 +1,125 @@
+// Wire-pipelining slack analysis and VCD trace export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "core/slack.hpp"
+#include "lis/paper_systems.hpp"
+#include "lis/protocol_sim.hpp"
+#include "lis/vcd_export.hpp"
+#include "util/rational.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+TEST(Slack, Fig15ChannelsOnTheCriticalLoopHaveNoHeadroom) {
+  // Fig. 15: channels (A,C) and (C,E) sit on small cycles; even one extra
+  // relay station on them drops the ideal MST — zero slack. The long channel
+  // (A,E) already carries the critical relay station, so it has no headroom
+  // either.
+  const lis::LisGraph system = lis::make_fig15_counterexample();
+  const std::vector<ChannelSlack> slacks = channel_slacks(system);
+  ASSERT_EQ(slacks.size(), system.num_channels());
+  for (const ChannelSlack& s : slacks) {
+    EXPECT_EQ(s.slack, 0) << "channel " << s.channel;
+    EXPECT_LT(s.mst_if_exceeded, Rational(5, 6));
+  }
+}
+
+TEST(Slack, TwoCoreChannelsAreUnbounded) {
+  // No feedback loops: both channels can absorb any number of stations
+  // without touching the (acyclic) ideal MST.
+  const std::vector<ChannelSlack> slacks = channel_slacks(lis::make_two_core_example());
+  for (const ChannelSlack& s : slacks) {
+    EXPECT_EQ(s.slack, ChannelSlack::kUnbounded);
+  }
+}
+
+TEST(Slack, RingSlackMatchesTargetArithmetic) {
+  // Ring of 4 cores, no relay stations: ideal MST 1. Against target 2/3, a
+  // channel can take k stations while 4/(4+k) >= 2/3, i.e. k <= 2.
+  lis::LisGraph ring;
+  for (int i = 0; i < 4; ++i) ring.add_core();
+  for (int i = 0; i < 4; ++i) ring.add_channel(i, (i + 1) % 4);
+  const std::vector<ChannelSlack> slacks = channel_slacks(ring, Rational(2, 3));
+  for (const ChannelSlack& s : slacks) {
+    EXPECT_EQ(s.slack, 2);
+    EXPECT_EQ(s.mst_if_exceeded, Rational(4, 7));
+  }
+}
+
+TEST(Slack, RejectsNonPositiveTarget) {
+  EXPECT_THROW(channel_slacks(lis::make_two_core_example(), Rational(0)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lid::core
+
+namespace lid::lis {
+namespace {
+
+ProtocolResult traced_run(const LisGraph& system, std::size_t periods) {
+  ProtocolOptions options;
+  options.periods = periods;
+  options.record_traces = true;
+  return simulate_protocol(system, options);
+}
+
+TEST(Vcd, EmitsHeaderSignalsAndChanges) {
+  const LisGraph system = make_two_core_example();
+  const std::string vcd = traces_to_vcd(system, traced_run(system, 8));
+  EXPECT_NE(vcd.find("$timescale"), std::string::npos);
+  EXPECT_NE(vcd.find("$enddefinitions $end"), std::string::npos);
+  // One valid + one data signal per stage: upper channel has 2 stages
+  // (A port + relay station), lower has 1 -> 6 $var lines.
+  std::size_t vars = 0;
+  for (std::size_t pos = vcd.find("$var"); pos != std::string::npos;
+       pos = vcd.find("$var", pos + 1)) {
+    ++vars;
+  }
+  EXPECT_EQ(vars, 6u);
+  EXPECT_NE(vcd.find("A_to_B_valid"), std::string::npos);
+  EXPECT_NE(vcd.find("A_to_B_rs0_valid"), std::string::npos);
+  EXPECT_NE(vcd.find("#0"), std::string::npos);
+}
+
+TEST(Vcd, RequiresTraces) {
+  const LisGraph system = make_two_core_example();
+  ProtocolOptions options;
+  options.periods = 4;
+  const ProtocolResult result = simulate_protocol(system, options);
+  EXPECT_THROW(traces_to_vcd(system, result), std::invalid_argument);
+}
+
+TEST(Vcd, ChangesOnlyOnTransitions) {
+  // A single always-firing channel never toggles valid after #0: exactly one
+  // valid-change record for that signal.
+  LisGraph lis;
+  const CoreId a = lis.add_core("src");
+  lis.add_core("dst");
+  lis.add_channel(a, 1, 0, 2);
+  const std::string vcd = traces_to_vcd(lis, traced_run(lis, 10));
+  // Count "1<code>" valid assertions for the first signal (code '!').
+  std::size_t asserts = 0;
+  for (std::size_t pos = vcd.find("\n1!"); pos != std::string::npos;
+       pos = vcd.find("\n1!", pos + 1)) {
+    ++asserts;
+  }
+  EXPECT_EQ(asserts, 1u);
+}
+
+TEST(Vcd, FileWrapperWrites) {
+  const std::string path = ::testing::TempDir() + "/lid_test.vcd";
+  const LisGraph system = make_two_core_example();
+  save_vcd(system, traced_run(system, 4), path);
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lid::lis

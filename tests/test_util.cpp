@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rational.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace lid::util {
+namespace {
+
+TEST(Rational, NormalizesOnConstruction) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_EQ(Rational(0, -7).den(), 1);
+}
+
+TEST(Rational, RejectsZeroDenominator) {
+  EXPECT_THROW(Rational(1, 0), std::invalid_argument);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 2) + Rational(1, 3), Rational(5, 6));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(3, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(1, 2) / Rational(1, 4), Rational(2));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+  EXPECT_THROW(Rational(1) / Rational(0), std::domain_error);
+}
+
+TEST(Rational, ExactOrdering) {
+  EXPECT_LT(Rational(2, 3), Rational(5, 6));
+  EXPECT_LT(Rational(3, 4), Rational(5, 6));
+  EXPECT_GT(Rational(5, 6), Rational(4, 5));
+  EXPECT_EQ(Rational::min(Rational(2, 3), Rational(5, 6)), Rational(2, 3));
+  EXPECT_EQ(Rational::max(Rational(2, 3), Rational(5, 6)), Rational(5, 6));
+  // A comparison floats get wrong: 10^17/(10^17+1) vs (10^17-1)/10^17.
+  const std::int64_t big = 100'000'000'000'000'000;
+  EXPECT_GT(Rational(big, big + 1), Rational(big - 1, big));
+}
+
+TEST(Rational, CeilFloor) {
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(4).ceil(), 4);
+  EXPECT_EQ(Rational(4).floor(), 4);
+}
+
+TEST(Rational, Printing) {
+  EXPECT_EQ(Rational(5, 6).to_string(), "5/6");
+  EXPECT_EQ(Rational(3).to_string(), "3");
+  EXPECT_NEAR(Rational(2, 3).to_double(), 0.6667, 1e-3);
+}
+
+class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RationalPropertyTest, FieldAxiomsOnRandomValues) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    const Rational a(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+    const Rational b(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+    const Rational c(rng.uniform_int(-50, 50), rng.uniform_int(1, 50));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a - a, Rational(0));
+    if (b != Rational(0)) {
+      EXPECT_EQ((a / b) * b, a);
+    }
+    // Ordering is total and consistent with subtraction.
+    EXPECT_EQ(a < b, (a - b).num() < 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RationalPropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(Stats, Summary) {
+  const Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.29099, 1e-4);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.median, 7.0);
+}
+
+TEST(Table, RendersAlignedRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatsNumbers) {
+  EXPECT_EQ(Table::fmt(0.666666, 2), "0.67");
+  EXPECT_EQ(Table::fmt(std::int64_t{42}), "42");
+}
+
+TEST(Cli, ParsesFlagsInBothForms) {
+  const char* argv[] = {"prog", "--trials", "50", "--q=3", "--verbose", "--name", "x"};
+  const Cli cli(7, argv);
+  EXPECT_EQ(cli.get_int("trials", 0), 50);
+  EXPECT_EQ(cli.get_int("q", 0), 3);
+  EXPECT_TRUE(cli.get_bool("verbose", false));
+  EXPECT_EQ(cli.get_string("name", ""), "x");
+  EXPECT_EQ(cli.get_int("missing", 7), 7);
+  EXPECT_FALSE(cli.has("missing"));
+}
+
+TEST(Cli, RejectsMalformedInput) {
+  const char* bad_positional[] = {"prog", "stray"};
+  EXPECT_THROW(Cli(2, bad_positional), std::invalid_argument);
+  const char* bad_int[] = {"prog", "--n", "abc"};
+  const Cli cli(3, bad_int);
+  EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Csv, WritesQuotedCells) {
+  const std::string path = ::testing::TempDir() + "/lid_csv_test.csv";
+  {
+    CsvWriter csv(path, {"a", "b"});
+    csv.add_row({"plain", "needs,quote"});
+    csv.add_row({"with\"quote", "x"});
+  }
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_EQ(buffer.str(), "a,b\nplain,\"needs,quote\"\n\"with\"\"quote\",x\n");
+  std::remove(path.c_str());
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+  }
+}
+
+TEST(Rng, RespectsRanges) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const int v = rng.uniform_int(3, 5);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 5);
+    EXPECT_LT(rng.uniform_index(4), 4u);
+  }
+  EXPECT_THROW(rng.uniform_int(5, 3), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace lid::util

@@ -1,0 +1,175 @@
+// lid_selfcheck — a randomized cross-validation harness.
+//
+//   lid_selfcheck [--seconds N] [--seed S] [--verbose]
+//
+// Generates random systems and checks, for each, every cross-cutting
+// invariant the library promises:
+//   1. Karp, Howard and brute-force cycle enumeration agree on the minimum
+//      cycle mean of the doubled graph;
+//   2. the marked-graph simulator's sustained rate equals the practical MST;
+//   3. the protocol simulator fires the same shells in the same periods as
+//      the marked-graph semantics;
+//   4. queue sizing (heuristic and exact) restores the ideal MST, exact <=
+//      heuristic, and the MILP baseline agrees with the exact optimum;
+//   5. netlist serialization round-trips;
+//   6. simulated place occupancies never exceed the structural bounds.
+// Exits nonzero on the first violation, printing the seed that triggers it.
+#include <iostream>
+
+#include "core/exact_milp.hpp"
+#include "core/queue_sizing.hpp"
+#include "gen/generator.hpp"
+#include "graph/cycles.hpp"
+#include "lis/netlist_io.hpp"
+#include "lis/protocol_sim.hpp"
+#include "mg/analysis.hpp"
+#include "mg/mcm.hpp"
+#include "mg/simulate.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lid;
+
+#define CHECK_OR_FAIL(cond, what)                                              \
+  do {                                                                         \
+    if (!(cond)) {                                                             \
+      std::cerr << "SELFCHECK FAILED [" << what << "] seed=" << trial_seed     \
+                << "\n";                                                       \
+      return false;                                                            \
+    }                                                                          \
+  } while (false)
+
+bool check_one(std::uint64_t trial_seed, bool verbose) {
+  util::Rng rng(trial_seed);
+  gen::GeneratorParams params;
+  params.vertices = rng.uniform_int(4, 14);
+  params.sccs = rng.uniform_int(1, 3);
+  params.min_cycles = rng.uniform_int(0, 3);
+  params.relay_stations = rng.uniform_int(0, 5);
+  params.reconvergent = true;
+  params.policy = rng.flip(0.5) ? gen::RsPolicy::kAny : gen::RsPolicy::kScc;
+  params.queue_capacity = rng.uniform_int(1, 2);
+  lis::LisGraph system;
+  try {
+    system = gen::generate(params, rng);
+  } catch (const std::invalid_argument&) {
+    return true;  // e.g. scc policy with a single SCC: nothing to check
+  }
+  for (lis::CoreId v = 0; v < static_cast<lis::CoreId>(system.num_cores()); ++v) {
+    if (rng.flip(0.2)) system.set_core_latency(v, rng.uniform_int(2, 3));
+  }
+
+  // (1) analytic agreement on the doubled graph.
+  const lis::Expansion doubled = lis::expand_doubled(system);
+  const auto karp = mg::min_cycle_mean_karp(doubled.graph);
+  const auto howard = mg::min_cycle_mean_howard(doubled.graph);
+  CHECK_OR_FAIL(karp.has_value() == howard.has_value(), "karp/howard cyclicity");
+  if (karp) {
+    CHECK_OR_FAIL(*karp == howard->mean, "karp == howard");
+    util::Rational brute(1000000);
+    for (const auto& c : graph::enumerate_cycles(doubled.graph.structure()).cycles) {
+      brute = util::Rational::min(
+          brute, util::Rational(doubled.graph.cycle_tokens(c),
+                                static_cast<std::int64_t>(c.size())));
+    }
+    CHECK_OR_FAIL(*karp == brute, "karp == enumeration");
+  }
+
+  // (2) simulator rate == practical MST.
+  const util::Rational practical = lis::practical_mst(system);
+  const mg::SimulationResult mg_sim = mg::simulate(doubled.graph, 30000);
+  CHECK_OR_FAIL(mg_sim.periodic_found, "marked-graph recurrence");
+  CHECK_OR_FAIL(mg_sim.throughput == util::Rational::min(util::Rational(1), practical),
+                "simulated rate == practical MST");
+
+  // (6) occupancy bounds.
+  const auto bounds = mg::place_bounds(doubled.graph);
+  for (mg::PlaceId p = 0; p < static_cast<mg::PlaceId>(doubled.graph.num_places()); ++p) {
+    CHECK_OR_FAIL(bounds[static_cast<std::size_t>(p)].has_value(), "doubled graph bounded");
+    CHECK_OR_FAIL(mg_sim.max_tokens[static_cast<std::size_t>(p)] <=
+                      *bounds[static_cast<std::size_t>(p)],
+                  "occupancy within structural bound");
+  }
+
+  // (3) protocol equivalence, period for period.
+  std::vector<std::vector<char>> mg_rows;
+  mg::simulate(doubled.graph, 50, 0, [&](std::size_t, const std::vector<char>& fired) {
+    std::vector<char> shells;
+    for (const mg::TransitionId t : doubled.core_transition) {
+      shells.push_back(fired[static_cast<std::size_t>(t)]);
+    }
+    mg_rows.push_back(std::move(shells));
+    return mg_rows.size() < 50;
+  });
+  std::vector<std::vector<char>> proto_rows;
+  lis::ProtocolOptions proto_options;
+  proto_options.periods = 51;
+  proto_options.observer = [&](std::size_t, const std::vector<char>& fired) {
+    proto_rows.push_back(fired);
+    return proto_rows.size() < 50;
+  };
+  simulate_protocol(system, proto_options);
+  const std::size_t common = std::min(mg_rows.size(), proto_rows.size());
+  for (std::size_t t = 0; t < common; ++t) {
+    CHECK_OR_FAIL(mg_rows[t] == proto_rows[t], "protocol == marked graph");
+  }
+
+  // (4) the queue-sizing stack.
+  core::QsOptions qs_options;
+  qs_options.method = core::QsMethod::kBoth;
+  qs_options.exact.timeout_ms = 5000;
+  const core::QsReport report = core::size_queues(system, qs_options);
+  CHECK_OR_FAIL(report.achieved_mst == report.problem.theta_ideal, "sizing restores ideal");
+  if (report.exact->finished) {
+    CHECK_OR_FAIL(report.exact->total_extra_tokens <= report.heuristic->total_extra_tokens,
+                  "exact <= heuristic");
+    if (report.problem.has_degradation()) {
+      const core::TdSolution upper = core::solve_heuristic(report.problem.td);
+      const core::ExactResult milp =
+          core::solve_exact_milp(report.problem.td, upper, qs_options.exact);
+      if (milp.solution) {
+        CHECK_OR_FAIL(milp.solution->total == report.exact->total_extra_tokens,
+                      "MILP == exact");
+      }
+    }
+  }
+
+  // (5) serialization round trip.
+  const lis::LisGraph parsed = lis::from_text(lis::to_text(system));
+  CHECK_OR_FAIL(lis::to_text(parsed) == lis::to_text(system), "round trip canonical");
+  CHECK_OR_FAIL(lis::practical_mst(parsed) == practical, "round trip MST");
+
+  if (verbose) {
+    std::cout << "seed " << trial_seed << ": v=" << system.num_cores()
+              << " e=" << system.num_channels() << " MST " << practical.to_string() << " ok\n";
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const double seconds = cli.get_double("seconds", 5.0);
+    const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+    const bool verbose = cli.get_bool("verbose", false);
+
+    util::Rng seeder(seed);
+    util::Timer timer;
+    std::int64_t trials = 0;
+    while (timer.elapsed_s() < seconds) {
+      if (!check_one(seeder.fork_seed(), verbose)) return 1;
+      ++trials;
+    }
+    std::cout << "lid_selfcheck: " << trials << " randomized systems, all invariants hold ("
+              << timer.elapsed_s() << " s)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "lid_selfcheck: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,288 @@
+// lid_tool — command-line front end for the library.
+//
+//   lid_tool analyze     --netlist sys.lis [--slack] [--rates]
+//   lid_tool size-queues --netlist sys.lis [--method heuristic|exact|both]
+//                        [--out sized.lis] [--timeout-ms N]
+//   lid_tool insert-rs   --netlist sys.lis --budget N [--out repaired.lis]
+//   lid_tool simulate    --netlist sys.lis [--periods N] [--reference core] [--vcd out.vcd]
+//   lid_tool dot         --netlist sys.lis [--doubled] [--highlight-critical]
+//   lid_tool storage     --netlist sys.lis
+//   lid_tool pareto      --netlist sys.lis [--timeout-ms N]
+//   lid_tool schedule    --netlist sys.lis [--max-periods N]
+//   lid_tool generate    --out sys.lis [--v N --s N --c N --rs N --policy scc|any
+//                        --seed N --reconvergent 0|1]
+#include <iostream>
+
+#include "core/diagnostics.hpp"
+#include "core/pareto.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/rate_safety.hpp"
+#include "core/rs_insertion.hpp"
+#include "core/scheduling.hpp"
+#include "core/slack.hpp"
+#include "core/storage.hpp"
+#include "gen/generator.hpp"
+#include "graph/topology.hpp"
+#include "lis/dot_export.hpp"
+#include "lis/netlist_io.hpp"
+#include "lis/vcd_export.hpp"
+#include "lis/protocol_sim.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace lid;
+
+lis::LisGraph load(const util::Cli& cli) {
+  const std::string path = cli.get_string("netlist", "");
+  if (path.empty()) throw std::invalid_argument("--netlist <file> is required");
+  return lis::load_netlist(path);
+}
+
+int cmd_analyze(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  std::cout << "cores: " << system.num_cores() << ", channels: " << system.num_channels()
+            << ", relay stations: " << system.total_relay_stations() << "\n";
+  std::cout << "topology class: " << graph::to_string(graph::classify(system.structure()))
+            << "\n";
+  if (cli.get_bool("rates", false)) {
+    std::cout << core::analyze_rate_safety(system).to_string(system);
+  }
+  std::cout << core::explain_degradation(system).to_string();
+  if (cli.get_bool("slack", false)) {
+    std::cout << "wire-pipelining slack (extra relay stations each channel absorbs before\n"
+                 "the ideal MST drops):\n";
+    util::Table table({"channel", "slack", "ideal MST if exceeded"});
+    for (const core::ChannelSlack& s : core::channel_slacks(system)) {
+      const lis::Channel& ch = system.channel(s.channel);
+      table.add_row({system.core_name(ch.src) + " -> " + system.core_name(ch.dst),
+                     s.slack == core::ChannelSlack::kUnbounded ? "unbounded"
+                                                               : std::to_string(s.slack),
+                     s.slack == core::ChannelSlack::kUnbounded
+                         ? "-"
+                         : s.mst_if_exceeded.to_string()});
+    }
+    table.print(std::cout);
+  }
+  return 0;
+}
+
+int cmd_size_queues(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  const std::string method = cli.get_string("method", "both");
+  core::QsOptions options;
+  if (method == "heuristic") {
+    options.method = core::QsMethod::kHeuristic;
+  } else if (method == "exact") {
+    options.method = core::QsMethod::kExact;
+  } else if (method == "both") {
+    options.method = core::QsMethod::kBoth;
+  } else {
+    throw std::invalid_argument("--method must be heuristic, exact or both");
+  }
+  options.exact.timeout_ms = cli.get_double("timeout-ms", 60000.0);
+  const core::QsReport report = core::size_queues(system, options);
+
+  std::cout << "ideal MST " << report.problem.theta_ideal << ", practical MST "
+            << report.problem.theta_practical << "\n";
+  if (!report.problem.has_degradation()) {
+    std::cout << "no degradation: queues are already sufficient\n";
+  } else {
+    if (report.heuristic) {
+      std::cout << "heuristic: " << report.heuristic->total_extra_tokens << " extra slot(s) in "
+                << util::Table::fmt(report.heuristic->cpu_ms, 3) << " ms\n";
+    }
+    if (report.exact) {
+      std::cout << "exact:     " << report.exact->total_extra_tokens << " extra slot(s) in "
+                << util::Table::fmt(report.exact->cpu_ms, 3) << " ms"
+                << (report.exact->finished ? "" : "  (timed out — heuristic fallback)") << "\n";
+    }
+    std::cout << "achieved MST " << report.achieved_mst << "\n";
+    for (std::size_t s = 0; s < report.problem.channels.size(); ++s) {
+      const lis::ChannelId ch = report.problem.channels[s];
+      const int grown = report.sized.channel(ch).queue_capacity;
+      if (grown != system.channel(ch).queue_capacity) {
+        std::cout << "  queue of " << system.core_name(system.channel(ch).dst)
+                  << " fed by " << system.core_name(system.channel(ch).src) << ": "
+                  << system.channel(ch).queue_capacity << " -> " << grown << "\n";
+      }
+    }
+  }
+  const std::string out = cli.get_string("out", "");
+  if (!out.empty()) {
+    lis::save_netlist(report.sized, out);
+    std::cout << "sized netlist written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_insert_rs(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  const int budget = static_cast<int>(cli.get_int("budget", 1));
+  const core::RsInsertionResult result = core::greedy_rs_insertion(system, budget);
+  std::cout << "original ideal MST " << result.original_ideal << "\n";
+  std::cout << "added " << result.relay_stations_added << " relay station(s); practical MST "
+            << result.best_practical << (result.reached_ideal ? " (ideal reached)" : "") << "\n";
+  const std::string out = cli.get_string("out", "");
+  if (!out.empty()) {
+    lis::save_netlist(result.best, out);
+    std::cout << "repaired netlist written to " << out << "\n";
+  }
+  return result.reached_ideal ? 0 : 2;
+}
+
+int cmd_simulate(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  lis::ProtocolOptions options;
+  options.periods = static_cast<std::size_t>(cli.get_int("periods", 10000));
+  const std::string reference = cli.get_string("reference", "");
+  if (!reference.empty()) {
+    bool found = false;
+    for (lis::CoreId v = 0; v < static_cast<lis::CoreId>(system.num_cores()); ++v) {
+      if (system.core_name(v) == reference) {
+        options.reference = v;
+        found = true;
+      }
+    }
+    if (!found) throw std::invalid_argument("unknown core '" + reference + "'");
+  }
+  const std::string vcd = cli.get_string("vcd", "");
+  options.record_traces = !vcd.empty();
+  const lis::ProtocolResult result = simulate_protocol(system, options);
+  std::cout << "simulated " << result.periods << " period(s); throughput of "
+            << system.core_name(options.reference) << " = " << result.throughput.to_string()
+            << (result.periodic_found ? " (exact, periodic regime found)" : " (empirical)")
+            << "\n";
+  if (!vcd.empty()) {
+    lis::save_vcd(system, result, vcd);
+    std::cout << "waveforms written to " << vcd << "\n";
+  }
+  return 0;
+}
+
+int cmd_dot(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  if (cli.get_bool("doubled", false)) {
+    std::cout << lis::marked_graph_to_dot(lis::expand_doubled(system).graph);
+    return 0;
+  }
+  lis::DotOptions options;
+  options.always_show_queues = cli.get_bool("show-queues", false);
+  if (cli.get_bool("highlight-critical", false)) {
+    for (const core::CriticalHop& hop : core::explain_degradation(system).critical_cycle) {
+      if (hop.channel != graph::kInvalidEdge) options.highlight.push_back(hop.channel);
+    }
+  }
+  std::cout << lis::to_dot(system, options);
+  return 0;
+}
+
+int cmd_storage(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  util::Table table({"channel", "q", "relay stations", "worst-case occupancy"});
+  for (const core::ChannelStorage& s : core::storage_bounds(system)) {
+    const lis::Channel& ch = system.channel(s.channel);
+    table.add_row({system.core_name(ch.src) + " -> " + system.core_name(ch.dst),
+                   std::to_string(s.configured_capacity), std::to_string(s.relay_stations),
+                   std::to_string(s.occupancy_bound)});
+  }
+  table.print(std::cout);
+  std::cout << "total worst-case storage: " << core::total_storage_bound(system)
+            << " item(s)\n";
+  return 0;
+}
+
+int cmd_pareto(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  core::ParetoOptions options;
+  options.exact.timeout_ms = cli.get_double("timeout-ms", 60000.0);
+  util::Table table({"extra queue slots", "achieved MST"});
+  for (const core::ParetoPoint& point : core::qs_pareto_frontier(system, options)) {
+    table.add_row({std::to_string(point.extra_tokens), point.achieved_mst.to_string()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_schedule(const util::Cli& cli) {
+  const lis::LisGraph system = load(cli);
+  const core::StaticSchedule schedule = core::compute_static_schedule(
+      system, static_cast<std::size_t>(cli.get_int("max-periods", 20000)));
+  if (!schedule.found) {
+    std::cout << "no periodic schedule exists (unbalanced rates or budget too small);\n"
+                 "this system needs backpressure (Sec. III-C)\n";
+    return 2;
+  }
+  std::cout << "schedule rate " << schedule.throughput << ", transient " << schedule.transient
+            << ", period " << schedule.period << "\n";
+  for (lis::CoreId v = 0; v < static_cast<lis::CoreId>(system.num_cores()); ++v) {
+    std::cout << "  " << system.core_name(v) << ": ";
+    for (std::size_t t = schedule.transient; t < schedule.transient + schedule.period; ++t) {
+      std::cout << (schedule.fires(v, t) ? '1' : '.');
+    }
+    std::cout << "\n";
+  }
+  std::cout << "per-channel queue requirement:";
+  for (const std::int64_t q : schedule.required_queues) std::cout << " " << q;
+  std::cout << "\n";
+  const core::ScheduleReplay replay = core::replay_schedule(system, schedule, 4000);
+  std::cout << "replay: throughput " << replay.throughput.to_string() << ", violations "
+            << replay.violations << "\n";
+  return 0;
+}
+
+int cmd_generate(const util::Cli& cli) {
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) throw std::invalid_argument("--out <file> is required");
+  gen::GeneratorParams params;
+  params.vertices = static_cast<int>(cli.get_int("v", 50));
+  params.sccs = static_cast<int>(cli.get_int("s", 5));
+  params.min_cycles = static_cast<int>(cli.get_int("c", 5));
+  params.relay_stations = static_cast<int>(cli.get_int("rs", 10));
+  params.reconvergent = cli.get_bool("reconvergent", true);
+  const std::string policy = cli.get_string("policy", "scc");
+  if (policy == "scc") {
+    params.policy = gen::RsPolicy::kScc;
+  } else if (policy == "any") {
+    params.policy = gen::RsPolicy::kAny;
+  } else {
+    throw std::invalid_argument("--policy must be scc or any");
+  }
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
+  lis::save_netlist(gen::generate(params, rng), out);
+  std::cout << "generated netlist written to " << out << "\n";
+  return 0;
+}
+
+void usage() {
+  std::cout << "usage: lid_tool <analyze|size-queues|insert-rs|simulate|dot|storage|pareto|schedule|generate> "
+               "[--flags]\n  see the header of tools/lid_tool.cpp for details\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  try {
+    const util::Cli cli(argc - 1, argv + 1);
+    if (command == "analyze") return cmd_analyze(cli);
+    if (command == "size-queues") return cmd_size_queues(cli);
+    if (command == "insert-rs") return cmd_insert_rs(cli);
+    if (command == "simulate") return cmd_simulate(cli);
+    if (command == "dot") return cmd_dot(cli);
+    if (command == "storage") return cmd_storage(cli);
+    if (command == "pareto") return cmd_pareto(cli);
+    if (command == "schedule") return cmd_schedule(cli);
+    if (command == "generate") return cmd_generate(cli);
+    usage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "lid_tool " << command << ": " << e.what() << "\n";
+    return 1;
+  }
+}
