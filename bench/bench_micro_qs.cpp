@@ -1,12 +1,19 @@
 // Micro-benchmarks: the queue-sizing solvers (TD heuristic and exact
-// branch-and-bound) on instances built from generated systems.
+// branch-and-bound) on instances built from generated systems, plus the
+// batch engine running the full analysis stack over an instance pool at
+// varying thread counts.
 #include <benchmark/benchmark.h>
+
+#include <vector>
 
 #include "core/exact.hpp"
 #include "core/heuristic.hpp"
 #include "core/qs_problem.hpp"
 #include "core/token_deficit.hpp"
+#include "engine/analysis_cache.hpp"
+#include "engine/engine.hpp"
 #include "gen/generator.hpp"
+#include "lid_api.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -68,6 +75,68 @@ void BM_Exact(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Exact)->Arg(50)->Arg(100);
+
+// A fixed pool of medium instances for the engine benchmarks: the same pool
+// for every thread count, so the runs are directly comparable.
+const std::vector<Instance>& instance_pool() {
+  static const std::vector<Instance> pool = [] {
+    std::vector<Instance> instances;
+    util::Rng seeder(2024);
+    for (int i = 0; i < 24; ++i) {
+      GenerateOptions options;
+      options.cores = 30 + 5 * (i % 4);
+      options.sccs = 3 + i % 3;
+      options.extra_cycles = 1 + i % 3;
+      options.relay_stations = 6;
+      options.seed = seeder.fork_seed();
+      instances.push_back(lid::generate(options).value());
+    }
+    return instances;
+  }();
+  return pool;
+}
+
+// The batch engine over the pool at 1/2/4/8 threads, full analysis stack
+// minus the exact solver (whose budgeted search would dominate the timing).
+// UseRealTime: wall clock is the quantity the thread pool improves. On a
+// single-CPU host the thread counts time within noise of each other — the
+// speedup shows only where the OS grants the process multiple cores.
+void BM_EngineBatch(benchmark::State& state) {
+  engine::EngineOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  options.analyses = *engine::parse_analyses("mst-ideal,mst-practical,qs-heuristic,rate-safety");
+  const engine::BatchEngine engine(options);
+  const std::vector<Instance>& pool = instance_pool();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.run(pool));
+  }
+  state.counters["instances"] = static_cast<double>(pool.size());
+}
+BENCHMARK(BM_EngineBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
+// The AnalysisCache payoff: the stacked pipeline (both MSTs + the QS
+// problem) with one cache vs re-deriving every intermediate from scratch.
+void BM_StackedAnalysesCached(benchmark::State& state) {
+  const lis::LisGraph& system = instance_pool()[0].graph();
+  for (auto _ : state) {
+    engine::AnalysisCache cache(system);
+    benchmark::DoNotOptimize(cache.theta_ideal());
+    benchmark::DoNotOptimize(cache.theta_practical());
+    benchmark::DoNotOptimize(cache.qs_problem());
+  }
+}
+BENCHMARK(BM_StackedAnalysesCached);
+
+void BM_StackedAnalysesUncached(benchmark::State& state) {
+  const lis::LisGraph& system = instance_pool()[0].graph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lis::ideal_mst(system));
+    benchmark::DoNotOptimize(lis::practical_mst(system));
+    benchmark::DoNotOptimize(core::build_qs_problem(system));
+  }
+}
+BENCHMARK(BM_StackedAnalysesUncached);
 
 }  // namespace
 

@@ -1,68 +1,78 @@
 // Table II: classification of LIS topologies and its consequence for fixed
 // queue sizing — trees and (networks of) cactus SCCs never degrade with
 // q = 1; general topologies do. Measured over freshly generated systems of
-// each class.
+// each class, analyzed through the batch engine (`--threads N` sizes the
+// pool; `--metrics` prints the engine's stage table afterwards).
+#include <vector>
+
 #include "bench_common.hpp"
-#include "core/fixed_qs.hpp"
+#include "engine/engine.hpp"
 #include "gen/generator.hpp"
-#include "graph/topology.hpp"
+#include "lid_api.hpp"
 #include "lis/lis_graph.hpp"
 
 int main(int argc, char** argv) {
   using namespace lid;
   const util::Cli cli(argc, argv);
   const int trials = static_cast<int>(cli.get_int("trials", 50));
+  const int threads = static_cast<int>(cli.get_int("threads", 1));
+  const bool metrics = cli.get_bool("metrics", false);
   util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 2024)));
 
   bench::banner("Table II", "topology classes vs MST degradation at q = 1");
 
   struct Row {
     std::string name;
+    std::vector<Instance> instances;
     int degraded = 0;
-    int total = 0;
   };
-  Row rows[3] = {{"tree", 0, 0},
-                 {"SCC with no reconvergent paths", 0, 0},
-                 {"general network of SCCs", 0, 0}};
+  Row rows[3] = {{"tree", {}, 0},
+                 {"SCC with no reconvergent paths", {}, 0},
+                 {"general network of SCCs", {}, 0}};
 
+  // Same generation order (and thus the same systems per seed) as the
+  // original serial sweep; analysis is deferred to the engine.
   for (int t = 0; t < trials; ++t) {
-    // Tree.
-    {
-      const lis::LisGraph tree =
-          gen::generate_tree(rng.uniform_int(5, 30), rng.uniform_int(1, 8), rng);
-      rows[0].total += 1;
-      if (lis::practical_mst(tree) < lis::ideal_mst(tree)) rows[0].degraded += 1;
+    rows[0].instances.push_back(Instance::wrap(
+        gen::generate_tree(rng.uniform_int(5, 30), rng.uniform_int(1, 8), rng)));
+    rows[1].instances.push_back(Instance::wrap(gen::generate_cactus(
+        rng.uniform_int(1, 5), rng.uniform_int(2, 6), rng.uniform_int(1, 6), rng)));
+    gen::GeneratorParams params;
+    params.vertices = rng.uniform_int(10, 30);
+    params.sccs = rng.uniform_int(2, 5);
+    params.min_cycles = rng.uniform_int(1, 4);
+    params.relay_stations = rng.uniform_int(2, 8);
+    params.reconvergent = true;
+    params.policy = gen::RsPolicy::kScc;
+    rows[2].instances.push_back(Instance::wrap(gen::generate(params, rng)));
+  }
+
+  engine::EngineOptions options;
+  options.threads = threads;
+  options.analyses = *engine::parse_analyses("mst-ideal,mst-practical");
+  const engine::BatchEngine batch_engine(options);
+  engine::Metrics total;
+  for (Row& row : rows) {
+    const engine::BatchResult batch = batch_engine.run(row.instances);
+    for (const engine::InstanceResult& r : batch.results) {
+      if (!r.error.empty()) {
+        std::cerr << "analysis failed: " << r.error << "\n";
+        return 1;
+      }
+      if (*r.theta_practical < *r.theta_ideal) row.degraded += 1;
     }
-    // Cactus SCC.
-    {
-      const lis::LisGraph cactus = gen::generate_cactus(
-          rng.uniform_int(1, 5), rng.uniform_int(2, 6), rng.uniform_int(1, 6), rng);
-      rows[1].total += 1;
-      if (lis::practical_mst(cactus) < lis::ideal_mst(cactus)) rows[1].degraded += 1;
-    }
-    // General (the paper's generator with reconvergent paths, scc policy).
-    {
-      gen::GeneratorParams params;
-      params.vertices = rng.uniform_int(10, 30);
-      params.sccs = rng.uniform_int(2, 5);
-      params.min_cycles = rng.uniform_int(1, 4);
-      params.relay_stations = rng.uniform_int(2, 8);
-      params.reconvergent = true;
-      params.policy = gen::RsPolicy::kScc;
-      const lis::LisGraph general = gen::generate(params, rng);
-      rows[2].total += 1;
-      if (lis::practical_mst(general) < lis::ideal_mst(general)) rows[2].degraded += 1;
-    }
+    total.merge(batch.metrics);
   }
 
   util::Table table({"topology", "degraded at q=1", "trials", "per Table II"});
-  table.add_row({rows[0].name, std::to_string(rows[0].degraded), std::to_string(rows[0].total),
-                 "never degrades"});
-  table.add_row({rows[1].name, std::to_string(rows[1].degraded), std::to_string(rows[1].total),
-                 "never degrades"});
-  table.add_row({rows[2].name, std::to_string(rows[2].degraded), std::to_string(rows[2].total),
-                 "fixed QS not guaranteed"});
+  table.add_row({rows[0].name, std::to_string(rows[0].degraded),
+                 std::to_string(rows[0].instances.size()), "never degrades"});
+  table.add_row({rows[1].name, std::to_string(rows[1].degraded),
+                 std::to_string(rows[1].instances.size()), "never degrades"});
+  table.add_row({rows[2].name, std::to_string(rows[2].degraded),
+                 std::to_string(rows[2].instances.size()), "fixed QS not guaranteed"});
   table.print(std::cout);
   bench::footnote("paper: first two classes provably keep the ideal MST with q = 1 (Sec. IV)");
+  if (metrics) total.print(std::cout);
   return 0;
 }

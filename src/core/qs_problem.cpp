@@ -85,9 +85,15 @@ bool relay_stations_only_between_sccs(const LisGraph& lis) {
 }
 
 QsProblem build_qs_problem(const LisGraph& lis, const QsBuildOptions& options) {
+  return build_qs_problem_with_mst(lis, lis::ideal_mst(lis), lis::practical_mst(lis), options);
+}
+
+QsProblem build_qs_problem_with_mst(const LisGraph& lis, const Rational& theta_ideal,
+                                    const Rational& theta_practical,
+                                    const QsBuildOptions& options) {
   QsProblem problem;
-  problem.theta_ideal = lis::ideal_mst(lis);
-  problem.theta_practical = lis::practical_mst(lis);
+  problem.theta_ideal = theta_ideal;
+  problem.theta_practical = theta_practical;
   problem.theta_target = (options.target_mst > Rational(0))
                              ? Rational::min(options.target_mst, problem.theta_ideal)
                              : problem.theta_ideal;

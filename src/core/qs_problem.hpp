@@ -18,6 +18,11 @@
 // its optimum is an upper bound on the full instance's optimum, which may
 // exploit intra-SCC queues shared between many degrading cycles. It always
 // restores the ideal MST.
+//
+// DEPRECATED as a public entry point: new call sites should use
+// lid::size_queues in src/lid_api.hpp, or engine::AnalysisCache when
+// stacking analyses. This header remains the implementation layer those
+// build on.
 #pragma once
 
 #include <cstdint>
@@ -74,6 +79,13 @@ struct QsProblem {
 
 /// Builds the queue-sizing problem for `lis`.
 QsProblem build_qs_problem(const lis::LisGraph& lis, const QsBuildOptions& options = {});
+
+/// Like build_qs_problem, but reuses already-computed θ(G) and θ(d[G])
+/// (e.g. from an engine::AnalysisCache) instead of expanding the netlist two
+/// extra times. The thetas must be those of `lis` itself.
+QsProblem build_qs_problem_with_mst(const lis::LisGraph& lis, const util::Rational& theta_ideal,
+                                    const util::Rational& theta_practical,
+                                    const QsBuildOptions& options = {});
 
 /// Applies a TD solution: channel `problem.channels[s]` gains
 /// `weights[s]` extra queue slots. Returns the modified copy.

@@ -14,8 +14,13 @@ std::int64_t total_of(const std::vector<std::int64_t>& weights) {
 }  // namespace
 
 QsReport size_queues(const lis::LisGraph& lis, const QsOptions& options) {
+  return size_queues_on_problem(lis, build_qs_problem(lis, options.build), options);
+}
+
+QsReport size_queues_on_problem(const lis::LisGraph& lis, const QsProblem& problem,
+                                const QsOptions& options) {
   QsReport report;
-  report.problem = build_qs_problem(lis, options.build);
+  report.problem = problem;
   report.sized = lis;
 
   if (!report.problem.has_degradation()) {

@@ -2,6 +2,11 @@
 // solve with the heuristic and/or the exact algorithm, and apply the result
 // to the netlist. The returned report carries everything the paper's
 // experiment tables need (solution sizes, CPU times, completion flags).
+//
+// DEPRECATED as a public entry point: new call sites should use
+// lid::size_queues in src/lid_api.hpp (Result<T>-based, opaque handles).
+// The batch engine reaches `size_queues_on_problem` directly to reuse a
+// cached cycle enumeration; this header remains the implementation layer.
 #pragma once
 
 #include <cstdint>
@@ -60,5 +65,12 @@ struct QsReport {
 
 /// Runs the queue-sizing pipeline on `lis`.
 QsReport size_queues(const lis::LisGraph& lis, const QsOptions& options = {});
+
+/// Like size_queues, but starts from an already-built problem so batch
+/// drivers (engine::AnalysisCache) can share one cycle enumeration between
+/// stacked analyses. `problem` must have been built from `lis`;
+/// options.build is ignored.
+QsReport size_queues_on_problem(const lis::LisGraph& lis, const QsProblem& problem,
+                                const QsOptions& options = {});
 
 }  // namespace lid::core

@@ -7,6 +7,10 @@
 // channels may lie on other small cycles and lower the ideal MST itself.
 // This module provides a greedy equalizer and an exhaustive search used to
 // demonstrate that counterexample computationally.
+//
+// DEPRECATED as a public entry point: new call sites should use
+// lid::insert_relay_stations in src/lid_api.hpp. This header remains the
+// implementation layer behind the facade and the batch engine.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,74 @@
+#include "engine/analysis_cache.hpp"
+
+#include "mg/mcm.hpp"
+
+namespace lid::engine {
+namespace {
+
+bool same_build_options(const core::QsBuildOptions& a, const core::QsBuildOptions& b) {
+  return a.max_cycles == b.max_cycles && a.allow_scc_collapse == b.allow_scc_collapse &&
+         a.target_mst == b.target_mst;
+}
+
+}  // namespace
+
+AnalysisCache::AnalysisCache(const lis::LisGraph& lis, Metrics* metrics)
+    : lis_(lis), metrics_(metrics) {}
+
+bool AnalysisCache::note(bool hit) {
+  (hit ? hits_ : misses_) += 1;
+  if (metrics_ != nullptr) metrics_->count(hit ? "cache.hits" : "cache.misses");
+  return hit;
+}
+
+const lis::Expansion& AnalysisCache::ideal() {
+  if (!note(ideal_.has_value())) {
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "expand_ideal");
+    ideal_ = lis::expand_ideal(lis_);
+  }
+  return *ideal_;
+}
+
+const lis::Expansion& AnalysisCache::doubled() {
+  if (!note(doubled_.has_value())) {
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "expand_doubled");
+    doubled_ = lis::expand_doubled(lis_);
+  }
+  return *doubled_;
+}
+
+const util::Rational& AnalysisCache::theta_ideal() {
+  if (!note(theta_ideal_.has_value())) {
+    const lis::Expansion& expansion = ideal();
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "mst_ideal");
+    theta_ideal_ = mg::mst(expansion.graph);
+  }
+  return *theta_ideal_;
+}
+
+const util::Rational& AnalysisCache::theta_practical() {
+  if (!note(theta_practical_.has_value())) {
+    const lis::Expansion& expansion = doubled();
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "mst_practical");
+    theta_practical_ = mg::mst(expansion.graph);
+  }
+  return *theta_practical_;
+}
+
+const core::QsProblem& AnalysisCache::qs_problem(const core::QsBuildOptions& options) {
+  if (!note(qs_.has_value() && same_build_options(qs_options_, options))) {
+    const util::Rational ideal = theta_ideal();
+    const util::Rational practical = theta_practical();
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "build_qs_problem");
+    qs_ = core::build_qs_problem_with_mst(lis_, ideal, practical, options);
+    qs_options_ = options;
+  }
+  return *qs_;
+}
+
+}  // namespace lid::engine

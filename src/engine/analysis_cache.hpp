@@ -1,0 +1,75 @@
+// Per-instance memoization of the expensive analysis intermediates.
+//
+// Every analysis of a LIS starts from the same handful of derived objects:
+// the ideal expansion G, the doubled expansion d[G], their MSTs, and — for
+// queue sizing — the problematic-cycle enumeration (the dominant cost, via
+// Johnson's algorithm). Historically each entry point re-derived them from
+// scratch, so stacking analyses (ideal MST + practical MST + heuristic QS +
+// exact QS) paid for the expansions and the cycle sweep up to four times.
+// AnalysisCache computes each intermediate lazily, once, and hands the
+// cached object to every subsequent stage.
+//
+// A cache is NOT thread-safe: the batch engine creates one per instance
+// inside the worker that owns that instance, which is also what keeps batch
+// results deterministic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "core/qs_problem.hpp"
+#include "engine/metrics.hpp"
+#include "lis/lis_graph.hpp"
+#include "util/rational.hpp"
+
+namespace lid::engine {
+
+/// Lazily computed, memoized analysis intermediates of one netlist.
+/// Holds a reference to the netlist, which must outlive the cache.
+class AnalysisCache {
+ public:
+  /// `metrics`, when given, receives per-stage timings (expand_ideal,
+  /// expand_doubled, mst_ideal, mst_practical, build_qs_problem) and
+  /// cache-hit/miss counters; it must outlive the cache.
+  explicit AnalysisCache(const lis::LisGraph& lis, Metrics* metrics = nullptr);
+
+  [[nodiscard]] const lis::LisGraph& lis() const { return lis_; }
+
+  /// The ideal expansion G (forward places only).
+  const lis::Expansion& ideal();
+
+  /// The doubled expansion d[G] (forward + backpressure places).
+  const lis::Expansion& doubled();
+
+  /// θ(G) — computed from the cached ideal expansion.
+  const util::Rational& theta_ideal();
+
+  /// θ(d[G]) — computed from the cached doubled expansion.
+  const util::Rational& theta_practical();
+
+  /// The queue-sizing problem (problematic cycles + TD instance), built with
+  /// the cached MSTs. Memoized per options: a second call with the same
+  /// options is a hit; differing options rebuild.
+  const core::QsProblem& qs_problem(const core::QsBuildOptions& options = {});
+
+  /// Memoization traffic (for tests and the metrics report).
+  [[nodiscard]] std::int64_t hits() const { return hits_; }
+  [[nodiscard]] std::int64_t misses() const { return misses_; }
+
+ private:
+  bool note(bool hit);  // updates counters; returns `hit`
+
+  const lis::LisGraph& lis_;
+  Metrics* metrics_;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+
+  std::optional<lis::Expansion> ideal_;
+  std::optional<lis::Expansion> doubled_;
+  std::optional<util::Rational> theta_ideal_;
+  std::optional<util::Rational> theta_practical_;
+  std::optional<core::QsProblem> qs_;
+  core::QsBuildOptions qs_options_;
+};
+
+}  // namespace lid::engine

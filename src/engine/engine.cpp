@@ -1,0 +1,242 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
+#include "core/qs_problem.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/rate_safety.hpp"
+#include "core/rs_insertion.hpp"
+#include "engine/analysis_cache.hpp"
+
+namespace lid::engine {
+namespace {
+
+/// A mutex-guarded queue of instance indices. Closed once prefilled, so
+/// pop() returning nullopt means the batch is drained.
+class WorkQueue {
+ public:
+  explicit WorkQueue(std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) items_.push_back(i);
+  }
+
+  std::optional<std::size_t> pop() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (items_.empty()) return std::nullopt;
+    const std::size_t index = items_.front();
+    items_.pop_front();
+    return index;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::deque<std::size_t> items_;
+};
+
+core::QsOptions qs_options_for(const EngineOptions& options, core::QsMethod method) {
+  core::QsOptions qs;
+  qs.method = method;
+  qs.build.max_cycles = options.max_cycles;
+  qs.exact.max_nodes = options.exact_max_nodes;
+  qs.exact.timeout_ms = options.exact_timeout_ms;
+  return qs;
+}
+
+void run_qs(const EngineOptions& options, AnalysisCache& cache, Metrics& metrics,
+            core::QsMethod method, InstanceResult& out) {
+  const core::QsProblem& problem = cache.qs_problem(qs_options_for(options, method).build);
+  out.theta_ideal = problem.theta_ideal;
+  out.theta_practical = problem.theta_practical;
+  out.qs_cycles = problem.cycles_enumerated;
+  out.qs_truncated = out.qs_truncated || problem.truncated;
+
+  const char* stage = method == core::QsMethod::kExact ? "qs_exact" : "qs_heuristic";
+  const Metrics::ScopedStage timer(metrics, stage);
+  const core::QsReport report =
+      core::size_queues_on_problem(cache.lis(), problem, qs_options_for(options, method));
+  if (report.heuristic) out.qs_heuristic_total = report.heuristic->total_extra_tokens;
+  if (report.exact) {
+    out.qs_exact_total = report.exact->total_extra_tokens;
+    out.qs_exact_proved = report.exact->finished;
+  }
+  out.qs_achieved = report.achieved_mst;
+}
+
+void analyze_one(const EngineOptions& options, const Instance& instance, InstanceResult& out,
+                 Metrics& metrics) {
+  metrics.count("instances");
+  if (!instance.valid()) {
+    out.error = "invalid (empty) instance handle";
+    metrics.count("failures");
+    return;
+  }
+  out.name = instance.name();
+  out.cores = instance.num_cores();
+  out.channels = instance.num_channels();
+  out.relay_stations = instance.total_relay_stations();
+
+  AnalysisCache cache(instance.graph(), &metrics);
+  try {
+    for (const AnalysisKind kind : options.analyses) {
+      switch (kind) {
+        case AnalysisKind::kIdealMst:
+          out.theta_ideal = cache.theta_ideal();
+          break;
+        case AnalysisKind::kPracticalMst:
+          out.theta_practical = cache.theta_practical();
+          break;
+        case AnalysisKind::kQsHeuristic:
+          run_qs(options, cache, metrics, core::QsMethod::kHeuristic, out);
+          break;
+        case AnalysisKind::kQsExact:
+          run_qs(options, cache, metrics, core::QsMethod::kExact, out);
+          break;
+        case AnalysisKind::kRsInsertion: {
+          const Metrics::ScopedStage timer(metrics, "rs_insertion");
+          const core::RsInsertionResult rs =
+              core::greedy_rs_insertion(instance.graph(), options.rs_budget);
+          out.rs_added = rs.relay_stations_added;
+          out.rs_reached_ideal = rs.reached_ideal;
+          break;
+        }
+        case AnalysisKind::kRateSafety: {
+          const Metrics::ScopedStage timer(metrics, "rate_safety");
+          out.rate_hazards = core::analyze_rate_safety(instance.graph()).hazards.size();
+          break;
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    out.error = e.what();
+    metrics.count("failures");
+  }
+}
+
+void append_field(std::ostream& os, const char* key, const std::string& value) {
+  os << ' ' << key << '=' << value;
+}
+
+}  // namespace
+
+const char* to_string(AnalysisKind kind) {
+  switch (kind) {
+    case AnalysisKind::kIdealMst: return "mst-ideal";
+    case AnalysisKind::kPracticalMst: return "mst-practical";
+    case AnalysisKind::kQsHeuristic: return "qs-heuristic";
+    case AnalysisKind::kQsExact: return "qs-exact";
+    case AnalysisKind::kRsInsertion: return "rs-insertion";
+    case AnalysisKind::kRateSafety: return "rate-safety";
+  }
+  return "unknown";
+}
+
+Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv) {
+  static constexpr AnalysisKind kAll[] = {
+      AnalysisKind::kIdealMst,    AnalysisKind::kPracticalMst, AnalysisKind::kQsHeuristic,
+      AnalysisKind::kQsExact,     AnalysisKind::kRsInsertion,  AnalysisKind::kRateSafety,
+  };
+  std::vector<AnalysisKind> kinds;
+  std::istringstream stream(csv);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    if (token.empty()) continue;
+    if (token == "all") {
+      kinds.assign(std::begin(kAll), std::end(kAll));
+      continue;
+    }
+    bool found = false;
+    for (const AnalysisKind kind : kAll) {
+      if (token == to_string(kind)) {
+        kinds.push_back(kind);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown analysis '" + token +
+                       "' (expected mst-ideal, mst-practical, qs-heuristic, qs-exact, "
+                       "rs-insertion, rate-safety or all)"};
+    }
+  }
+  if (kinds.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "empty analysis list"};
+  }
+  return kinds;
+}
+
+std::string InstanceResult::serialize() const {
+  std::ostringstream os;
+  os << index;
+  append_field(os, "name", name.empty() ? "-" : name);
+  append_field(os, "cores", std::to_string(cores));
+  append_field(os, "channels", std::to_string(channels));
+  append_field(os, "rs", std::to_string(relay_stations));
+  if (theta_ideal) append_field(os, "ideal", theta_ideal->to_string());
+  if (theta_practical) append_field(os, "practical", theta_practical->to_string());
+  if (qs_cycles) append_field(os, "cycles", std::to_string(*qs_cycles));
+  if (qs_truncated) append_field(os, "truncated", "1");
+  if (qs_heuristic_total) append_field(os, "qs_heur", std::to_string(*qs_heuristic_total));
+  if (qs_exact_total) {
+    append_field(os, "qs_exact", std::to_string(*qs_exact_total));
+    append_field(os, "qs_proved", qs_exact_proved ? "1" : "0");
+  }
+  if (qs_achieved) append_field(os, "achieved", qs_achieved->to_string());
+  if (rs_added) {
+    append_field(os, "rs_added", std::to_string(*rs_added));
+    append_field(os, "rs_ideal", rs_reached_ideal ? "1" : "0");
+  }
+  if (rate_hazards) append_field(os, "hazards", std::to_string(*rate_hazards));
+  if (!error.empty()) append_field(os, "error", '"' + error + '"');
+  return os.str();
+}
+
+std::string BatchResult::serialize() const {
+  std::ostringstream os;
+  os << "# lid-batch v1 instances=" << results.size() << "\n";
+  for (const InstanceResult& r : results) os << r.serialize() << "\n";
+  return os.str();
+}
+
+BatchEngine::BatchEngine(EngineOptions options) : options_(std::move(options)) {
+  options_.threads = std::max(1, options_.threads);
+}
+
+BatchResult BatchEngine::run(const std::vector<Instance>& instances) const {
+  BatchResult batch;
+  batch.results.resize(instances.size());
+  for (std::size_t i = 0; i < instances.size(); ++i) batch.results[i].index = i;
+
+  WorkQueue queue(instances.size());
+  const int workers =
+      static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(options_.threads),
+                                             std::max<std::size_t>(instances.size(), 1)));
+  std::vector<Metrics> worker_metrics(static_cast<std::size_t>(workers));
+
+  const auto worker = [&](int id) {
+    Metrics& metrics = worker_metrics[static_cast<std::size_t>(id)];
+    while (const std::optional<std::size_t> index = queue.pop()) {
+      const Metrics::ScopedStage timer(metrics, "instance_total");
+      analyze_one(options_, instances[*index], batch.results[*index], metrics);
+    }
+  };
+
+  if (workers <= 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int id = 0; id < workers; ++id) pool.emplace_back(worker, id);
+    for (std::thread& t : pool) t.join();
+  }
+
+  batch.metrics.count("threads", workers);
+  for (const Metrics& m : worker_metrics) batch.metrics.merge(m);
+  return batch;
+}
+
+}  // namespace lid::engine

@@ -1,0 +1,134 @@
+#include "engine/metrics.hpp"
+
+#include <ctime>
+#include <ostream>
+#include <sstream>
+
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace lid::engine {
+namespace {
+
+util::Timer& process_timer() {
+  static util::Timer timer;
+  return timer;
+}
+
+}  // namespace
+
+double thread_cpu_ms() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) * 1e3 + static_cast<double>(ts.tv_nsec) / 1e6;
+  }
+#endif
+  return 0.0;
+}
+
+Metrics::Metrics(const Metrics& other)
+    : counters_(other.counters()), stages_(other.stages()) {}
+
+Metrics& Metrics::operator=(const Metrics& other) {
+  if (this == &other) return *this;
+  const std::map<std::string, std::int64_t> counters = other.counters();
+  const std::map<std::string, StageStats> stages = other.stages();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_ = counters;
+  stages_ = stages;
+  return *this;
+}
+
+void Metrics::count(const std::string& name, std::int64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_[name] += delta;
+}
+
+void Metrics::record_stage(const std::string& name, double wall_ms, double cpu_ms) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  StageStats& stats = stages_[name];
+  stats.calls += 1;
+  stats.wall_ms += wall_ms;
+  stats.cpu_ms += cpu_ms;
+}
+
+Metrics::ScopedStage::ScopedStage(Metrics& metrics, std::string name)
+    : metrics_(metrics),
+      name_(std::move(name)),
+      wall_start_ms_(process_timer().elapsed_ms()),
+      cpu_start_ms_(thread_cpu_ms()) {}
+
+Metrics::ScopedStage::~ScopedStage() {
+  metrics_.record_stage(name_, process_timer().elapsed_ms() - wall_start_ms_,
+                        thread_cpu_ms() - cpu_start_ms_);
+}
+
+void Metrics::merge(const Metrics& other) {
+  // Snapshot `other` first so the two locks are never held together.
+  const std::map<std::string, std::int64_t> counters = other.counters();
+  const std::map<std::string, StageStats> stages = other.stages();
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, value] : counters) counters_[name] += value;
+  for (const auto& [name, stats] : stages) {
+    StageStats& mine = stages_[name];
+    mine.calls += stats.calls;
+    mine.wall_ms += stats.wall_ms;
+    mine.cpu_ms += stats.cpu_ms;
+  }
+}
+
+std::int64_t Metrics::counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+std::map<std::string, std::int64_t> Metrics::counters() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+std::map<std::string, Metrics::StageStats> Metrics::stages() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stages_;
+}
+
+std::string Metrics::to_json() const {
+  const std::map<std::string, std::int64_t> counters = this->counters();
+  const std::map<std::string, StageStats> stages = this->stages();
+  std::ostringstream out;
+  out << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "},\n  \"stages\": {";
+  first = true;
+  for (const auto& [name, stats] : stages) {
+    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"calls\": " << stats.calls
+        << ", \"wall_ms\": " << util::Table::fmt(stats.wall_ms, 3)
+        << ", \"cpu_ms\": " << util::Table::fmt(stats.cpu_ms, 3) << "}";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "}\n}\n";
+  return out.str();
+}
+
+void Metrics::print(std::ostream& os) const {
+  const std::map<std::string, StageStats> stages = this->stages();
+  if (!stages.empty()) {
+    util::Table table({"stage", "calls", "wall ms", "cpu ms"});
+    for (const auto& [name, stats] : stages) {
+      table.add_row({name, util::Table::fmt(stats.calls), util::Table::fmt(stats.wall_ms, 3),
+                     util::Table::fmt(stats.cpu_ms, 3)});
+    }
+    table.print(os);
+  }
+  for (const auto& [name, value] : counters()) {
+    os << name << " = " << value << "\n";
+  }
+}
+
+}  // namespace lid::engine

@@ -1,0 +1,82 @@
+// Lightweight metrics for the batch engine: monotonic counters plus
+// per-stage wall-clock and thread-CPU timers.
+//
+// Every engine worker owns a private Metrics and merges it into the batch
+// total when its queue drains, so the hot path never contends on a lock.
+// The collected numbers are dumped as JSON (for scripts) and as a console
+// table (for humans); timings are reporting-only and deliberately excluded
+// from the engine's deterministic result serialization.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace lid::engine {
+
+/// Thread-CPU time of the calling thread, in milliseconds (0 when the
+/// platform offers no per-thread clock).
+double thread_cpu_ms();
+
+/// A named-counter + named-stage-timer registry. Thread-safe; see the header
+/// comment for the intended one-per-worker usage.
+class Metrics {
+ public:
+  Metrics() = default;
+  // Copyable (snapshot under the source's lock) so results structs that
+  // embed a Metrics stay value types.
+  Metrics(const Metrics& other);
+  Metrics& operator=(const Metrics& other);
+
+  /// Aggregated timings of one pipeline stage.
+  struct StageStats {
+    std::int64_t calls = 0;
+    double wall_ms = 0.0;
+    double cpu_ms = 0.0;
+  };
+
+  /// Increments counter `name` by `delta` (created at 0 on first use).
+  void count(const std::string& name, std::int64_t delta = 1);
+
+  /// Adds one completed stage invocation.
+  void record_stage(const std::string& name, double wall_ms, double cpu_ms);
+
+  /// RAII stage timer: records wall + thread-CPU time from construction to
+  /// destruction under the given stage name.
+  class ScopedStage {
+   public:
+    ScopedStage(Metrics& metrics, std::string name);
+    ~ScopedStage();
+    ScopedStage(const ScopedStage&) = delete;
+    ScopedStage& operator=(const ScopedStage&) = delete;
+
+   private:
+    Metrics& metrics_;
+    std::string name_;
+    double wall_start_ms_;
+    double cpu_start_ms_;
+  };
+
+  /// Folds `other` into this registry (counters add, stages accumulate).
+  void merge(const Metrics& other);
+
+  [[nodiscard]] std::int64_t counter(const std::string& name) const;
+  [[nodiscard]] std::map<std::string, std::int64_t> counters() const;
+  [[nodiscard]] std::map<std::string, StageStats> stages() const;
+
+  /// {"counters": {...}, "stages": {"<name>": {"calls": c, "wall_ms": w,
+  /// "cpu_ms": u}, ...}} — keys sorted, numbers with fixed precision.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable dump: one table for stages, one line per counter.
+  void print(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, StageStats> stages_;
+};
+
+}  // namespace lid::engine

@@ -1,0 +1,241 @@
+#include "lid_api.hpp"
+
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/diagnostics.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/rate_safety.hpp"
+#include "core/rs_insertion.hpp"
+#include "gen/generator.hpp"
+#include "graph/topology.hpp"
+#include "lis/netlist_io.hpp"
+#include "soc/cofdm.hpp"
+#include "util/rng.hpp"
+
+namespace lid {
+namespace {
+
+/// Runs `body` and converts the library's exception conventions into the
+/// facade's Error codes: std::invalid_argument marks bad input, everything
+/// else an internal invariant failure.
+template <typename T, typename Fn>
+Result<T> guarded(ErrorCode bad_input_code, Fn&& body) {
+  try {
+    return body();
+  } catch (const std::invalid_argument& e) {
+    return Error{bad_input_code, e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kInternal, e.what()};
+  }
+}
+
+Error invalid_handle(const char* who) {
+  return Error{ErrorCode::kInvalidArgument, std::string(who) + ": invalid (empty) instance handle"};
+}
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kInvalidArgument: return "invalid-argument";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Error::to_string() const {
+  return std::string("[") + lid::to_string(code) + "] " + message;
+}
+
+// ---------------------------------------------------------------------------
+// Instance.
+
+struct Instance::Impl {
+  lis::LisGraph graph;
+  std::string name;
+};
+
+std::size_t Instance::num_cores() const { return graph().num_cores(); }
+std::size_t Instance::num_channels() const { return graph().num_channels(); }
+int Instance::total_relay_stations() const { return graph().total_relay_stations(); }
+
+const std::string& Instance::name() const {
+  LID_ENSURE(valid(), "Instance::name: invalid handle");
+  return impl_->name;
+}
+
+const lis::LisGraph& Instance::graph() const {
+  LID_ENSURE(valid(), "Instance::graph: invalid handle");
+  return impl_->graph;
+}
+
+Instance Instance::wrap(lis::LisGraph graph, std::string name) {
+  Instance instance;
+  instance.impl_ = std::make_shared<const Impl>(Impl{std::move(graph), std::move(name)});
+  return instance;
+}
+
+// ---------------------------------------------------------------------------
+// Loading, saving, generating.
+
+Result<Instance> load_netlist(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Error{ErrorCode::kIo, "cannot open '" + path + "' for reading"};
+  std::ostringstream text;
+  text << in.rdbuf();
+  if (in.bad()) return Error{ErrorCode::kIo, "read error on '" + path + "'"};
+  auto parsed = parse_netlist(text.str(), path);
+  if (!parsed.ok()) {
+    return Error{parsed.error().code, path + ": " + parsed.error().message};
+  }
+  return parsed;
+}
+
+Result<Instance> parse_netlist(const std::string& text, std::string name) {
+  return guarded<Instance>(ErrorCode::kParse, [&] {
+    return Instance::wrap(lis::from_text(text), std::move(name));
+  });
+}
+
+Result<std::string> netlist_text(const Instance& instance) {
+  if (!instance.valid()) return invalid_handle("netlist_text");
+  return lis::to_text(instance.graph());
+}
+
+Status save_netlist(const Instance& instance, const std::string& path) {
+  if (!instance.valid()) return invalid_handle("save_netlist");
+  std::ofstream out(path);
+  if (!out) return Error{ErrorCode::kIo, "cannot open '" + path + "' for writing"};
+  out << lis::to_text(instance.graph());
+  out.flush();
+  if (!out) return Error{ErrorCode::kIo, "write error on '" + path + "'"};
+  return Unit{};
+}
+
+Result<Instance> generate(const GenerateOptions& options) {
+  return guarded<Instance>(ErrorCode::kInvalidArgument, [&]() -> Result<Instance> {
+    gen::GeneratorParams params;
+    params.vertices = options.cores;
+    params.sccs = options.sccs;
+    params.min_cycles = options.extra_cycles;
+    params.relay_stations = options.relay_stations;
+    params.reconvergent = options.reconvergent;
+    params.policy = options.rs_anywhere ? gen::RsPolicy::kAny : gen::RsPolicy::kScc;
+    params.queue_capacity = options.queue_capacity;
+    util::Rng rng(options.seed);
+    return Instance::wrap(gen::generate(params, rng), "gen-" + std::to_string(options.seed));
+  });
+}
+
+Instance cofdm_soc() { return Instance::wrap(soc::build_cofdm(), "cofdm"); }
+
+// ---------------------------------------------------------------------------
+// Analysis.
+
+Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options) {
+  if (!instance.valid()) return invalid_handle("analyze");
+  return guarded<Analysis>(ErrorCode::kInvalidArgument, [&] {
+    const lis::LisGraph& lis = instance.graph();
+    Analysis analysis;
+    analysis.cores = lis.num_cores();
+    analysis.channels = lis.num_channels();
+    analysis.relay_stations = lis.total_relay_stations();
+    analysis.topology = graph::to_string(graph::classify(lis.structure()));
+    const core::DegradationReport report = core::explain_degradation(lis);
+    analysis.theta_ideal = report.theta_ideal;
+    analysis.theta_practical = report.theta_practical;
+    analysis.degraded = report.degraded;
+    if (options.critical_cycle) {
+      analysis.critical_cycle.reserve(report.critical_cycle.size());
+      for (const core::CriticalHop& hop : report.critical_cycle) {
+        analysis.critical_cycle.push_back(hop.description);
+      }
+    }
+    if (options.rate_safety) {
+      const core::RateSafetyReport rates = core::analyze_rate_safety(lis);
+      analysis.rate_hazards = rates.hazards.size();
+      analysis.rate_safe = rates.safe();
+    }
+    return analysis;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Queue sizing.
+
+Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options) {
+  if (!instance.valid()) return invalid_handle("size_queues");
+  return guarded<Sizing>(ErrorCode::kInvalidArgument, [&] {
+    const lis::LisGraph& lis = instance.graph();
+    core::QsOptions qs;
+    switch (options.solver) {
+      case Solver::kHeuristic: qs.method = core::QsMethod::kHeuristic; break;
+      case Solver::kExact: qs.method = core::QsMethod::kExact; break;
+      case Solver::kBoth: qs.method = core::QsMethod::kBoth; break;
+    }
+    qs.exact.timeout_ms = options.exact_timeout_ms;
+    qs.exact.max_nodes = options.exact_max_nodes;
+    qs.build.max_cycles = options.max_cycles;
+    qs.build.target_mst = options.target;
+    const core::QsReport report = core::size_queues(lis, qs);
+
+    Sizing sizing;
+    sizing.theta_ideal = report.problem.theta_ideal;
+    sizing.theta_practical = report.problem.theta_practical;
+    sizing.achieved = report.achieved_mst;
+    sizing.degraded = report.problem.has_degradation();
+    sizing.cycles_enumerated = report.problem.cycles_enumerated;
+    sizing.truncated = report.problem.truncated;
+    if (report.heuristic) {
+      sizing.heuristic_total = report.heuristic->total_extra_tokens;
+      sizing.heuristic_ms = report.heuristic->cpu_ms;
+    }
+    if (report.exact) {
+      sizing.exact_total = report.exact->total_extra_tokens;
+      sizing.exact_ms = report.exact->cpu_ms;
+      sizing.exact_proved = report.exact->finished;
+    }
+    for (const lis::ChannelId ch : report.problem.channels) {
+      const int before = lis.channel(ch).queue_capacity;
+      const int after = report.sized.channel(ch).queue_capacity;
+      if (after != before) {
+        sizing.changes.push_back(QueueChange{lis.core_name(lis.channel(ch).src),
+                                             lis.core_name(lis.channel(ch).dst), before, after});
+      }
+    }
+    sizing.sized = Instance::wrap(report.sized, instance.name());
+    return sizing;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Relay-station insertion.
+
+Result<RelayInsertion> insert_relay_stations(const Instance& instance,
+                                             const InsertRelayStationsOptions& options) {
+  if (!instance.valid()) return invalid_handle("insert_relay_stations");
+  if (options.budget < 0) {
+    return Error{ErrorCode::kInvalidArgument, "insert_relay_stations: negative budget"};
+  }
+  return guarded<RelayInsertion>(ErrorCode::kInvalidArgument, [&] {
+    const core::RsInsertionResult result =
+        options.exhaustive ? core::exhaustive_rs_insertion(instance.graph(), options.budget)
+                           : core::greedy_rs_insertion(instance.graph(), options.budget);
+    RelayInsertion insertion;
+    insertion.original_ideal = result.original_ideal;
+    insertion.best_practical = result.best_practical;
+    insertion.added = result.relay_stations_added;
+    insertion.reached_ideal = result.reached_ideal;
+    insertion.configurations_tried = result.configurations_tried;
+    insertion.repaired = Instance::wrap(result.best, instance.name());
+    return insertion;
+  });
+}
+
+}  // namespace lid

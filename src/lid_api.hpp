@@ -1,0 +1,268 @@
+// The unified public facade of the library.
+//
+// Everything a client needs for the common workflows — loading or generating
+// a LIS, analyzing its throughput, sizing its queues, inserting relay
+// stations — is exposed here under the top-level `lid::` namespace, over an
+// opaque `lid::Instance` handle and a `lid::Result<T>` error type (code +
+// message) instead of the historical mix of bools, exceptions and asserts.
+//
+//   lid::Result<lid::Instance> sys = lid::load_netlist("soc.lis");
+//   if (!sys) { log(sys.error().to_string()); return; }
+//   lid::Result<lid::Analysis> a = lid::analyze(*sys);
+//   if (a && a->degraded) {
+//     lid::Result<lid::Sizing> s = lid::size_queues(*sys);
+//     if (s) lid::save_netlist(s->sized, "sized.lis");
+//   }
+//
+// The per-module headers (lis/netlist_io.hpp, core/qs_problem.hpp,
+// core/queue_sizing.hpp, core/rs_insertion.hpp, ...) remain available as the
+// implementation layer for code that needs the full detail — e.g. the batch
+// engine in src/engine — but new call sites should start here.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/check.hpp"
+#include "util/rational.hpp"
+
+namespace lid {
+
+// ---------------------------------------------------------------------------
+// Result<T> — the facade's error channel.
+
+/// Machine-readable failure categories.
+enum class ErrorCode {
+  kIo = 1,           ///< file could not be read/written
+  kParse,            ///< malformed netlist text
+  kInvalidArgument,  ///< bad option value or inapplicable request
+  kTimeout,          ///< a solver budget expired before an answer was proven
+  kInternal,         ///< invariant violation inside the library
+};
+
+const char* to_string(ErrorCode code);
+
+/// A failure: code + human-readable message.
+struct Error {
+  ErrorCode code = ErrorCode::kInternal;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Either a value or an Error. Implicitly constructible from both, so
+/// functions can `return Error{...}` or `return value` directly.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  Result(T value) : v_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : v_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+  Result(ErrorCode code, std::string message) : v_(Error{code, std::move(message)}) {}
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(v_); }
+  explicit operator bool() const { return ok(); }
+
+  /// The value; throws std::invalid_argument when this holds an error.
+  [[nodiscard]] const T& value() const& {
+    LID_ENSURE(ok(), "Result::value on error: " + std::get<Error>(v_).message);
+    return std::get<T>(v_);
+  }
+  [[nodiscard]] T&& value() && {
+    LID_ENSURE(ok(), "Result::value on error: " + std::get<Error>(v_).message);
+    return std::get<T>(std::move(v_));
+  }
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+  /// The error; throws std::invalid_argument when this holds a value.
+  [[nodiscard]] const Error& error() const {
+    LID_ENSURE(!ok(), "Result::error on success");
+    return std::get<Error>(v_);
+  }
+
+  const T& operator*() const { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Error> v_;
+};
+
+/// Result payload for operations that only succeed or fail.
+struct Unit {};
+using Status = Result<Unit>;
+
+// ---------------------------------------------------------------------------
+// Instance — the opaque netlist handle.
+
+/// An immutable, cheaply copyable handle to a loaded/generated LIS. All
+/// facade operations consume and produce Instances; transformations
+/// (size_queues, insert_relay_stations) return new handles and never mutate
+/// their input.
+class Instance {
+ public:
+  /// An empty (invalid) handle; every facade call on it fails cleanly.
+  Instance() = default;
+
+  [[nodiscard]] bool valid() const { return impl_ != nullptr; }
+  [[nodiscard]] std::size_t num_cores() const;
+  [[nodiscard]] std::size_t num_channels() const;
+  [[nodiscard]] int total_relay_stations() const;
+
+  /// Optional label carried through analyses and batch reports ("" if unset).
+  [[nodiscard]] const std::string& name() const;
+
+  /// Escape hatch for layers below the facade (the batch engine, exporters,
+  /// simulators): the underlying netlist. Throws on an invalid handle.
+  [[nodiscard]] const lis::LisGraph& graph() const;
+
+  /// Wraps an already-built netlist in a handle (used by generators, tests
+  /// and code migrating from the per-module APIs).
+  static Instance wrap(lis::LisGraph graph, std::string name = {});
+
+ private:
+  struct Impl;
+  std::shared_ptr<const Impl> impl_;
+};
+
+// ---------------------------------------------------------------------------
+// Loading, saving, generating.
+
+/// Loads a netlist file (the text format of docs/file-format.md).
+Result<Instance> load_netlist(const std::string& path);
+
+/// Parses netlist text.
+Result<Instance> parse_netlist(const std::string& text, std::string name = {});
+
+/// Serializes to the canonical text format (round-trip safe).
+Result<std::string> netlist_text(const Instance& instance);
+
+/// Writes the canonical text format to `path`.
+Status save_netlist(const Instance& instance, const std::string& path);
+
+/// Parameters of the paper's synthetic generator (Sec. VIII).
+struct GenerateOptions {
+  int cores = 50;            ///< v — total cores
+  int sccs = 5;              ///< s — number of SCCs
+  int extra_cycles = 5;      ///< c — extra chords (and thus cycles) per SCC
+  int relay_stations = 10;   ///< rs — relay stations to distribute
+  bool reconvergent = true;  ///< rp — allow reconvergent inter-SCC paths
+  bool rs_anywhere = false;  ///< false: relay stations only between SCCs
+  int queue_capacity = 1;    ///< initial uniform queue capacity
+  std::uint64_t seed = 1;
+};
+
+/// Generates a random LIS; deterministic per seed.
+Result<Instance> generate(const GenerateOptions& options = {});
+
+/// The COFDM UWB transmitter case study (Sec. IX; 12 blocks, 30 channels).
+Instance cofdm_soc();
+
+// ---------------------------------------------------------------------------
+// Analysis.
+
+struct AnalyzeOptions {
+  /// Also compute the critical cycle of d[G] (hop descriptions).
+  bool critical_cycle = true;
+  /// Also run the Sec. III-C rate-safety analysis.
+  bool rate_safety = true;
+};
+
+/// Throughput analysis of one instance.
+struct Analysis {
+  std::size_t cores = 0;
+  std::size_t channels = 0;
+  int relay_stations = 0;
+  /// Table II topology class ("tree", "cactus SCCs", "general", ...).
+  std::string topology;
+  util::Rational theta_ideal;      ///< θ(G), infinite queues
+  util::Rational theta_practical;  ///< θ(d[G]), finite queues
+  bool degraded = false;           ///< theta_practical < theta_ideal
+  /// Hops of the limiting cycle of d[G] (empty when not requested or acyclic).
+  std::vector<std::string> critical_cycle;
+  /// Inter-SCC channels where a faster producer feeds a slower consumer.
+  std::size_t rate_hazards = 0;
+  bool rate_safe = true;
+};
+
+Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Queue sizing.
+
+enum class Solver {
+  kHeuristic,  ///< the paper's sweep heuristic (fast, near-optimal)
+  kExact,      ///< branch-and-bound (optimal, budgeted)
+  kBoth,
+};
+
+struct SizeQueuesOptions {
+  Solver solver = Solver::kBoth;
+  /// Wall-clock budget of the exact solver; <= 0 means unlimited. Wall-clock
+  /// cutoffs are load-dependent; prefer exact_max_nodes when reproducibility
+  /// matters (the batch engine does).
+  double exact_timeout_ms = 60'000.0;
+  /// Deterministic node budget of the exact solver; 0 means unlimited.
+  std::int64_t exact_max_nodes = 0;
+  /// Cap on enumerated cycles (0 = unlimited).
+  std::size_t max_cycles = 2'000'000;
+  /// Target throughput; 0 means the ideal MST θ(G).
+  util::Rational target = util::Rational(0);
+};
+
+/// One grown queue.
+struct QueueChange {
+  std::string src;
+  std::string dst;
+  int before = 1;
+  int after = 1;
+};
+
+/// Outcome of queue sizing.
+struct Sizing {
+  util::Rational theta_ideal;
+  util::Rational theta_practical;
+  util::Rational achieved;  ///< MST of `sized`
+  bool degraded = false;    ///< false: nothing to do, `sized` == input
+  std::int64_t heuristic_total = -1;  ///< -1 when the heuristic did not run
+  double heuristic_ms = 0.0;
+  std::int64_t exact_total = -1;  ///< -1 when the exact solver did not run
+  double exact_ms = 0.0;
+  bool exact_proved = false;  ///< exact finished within its budget
+  std::size_t cycles_enumerated = 0;
+  bool truncated = false;  ///< cycle enumeration hit max_cycles
+  std::vector<QueueChange> changes;
+  Instance sized;
+};
+
+Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Relay-station insertion (Sec. VI).
+
+struct InsertRelayStationsOptions {
+  /// Maximum relay stations to add.
+  int budget = 1;
+  /// Exhaustive multiset search instead of greedy (exponential; small
+  /// systems only).
+  bool exhaustive = false;
+};
+
+struct RelayInsertion {
+  util::Rational original_ideal;   ///< θ(G) of the input — the repair target
+  util::Rational best_practical;   ///< θ(d[G]) achieved
+  int added = 0;
+  bool reached_ideal = false;
+  std::size_t configurations_tried = 0;
+  Instance repaired;
+};
+
+Result<RelayInsertion> insert_relay_stations(const Instance& instance,
+                                             const InsertRelayStationsOptions& options = {});
+
+}  // namespace lid

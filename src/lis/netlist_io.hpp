@@ -7,6 +7,11 @@
 //   channel A -> B rs=1 q=2     # rs and q are optional (defaults 0 and 1)
 //
 // Core names may contain any non-whitespace characters except '#'.
+//
+// DEPRECATED as a public entry point: new call sites should use the facade
+// in src/lid_api.hpp (lid::load_netlist / parse_netlist / save_netlist),
+// which wraps these functions with Result<T> error reporting instead of
+// exceptions. This header remains the implementation layer.
 #pragma once
 
 #include <string>

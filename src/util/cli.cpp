@@ -1,5 +1,8 @@
 #include "util/cli.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <ostream>
 #include <stdexcept>
 
 namespace lid::util {
@@ -71,6 +74,49 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
   if (v == "true" || v == "1" || v == "yes") return true;
   if (v == "false" || v == "0" || v == "no") return false;
   throw std::invalid_argument("Cli: flag --" + name + " expects a boolean, got '" + v + "'");
+}
+
+namespace {
+
+void print_usage(const std::vector<Command>& commands, const std::string& tool,
+                 std::ostream& err) {
+  err << "usage: " << tool << " <";
+  for (std::size_t i = 0; i < commands.size(); ++i) {
+    err << (i == 0 ? "" : "|") << commands[i].name;
+  }
+  err << "> [--flags]\n";
+  for (const Command& command : commands) {
+    err << "  " << command.name;
+    for (const std::string& alias : command.aliases) err << " (alias: " << alias << ")";
+    err << " — " << command.summary << "\n";
+  }
+}
+
+}  // namespace
+
+int dispatch_commands(int argc, const char* const* argv, const std::vector<Command>& commands,
+                      const std::string& tool, std::ostream& err) {
+  if (argc < 2) {
+    print_usage(commands, tool, err);
+    return 1;
+  }
+  const std::string verb = argv[1];
+  for (const Command& command : commands) {
+    const bool matches =
+        command.name == verb ||
+        std::find(command.aliases.begin(), command.aliases.end(), verb) != command.aliases.end();
+    if (!matches) continue;
+    try {
+      const Cli cli(argc - 1, argv + 1);
+      return command.run(cli);
+    } catch (const std::exception& e) {
+      err << tool << " " << command.name << ": " << e.what() << "\n";
+      return 1;
+    }
+  }
+  err << tool << ": unknown command '" << verb << "'\n";
+  print_usage(commands, tool, err);
+  return 1;
 }
 
 }  // namespace lid::util

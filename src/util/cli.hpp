@@ -1,4 +1,5 @@
-// Minimal command-line flag parsing shared by the bench and example binaries.
+// Minimal command-line flag parsing shared by the tools, bench and example
+// binaries, plus the verb-subcommand dispatcher used by lid_tool.
 //
 // Flags use the form `--name value` or `--name=value`. Unknown flags are an
 // error so typos in experiment scripts fail loudly instead of silently
@@ -6,8 +7,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <iosfwd>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace lid::util {
 
@@ -34,5 +38,25 @@ class Cli {
  private:
   std::map<std::string, std::string> values_;
 };
+
+/// One verb of a subcommand-style tool (`tool <verb> [--flags]`).
+struct Command {
+  /// Canonical verb name.
+  std::string name;
+  /// Legacy spellings that keep old invocations working (e.g. "size-queues"
+  /// for "size").
+  std::vector<std::string> aliases;
+  /// One-line description shown in the usage listing.
+  std::string summary;
+  /// The verb body; receives the flags after the verb.
+  std::function<int(const Cli&)> run;
+};
+
+/// Dispatches argv[1] to a command by name or alias, parses the remaining
+/// flags, and runs it. Prints a usage listing (to `err`) and returns 1 when
+/// the verb is missing or unknown; converts std::exception escaping the verb
+/// into a one-line error and exit code 1.
+int dispatch_commands(int argc, const char* const* argv, const std::vector<Command>& commands,
+                      const std::string& tool, std::ostream& err);
 
 }  // namespace lid::util

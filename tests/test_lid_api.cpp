@@ -1,0 +1,204 @@
+// Facade tests: Result<T> semantics, error codes, netlist round trips,
+// deterministic generation, and the analyze / size_queues /
+// insert_relay_stations workflows over opaque Instance handles.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "lid_api.hpp"
+#include "lis/paper_systems.hpp"
+#include "util/rational.hpp"
+
+namespace lid {
+namespace {
+
+using util::Rational;
+
+TEST(ResultT, HoldsValueOrError) {
+  const Result<int> ok = 42;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_TRUE(static_cast<bool>(ok));
+  EXPECT_EQ(ok.value(), 42);
+  EXPECT_EQ(*ok, 42);
+  EXPECT_EQ(ok.value_or(-1), 42);
+
+  const Result<int> bad = Error{ErrorCode::kParse, "line 3: nope"};
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kParse);
+  EXPECT_EQ(bad.value_or(-1), -1);
+  EXPECT_NE(bad.error().to_string().find("line 3"), std::string::npos);
+  EXPECT_THROW((void)bad.value(), std::invalid_argument);
+
+  const Result<int> coded(ErrorCode::kTimeout, "budget");
+  EXPECT_EQ(coded.error().code, ErrorCode::kTimeout);
+}
+
+TEST(ResultT, ErrorCodeNames) {
+  EXPECT_STREQ(to_string(ErrorCode::kIo), "io");
+  EXPECT_STREQ(to_string(ErrorCode::kParse), "parse");
+  EXPECT_STREQ(to_string(ErrorCode::kInvalidArgument), "invalid-argument");
+  EXPECT_STREQ(to_string(ErrorCode::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(ErrorCode::kInternal), "internal");
+}
+
+TEST(InstanceHandle, DefaultIsInvalidAndFailsCleanly) {
+  const Instance invalid;
+  EXPECT_FALSE(invalid.valid());
+  const Result<Analysis> a = analyze(invalid);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(size_queues(invalid).ok());
+  EXPECT_FALSE(insert_relay_stations(invalid).ok());
+  EXPECT_FALSE(netlist_text(invalid).ok());
+}
+
+TEST(InstanceHandle, WrapExposesTheGraph) {
+  const Instance two = Instance::wrap(lis::make_two_core_example(), "fig1");
+  EXPECT_TRUE(two.valid());
+  EXPECT_EQ(two.name(), "fig1");
+  EXPECT_EQ(two.num_cores(), 2u);
+  EXPECT_EQ(two.num_channels(), 2u);
+  EXPECT_EQ(two.total_relay_stations(), 1);
+  EXPECT_EQ(two.graph().num_cores(), 2u);
+}
+
+TEST(Netlist, LoadMissingFileIsIoError) {
+  const Result<Instance> missing = load_netlist("/nonexistent/void.lis");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.error().code, ErrorCode::kIo);
+}
+
+TEST(Netlist, ParseErrorsCarryParseCode) {
+  const Result<Instance> bad = parse_netlist("core A\nchannel A -> Missing\n");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.error().code, ErrorCode::kParse);
+}
+
+TEST(Netlist, TextRoundTrip) {
+  const Instance original = Instance::wrap(lis::make_two_core_example(), "fig1");
+  const Result<std::string> text = netlist_text(original);
+  ASSERT_TRUE(text.ok());
+  const Result<Instance> reparsed = parse_netlist(*text, "fig1-bis");
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*netlist_text(*reparsed), *text);
+  EXPECT_EQ(reparsed->num_cores(), original.num_cores());
+  EXPECT_EQ(reparsed->total_relay_stations(), original.total_relay_stations());
+}
+
+TEST(Netlist, SaveAndLoadRoundTrip) {
+  const std::string path = "/tmp/lid_api_roundtrip.lis";
+  const Instance original = Instance::wrap(lis::make_two_core_example());
+  ASSERT_TRUE(save_netlist(original, path).ok());
+  const Result<Instance> loaded = load_netlist(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*netlist_text(*loaded), *netlist_text(original));
+  std::remove(path.c_str());
+  EXPECT_FALSE(save_netlist(original, "/nonexistent/dir/x.lis").ok());
+}
+
+TEST(Generate, DeterministicPerSeed) {
+  GenerateOptions options;
+  options.cores = 15;
+  options.sccs = 3;
+  options.seed = 99;
+  const Result<Instance> a = generate(options);
+  const Result<Instance> b = generate(options);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*netlist_text(*a), *netlist_text(*b));
+
+  options.seed = 100;
+  const Result<Instance> c = generate(options);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*netlist_text(*a), *netlist_text(*c));
+}
+
+TEST(Generate, BadParametersAreInvalidArgument) {
+  GenerateOptions options;
+  options.cores = 2;
+  options.sccs = 10;  // more SCCs than cores
+  const Result<Instance> r = generate(options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+}
+
+TEST(Analyze, TwoCoreExampleMatchesThePaper) {
+  const Instance two = Instance::wrap(lis::make_two_core_example());
+  const Result<Analysis> a = analyze(two);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->theta_ideal, Rational(1));
+  EXPECT_EQ(a->theta_practical, Rational(2, 3));
+  EXPECT_TRUE(a->degraded);
+  EXPECT_FALSE(a->critical_cycle.empty());
+  EXPECT_TRUE(a->rate_safe);
+
+  AnalyzeOptions no_cycle;
+  no_cycle.critical_cycle = false;
+  const Result<Analysis> lean = analyze(two, no_cycle);
+  ASSERT_TRUE(lean.ok());
+  EXPECT_TRUE(lean->critical_cycle.empty());
+}
+
+TEST(Analyze, CofdmSocIsTheCaseStudy) {
+  const Instance soc = cofdm_soc();
+  ASSERT_TRUE(soc.valid());
+  EXPECT_EQ(soc.num_cores(), 12u);
+  const Result<Analysis> a = analyze(soc);
+  ASSERT_TRUE(a.ok());
+  EXPECT_LE(a->theta_practical, a->theta_ideal);
+}
+
+TEST(SizeQueues, RestoresTheIdealMst) {
+  const Instance two = Instance::wrap(lis::make_two_core_example());
+  const Result<Sizing> s = size_queues(two);
+  ASSERT_TRUE(s.ok());
+  EXPECT_TRUE(s->degraded);
+  EXPECT_EQ(s->achieved, s->theta_ideal);
+  EXPECT_GE(s->heuristic_total, 1);
+  EXPECT_GE(s->exact_total, 1);
+  EXPECT_LE(s->exact_total, s->heuristic_total);
+  ASSERT_FALSE(s->changes.empty());
+  EXPECT_GT(s->changes.front().after, s->changes.front().before);
+  // The sized instance really runs at the ideal rate.
+  const Result<Analysis> sized = analyze(s->sized);
+  ASSERT_TRUE(sized.ok());
+  EXPECT_FALSE(sized->degraded);
+}
+
+TEST(SizeQueues, UndegradedInstanceIsANoOp) {
+  const Instance sized = Instance::wrap(lis::make_two_core_example_sized());
+  const Result<Sizing> s = size_queues(sized);
+  ASSERT_TRUE(s.ok());
+  EXPECT_FALSE(s->degraded);
+  EXPECT_TRUE(s->changes.empty());
+  EXPECT_EQ(s->achieved, s->theta_ideal);
+}
+
+TEST(SizeQueues, HeuristicOnlySkipsTheExactSolver) {
+  const Instance two = Instance::wrap(lis::make_two_core_example());
+  SizeQueuesOptions options;
+  options.solver = Solver::kHeuristic;
+  const Result<Sizing> s = size_queues(two, options);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GE(s->heuristic_total, 1);
+  EXPECT_EQ(s->exact_total, -1);
+}
+
+TEST(InsertRelayStations, RepairsTheTwoCoreExample) {
+  // Start from the un-pipelined variant: drop the relay station so the
+  // channel is repairable by insertion.
+  const Instance two = Instance::wrap(lis::make_two_core_example());
+  InsertRelayStationsOptions options;
+  options.budget = 2;
+  const Result<RelayInsertion> r = insert_relay_stations(two, options);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->original_ideal, Rational(1));
+  EXPECT_GE(r->added, 0);
+  ASSERT_TRUE(r->repaired.valid());
+  EXPECT_LE(r->best_practical, r->original_ideal);
+}
+
+}  // namespace
+}  // namespace lid

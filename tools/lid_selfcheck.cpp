@@ -12,11 +12,16 @@
 //   4. queue sizing (heuristic and exact) restores the ideal MST, exact <=
 //      heuristic, and the MILP baseline agrees with the exact optimum;
 //   5. netlist serialization round-trips;
-//   6. simulated place occupancies never exceed the structural bounds.
+//   6. simulated place occupancies never exceed the structural bounds;
+//   7. the batch engine is deterministic across thread counts and its
+//      AnalysisCache agrees with the uncached per-module entry points.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <iostream>
 
 #include "core/exact_milp.hpp"
+#include "engine/analysis_cache.hpp"
+#include "engine/engine.hpp"
+#include "lid_api.hpp"
 #include "core/queue_sizing.hpp"
 #include "gen/generator.hpp"
 #include "graph/cycles.hpp"
@@ -149,6 +154,58 @@ bool check_one(std::uint64_t trial_seed, bool verbose) {
   return true;
 }
 
+// Invariant (7): batch-engine determinism across thread counts, and cache
+// agreement with the uncached entry points. Runs once per selfcheck.
+bool check_engine(std::uint64_t trial_seed) {
+  std::vector<Instance> instances;
+  util::Rng seeder(trial_seed);
+  for (int i = 0; i < 16; ++i) {
+    GenerateOptions options;
+    options.cores = 6 + i % 7;
+    options.sccs = 1 + i % 3;
+    options.extra_cycles = i % 3;
+    options.relay_stations = 1 + i % 4;
+    // The SCC placement policy needs inter-SCC channels to exist.
+    options.rs_anywhere = options.sccs == 1;
+    options.seed = seeder.fork_seed();
+    const Result<Instance> generated = lid::generate(options);
+    CHECK_OR_FAIL(generated.ok(), "engine: generate");
+    instances.push_back(*generated);
+  }
+
+  engine::EngineOptions options;
+  options.analyses = *engine::parse_analyses("all");
+  options.exact_max_nodes = 50'000;  // deterministic budget, no wall clock
+  options.threads = 1;
+  const engine::BatchResult serial = engine::BatchEngine(options).run(instances);
+  options.threads = 4;
+  const engine::BatchResult parallel = engine::BatchEngine(options).run(instances);
+  CHECK_OR_FAIL(serial.serialize() == parallel.serialize(), "engine: 1 vs 4 threads identical");
+
+  for (const engine::InstanceResult& r : serial.results) {
+    CHECK_OR_FAIL(r.error.empty(), "engine: no analysis failures");
+  }
+
+  // Cached intermediates equal their uncached counterparts.
+  for (const Instance& instance : instances) {
+    engine::AnalysisCache cache(instance.graph());
+    CHECK_OR_FAIL(cache.theta_ideal() == lis::ideal_mst(instance.graph()),
+                  "engine: cached ideal MST");
+    CHECK_OR_FAIL(cache.theta_practical() == lis::practical_mst(instance.graph()),
+                  "engine: cached practical MST");
+    const core::QsProblem& cached = cache.qs_problem();
+    const core::QsProblem fresh = core::build_qs_problem(instance.graph());
+    CHECK_OR_FAIL(cached.td.deficits == fresh.td.deficits &&
+                      cached.td.set_members == fresh.td.set_members &&
+                      cached.channels == fresh.channels,
+                  "engine: cached QS problem == fresh");
+    const std::int64_t misses = cache.misses();
+    (void)cache.qs_problem();
+    CHECK_OR_FAIL(cache.misses() == misses, "engine: repeat qs_problem is a cache hit");
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -160,6 +217,7 @@ int main(int argc, char** argv) {
 
     util::Rng seeder(seed);
     util::Timer timer;
+    if (!check_engine(seed)) return 1;
     std::int64_t trials = 0;
     while (timer.elapsed_s() < seconds) {
       if (!check_one(seeder.fork_seed(), verbose)) return 1;

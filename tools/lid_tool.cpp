@@ -1,62 +1,109 @@
-// lid_tool — command-line front end for the library.
+// lid_tool — command-line front end, built on the lid:: facade
+// (src/lid_api.hpp) and the batch engine (src/engine).
 //
-//   lid_tool analyze     --netlist sys.lis [--slack] [--rates]
-//   lid_tool size-queues --netlist sys.lis [--method heuristic|exact|both]
-//                        [--out sized.lis] [--timeout-ms N]
-//   lid_tool insert-rs   --netlist sys.lis --budget N [--out repaired.lis]
-//   lid_tool simulate    --netlist sys.lis [--periods N] [--reference core] [--vcd out.vcd]
-//   lid_tool dot         --netlist sys.lis [--doubled] [--highlight-critical]
-//   lid_tool storage     --netlist sys.lis
-//   lid_tool pareto      --netlist sys.lis [--timeout-ms N]
-//   lid_tool schedule    --netlist sys.lis [--max-periods N]
-//   lid_tool generate    --out sys.lis [--v N --s N --c N --rs N --policy scc|any
-//                        --seed N --reconvergent 0|1]
+// Verb subcommands (legacy spellings kept as aliases):
+//   lid_tool analyze   --netlist sys.lis [--slack] [--rates]
+//   lid_tool size      --netlist sys.lis [--method heuristic|exact|both]
+//                      [--out sized.lis] [--timeout-ms N] [--max-nodes N]
+//                      (alias: size-queues)
+//   lid_tool batch     [--netlists a.lis,b.lis] [--cofdm] [--count N]
+//                      [--v N --s N --c N --rs N --policy scc|any --seed N]
+//                      [--threads N] [--analyses list|all]
+//                      [--metrics] [--metrics-json file] [--out file]
+//   lid_tool export    --netlist sys.lis [--format dot|dot-doubled|text]
+//                      [--highlight-critical] [--show-queues]  (alias: dot)
+//   lid_tool gen       --out sys.lis [--v N --s N --c N --rs N
+//                      --policy scc|any --seed N --reconvergent 0|1]
+//                      (alias: generate)
+//   lid_tool insert-rs --netlist sys.lis --budget N [--out repaired.lis]
+//   lid_tool simulate  --netlist sys.lis [--periods N] [--reference core]
+//                      [--vcd out.vcd]
+//   lid_tool storage   --netlist sys.lis
+//   lid_tool pareto    --netlist sys.lis [--timeout-ms N]
+//   lid_tool schedule  --netlist sys.lis [--max-periods N]
+#include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "core/diagnostics.hpp"
 #include "core/pareto.hpp"
-#include "core/queue_sizing.hpp"
-#include "core/rate_safety.hpp"
-#include "core/rs_insertion.hpp"
 #include "core/scheduling.hpp"
 #include "core/slack.hpp"
 #include "core/storage.hpp"
-#include "gen/generator.hpp"
-#include "graph/topology.hpp"
+#include "engine/engine.hpp"
+#include "lid_api.hpp"
 #include "lis/dot_export.hpp"
-#include "lis/netlist_io.hpp"
-#include "lis/vcd_export.hpp"
 #include "lis/protocol_sim.hpp"
+#include "lis/vcd_export.hpp"
 #include "util/cli.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 namespace {
 
 using namespace lid;
 
-lis::LisGraph load(const util::Cli& cli) {
+/// Loads --netlist through the facade; throws the Result error as an
+/// exception so every verb reports failures uniformly.
+Instance load(const util::Cli& cli) {
   const std::string path = cli.get_string("netlist", "");
   if (path.empty()) throw std::invalid_argument("--netlist <file> is required");
-  return lis::load_netlist(path);
+  Result<Instance> loaded = load_netlist(path);
+  if (!loaded) throw std::runtime_error(loaded.error().to_string());
+  return *loaded;
+}
+
+template <typename T>
+T value_or_throw(Result<T> result) {
+  if (!result) throw std::runtime_error(result.error().to_string());
+  return std::move(result).value();
+}
+
+GenerateOptions generate_options(const util::Cli& cli) {
+  GenerateOptions options;
+  options.cores = static_cast<int>(cli.get_int("v", 50));
+  options.sccs = static_cast<int>(cli.get_int("s", 5));
+  options.extra_cycles = static_cast<int>(cli.get_int("c", 5));
+  options.relay_stations = static_cast<int>(cli.get_int("rs", 10));
+  options.reconvergent = cli.get_bool("reconvergent", true);
+  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string policy = cli.get_string("policy", "scc");
+  if (policy == "any") {
+    options.rs_anywhere = true;
+  } else if (policy == "scc") {
+    options.rs_anywhere = false;
+  } else {
+    throw std::invalid_argument("--policy must be scc or any");
+  }
+  return options;
 }
 
 int cmd_analyze(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
-  std::cout << "cores: " << system.num_cores() << ", channels: " << system.num_channels()
-            << ", relay stations: " << system.total_relay_stations() << "\n";
-  std::cout << "topology class: " << graph::to_string(graph::classify(system.structure()))
-            << "\n";
-  if (cli.get_bool("rates", false)) {
-    std::cout << core::analyze_rate_safety(system).to_string(system);
+  const Instance system = load(cli);
+  AnalyzeOptions options;
+  options.rate_safety = cli.get_bool("rates", false);
+  const Analysis& analysis = value_or_throw(analyze(system, options));
+  std::cout << "cores: " << analysis.cores << ", channels: " << analysis.channels
+            << ", relay stations: " << analysis.relay_stations << "\n";
+  std::cout << "topology class: " << analysis.topology << "\n";
+  if (options.rate_safety) {
+    std::cout << "rate hazards: " << analysis.rate_hazards
+              << (analysis.rate_safe ? " (ideal system safe)" : " (ideal system UNSAFE)") << "\n";
   }
-  std::cout << core::explain_degradation(system).to_string();
+  std::cout << "ideal MST " << analysis.theta_ideal << ", practical MST "
+            << analysis.theta_practical << (analysis.degraded ? "  DEGRADED" : "") << "\n";
+  if (analysis.degraded && !analysis.critical_cycle.empty()) {
+    std::cout << "critical cycle:\n";
+    for (const std::string& hop : analysis.critical_cycle) std::cout << "  " << hop << "\n";
+  }
   if (cli.get_bool("slack", false)) {
     std::cout << "wire-pipelining slack (extra relay stations each channel absorbs before\n"
                  "the ideal MST drops):\n";
     util::Table table({"channel", "slack", "ideal MST if exceeded"});
-    for (const core::ChannelSlack& s : core::channel_slacks(system)) {
-      const lis::Channel& ch = system.channel(s.channel);
-      table.add_row({system.core_name(ch.src) + " -> " + system.core_name(ch.dst),
+    const lis::LisGraph& graph = system.graph();
+    for (const core::ChannelSlack& s : core::channel_slacks(graph)) {
+      const lis::Channel& ch = graph.channel(s.channel);
+      table.add_row({graph.core_name(ch.src) + " -> " + graph.core_name(ch.dst),
                      s.slack == core::ChannelSlack::kUnbounded ? "unbounded"
                                                                : std::to_string(s.slack),
                      s.slack == core::ChannelSlack::kUnbounded
@@ -68,72 +115,177 @@ int cmd_analyze(const util::Cli& cli) {
   return 0;
 }
 
-int cmd_size_queues(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
+int cmd_size(const util::Cli& cli) {
+  const Instance system = load(cli);
   const std::string method = cli.get_string("method", "both");
-  core::QsOptions options;
+  SizeQueuesOptions options;
   if (method == "heuristic") {
-    options.method = core::QsMethod::kHeuristic;
+    options.solver = Solver::kHeuristic;
   } else if (method == "exact") {
-    options.method = core::QsMethod::kExact;
+    options.solver = Solver::kExact;
   } else if (method == "both") {
-    options.method = core::QsMethod::kBoth;
+    options.solver = Solver::kBoth;
   } else {
     throw std::invalid_argument("--method must be heuristic, exact or both");
   }
-  options.exact.timeout_ms = cli.get_double("timeout-ms", 60000.0);
-  const core::QsReport report = core::size_queues(system, options);
+  options.exact_timeout_ms = cli.get_double("timeout-ms", 60000.0);
+  options.exact_max_nodes = cli.get_int("max-nodes", 0);
+  const Sizing& sizing = value_or_throw(size_queues(system, options));
 
-  std::cout << "ideal MST " << report.problem.theta_ideal << ", practical MST "
-            << report.problem.theta_practical << "\n";
-  if (!report.problem.has_degradation()) {
+  std::cout << "ideal MST " << sizing.theta_ideal << ", practical MST " << sizing.theta_practical
+            << "\n";
+  if (!sizing.degraded) {
     std::cout << "no degradation: queues are already sufficient\n";
   } else {
-    if (report.heuristic) {
-      std::cout << "heuristic: " << report.heuristic->total_extra_tokens << " extra slot(s) in "
-                << util::Table::fmt(report.heuristic->cpu_ms, 3) << " ms\n";
+    if (sizing.heuristic_total >= 0) {
+      std::cout << "heuristic: " << sizing.heuristic_total << " extra slot(s) in "
+                << util::Table::fmt(sizing.heuristic_ms, 3) << " ms\n";
     }
-    if (report.exact) {
-      std::cout << "exact:     " << report.exact->total_extra_tokens << " extra slot(s) in "
-                << util::Table::fmt(report.exact->cpu_ms, 3) << " ms"
-                << (report.exact->finished ? "" : "  (timed out — heuristic fallback)") << "\n";
+    if (sizing.exact_total >= 0) {
+      std::cout << "exact:     " << sizing.exact_total << " extra slot(s) in "
+                << util::Table::fmt(sizing.exact_ms, 3) << " ms"
+                << (sizing.exact_proved ? "" : "  (timed out — heuristic fallback)") << "\n";
     }
-    std::cout << "achieved MST " << report.achieved_mst << "\n";
-    for (std::size_t s = 0; s < report.problem.channels.size(); ++s) {
-      const lis::ChannelId ch = report.problem.channels[s];
-      const int grown = report.sized.channel(ch).queue_capacity;
-      if (grown != system.channel(ch).queue_capacity) {
-        std::cout << "  queue of " << system.core_name(system.channel(ch).dst)
-                  << " fed by " << system.core_name(system.channel(ch).src) << ": "
-                  << system.channel(ch).queue_capacity << " -> " << grown << "\n";
-      }
+    std::cout << "achieved MST " << sizing.achieved << "\n";
+    for (const QueueChange& change : sizing.changes) {
+      std::cout << "  queue of " << change.dst << " fed by " << change.src << ": "
+                << change.before << " -> " << change.after << "\n";
     }
   }
   const std::string out = cli.get_string("out", "");
   if (!out.empty()) {
-    lis::save_netlist(report.sized, out);
+    const Status saved = save_netlist(sizing.sized, out);
+    if (!saved) throw std::runtime_error(saved.error().to_string());
     std::cout << "sized netlist written to " << out << "\n";
   }
   return 0;
 }
 
+int cmd_batch(const util::Cli& cli) {
+  std::vector<Instance> instances;
+
+  // Source 1: explicit netlist files (comma-separated).
+  const std::string netlists = cli.get_string("netlists", "");
+  std::istringstream paths(netlists);
+  std::string path;
+  while (std::getline(paths, path, ',')) {
+    if (path.empty()) continue;
+    Result<Instance> loaded = load_netlist(path);
+    if (!loaded) throw std::runtime_error(loaded.error().to_string());
+    instances.push_back(*loaded);
+  }
+
+  // Source 2: the COFDM SoC case study.
+  if (cli.get_bool("cofdm", false)) instances.push_back(cofdm_soc());
+
+  // Source 3: generated instances (the default when nothing else is given).
+  std::int64_t count = cli.get_int("count", 0);
+  if (count <= 0 && instances.empty()) count = 20;
+  if (count > 0) {
+    GenerateOptions base = generate_options(cli);
+    util::Rng seeder(base.seed);
+    for (std::int64_t i = 0; i < count; ++i) {
+      base.seed = seeder.fork_seed();
+      instances.push_back(value_or_throw(generate(base)));
+    }
+  }
+
+  engine::EngineOptions options;
+  options.threads = static_cast<int>(cli.get_int("threads", 1));
+  options.exact_max_nodes = cli.get_int("max-nodes", 200'000);
+  options.exact_timeout_ms = cli.get_double("timeout-ms", 0.0);
+  options.rs_budget = static_cast<int>(cli.get_int("rs-budget", 2));
+  options.max_cycles = static_cast<std::size_t>(cli.get_int("max-cycles", 500'000));
+  options.analyses = value_or_throw(
+      engine::parse_analyses(cli.get_string("analyses", "mst-ideal,mst-practical,qs-heuristic")));
+
+  const engine::BatchEngine batch_engine(options);
+  const engine::BatchResult batch = batch_engine.run(instances);
+
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) {
+    std::cout << batch.serialize();
+  } else {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot open '" + out + "' for writing");
+    file << batch.serialize();
+    std::cout << "batch results written to " << out << "\n";
+  }
+
+  if (cli.get_bool("metrics", false)) batch.metrics.print(std::cout);
+  const std::string metrics_json = cli.get_string("metrics-json", "");
+  if (!metrics_json.empty()) {
+    std::ofstream file(metrics_json);
+    if (!file) throw std::runtime_error("cannot open '" + metrics_json + "' for writing");
+    file << batch.metrics.to_json();
+    std::cout << "metrics written to " << metrics_json << "\n";
+  }
+
+  for (const engine::InstanceResult& r : batch.results) {
+    if (!r.error.empty()) return 2;
+  }
+  return 0;
+}
+
+int cmd_export(const util::Cli& cli) {
+  const Instance system = load(cli);
+  std::string format = cli.get_string("format", "dot");
+  if (cli.get_bool("doubled", false)) format = "dot-doubled";  // legacy spelling
+  if (format == "text") {
+    std::cout << value_or_throw(netlist_text(system));
+    return 0;
+  }
+  if (format == "dot-doubled") {
+    std::cout << lis::marked_graph_to_dot(lis::expand_doubled(system.graph()).graph);
+    return 0;
+  }
+  if (format != "dot") {
+    throw std::invalid_argument("--format must be dot, dot-doubled or text");
+  }
+  lis::DotOptions options;
+  options.always_show_queues = cli.get_bool("show-queues", false);
+  if (cli.get_bool("highlight-critical", false)) {
+    // The facade's critical-cycle strings are for humans; the highlight needs
+    // channel ids, so this one path stays on the low-level report.
+    for (const core::CriticalHop& hop : core::explain_degradation(system.graph()).critical_cycle) {
+      if (hop.channel != graph::kInvalidEdge) options.highlight.push_back(hop.channel);
+    }
+  }
+  std::cout << lis::to_dot(system.graph(), options);
+  return 0;
+}
+
+int cmd_gen(const util::Cli& cli) {
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) throw std::invalid_argument("--out <file> is required");
+  const Instance generated = value_or_throw(generate(generate_options(cli)));
+  const Status saved = save_netlist(generated, out);
+  if (!saved) throw std::runtime_error(saved.error().to_string());
+  std::cout << "generated netlist written to " << out << "\n";
+  return 0;
+}
+
 int cmd_insert_rs(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
-  const int budget = static_cast<int>(cli.get_int("budget", 1));
-  const core::RsInsertionResult result = core::greedy_rs_insertion(system, budget);
+  const Instance system = load(cli);
+  InsertRelayStationsOptions options;
+  options.budget = static_cast<int>(cli.get_int("budget", 1));
+  options.exhaustive = cli.get_bool("exhaustive", false);
+  const RelayInsertion& result = value_or_throw(insert_relay_stations(system, options));
   std::cout << "original ideal MST " << result.original_ideal << "\n";
-  std::cout << "added " << result.relay_stations_added << " relay station(s); practical MST "
+  std::cout << "added " << result.added << " relay station(s); practical MST "
             << result.best_practical << (result.reached_ideal ? " (ideal reached)" : "") << "\n";
   const std::string out = cli.get_string("out", "");
   if (!out.empty()) {
-    lis::save_netlist(result.best, out);
+    const Status saved = save_netlist(result.repaired, out);
+    if (!saved) throw std::runtime_error(saved.error().to_string());
     std::cout << "repaired netlist written to " << out << "\n";
   }
   return result.reached_ideal ? 0 : 2;
 }
 
 int cmd_simulate(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
+  const Instance instance = load(cli);
+  const lis::LisGraph& system = instance.graph();
   lis::ProtocolOptions options;
   options.periods = static_cast<std::size_t>(cli.get_int("periods", 10000));
   const std::string reference = cli.get_string("reference", "");
@@ -161,25 +313,9 @@ int cmd_simulate(const util::Cli& cli) {
   return 0;
 }
 
-int cmd_dot(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
-  if (cli.get_bool("doubled", false)) {
-    std::cout << lis::marked_graph_to_dot(lis::expand_doubled(system).graph);
-    return 0;
-  }
-  lis::DotOptions options;
-  options.always_show_queues = cli.get_bool("show-queues", false);
-  if (cli.get_bool("highlight-critical", false)) {
-    for (const core::CriticalHop& hop : core::explain_degradation(system).critical_cycle) {
-      if (hop.channel != graph::kInvalidEdge) options.highlight.push_back(hop.channel);
-    }
-  }
-  std::cout << lis::to_dot(system, options);
-  return 0;
-}
-
 int cmd_storage(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
+  const Instance instance = load(cli);
+  const lis::LisGraph& system = instance.graph();
   util::Table table({"channel", "q", "relay stations", "worst-case occupancy"});
   for (const core::ChannelStorage& s : core::storage_bounds(system)) {
     const lis::Channel& ch = system.channel(s.channel);
@@ -194,11 +330,11 @@ int cmd_storage(const util::Cli& cli) {
 }
 
 int cmd_pareto(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
+  const Instance instance = load(cli);
   core::ParetoOptions options;
   options.exact.timeout_ms = cli.get_double("timeout-ms", 60000.0);
   util::Table table({"extra queue slots", "achieved MST"});
-  for (const core::ParetoPoint& point : core::qs_pareto_frontier(system, options)) {
+  for (const core::ParetoPoint& point : core::qs_pareto_frontier(instance.graph(), options)) {
     table.add_row({std::to_string(point.extra_tokens), point.achieved_mst.to_string()});
   }
   table.print(std::cout);
@@ -206,7 +342,8 @@ int cmd_pareto(const util::Cli& cli) {
 }
 
 int cmd_schedule(const util::Cli& cli) {
-  const lis::LisGraph system = load(cli);
+  const Instance instance = load(cli);
+  const lis::LisGraph& system = instance.graph();
   const core::StaticSchedule schedule = core::compute_static_schedule(
       system, static_cast<std::size_t>(cli.get_int("max-periods", 20000)));
   if (!schedule.found) {
@@ -232,57 +369,20 @@ int cmd_schedule(const util::Cli& cli) {
   return 0;
 }
 
-int cmd_generate(const util::Cli& cli) {
-  const std::string out = cli.get_string("out", "");
-  if (out.empty()) throw std::invalid_argument("--out <file> is required");
-  gen::GeneratorParams params;
-  params.vertices = static_cast<int>(cli.get_int("v", 50));
-  params.sccs = static_cast<int>(cli.get_int("s", 5));
-  params.min_cycles = static_cast<int>(cli.get_int("c", 5));
-  params.relay_stations = static_cast<int>(cli.get_int("rs", 10));
-  params.reconvergent = cli.get_bool("reconvergent", true);
-  const std::string policy = cli.get_string("policy", "scc");
-  if (policy == "scc") {
-    params.policy = gen::RsPolicy::kScc;
-  } else if (policy == "any") {
-    params.policy = gen::RsPolicy::kAny;
-  } else {
-    throw std::invalid_argument("--policy must be scc or any");
-  }
-  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 1)));
-  lis::save_netlist(gen::generate(params, rng), out);
-  std::cout << "generated netlist written to " << out << "\n";
-  return 0;
-}
-
-void usage() {
-  std::cout << "usage: lid_tool <analyze|size-queues|insert-rs|simulate|dot|storage|pareto|schedule|generate> "
-               "[--flags]\n  see the header of tools/lid_tool.cpp for details\n";
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
-    usage();
-    return 1;
-  }
-  const std::string command = argv[1];
-  try {
-    const util::Cli cli(argc - 1, argv + 1);
-    if (command == "analyze") return cmd_analyze(cli);
-    if (command == "size-queues") return cmd_size_queues(cli);
-    if (command == "insert-rs") return cmd_insert_rs(cli);
-    if (command == "simulate") return cmd_simulate(cli);
-    if (command == "dot") return cmd_dot(cli);
-    if (command == "storage") return cmd_storage(cli);
-    if (command == "pareto") return cmd_pareto(cli);
-    if (command == "schedule") return cmd_schedule(cli);
-    if (command == "generate") return cmd_generate(cli);
-    usage();
-    return 1;
-  } catch (const std::exception& e) {
-    std::cerr << "lid_tool " << command << ": " << e.what() << "\n";
-    return 1;
-  }
+  const std::vector<util::Command> commands = {
+      {"analyze", {}, "throughput, topology class, critical cycle, rate safety", cmd_analyze},
+      {"size", {"size-queues"}, "queue sizing (heuristic / exact / both)", cmd_size},
+      {"batch", {}, "parallel batch analysis over many instances, with metrics", cmd_batch},
+      {"export", {"dot"}, "GraphViz / netlist-text export", cmd_export},
+      {"gen", {"generate"}, "synthetic netlist generator (Sec. VIII)", cmd_gen},
+      {"insert-rs", {}, "relay-station insertion repair (Sec. VI)", cmd_insert_rs},
+      {"simulate", {}, "cycle-accurate protocol simulation", cmd_simulate},
+      {"storage", {}, "worst-case per-channel storage bounds", cmd_storage},
+      {"pareto", {}, "cost vs throughput frontier of queue sizing", cmd_pareto},
+      {"schedule", {}, "static schedule baseline (Casu–Macchiarulo)", cmd_schedule},
+  };
+  return util::dispatch_commands(argc, argv, commands, "lid_tool", std::cerr);
 }
