@@ -1,0 +1,118 @@
+// Micro-benchmarks for the lid_serve subsystem: wire-protocol parse and
+// serialize costs, pure in-process request execution (the work a server
+// worker does per request), and full socket round trips through a running
+// in-process server over a Unix socket — the serving overhead on top of the
+// analysis itself.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "lid_api.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+
+namespace {
+
+using namespace lid;
+
+std::string analyze_request_line(int cores, std::uint64_t seed) {
+  GenerateOptions options;
+  options.cores = cores;
+  options.sccs = 3;
+  options.extra_cycles = 2;
+  options.relay_stations = 5;
+  options.seed = seed;
+  const Result<Instance> instance = generate(options);
+  const Result<std::string> text = netlist_text(*instance);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(1).key("verb").value("analyze").key("netlist").value(*text);
+  w.end_object();
+  return w.str();
+}
+
+void BM_ParseRequest(benchmark::State& state) {
+  const std::string line = analyze_request_line(static_cast<int>(state.range(0)), 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::parse_request(line));
+  }
+  state.counters["bytes"] = static_cast<double>(line.size());
+}
+BENCHMARK(BM_ParseRequest)->Arg(20)->Arg(100);
+
+void BM_ExecuteAnalyze(benchmark::State& state) {
+  const std::string line = analyze_request_line(static_cast<int>(state.range(0)), 7);
+  const Result<serve::Request> request = serve::parse_request(line);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::execute(*request));
+  }
+}
+BENCHMARK(BM_ExecuteAnalyze)->Arg(20)->Arg(100);
+
+void BM_ResponseSerialize(benchmark::State& state) {
+  const std::string line = analyze_request_line(50, 7);
+  const Result<serve::Request> request = serve::parse_request(line);
+  const serve::Outcome outcome = serve::execute(*request);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::response_line(*request, outcome, 1.0, 0.1));
+  }
+}
+BENCHMARK(BM_ResponseSerialize);
+
+/// One client, blocking request/response over a Unix socket: measures the
+/// full serving overhead (framing, queueing, scheduling, write-back) around
+/// the same execute() measured above.
+void BM_SocketRoundTrip(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.unix_socket = "/tmp/lid_bench_serve.sock";
+  options.workers = static_cast<int>(state.range(0));
+  serve::Server server(options);
+  if (!server.start()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  Result<serve::Client> connected = serve::Client::connect_unix(options.unix_socket);
+  if (!connected) {
+    state.SkipWithError("client failed to connect");
+    return;
+  }
+  serve::Client client = std::move(connected).value();
+  const std::string line = analyze_request_line(20, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call(line));
+  }
+  client.close();
+  server.stop();
+}
+BENCHMARK(BM_SocketRoundTrip)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+void BM_PingRoundTrip(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.unix_socket = "/tmp/lid_bench_ping.sock";
+  options.workers = 1;
+  serve::Server server(options);
+  if (!server.start()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  Result<serve::Client> connected = serve::Client::connect_unix(options.unix_socket);
+  if (!connected) {
+    state.SkipWithError("client failed to connect");
+    return;
+  }
+  serve::Client client = std::move(connected).value();
+  const std::string line = R"({"id": 1, "verb": "ping"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call(line));
+  }
+  client.close();
+  server.stop();
+}
+BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,41 +1,18 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
-#include <deque>
 #include <exception>
-#include <mutex>
 #include <sstream>
-#include <thread>
 
 #include "core/qs_problem.hpp"
 #include "core/queue_sizing.hpp"
 #include "core/rate_safety.hpp"
 #include "core/rs_insertion.hpp"
 #include "engine/analysis_cache.hpp"
+#include "engine/task_pool.hpp"
 
 namespace lid::engine {
 namespace {
-
-/// A mutex-guarded queue of instance indices. Closed once prefilled, so
-/// pop() returning nullopt means the batch is drained.
-class WorkQueue {
- public:
-  explicit WorkQueue(std::size_t n) {
-    for (std::size_t i = 0; i < n; ++i) items_.push_back(i);
-  }
-
-  std::optional<std::size_t> pop() {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    const std::size_t index = items_.front();
-    items_.pop_front();
-    return index;
-  }
-
- private:
-  std::mutex mutex_;
-  std::deque<std::size_t> items_;
-};
 
 core::QsOptions qs_options_for(const EngineOptions& options, core::QsMethod method) {
   core::QsOptions qs;
@@ -211,28 +188,23 @@ BatchResult BatchEngine::run(const std::vector<Instance>& instances) const {
   batch.results.resize(instances.size());
   for (std::size_t i = 0; i < instances.size(); ++i) batch.results[i].index = i;
 
-  WorkQueue queue(instances.size());
   const int workers =
       static_cast<int>(std::min<std::size_t>(static_cast<std::size_t>(options_.threads),
                                              std::max<std::size_t>(instances.size(), 1)));
   std::vector<Metrics> worker_metrics(static_cast<std::size_t>(workers));
 
-  const auto worker = [&](int id) {
-    Metrics& metrics = worker_metrics[static_cast<std::size_t>(id)];
-    while (const std::optional<std::size_t> index = queue.pop()) {
+  // One task per instance on the shared pool; tasks are enqueued in input
+  // order and results land in preassigned slots, so serialize() stays
+  // byte-identical at any thread count.
+  TaskPool pool(TaskPool::Options{workers, /*queue_capacity=*/0});
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    pool.submit([&, i](const TaskPool::Context& context) {
+      Metrics& metrics = worker_metrics[static_cast<std::size_t>(context.worker)];
       const Metrics::ScopedStage timer(metrics, "instance_total");
-      analyze_one(options_, instances[*index], batch.results[*index], metrics);
-    }
-  };
-
-  if (workers <= 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(static_cast<std::size_t>(workers));
-    for (int id = 0; id < workers; ++id) pool.emplace_back(worker, id);
-    for (std::thread& t : pool) t.join();
+      analyze_one(options_, instances[i], batch.results[i], metrics);
+    });
   }
+  pool.drain();
 
   batch.metrics.count("threads", workers);
   for (const Metrics& m : worker_metrics) batch.metrics.merge(m);

@@ -2,8 +2,8 @@
 
 #include <ctime>
 #include <ostream>
-#include <sstream>
 
+#include "util/json.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
@@ -97,23 +97,22 @@ std::map<std::string, Metrics::StageStats> Metrics::stages() const {
 std::string Metrics::to_json() const {
   const std::map<std::string, std::int64_t> counters = this->counters();
   const std::map<std::string, StageStats> stages = this->stages();
-  std::ostringstream out;
-  out << "{\n  \"counters\": {";
-  bool first = true;
-  for (const auto& [name, value] : counters) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": " << value;
-    first = false;
-  }
-  out << (first ? "" : "\n  ") << "},\n  \"stages\": {";
-  first = true;
+  util::JsonWriter w(2);
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.key(name).value(value);
+  w.end_object();
+  w.key("stages").begin_object();
   for (const auto& [name, stats] : stages) {
-    out << (first ? "" : ",") << "\n    \"" << name << "\": {\"calls\": " << stats.calls
-        << ", \"wall_ms\": " << util::Table::fmt(stats.wall_ms, 3)
-        << ", \"cpu_ms\": " << util::Table::fmt(stats.cpu_ms, 3) << "}";
-    first = false;
+    w.key(name).begin_object();
+    w.key("calls").value(stats.calls);
+    w.key("wall_ms").value_fixed(stats.wall_ms, 3);
+    w.key("cpu_ms").value_fixed(stats.cpu_ms, 3);
+    w.end_object();
   }
-  out << (first ? "" : "\n  ") << "}\n}\n";
-  return out.str();
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
 }
 
 void Metrics::print(std::ostream& os) const {

@@ -1,0 +1,94 @@
+#include "engine/task_pool.hpp"
+
+#include <algorithm>
+
+namespace lid::engine {
+
+TaskPool::TaskPool(Options options) : options_(options) {
+  options_.threads = std::max(1, options_.threads);
+  workers_.reserve(static_cast<std::size_t>(options_.threads));
+  for (int i = 0; i < options_.threads; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() { drain(); }
+
+TaskPool::Submit TaskPool::submit(Task task, double deadline_ms) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_) return Submit::kClosed;
+    if (options_.queue_capacity > 0 && queue_.size() >= options_.queue_capacity) {
+      ++shed_;
+      return Submit::kShed;
+    }
+    queue_.push_back(Entry{std::move(task), deadline_ms, util::Timer()});
+    ++submitted_;
+  }
+  ready_.notify_one();
+  return Submit::kAccepted;
+}
+
+void TaskPool::drain() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ && workers_.empty()) return;
+    closed_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+}
+
+void TaskPool::worker_loop(int worker_index) {
+  while (true) {
+    Entry entry;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // closed_ and drained
+      entry = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Context context;
+    context.worker = worker_index;
+    context.queue_wait_ms = entry.queued_at.elapsed_ms();
+    context.deadline_expired =
+        entry.deadline_ms > 0.0 && context.queue_wait_ms >= entry.deadline_ms;
+    entry.task(context);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++executed_;
+      if (context.deadline_expired) ++expired_;
+    }
+  }
+}
+
+std::size_t TaskPool::queue_depth() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+std::int64_t TaskPool::submitted() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return submitted_;
+}
+
+std::int64_t TaskPool::shed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::int64_t TaskPool::executed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return executed_;
+}
+
+std::int64_t TaskPool::expired() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return expired_;
+}
+
+}  // namespace lid::engine

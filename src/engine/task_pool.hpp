@@ -1,0 +1,109 @@
+// The engine's persistent worker pool.
+//
+// BatchEngine (one-shot batches) and serve::Server (long-running daemon)
+// both execute on this pool. It is a fixed set of std::threads over one
+// mutex-guarded FIFO with three properties the serving path depends on:
+//
+//   * bounded admission — an optional queue capacity; submit() on a full
+//     queue returns kShed immediately instead of blocking or growing the
+//     queue without bound, which is the server's load-shedding primitive;
+//   * submit-with-deadline — each task may carry a wall-clock deadline,
+//     measured from enqueue; a task whose deadline has already expired when
+//     a worker picks it up is still invoked, but with
+//     Context::deadline_expired set, so the caller can answer
+//     `deadline_exceeded` without paying for the work (the work itself is
+//     bounded by deterministic node budgets, keeping results reproducible);
+//   * queue-depth hooks — queue_depth()/submitted()/shed()/executed() are
+//     cheap snapshots for admission decisions and the `stats` verb.
+//
+// drain() closes admission, waits for every queued and in-flight task to
+// finish, and joins the workers; it is the graceful-shutdown path (SIGTERM)
+// as well as how BatchEngine ends a batch.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace lid::engine {
+
+class TaskPool {
+ public:
+  struct Options {
+    /// Fixed worker count; values < 1 are clamped to 1.
+    int threads = 1;
+    /// Max queued (not yet started) tasks; 0 = unbounded.
+    std::size_t queue_capacity = 0;
+  };
+
+  /// Handed to every task when it runs.
+  struct Context {
+    /// Stable worker index in [0, threads) — e.g. to index per-worker
+    /// metrics without locking.
+    int worker = 0;
+    /// True when the task's deadline elapsed while it sat in the queue.
+    bool deadline_expired = false;
+    /// Milliseconds the task waited between submit() and execution.
+    double queue_wait_ms = 0.0;
+  };
+
+  using Task = std::function<void(const Context&)>;
+
+  enum class Submit {
+    kAccepted,  ///< queued; the task will run
+    kShed,      ///< bounded queue full; the task was rejected and dropped
+    kClosed,    ///< pool is draining/stopped; the task was rejected
+  };
+
+  explicit TaskPool(Options options);
+  /// Drains implicitly if drain() was not called.
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues `task`. `deadline_ms` <= 0 means no deadline.
+  Submit submit(Task task, double deadline_ms = 0.0);
+
+  /// Closes admission and blocks until all queued + running tasks finished
+  /// and the workers joined. Idempotent.
+  void drain();
+
+  [[nodiscard]] int threads() const { return static_cast<int>(workers_.size()); }
+  [[nodiscard]] std::size_t queue_capacity() const { return options_.queue_capacity; }
+
+  // Counter snapshots (monotonic except queue_depth).
+  [[nodiscard]] std::size_t queue_depth() const;
+  [[nodiscard]] std::int64_t submitted() const;
+  [[nodiscard]] std::int64_t shed() const;
+  [[nodiscard]] std::int64_t executed() const;
+  [[nodiscard]] std::int64_t expired() const;
+
+ private:
+  struct Entry {
+    Task task;
+    double deadline_ms = 0.0;
+    util::Timer queued_at;
+  };
+
+  void worker_loop(int worker_index);
+
+  Options options_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<Entry> queue_;
+  bool closed_ = false;
+  std::int64_t submitted_ = 0;
+  std::int64_t shed_ = 0;
+  std::int64_t executed_ = 0;
+  std::int64_t expired_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace lid::engine

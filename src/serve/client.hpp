@@ -1,0 +1,46 @@
+// A minimal blocking client for the lid_serve wire protocol, shared by the
+// `lid_tool client` verb, the load generator, the serve tests and the
+// selfcheck invariant. One connection, line-framed: send a request line,
+// read response lines.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lid_api.hpp"
+
+namespace lid::serve {
+
+class Client {
+ public:
+  static Result<Client> connect_unix(const std::string& path);
+  static Result<Client> connect_tcp(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Writes `line` (a newline is appended if missing).
+  Status send_line(const std::string& line);
+
+  /// Blocks until one full response line arrives (without the newline).
+  /// kIo on EOF/disconnect.
+  Result<std::string> recv_line();
+
+  /// send_line + recv_line. Correct only while requests are issued one at a
+  /// time on this connection (responses may interleave otherwise — match by
+  /// id in that case).
+  Result<std::string> call(const std::string& line);
+
+  void close();
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace lid::serve

@@ -1,0 +1,70 @@
+#include "serve/histogram.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace lid::serve {
+
+double LatencyHistogram::bucket_edge_ms(std::size_t i) {
+  double edge = 0.001;
+  for (std::size_t k = 0; k < i; ++k) edge *= 2.0;
+  return edge;
+}
+
+void LatencyHistogram::record(double ms) {
+  std::size_t bucket = 0;
+  double edge = 0.001;
+  while (bucket + 1 < kBuckets && ms > edge) {
+    edge *= 2.0;
+    ++bucket;
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++buckets_[bucket];
+  ++count_;
+  max_ms_ = std::max(max_ms_, ms);
+}
+
+std::int64_t LatencyHistogram::count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return count_;
+}
+
+double LatencyHistogram::quantile_ms(double q) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double seen = 0.0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    const double next = seen + static_cast<double>(buckets_[i]);
+    if (next >= target) {
+      // Interpolate inside [lower, upper) by rank position.
+      const double lower = i == 0 ? 0.0 : bucket_edge_ms(i - 1);
+      const double upper = std::min(bucket_edge_ms(i), max_ms_);
+      const double frac =
+          buckets_[i] == 0 ? 0.0 : (target - seen) / static_cast<double>(buckets_[i]);
+      return lower + frac * std::max(0.0, upper - lower);
+    }
+    seen = next;
+  }
+  return max_ms_;
+}
+
+std::string LatencyHistogram::to_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("count").value(count());
+  w.key("p50_ms").value_fixed(quantile_ms(0.50), 3);
+  w.key("p95_ms").value_fixed(quantile_ms(0.95), 3);
+  w.key("p99_ms").value_fixed(quantile_ms(0.99), 3);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    w.key("max_ms").value_fixed(max_ms_, 3);
+  }
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lid::serve

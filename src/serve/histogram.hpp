@@ -1,0 +1,39 @@
+// A fixed-bucket latency histogram for the server's `stats` verb.
+//
+// Buckets are log-spaced (powers of two of 0.001 ms up to ~17 minutes), so
+// recording is O(1) and lock-held time is a few instructions. Quantiles are
+// interpolated within the winning bucket — approximate, but plenty for a
+// load-shedding dashboard; the load generator keeps exact client-side
+// samples when precision matters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+namespace lid::serve {
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 30;
+  /// Upper edge of bucket `i` in milliseconds: 0.001 * 2^i.
+  static double bucket_edge_ms(std::size_t i);
+
+  void record(double ms);
+
+  [[nodiscard]] std::int64_t count() const;
+  /// Approximate quantile (q in [0, 1]); 0 when empty.
+  [[nodiscard]] double quantile_ms(double q) const;
+
+  /// {"count": n, "p50_ms": ..., "p95_ms": ..., "p99_ms": ..., "max_ms": ...}
+  [[nodiscard]] std::string to_json() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::array<std::int64_t, kBuckets> buckets_{};
+  std::int64_t count_ = 0;
+  double max_ms_ = 0.0;
+};
+
+}  // namespace lid::serve

@@ -1,0 +1,455 @@
+#include "serve/protocol.hpp"
+
+#include <chrono>
+#include <limits>
+#include <thread>
+#include <utility>
+
+namespace lid::serve {
+namespace {
+
+/// Pulls typed, range-checked arguments out of a request object. The first
+/// violation is latched; callers check `error()` once after reading
+/// everything.
+class ArgReader {
+ public:
+  explicit ArgReader(const util::Json& args) : args_(args) {}
+
+  [[nodiscard]] bool failed() const { return !error_.empty(); }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] const std::string& error_code() const { return code_; }
+
+  std::int64_t get_int(const char* key, std::int64_t fallback, std::int64_t min,
+                       std::int64_t max) {
+    const util::Json* v = args_.find(key);
+    if (v == nullptr || v->is_null()) return fallback;
+    if (!v->is_number()) {
+      fail(codes::kInvalidArgument, std::string("'") + key + "' must be a number");
+      return fallback;
+    }
+    const std::int64_t value = v->as_int();
+    if (value < min || value > max) {
+      fail(codes::kInvalidArgument, std::string("'") + key + "' must be in [" +
+                                        std::to_string(min) + ", " + std::to_string(max) +
+                                        "], got " + std::to_string(value));
+      return fallback;
+    }
+    return value;
+  }
+
+  bool get_bool(const char* key, bool fallback) {
+    const util::Json* v = args_.find(key);
+    if (v == nullptr || v->is_null()) return fallback;
+    if (!v->is_bool()) {
+      fail(codes::kInvalidArgument, std::string("'") + key + "' must be a boolean");
+      return fallback;
+    }
+    return v->as_bool();
+  }
+
+  std::string get_string(const char* key, const std::string& fallback) {
+    const util::Json* v = args_.find(key);
+    if (v == nullptr || v->is_null()) return fallback;
+    if (!v->is_string()) {
+      fail(codes::kInvalidArgument, std::string("'") + key + "' must be a string");
+      return fallback;
+    }
+    return v->as_string();
+  }
+
+  /// The required embedded netlist text, with the size limit applied.
+  std::string get_netlist(const ExecLimits& limits) {
+    const util::Json* v = args_.find("netlist");
+    if (v == nullptr || !v->is_string()) {
+      fail(codes::kInvalidArgument, "'netlist' (string) is required");
+      return {};
+    }
+    if (v->as_string().size() > limits.max_netlist_bytes) {
+      fail(codes::kTooLarge, "netlist of " + std::to_string(v->as_string().size()) +
+                                 " bytes exceeds the limit of " +
+                                 std::to_string(limits.max_netlist_bytes));
+      return {};
+    }
+    return v->as_string();
+  }
+
+  void fail(const char* code, std::string message) {
+    if (error_.empty()) {
+      code_ = code;
+      error_ = std::move(message);
+    }
+  }
+
+ private:
+  const util::Json& args_;
+  std::string code_;
+  std::string error_;
+};
+
+Outcome arg_failure(const ArgReader& reader) {
+  return Outcome::failure(reader.error_code(), reader.error());
+}
+
+Outcome from_error(const Error& error) {
+  return Outcome::failure(wire_code(error.code), error.message);
+}
+
+void instance_summary(util::JsonWriter& w, const Instance& instance) {
+  w.key("cores").value(instance.num_cores());
+  w.key("channels").value(instance.num_channels());
+  w.key("relay_stations").value(instance.total_relay_stations());
+}
+
+Outcome do_ping() {
+  util::JsonWriter w;
+  w.begin_object().key("pong").value(true).end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_sleep(ArgReader& reader, const ExecLimits& limits) {
+  const std::int64_t ms = reader.get_int("ms", 0, 0, limits.max_sleep_ms);
+  if (reader.failed()) return arg_failure(reader);
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  util::JsonWriter w;
+  w.begin_object().key("slept_ms").value(ms).end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_parse(ArgReader& reader, const ExecLimits& limits) {
+  const std::string text = reader.get_netlist(limits);
+  if (reader.failed()) return arg_failure(reader);
+  const Result<Instance> parsed = parse_netlist(text);
+  if (!parsed) return from_error(parsed.error());
+  const Result<std::string> canonical = netlist_text(*parsed);
+  if (!canonical) return from_error(canonical.error());
+  util::JsonWriter w;
+  w.begin_object();
+  instance_summary(w, *parsed);
+  w.key("netlist").value(*canonical);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_generate(ArgReader& reader, const ExecLimits& limits) {
+  GenerateOptions options;
+  options.cores = static_cast<int>(reader.get_int("v", options.cores, 1, limits.max_gen_cores));
+  options.sccs = static_cast<int>(reader.get_int("s", options.sccs, 1, limits.max_gen_cores));
+  options.extra_cycles =
+      static_cast<int>(reader.get_int("c", options.extra_cycles, 0, limits.max_gen_cores));
+  options.relay_stations =
+      static_cast<int>(reader.get_int("rs", options.relay_stations, 0, limits.max_gen_cores));
+  options.queue_capacity = static_cast<int>(reader.get_int("q", options.queue_capacity, 1, 1024));
+  options.seed = static_cast<std::uint64_t>(
+      reader.get_int("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+  options.reconvergent = reader.get_bool("reconvergent", options.reconvergent);
+  const std::string policy = reader.get_string("policy", "scc");
+  if (policy == "any") {
+    options.rs_anywhere = true;
+  } else if (policy != "scc") {
+    reader.fail(codes::kInvalidArgument, "'policy' must be \"scc\" or \"any\"");
+  }
+  if (reader.failed()) return arg_failure(reader);
+
+  const Result<Instance> generated = generate(options);
+  if (!generated) return from_error(generated.error());
+  const Result<std::string> text = netlist_text(*generated);
+  if (!text) return from_error(text.error());
+  util::JsonWriter w;
+  w.begin_object();
+  instance_summary(w, *generated);
+  w.key("netlist").value(*text);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_analyze(ArgReader& reader, const ExecLimits& limits) {
+  const std::string text = reader.get_netlist(limits);
+  AnalyzeOptions options;
+  options.critical_cycle = reader.get_bool("critical_cycle", true);
+  options.rate_safety = reader.get_bool("rate_safety", true);
+  if (reader.failed()) return arg_failure(reader);
+  const Result<Instance> parsed = parse_netlist(text);
+  if (!parsed) return from_error(parsed.error());
+  const Result<Analysis> analysis = analyze(*parsed, options);
+  if (!analysis) return from_error(analysis.error());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("cores").value(analysis->cores);
+  w.key("channels").value(analysis->channels);
+  w.key("relay_stations").value(analysis->relay_stations);
+  w.key("topology").value(analysis->topology);
+  w.key("theta_ideal").value(analysis->theta_ideal.to_string());
+  w.key("theta_practical").value(analysis->theta_practical.to_string());
+  w.key("degraded").value(analysis->degraded);
+  if (options.critical_cycle) {
+    w.key("critical_cycle").begin_array();
+    for (const std::string& hop : analysis->critical_cycle) w.value(hop);
+    w.end_array();
+  }
+  if (options.rate_safety) {
+    w.key("rate_hazards").value(analysis->rate_hazards);
+    w.key("rate_safe").value(analysis->rate_safe);
+  }
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits) {
+  const std::string text = reader.get_netlist(limits);
+  SizeQueuesOptions options;
+  const std::string solver = reader.get_string("solver", "both");
+  if (solver == "heuristic") {
+    options.solver = Solver::kHeuristic;
+  } else if (solver == "exact") {
+    options.solver = Solver::kExact;
+  } else if (solver == "both") {
+    options.solver = Solver::kBoth;
+  } else {
+    reader.fail(codes::kInvalidArgument, "'solver' must be \"heuristic\", \"exact\" or \"both\"");
+  }
+  // Deterministic node budget only — no wall clock — so the response is a
+  // pure function of the request. 0 ("unlimited") is clamped to the server
+  // cap to keep a single request from monopolizing a worker.
+  std::int64_t max_nodes =
+      reader.get_int("max_nodes", limits.exact_max_nodes, 0, limits.exact_max_nodes);
+  if (max_nodes == 0) max_nodes = limits.exact_max_nodes;
+  options.exact_max_nodes = max_nodes;
+  options.exact_timeout_ms = 0.0;
+  std::int64_t max_cycles =
+      reader.get_int("max_cycles", static_cast<std::int64_t>(limits.max_cycles), 0,
+                     static_cast<std::int64_t>(limits.max_cycles));
+  if (max_cycles == 0) max_cycles = static_cast<std::int64_t>(limits.max_cycles);
+  options.max_cycles = static_cast<std::size_t>(max_cycles);
+  if (reader.failed()) return arg_failure(reader);
+
+  const Result<Instance> parsed = parse_netlist(text);
+  if (!parsed) return from_error(parsed.error());
+  const Result<Sizing> sizing = size_queues(*parsed, options);
+  if (!sizing) return from_error(sizing.error());
+  const Result<std::string> sized_text = netlist_text(sizing->sized);
+  if (!sized_text) return from_error(sized_text.error());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("theta_ideal").value(sizing->theta_ideal.to_string());
+  w.key("theta_practical").value(sizing->theta_practical.to_string());
+  w.key("degraded").value(sizing->degraded);
+  if (sizing->heuristic_total >= 0) w.key("heuristic_total").value(sizing->heuristic_total);
+  if (sizing->exact_total >= 0) {
+    w.key("exact_total").value(sizing->exact_total);
+    w.key("exact_proved").value(sizing->exact_proved);
+  }
+  w.key("achieved").value(sizing->achieved.to_string());
+  w.key("cycles_enumerated").value(sizing->cycles_enumerated);
+  w.key("truncated").value(sizing->truncated);
+  w.key("changes").begin_array();
+  for (const QueueChange& change : sizing->changes) {
+    w.begin_object();
+    w.key("src").value(change.src);
+    w.key("dst").value(change.dst);
+    w.key("before").value(change.before);
+    w.key("after").value(change.after);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("netlist").value(*sized_text);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_insert_rs(ArgReader& reader, const ExecLimits& limits) {
+  const std::string text = reader.get_netlist(limits);
+  InsertRelayStationsOptions options;
+  options.budget = static_cast<int>(reader.get_int("budget", 1, 0, limits.max_rs_budget));
+  options.exhaustive = reader.get_bool("exhaustive", false);
+  if (reader.failed()) return arg_failure(reader);
+  const Result<Instance> parsed = parse_netlist(text);
+  if (!parsed) return from_error(parsed.error());
+  const Result<RelayInsertion> insertion = insert_relay_stations(*parsed, options);
+  if (!insertion) return from_error(insertion.error());
+  const Result<std::string> repaired = netlist_text(insertion->repaired);
+  if (!repaired) return from_error(repaired.error());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("original_ideal").value(insertion->original_ideal.to_string());
+  w.key("best_practical").value(insertion->best_practical.to_string());
+  w.key("added").value(insertion->added);
+  w.key("reached_ideal").value(insertion->reached_ideal);
+  w.key("configurations_tried").value(insertion->configurations_tried);
+  w.key("netlist").value(*repaired);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_rate_safety(ArgReader& reader, const ExecLimits& limits) {
+  const std::string text = reader.get_netlist(limits);
+  if (reader.failed()) return arg_failure(reader);
+  const Result<Instance> parsed = parse_netlist(text);
+  if (!parsed) return from_error(parsed.error());
+  AnalyzeOptions options;
+  options.critical_cycle = false;
+  options.rate_safety = true;
+  const Result<Analysis> analysis = analyze(*parsed, options);
+  if (!analysis) return from_error(analysis.error());
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("hazards").value(analysis->rate_hazards);
+  w.key("safe").value(analysis->rate_safe);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+}  // namespace
+
+const char* wire_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kIo: return codes::kIo;
+    case ErrorCode::kParse: return codes::kParse;
+    case ErrorCode::kInvalidArgument: return codes::kInvalidArgument;
+    case ErrorCode::kTimeout: return codes::kTimeout;
+    case ErrorCode::kInternal: return codes::kInternal;
+  }
+  return codes::kInternal;
+}
+
+Outcome Outcome::success(std::string payload_json) {
+  Outcome outcome;
+  outcome.ok = true;
+  outcome.payload = std::move(payload_json);
+  return outcome;
+}
+
+Outcome Outcome::failure(std::string code, std::string message) {
+  Outcome outcome;
+  outcome.ok = false;
+  outcome.error_code = std::move(code);
+  outcome.error_message = std::move(message);
+  return outcome;
+}
+
+Result<Request> parse_request(const std::string& line) {
+  const util::JsonParse parsed = util::json_parse(line);
+  if (!parsed) {
+    return Error{ErrorCode::kParse, "request is not valid JSON: " + parsed.error};
+  }
+  if (!parsed.value.is_object()) {
+    return Error{ErrorCode::kInvalidArgument, "request must be a JSON object"};
+  }
+  Request request;
+  request.args = parsed.value;
+
+  if (const util::Json* id = request.args.find("id")) {
+    if (id->is_string()) {
+      request.id = id->as_string();
+      request.has_id = true;
+    } else if (id->type() == util::Json::Type::kInt) {
+      request.id = std::to_string(id->as_int());
+      request.has_id = true;
+    } else if (!id->is_null()) {
+      return Error{ErrorCode::kInvalidArgument, "'id' must be a string or an integer"};
+    }
+  }
+
+  const util::Json* verb = request.args.find("verb");
+  if (verb == nullptr || !verb->is_string() || verb->as_string().empty()) {
+    return Error{ErrorCode::kInvalidArgument, "'verb' (string) is required"};
+  }
+  request.verb = verb->as_string();
+
+  if (const util::Json* deadline = request.args.find("deadline_ms")) {
+    if (!deadline->is_number() || deadline->as_double() < 0.0) {
+      return Error{ErrorCode::kInvalidArgument, "'deadline_ms' must be a non-negative number"};
+    }
+    request.deadline_ms = deadline->as_double();
+  }
+  return request;
+}
+
+Outcome execute(const Request& request, const ExecLimits& limits) {
+  ArgReader reader(request.args);
+  if (request.verb == "ping") return do_ping();
+  if (request.verb == "sleep") return do_sleep(reader, limits);
+  if (request.verb == "parse") return do_parse(reader, limits);
+  if (request.verb == "generate") return do_generate(reader, limits);
+  if (request.verb == "analyze") return do_analyze(reader, limits);
+  if (request.verb == "size-queues") return do_size_queues(reader, limits);
+  if (request.verb == "insert-rs") return do_insert_rs(reader, limits);
+  if (request.verb == "rate-safety") return do_rate_safety(reader, limits);
+  return Outcome::failure(codes::kUnknownVerb,
+                          "unknown verb '" + request.verb +
+                              "' (expected ping, parse, generate, analyze, size-queues, "
+                              "insert-rs, rate-safety, sleep or stats)");
+}
+
+std::string request_id_json(const Request& request) {
+  return request.has_id ? util::json_quote(request.id) : "null";
+}
+
+std::string response_line(const Request& request, const Outcome& outcome, double server_ms,
+                          double wait_ms) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").raw(request_id_json(request));
+  w.key("ok").value(outcome.ok);
+  w.key("verb").value(request.verb);
+  if (outcome.ok) {
+    w.key("result").raw(outcome.payload);
+  } else {
+    w.key("error").begin_object();
+    w.key("code").value(outcome.error_code);
+    w.key("message").value(outcome.error_message);
+    w.end_object();
+  }
+  w.key("server_ms").value_fixed(server_ms, 3);
+  w.key("wait_ms").value_fixed(wait_ms, 3);
+  w.end_object();
+  return w.str();
+}
+
+std::string error_line(const std::string& id_json, const std::string& verb,
+                       const std::string& code, const std::string& message) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").raw(id_json.empty() ? "null" : id_json);
+  w.key("ok").value(false);
+  if (!verb.empty()) w.key("verb").value(verb);
+  w.key("error").begin_object();
+  w.key("code").value(code);
+  w.key("message").value(message);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+Result<std::string> extract_result(const std::string& response) {
+  const util::JsonParse parsed = util::json_parse(response);
+  if (!parsed) {
+    return Error{ErrorCode::kParse, "response is not valid JSON: " + parsed.error};
+  }
+  if (!parsed.value.is_object()) {
+    return Error{ErrorCode::kParse, "response must be a JSON object"};
+  }
+  const util::Json* ok = parsed.value.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Error{ErrorCode::kParse, "response has no boolean 'ok'"};
+  }
+  if (!ok->as_bool()) {
+    const util::Json* error = parsed.value.find("error");
+    std::string code = "unknown";
+    std::string message;
+    if (error != nullptr && error->is_object()) {
+      if (const util::Json* c = error->find("code")) code = c->as_string();
+      if (const util::Json* m = error->find("message")) message = m->as_string();
+    }
+    return Error{ErrorCode::kInvalidArgument, "server error [" + code + "] " + message};
+  }
+  const util::Json* result = parsed.value.find("result");
+  if (result == nullptr) {
+    return Error{ErrorCode::kParse, "ok response has no 'result'"};
+  }
+  return result->dump();
+}
+
+}  // namespace lid::serve

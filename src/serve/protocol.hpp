@@ -1,0 +1,126 @@
+// The lid_serve wire protocol: newline-delimited JSON over a stream socket.
+//
+// One request per line, one response line per request. A request is a JSON
+// object:
+//
+//   {"id": "7", "verb": "analyze", "netlist": "...", "deadline_ms": 250}
+//
+// `verb` selects a lid:: facade operation (the tokens match the CLI:
+// "ping", "parse", "generate", "analyze", "size-queues", "insert-rs",
+// "rate-safety", "sleep", "stats"); the remaining keys are verb arguments
+// (snake_case). `id` (string or integer, echoed back) correlates responses,
+// which a multi-worker server may emit out of order. `deadline_ms` bounds
+// how long the request may wait for a worker; a request whose deadline
+// elapsed in the admission queue is answered `deadline_exceeded` without
+// running.
+//
+// Responses:
+//
+//   {"id":"7","ok":true,"verb":"analyze","result":{...},"server_ms":1.25,"wait_ms":0.02}
+//   {"id":"7","ok":false,"verb":"analyze","error":{"code":"overloaded","message":"..."}}
+//
+// `result` payloads are deliberately free of floating point and are produced
+// by the pure `execute()` below, so a response observed through the server
+// is byte-identical to executing the same request directly — the serving
+// layer adds no nondeterminism (lid_selfcheck invariant 8). Timings live
+// only in the non-deterministic envelope fields (`server_ms`, `wait_ms`).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lid_api.hpp"
+#include "util/json.hpp"
+
+namespace lid::serve {
+
+/// Machine-readable `error.code` values.
+namespace codes {
+inline constexpr const char* kParse = "parse_error";           ///< request line is not valid JSON
+inline constexpr const char* kInvalidArgument = "invalid_argument";
+inline constexpr const char* kUnknownVerb = "unknown_verb";
+inline constexpr const char* kTooLarge = "too_large";          ///< request/netlist over size limit
+inline constexpr const char* kOverloaded = "overloaded";       ///< admission queue full, load shed
+inline constexpr const char* kDeadlineExceeded = "deadline_exceeded";
+inline constexpr const char* kShuttingDown = "shutting_down";  ///< received during drain
+inline constexpr const char* kIo = "io";
+inline constexpr const char* kTimeout = "timeout";
+inline constexpr const char* kInternal = "internal";
+}  // namespace codes
+
+/// `code` mapped onto the wire string (kParse -> "parse_error", ...).
+const char* wire_code(ErrorCode code);
+
+/// One parsed request.
+struct Request {
+  bool has_id = false;
+  std::string id;            ///< echoed verbatim; "" when has_id is false
+  std::string verb;
+  double deadline_ms = 0.0;  ///< <= 0: no deadline
+  util::Json args;           ///< the whole request object
+};
+
+/// Server-side caps applied to every request, independent of what the
+/// client asks for. These keep a single request from monopolizing a worker
+/// (deterministic node budgets) or exhausting memory (size limits).
+struct ExecLimits {
+  /// Hard cap on the exact-QS node budget; requests asking for more (or for
+  /// "unlimited" via 0) are clamped here, keeping responses deterministic.
+  std::int64_t exact_max_nodes = 200'000;
+  /// Cap on cycle enumeration during queue sizing.
+  std::size_t max_cycles = 500'000;
+  /// Largest accepted embedded netlist text, in bytes.
+  std::size_t max_netlist_bytes = 1 << 20;
+  /// Largest accepted `generate` core count.
+  std::int64_t max_gen_cores = 2'000;
+  /// Cap on the diagnostic `sleep` verb.
+  std::int64_t max_sleep_ms = 10'000;
+  /// Relay stations `insert-rs` may be asked to add.
+  std::int64_t max_rs_budget = 64;
+};
+
+/// Outcome of executing one request: either a compact JSON `result` payload
+/// or a wire error code + message.
+struct Outcome {
+  bool ok = false;
+  std::string payload;        ///< compact JSON object ("{...}") when ok
+  std::string error_code;     ///< codes::* when !ok
+  std::string error_message;
+
+  static Outcome success(std::string payload_json);
+  static Outcome failure(std::string code, std::string message);
+};
+
+/// Parses one request line. Error codes: kParse for malformed JSON,
+/// kInvalidArgument for a structurally wrong request (non-object, bad id,
+/// missing verb, negative deadline).
+Result<Request> parse_request(const std::string& line);
+
+/// Executes `request` against the lid:: facade. Pure and deterministic for
+/// every verb except "sleep" (which blocks the calling thread) — and even
+/// sleep's payload is deterministic. "stats" is not handled here: it needs
+/// server state and is answered by the Server directly.
+Outcome execute(const Request& request, const ExecLimits& limits = {});
+
+/// Formats the response line (without trailing newline) for an executed
+/// request. `server_ms` / `wait_ms` land in the envelope, not the payload.
+std::string response_line(const Request& request, const Outcome& outcome, double server_ms,
+                          double wait_ms);
+
+/// Formats an error response for a request that never executed (parse
+/// failure, shed, expired deadline). `id_json` is the already-serialized id
+/// ("\"7\"", "7", or "null"); use `request_id_json` to build it.
+std::string error_line(const std::string& id_json, const std::string& verb,
+                       const std::string& code, const std::string& message);
+
+/// The id of `request` as a JSON fragment ("null" when absent).
+std::string request_id_json(const Request& request);
+
+/// Client-side helper: parses a response line and returns the canonical
+/// compact re-serialization of its `result` member. Errors when the line is
+/// not a response object, `ok` is false, or `result` is missing. Because
+/// payloads avoid floating point, the returned bytes equal the producing
+/// Outcome::payload exactly.
+Result<std::string> extract_result(const std::string& response);
+
+}  // namespace lid::serve

@@ -1,0 +1,424 @@
+#include "serve/server.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <ostream>
+
+#include "util/timer.hpp"
+
+namespace lid::serve {
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error{ErrorCode::kIo, what + ": " + std::strerror(errno)};
+}
+
+/// True when `path` holds a Unix socket nobody is listening on anymore
+/// (e.g. left behind by a killed daemon): connecting to it fails with
+/// ECONNREFUSED.
+bool is_stale_unix_socket(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int rc = ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+  const int saved_errno = errno;
+  ::close(fd);
+  return rc != 0 && saved_errno == ECONNREFUSED;
+}
+
+}  // namespace
+
+/// One accepted client. The reader thread and any queued worker tasks share
+/// ownership; the fd closes when the last reference drops, which is how a
+/// drain naturally hangs up on clients once their responses are flushed.
+struct Server::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  std::mutex write_mutex;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.workers < 1) options_.workers = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+Server::~Server() {
+  request_stop();
+  wait();
+}
+
+Status Server::start() {
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (started_) return Error{ErrorCode::kInvalidArgument, "Server::start called twice"};
+    started_ = true;
+  }
+
+  if (!options_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unix socket path longer than " + std::to_string(sizeof(addr.sun_path) - 1) +
+                       " bytes: " + options_.unix_socket};
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(), sizeof(addr.sun_path) - 1);
+    if (is_stale_unix_socket(options_.unix_socket)) ::unlink(options_.unix_socket.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return errno_error("socket(AF_UNIX)");
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Error error = errno_error("bind('" + options_.unix_socket + "')");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return error;
+    }
+    unlink_on_close_ = true;
+    endpoint_ = "unix:" + options_.unix_socket;
+  } else if (options_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return errno_error("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Error{ErrorCode::kInvalidArgument, "bad host address '" + options_.host + "'"};
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Error error = errno_error("bind(" + options_.host + ":" +
+                                      std::to_string(options_.tcp_port) + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return error;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      resolved_port_ = ntohs(bound.sin_port);
+    }
+    endpoint_ = "tcp:" + options_.host + ":" + std::to_string(resolved_port_);
+  } else {
+    return Error{ErrorCode::kInvalidArgument, "no endpoint: set unix_socket or tcp_port"};
+  }
+
+  if (::listen(listen_fd_, 64) != 0) {
+    const Error error = errno_error("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    const Error error = errno_error("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  for (const int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+
+  pool_ = std::make_unique<engine::TaskPool>(
+      engine::TaskPool::Options{options_.workers, options_.queue_capacity});
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  return Unit{};
+}
+
+void Server::request_stop() {
+  // Async-signal-safe: one write(), no locks, no allocation.
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Server::stop() {
+  request_stop();
+  wait();
+}
+
+void Server::wait() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (finished_ || !started_) return;
+
+  // The accept thread exits only when the stop pipe fires; joining it is
+  // the "wait until a stop was requested" step.
+  if (accept_thread_.joinable()) accept_thread_.join();
+  stop_requested_.store(true);
+
+  // No new connections. Readers notice stop_requested_ and stop admitting
+  // new requests; everything already admitted drains through the pool, and
+  // the workers flush their responses before drain() returns.
+  {
+    const std::lock_guard<std::mutex> connections_lock(connections_mutex_);
+    for (std::thread& t : connection_threads_) {
+      if (t.joinable()) t.join();
+    }
+    connection_threads_.clear();
+  }
+  if (pool_) pool_->drain();
+
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (unlink_on_close_) ::unlink(options_.unix_socket.c_str());
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  finished_ = true;
+}
+
+void Server::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;  // stop requested
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client;
+    connection->id = next_connection_id_.fetch_add(1) + 1;
+    connections_total_.fetch_add(1);
+    active_connections_.fetch_add(1);
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_threads_.emplace_back(
+        [this, connection = std::move(connection)]() mutable {
+          connection_loop(std::move(connection));
+        });
+  }
+  stop_requested_.store(true);
+}
+
+void Server::connection_loop(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[65536];
+  while (!stop_requested_.load()) {
+    pollfd pfd{connection->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);  // finite timeout: re-check stop flag
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) break;
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;  // client hung up
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    metrics_.count("bytes_in", n);
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    std::size_t start = 0;
+    while (true) {
+      const std::size_t newline = buffer.find('\n', start);
+      if (newline == std::string::npos) break;
+      handle_line(connection, buffer.substr(start, newline - start));
+      start = newline + 1;
+    }
+    buffer.erase(0, start);
+
+    if (buffer.size() > options_.max_request_bytes) {
+      // A line that exceeds the limit before its newline arrives would
+      // otherwise grow the buffer without bound.
+      respond(connection,
+              error_line("null", "", codes::kTooLarge,
+                         "request line exceeds " + std::to_string(options_.max_request_bytes) +
+                             " bytes"));
+      break;
+    }
+  }
+  active_connections_.fetch_sub(1);
+}
+
+void Server::handle_line(const std::shared_ptr<Connection>& connection, std::string line) {
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  if (line.empty()) return;
+  metrics_.count("requests_total");
+
+  if (line.size() > options_.max_request_bytes) {
+    metrics_.count("requests_rejected");
+    respond(connection,
+            error_line("null", "", codes::kTooLarge,
+                       "request of " + std::to_string(line.size()) + " bytes exceeds the limit of " +
+                           std::to_string(options_.max_request_bytes)));
+    return;
+  }
+
+  Result<Request> parsed = parse_request(line);
+  if (!parsed) {
+    metrics_.count("requests_rejected");
+    respond(connection, error_line("null", "", wire_code(parsed.error().code),
+                                   parsed.error().message));
+    if (options_.log != nullptr) {
+      Request unparsed;
+      log_request(*connection, unparsed, wire_code(parsed.error().code), 0.0, 0.0);
+    }
+    return;
+  }
+  Request request = std::move(parsed).value();
+
+  // `stats` is answered by the reader so it works even when every worker is
+  // busy — that is exactly when you want to see the queue.
+  if (request.verb == "stats") {
+    const util::Timer timer;
+    const Outcome outcome = Outcome::success(stats_json());
+    metrics_.count("requests_ok");
+    metrics_.count("verb_stats");
+    respond(connection, response_line(request, outcome, timer.elapsed_ms(), 0.0));
+    log_request(*connection, request, "ok", 0.0, timer.elapsed_ms());
+    return;
+  }
+
+  const double deadline =
+      request.deadline_ms > 0.0 ? request.deadline_ms : options_.default_deadline_ms;
+  const std::string id_json = request_id_json(request);
+  const bool has_id = request.has_id;
+  const std::string raw_id = request.id;
+  const std::string verb = request.verb;
+
+  const engine::TaskPool::Submit submitted = pool_->submit(
+      [this, connection, request = std::move(request)](const engine::TaskPool::Context& context) {
+        const util::Timer exec_timer;
+        Outcome outcome;
+        if (context.deadline_expired) {
+          outcome = Outcome::failure(
+              codes::kDeadlineExceeded,
+              "deadline expired after " + std::to_string(context.queue_wait_ms) +
+                  " ms in the admission queue");
+          metrics_.count("requests_deadline_exceeded");
+        } else {
+          const engine::Metrics::ScopedStage stage(metrics_, "exec_" + request.verb);
+          outcome = execute(request, options_.limits);
+          metrics_.count(outcome.ok ? "requests_ok" : "requests_error");
+          metrics_.count("verb_" + request.verb);
+        }
+        const double exec_ms = exec_timer.elapsed_ms();
+        latency_.record(context.queue_wait_ms + exec_ms);
+        respond(connection, response_line(request, outcome, exec_ms, context.queue_wait_ms));
+        log_request(*connection, request,
+                    outcome.ok ? "ok" : outcome.error_code, context.queue_wait_ms, exec_ms);
+      },
+      deadline);
+
+  switch (submitted) {
+    case engine::TaskPool::Submit::kAccepted: break;
+    case engine::TaskPool::Submit::kShed: {
+      metrics_.count("requests_shed");
+      respond(connection,
+              error_line(id_json, verb, codes::kOverloaded,
+                         "admission queue full (" + std::to_string(pool_->queue_capacity()) +
+                             " requests); retry later"));
+      Request shed_request;
+      shed_request.verb = verb;
+      shed_request.has_id = has_id;
+      shed_request.id = raw_id;
+      log_request(*connection, shed_request, codes::kOverloaded, 0.0, 0.0);
+      break;
+    }
+    case engine::TaskPool::Submit::kClosed:
+      metrics_.count("requests_rejected");
+      respond(connection,
+              error_line(id_json, verb, codes::kShuttingDown, "server is draining"));
+      break;
+  }
+}
+
+void Server::respond(const std::shared_ptr<Connection>& connection, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  const std::lock_guard<std::mutex> lock(connection->write_mutex);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    // MSG_NOSIGNAL: a client that hung up must not SIGPIPE the daemon.
+    const ssize_t n =
+        ::send(connection->fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client gone; drop the response
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  metrics_.count("bytes_out", static_cast<std::int64_t>(framed.size()));
+}
+
+void Server::log_request(const Connection& connection, const Request& request,
+                         const std::string& status, double wait_ms, double exec_ms) {
+  if (options_.log == nullptr) return;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("conn").value(static_cast<std::int64_t>(connection.id));
+  if (request.has_id) {
+    w.key("id").value(request.id);
+  } else {
+    w.key("id").value_null();
+  }
+  w.key("verb").value(request.verb.empty() ? "-" : request.verb);
+  w.key("status").value(status);
+  w.key("wait_ms").value_fixed(wait_ms, 3);
+  w.key("exec_ms").value_fixed(exec_ms, 3);
+  w.key("queue_depth").value(static_cast<std::int64_t>(pool_ ? pool_->queue_depth() : 0));
+  w.end_object();
+  static std::mutex log_mutex;
+  const std::lock_guard<std::mutex> lock(log_mutex);
+  *options_.log << w.str() << '\n';
+}
+
+std::string Server::stats_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("workers").value(options_.workers);
+  w.key("queue_capacity").value(static_cast<std::int64_t>(options_.queue_capacity));
+  w.key("queue_depth").value(static_cast<std::int64_t>(pool_ ? pool_->queue_depth() : 0));
+  w.key("submitted").value(pool_ ? pool_->submitted() : 0);
+  w.key("executed").value(pool_ ? pool_->executed() : 0);
+  w.key("shed").value(pool_ ? pool_->shed() : 0);
+  w.key("deadline_expired").value(pool_ ? pool_->expired() : 0);
+  w.key("connections_total").value(connections_total_.load());
+  w.key("active_connections").value(active_connections_.load());
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : metrics_.counters()) w.key(name).value(value);
+  w.end_object();
+  w.key("stages").begin_object();
+  for (const auto& [name, stats] : metrics_.stages()) {
+    w.key(name).begin_object();
+    w.key("calls").value(stats.calls);
+    w.key("wall_ms").value_fixed(stats.wall_ms, 3);
+    w.key("cpu_ms").value_fixed(stats.cpu_ms, 3);
+    w.end_object();
+  }
+  w.end_object();
+  w.key("latency").raw(latency_.to_json());
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lid::serve

@@ -1,0 +1,137 @@
+// The lid_serve daemon core: a socket front end over the engine TaskPool.
+//
+// Architecture (one process, no external dependencies):
+//
+//   accept thread ──► one reader thread per connection ──► bounded TaskPool
+//                                                      ◄── worker responses
+//
+// Readers parse newline-delimited JSON requests (protocol.hpp) and submit
+// them to the pool. Robustness properties, in the paper's own queueing
+// terms (finite queues + backpressure turned on the server itself):
+//
+//   * bounded admission — the pool queue has a fixed capacity; when it is
+//     full the reader answers `overloaded` immediately (explicit load
+//     shedding) instead of queueing without bound;
+//   * deadlines — a request whose `deadline_ms` elapses while queued is
+//     answered `deadline_exceeded` without executing; the execution itself
+//     is bounded by deterministic node budgets (ExecLimits), never by wall
+//     clock, so responses stay reproducible;
+//   * input-size limits — oversized request lines and embedded netlists are
+//     rejected with `too_large` before they allocate;
+//   * graceful drain — request_stop() (async-signal-safe, wired to
+//     SIGINT/SIGTERM by the binary) stops accepting work, completes every
+//     queued and in-flight request, flushes responses, then shuts down;
+//   * observability — per-request structured log lines, engine Metrics
+//     (counters + per-verb stage timers), queue depth / shed counts, and a
+//     latency histogram, all exposed by the `stats` verb.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/metrics.hpp"
+#include "engine/task_pool.hpp"
+#include "lid_api.hpp"
+#include "serve/histogram.hpp"
+#include "serve/protocol.hpp"
+
+namespace lid::serve {
+
+struct ServerOptions {
+  /// Path of a Unix-domain listening socket. Takes precedence over TCP.
+  std::string unix_socket;
+  /// TCP listening port on `host` (0 = kernel-assigned; see Server::port()).
+  /// Used only when `unix_socket` is empty; -1 disables TCP.
+  int tcp_port = -1;
+  std::string host = "127.0.0.1";
+
+  /// Worker threads executing requests.
+  int workers = 1;
+  /// Admission-queue capacity; requests beyond it are shed with
+  /// `overloaded`. Must be >= 1.
+  std::size_t queue_capacity = 64;
+  /// Longest accepted request line, in bytes.
+  std::size_t max_request_bytes = 1 << 20;
+  /// Deadline applied to requests that do not carry their own
+  /// `deadline_ms`; <= 0 means none.
+  double default_deadline_ms = 0.0;
+  /// Server-side execution caps (node budgets, size limits).
+  ExecLimits limits;
+  /// Structured per-request log lines land here; nullptr = silent.
+  std::ostream* log = nullptr;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  /// Stops and drains if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the accept thread + worker pool.
+  Status start();
+
+  /// Requests a graceful drain. Async-signal-safe (a single write() to an
+  /// internal pipe) — this is what the binary's SIGINT/SIGTERM handlers
+  /// call. Returns immediately.
+  void request_stop();
+
+  /// Blocks until a stop was requested and the drain finished: no more
+  /// accepts, every admitted request executed and its response flushed,
+  /// all threads joined, sockets closed.
+  void wait();
+
+  /// request_stop() + wait().
+  void stop();
+
+  /// The resolved TCP port (useful with tcp_port = 0), or -1 on Unix.
+  [[nodiscard]] int port() const { return resolved_port_; }
+  /// Human-readable listening endpoint ("unix:/path" or "tcp:host:port").
+  [[nodiscard]] const std::string& endpoint() const { return endpoint_; }
+
+  /// The `stats` verb payload: queue/shed/latency snapshot as compact JSON.
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  struct Connection;
+
+  void accept_loop();
+  void connection_loop(std::shared_ptr<Connection> connection);
+  void handle_line(const std::shared_ptr<Connection>& connection, std::string line);
+  void respond(const std::shared_ptr<Connection>& connection, const std::string& line);
+  void log_request(const Connection& connection, const Request& request,
+                   const std::string& status, double wait_ms, double exec_ms);
+
+  ServerOptions options_;
+  int listen_fd_ = -1;
+  int stop_pipe_[2] = {-1, -1};
+  std::string endpoint_;
+  int resolved_port_ = -1;
+  bool unlink_on_close_ = false;
+
+  std::unique_ptr<engine::TaskPool> pool_;
+  engine::Metrics metrics_;
+  LatencyHistogram latency_;
+
+  std::thread accept_thread_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connection_threads_;
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<std::uint64_t> next_connection_id_{0};
+  std::atomic<std::int64_t> active_connections_{0};
+  std::atomic<std::int64_t> connections_total_{0};
+
+  std::mutex lifecycle_mutex_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace lid::serve

@@ -48,6 +48,16 @@ std::int64_t Cli::get_int(const std::string& name, std::int64_t fallback) const 
   }
 }
 
+std::int64_t Cli::get_int_in(const std::string& name, std::int64_t fallback, std::int64_t min,
+                             std::int64_t max) const {
+  const std::int64_t v = get_int(name, fallback);
+  if (v < min || v > max) {
+    throw std::invalid_argument("Cli: flag --" + name + " must be in [" + std::to_string(min) +
+                                ", " + std::to_string(max) + "], got " + std::to_string(v));
+  }
+  return v;
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = values_.find(name);
   if (it == values_.end()) return fallback;
@@ -60,6 +70,15 @@ double Cli::get_double(const std::string& name, double fallback) const {
     throw std::invalid_argument("Cli: flag --" + name + " expects a number, got '" +
                                 it->second + "'");
   }
+}
+
+double Cli::get_double_in(const std::string& name, double fallback, double min, double max) const {
+  const double v = get_double(name, fallback);
+  if (v < min || v > max) {
+    throw std::invalid_argument("Cli: flag --" + name + " must be in [" + std::to_string(min) +
+                                ", " + std::to_string(max) + "], got " + std::to_string(v));
+  }
+  return v;
 }
 
 std::string Cli::get_string(const std::string& name, const std::string& fallback) const {

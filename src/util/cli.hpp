@@ -24,8 +24,19 @@ class Cli {
   /// Integer flag with a default. Throws if present but not an integer.
   [[nodiscard]] std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
 
+  /// Integer flag validated against [min, max]. Throws std::invalid_argument
+  /// with a message naming the flag and the accepted range when the value is
+  /// non-numeric or out of range — the tools use this for counts, budgets
+  /// and ports so that `--threads 0` fails loudly instead of misbehaving.
+  [[nodiscard]] std::int64_t get_int_in(const std::string& name, std::int64_t fallback,
+                                        std::int64_t min, std::int64_t max) const;
+
   /// Floating-point flag with a default.
   [[nodiscard]] double get_double(const std::string& name, double fallback) const;
+
+  /// Floating-point flag validated against [min, max]; see get_int_in.
+  [[nodiscard]] double get_double_in(const std::string& name, double fallback, double min,
+                                     double max) const;
 
   /// String flag with a default.
   [[nodiscard]] std::string get_string(const std::string& name, const std::string& fallback) const;

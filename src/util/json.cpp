@@ -1,0 +1,548 @@
+#include "util/json.hpp"
+
+#include <charconv>
+#include <cstdio>
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace lid::util {
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);  // UTF-8 bytes pass through unescaped
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// JsonWriter.
+
+void JsonWriter::newline_indent() {
+  if (indent_ <= 0) return;
+  out_.push_back('\n');
+  out_.append(static_cast<std::size_t>(depth_ * indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (needs_comma_) out_.push_back(',');
+  if (depth_ > 0) newline_indent();
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_.push_back('{');
+  ++depth_;
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  LID_ASSERT(depth_ > 0, "JsonWriter::end_object without begin");
+  const bool had_members = needs_comma_;
+  --depth_;
+  if (had_members) newline_indent();
+  out_.push_back('}');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_.push_back('[');
+  ++depth_;
+  needs_comma_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  LID_ASSERT(depth_ > 0, "JsonWriter::end_array without begin");
+  const bool had_items = needs_comma_;
+  --depth_;
+  if (had_items) newline_indent();
+  out_.push_back(']');
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (needs_comma_) out_.push_back(',');
+  newline_indent();
+  out_ += json_quote(name);
+  out_.push_back(':');
+  if (indent_ > 0) out_.push_back(' ');
+  needs_comma_ = false;
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  before_value();
+  out_ += json_quote(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  before_value();
+  out_ += std::to_string(v);
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_null() {
+  before_value();
+  out_ += "null";
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  before_value();
+  char buf[64];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  if (ec == std::errc()) {
+    out_.append(buf, end);
+  } else {
+    out_ += "0";
+  }
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value_fixed(double v, int precision) {
+  before_value();
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  out_ += buf;
+  needs_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::raw(const std::string& json) {
+  before_value();
+  out_ += json;
+  needs_comma_ = true;
+  return *this;
+}
+
+// ---------------------------------------------------------------------------
+// Json.
+
+Json Json::boolean(bool v) {
+  Json j;
+  j.type_ = Type::kBool;
+  j.bool_ = v;
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j;
+  j.type_ = Type::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.type_ = Type::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::string(std::string v) {
+  Json j;
+  j.type_ = Type::kString;
+  j.string_ = std::move(v);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.type_ = Type::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.type_ = Type::kObject;
+  return j;
+}
+
+bool Json::as_bool(bool fallback) const { return type_ == Type::kBool ? bool_ : fallback; }
+
+std::int64_t Json::as_int(std::int64_t fallback) const {
+  if (type_ == Type::kInt) return int_;
+  if (type_ == Type::kDouble) return static_cast<std::int64_t>(double_);
+  return fallback;
+}
+
+double Json::as_double(double fallback) const {
+  if (type_ == Type::kDouble) return double_;
+  if (type_ == Type::kInt) return static_cast<double>(int_);
+  return fallback;
+}
+
+const std::string& Json::as_string() const {
+  static const std::string kEmpty;
+  return type_ == Type::kString ? string_ : kEmpty;
+}
+
+void Json::push(Json v) {
+  LID_ASSERT(type_ == Type::kArray, "Json::push on a non-array");
+  items_.push_back(std::move(v));
+}
+
+const Json& Json::at(std::size_t i) const {
+  LID_ASSERT(i < items_.size(), "Json::at out of range");
+  return items_[i];
+}
+
+Json& Json::set(std::string key, Json v) {
+  LID_ASSERT(type_ == Type::kObject, "Json::set on a non-object");
+  members_.emplace_back(std::move(key), std::move(v));
+  return *this;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [name, value] : members_) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+void Json::dump_to(JsonWriter& w) const {
+  switch (type_) {
+    case Type::kNull: w.value_null(); break;
+    case Type::kBool: w.value(bool_); break;
+    case Type::kInt: w.value(int_); break;
+    case Type::kDouble: w.value(double_); break;
+    case Type::kString: w.value(string_); break;
+    case Type::kArray:
+      w.begin_array();
+      for (const Json& item : items_) item.dump_to(w);
+      w.end_array();
+      break;
+    case Type::kObject:
+      w.begin_object();
+      for (const auto& [name, value] : members_) {
+        w.key(name);
+        value.dump_to(w);
+      }
+      w.end_object();
+      break;
+  }
+}
+
+std::string Json::dump() const {
+  JsonWriter w;
+  dump_to(w);
+  return w.str();
+}
+
+// ---------------------------------------------------------------------------
+// Parser.
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, int max_depth) : text_(text), max_depth_(max_depth) {}
+
+  JsonParse run() {
+    JsonParse result;
+    skip_ws();
+    if (!parse_value(result.value, 0)) {
+      result.error = error_ + " at byte " + std::to_string(pos_);
+      return result;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      result.error = "trailing characters after document at byte " + std::to_string(pos_);
+      return result;
+    }
+    result.ok = true;
+    return result;
+  }
+
+ private:
+  bool fail(const std::string& why) {
+    if (error_.empty()) error_ = why;
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool parse_value(Json& out, int depth) {
+    if (depth > max_depth_) return fail("nesting deeper than " + std::to_string(max_depth_));
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    switch (text_[pos_]) {
+      case '{': return parse_object(out, depth);
+      case '[': return parse_array(out, depth);
+      case '"': {
+        std::string s;
+        if (!parse_string(s)) return false;
+        out = Json::string(std::move(s));
+        return true;
+      }
+      case 't':
+        if (!literal("true")) return false;
+        out = Json::boolean(true);
+        return true;
+      case 'f':
+        if (!literal("false")) return false;
+        out = Json::boolean(false);
+        return true;
+      case 'n':
+        if (!literal("null")) return false;
+        out = Json();
+        return true;
+      default: return parse_number(out);
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t n = std::strlen(word);
+    if (text_.compare(pos_, n, word) != 0) {
+      return fail(std::string("expected '") + word + "'");
+    }
+    pos_ += n;
+    return true;
+  }
+
+  bool parse_object(Json& out, int depth) {
+    ++pos_;  // '{'
+    out = Json::object();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') return fail("expected object key");
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return fail("expected ':'");
+      ++pos_;
+      skip_ws();
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.set(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool parse_array(Json& out, int depth) {
+    ++pos_;  // '['
+    out = Json::array();
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      Json value;
+      if (!parse_value(value, depth + 1)) return false;
+      out.push(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_hex4(unsigned& out) {
+    if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      out <<= 4;
+      if (c >= '0' && c <= '9') {
+        out |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        out |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        out |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return fail("bad hex digit in \\u escape");
+      }
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) return fail("raw control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        ++pos_;
+        continue;
+      }
+      ++pos_;
+      if (pos_ >= text_.size()) return fail("truncated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!parse_hex4(cp)) return false;
+          if (cp >= 0xD800 && cp <= 0xDBFF && pos_ + 1 < text_.size() && text_[pos_] == '\\' &&
+              text_[pos_ + 1] == 'u') {
+            pos_ += 2;
+            unsigned low = 0;
+            if (!parse_hex4(low)) return false;
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              cp = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              return fail("invalid low surrogate");
+            }
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: return fail("unknown escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_number(Json& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      return fail("expected a value");
+    }
+    const char* first = text_.data() + start;
+    const char* last = text_.data() + pos_;
+    if (integral) {
+      std::int64_t v = 0;
+      const auto [ptr, ec] = std::from_chars(first, last, v);
+      if (ec == std::errc() && ptr == last) {
+        out = Json::number(v);
+        return true;
+      }
+      // Overflowed int64: fall through to double.
+    }
+    double d = 0.0;
+    const auto [ptr, ec] = std::from_chars(first, last, d);
+    if (ec != std::errc() || ptr != last) return fail("malformed number");
+    out = Json::number(d);
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int max_depth_;
+  std::string error_;
+};
+
+}  // namespace
+
+JsonParse json_parse(const std::string& text, int max_depth) {
+  return Parser(text, max_depth).run();
+}
+
+}  // namespace lid::util

@@ -1,0 +1,155 @@
+// Shared JSON support for the whole library: a streaming writer with correct
+// string escaping, a small document model, and a strict parser.
+//
+// The writer replaces the hand-rolled emission that used to live in
+// src/engine/metrics.cpp and is the single place JSON leaves this codebase:
+// engine metrics dumps, the lid_serve wire protocol, and the load-generator
+// reports all go through it, so escaping bugs cannot diverge per call site.
+// The parser exists for the serve subsystem's newline-delimited JSON requests
+// and deliberately accepts exactly RFC 8259 documents (no comments, no
+// trailing commas), with a nesting-depth cap so hostile input cannot blow the
+// stack.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lid::util {
+
+/// `s` as a double-quoted JSON string literal, with all mandatory escapes
+/// (quote, backslash, control characters) applied.
+std::string json_quote(const std::string& s);
+
+// ---------------------------------------------------------------------------
+// JsonWriter — streaming emission.
+
+/// Builds one JSON document incrementally. `indent` = 0 emits the compact
+/// wire form (`{"a":1}`), a positive indent emits the pretty form used by the
+/// metrics dumps (newlines, `indent` spaces per level, one space after ':').
+///
+///   JsonWriter w;
+///   w.begin_object().key("verb").value("analyze").key("ok").value(true);
+///   w.end_object();
+///   send(w.str());
+class JsonWriter {
+ public:
+  explicit JsonWriter(int indent = 0) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emits an object key; must be followed by a value or begin_*.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(int v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(std::size_t v) { return value(static_cast<std::int64_t>(v)); }
+  JsonWriter& value(bool v);
+  JsonWriter& value_null();
+  /// Shortest round-trip decimal form (std::to_chars).
+  JsonWriter& value(double v);
+  /// Fixed-point form with `precision` decimals (metrics timings).
+  JsonWriter& value_fixed(double v, int precision);
+  /// Splices pre-serialized JSON (e.g. a payload built by another writer).
+  JsonWriter& raw(const std::string& json);
+
+  /// The document so far. Call after the outermost end_*.
+  [[nodiscard]] const std::string& str() const { return out_; }
+
+ private:
+  void before_value();
+  void newline_indent();
+
+  std::string out_;
+  int indent_ = 0;
+  int depth_ = 0;
+  bool needs_comma_ = false;
+  bool after_key_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Json — the document model.
+
+/// One parsed JSON value. Integral numbers are kept exactly as int64 so that
+/// parse → dump round-trips the serve wire protocol byte-for-byte (payloads
+/// avoid floating point for this reason); non-integral numbers fall back to
+/// double. Object members preserve insertion order.
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;  // null
+  static Json boolean(bool v);
+  static Json number(std::int64_t v);
+  static Json number(double v);
+  static Json string(std::string v);
+  static Json array();
+  static Json object();
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_number() const {
+    return type_ == Type::kInt || type_ == Type::kDouble;
+  }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+
+  [[nodiscard]] bool as_bool(bool fallback = false) const;
+  [[nodiscard]] std::int64_t as_int(std::int64_t fallback = 0) const;
+  [[nodiscard]] double as_double(double fallback = 0.0) const;
+  [[nodiscard]] const std::string& as_string() const;  // "" when not a string
+
+  // Arrays.
+  void push(Json v);
+  [[nodiscard]] std::size_t size() const { return items_.size(); }
+  [[nodiscard]] const Json& at(std::size_t i) const;
+  [[nodiscard]] const std::vector<Json>& items() const { return items_; }
+
+  // Objects.
+  Json& set(std::string key, Json v);
+  /// The member named `key`, or nullptr when absent / not an object.
+  [[nodiscard]] const Json* find(const std::string& key) const;
+  [[nodiscard]] const std::vector<std::pair<std::string, Json>>& members() const {
+    return members_;
+  }
+
+  /// Compact serialization (JsonWriter with indent 0).
+  [[nodiscard]] std::string dump() const;
+
+ private:
+  void dump_to(JsonWriter& w) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> members_;
+};
+
+/// Outcome of json_parse: `ok` plus either the value or a position-annotated
+/// error message. (lid::Result lives above util in the layering, so the
+/// parser carries its own tiny result type.)
+struct JsonParse {
+  bool ok = false;
+  Json value;
+  std::string error;
+
+  explicit operator bool() const { return ok; }
+};
+
+/// Parses one complete JSON document; trailing garbage is an error.
+/// `max_depth` bounds array/object nesting.
+JsonParse json_parse(const std::string& text, int max_depth = 64);
+
+}  // namespace lid::util

@@ -200,5 +200,71 @@ TEST(InsertRelayStations, RepairsTheTwoCoreExample) {
   EXPECT_LE(r->best_practical, r->original_ideal);
 }
 
+// ---------------------------------------------------------------------------
+// Error paths through the facade: every failure must come back as a
+// Result carrying a code and a human-readable message — never an abort,
+// never an escaping exception (the serve wire protocol depends on this).
+
+TEST(ErrorPaths, MalformedNetlistsAllCarryParseCodeAndMessage) {
+  const char* bad_texts[] = {
+      "core A\nchannel A -> Missing\n",   // unknown endpoint
+      "core A\ncore A\n",                 // duplicate core
+      "chanel A -> B\n",                  // misspelled keyword
+      "core A\nchannel A ->\n",           // truncated channel
+      "core A\nchannel A -> A rs=-2\n",   // negative relay-station count
+      "core A\nchannel A -> A q=0\n",     // zero queue capacity
+  };
+  for (const char* text : bad_texts) {
+    const Result<Instance> r = parse_netlist(text);
+    ASSERT_FALSE(r.ok()) << text;
+    EXPECT_EQ(r.error().code, ErrorCode::kParse) << text;
+    EXPECT_FALSE(r.error().message.empty()) << text;
+  }
+}
+
+TEST(ErrorPaths, InvalidGeneratorParametersAreInvalidArgument) {
+  const auto expect_invalid = [](GenerateOptions options) {
+    const Result<Instance> r = generate(options);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+    EXPECT_FALSE(r.error().message.empty());
+  };
+  GenerateOptions options;
+  options.cores = 0;  // no cores at all
+  expect_invalid(options);
+  options = {};
+  options.cores = -5;
+  expect_invalid(options);
+  options = {};
+  options.sccs = 0;
+  expect_invalid(options);
+  options = {};
+  options.relay_stations = -1;
+  expect_invalid(options);
+  options = {};
+  options.queue_capacity = 0;
+  expect_invalid(options);
+}
+
+TEST(ErrorPaths, NegativeRelayBudgetIsInvalidArgument) {
+  const Instance two = Instance::wrap(lis::make_two_core_example());
+  InsertRelayStationsOptions options;
+  options.budget = -1;
+  const Result<RelayInsertion> r = insert_relay_stations(two, options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, ErrorCode::kInvalidArgument);
+  EXPECT_FALSE(r.error().message.empty());
+}
+
+TEST(ErrorPaths, InvalidHandlesFailEveryOperationWithAMessage) {
+  const Instance invalid;
+  EXPECT_FALSE(analyze(invalid).ok());
+  EXPECT_FALSE(analyze(invalid).error().message.empty());
+  EXPECT_FALSE(size_queues(invalid).ok());
+  EXPECT_FALSE(insert_relay_stations(invalid).ok());
+  EXPECT_FALSE(netlist_text(invalid).ok());
+  EXPECT_FALSE(save_netlist(invalid, "/tmp/should_not_exist.lis").ok());
+}
+
 }  // namespace
 }  // namespace lid

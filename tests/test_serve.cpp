@@ -1,0 +1,376 @@
+// The lid_serve subsystem: wire protocol, in-process server round trips,
+// backpressure (overloaded / deadline_exceeded), graceful drain, and the
+// determinism contract (server response payloads byte-identical to direct
+// protocol execution).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/histogram.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lid;
+
+// ---------------------------------------------------------------------------
+// Protocol unit tests (no sockets).
+
+TEST(Protocol, ParsesIdVerbAndDeadline) {
+  const Result<serve::Request> r =
+      serve::parse_request(R"({"id": 7, "verb": "ping", "deadline_ms": 250})");
+  ASSERT_TRUE(r);
+  EXPECT_TRUE(r->has_id);
+  EXPECT_EQ(r->id, "7");
+  EXPECT_EQ(r->verb, "ping");
+  EXPECT_DOUBLE_EQ(r->deadline_ms, 250.0);
+
+  const Result<serve::Request> anonymous = serve::parse_request(R"({"verb": "ping"})");
+  ASSERT_TRUE(anonymous);
+  EXPECT_FALSE(anonymous->has_id);
+  EXPECT_EQ(serve::request_id_json(*anonymous), "null");
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  EXPECT_EQ(serve::parse_request("not json").error().code, ErrorCode::kParse);
+  EXPECT_EQ(serve::parse_request("42").error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(serve::parse_request(R"({"id": true, "verb": "ping"})").error().code,
+            ErrorCode::kInvalidArgument);
+  EXPECT_EQ(serve::parse_request(R"({"id": "1"})").error().code, ErrorCode::kInvalidArgument);
+  EXPECT_EQ(serve::parse_request(R"({"verb": "ping", "deadline_ms": -1})").error().code,
+            ErrorCode::kInvalidArgument);
+}
+
+serve::Outcome run_line(const std::string& line, const serve::ExecLimits& limits = {}) {
+  const Result<serve::Request> request = serve::parse_request(line);
+  EXPECT_TRUE(request) << line;
+  return serve::execute(*request, limits);
+}
+
+TEST(Protocol, ExecutesEveryVerb) {
+  const serve::Outcome pong = run_line(R"({"verb": "ping"})");
+  ASSERT_TRUE(pong.ok);
+  EXPECT_EQ(pong.payload, R"({"pong":true})");
+
+  const serve::Outcome generated = run_line(R"({"verb": "generate", "v": 8, "s": 2, "seed": 3})");
+  ASSERT_TRUE(generated.ok);
+  EXPECT_NE(generated.payload.find("\"netlist\""), std::string::npos);
+
+  // Feed the generated netlist through every netlist-consuming verb.
+  const util::JsonParse parsed = util::json_parse(generated.payload);
+  ASSERT_TRUE(parsed.ok);
+  const std::string netlist = parsed.value.find("netlist")->as_string();
+  util::JsonWriter request;
+  request.begin_object().key("verb").value("analyze").key("netlist").value(netlist).end_object();
+  const serve::Outcome analyzed = run_line(request.str());
+  ASSERT_TRUE(analyzed.ok) << analyzed.error_message;
+  EXPECT_NE(analyzed.payload.find("\"theta_ideal\""), std::string::npos);
+
+  for (const char* verb : {"parse", "size-queues", "insert-rs", "rate-safety"}) {
+    util::JsonWriter w;
+    w.begin_object().key("verb").value(verb).key("netlist").value(netlist).end_object();
+    const serve::Outcome outcome = run_line(w.str());
+    EXPECT_TRUE(outcome.ok) << verb << ": " << outcome.error_message;
+  }
+
+  const serve::Outcome slept = run_line(R"({"verb": "sleep", "ms": 1})");
+  ASSERT_TRUE(slept.ok);
+  EXPECT_EQ(slept.payload, R"({"slept_ms":1})");
+}
+
+TEST(Protocol, ErrorsCarryWireCodes) {
+  EXPECT_EQ(run_line(R"({"verb": "no-such-verb"})").error_code, serve::codes::kUnknownVerb);
+  EXPECT_EQ(run_line(R"({"verb": "analyze"})").error_code, serve::codes::kInvalidArgument);
+  EXPECT_EQ(run_line(R"({"verb": "analyze", "netlist": "core A\nchannel A -> "})").error_code,
+            serve::codes::kParse);
+  EXPECT_EQ(run_line(R"({"verb": "generate", "v": -3})").error_code,
+            serve::codes::kInvalidArgument);
+  EXPECT_EQ(run_line(R"({"verb": "sleep", "ms": 99999})").error_code,
+            serve::codes::kInvalidArgument);
+
+  serve::ExecLimits tight;
+  tight.max_netlist_bytes = 8;
+  EXPECT_EQ(run_line(R"({"verb": "analyze", "netlist": "core A\ncore B\n"})", tight).error_code,
+            serve::codes::kTooLarge);
+}
+
+TEST(Protocol, ResponseLineRoundTripsThroughExtractResult) {
+  const Result<serve::Request> request = serve::parse_request(R"({"id": "a", "verb": "ping"})");
+  ASSERT_TRUE(request);
+  const serve::Outcome outcome = serve::execute(*request);
+  const std::string line = serve::response_line(*request, outcome, 1.25, 0.5);
+  const Result<std::string> result = serve::extract_result(line);
+  ASSERT_TRUE(result);
+  EXPECT_EQ(*result, outcome.payload);
+
+  const std::string failure =
+      serve::error_line("\"a\"", "analyze", serve::codes::kOverloaded, "queue full");
+  const Result<std::string> rejected = serve::extract_result(failure);
+  ASSERT_FALSE(rejected);
+  EXPECT_NE(rejected.error().message.find("overloaded"), std::string::npos);
+}
+
+TEST(Histogram, QuantilesAreMonotone) {
+  serve::LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 0.01);
+  const double p50 = h.quantile_ms(0.50);
+  const double p95 = h.quantile_ms(0.95);
+  const double p99 = h.quantile_ms(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NE(h.to_json().find("\"count\":1000"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// In-process server tests over real sockets.
+
+serve::Client connect_or_die(const serve::Server& server) {
+  Result<serve::Client> client = serve::Client::connect_tcp("127.0.0.1", server.port());
+  EXPECT_TRUE(client) << (client ? "" : client.error().to_string());
+  return std::move(client).value();
+}
+
+serve::ServerOptions tcp_options(int workers) {
+  serve::ServerOptions options;
+  options.tcp_port = 0;  // kernel-assigned
+  options.workers = workers;
+  return options;
+}
+
+std::string netlist_fixture(std::uint64_t seed) {
+  GenerateOptions options;
+  options.cores = 12;
+  options.sccs = 3;
+  options.extra_cycles = 2;
+  options.relay_stations = 4;
+  options.seed = seed;
+  const Result<Instance> instance = generate(options);
+  EXPECT_TRUE(instance);
+  const Result<std::string> text = netlist_text(*instance);
+  EXPECT_TRUE(text);
+  return *text;
+}
+
+TEST(Server, RoundTripsEveryVerbOverTcp) {
+  serve::Server server(tcp_options(2));
+  ASSERT_TRUE(server.start());
+  serve::Client client = connect_or_die(server);
+
+  const std::string netlist = netlist_fixture(11);
+  std::vector<std::string> lines = {R"({"id": "p", "verb": "ping"})",
+                                    R"({"id": "g", "verb": "generate", "v": 6, "s": 2})",
+                                    R"({"id": "z", "verb": "sleep", "ms": 1})",
+                                    R"({"id": "t", "verb": "stats"})"};
+  for (const char* verb : {"parse", "analyze", "size-queues", "insert-rs", "rate-safety"}) {
+    util::JsonWriter w;
+    w.begin_object().key("id").value(verb).key("verb").value(verb);
+    w.key("netlist").value(netlist).end_object();
+    lines.push_back(w.str());
+  }
+  for (const std::string& line : lines) {
+    const Result<std::string> response = client.call(line);
+    ASSERT_TRUE(response) << line;
+    const Result<std::string> result = serve::extract_result(*response);
+    EXPECT_TRUE(result) << line << " -> " << *response;
+  }
+  server.stop();
+}
+
+TEST(Server, AnswersProtocolErrorsWithoutExecuting) {
+  serve::ServerOptions options = tcp_options(1);
+  options.max_request_bytes = 200;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+  serve::Client client = connect_or_die(server);
+
+  Result<std::string> response = client.call("this is not json");
+  ASSERT_TRUE(response);
+  EXPECT_NE(response->find(serve::codes::kParse), std::string::npos);
+
+  response = client.call(R"({"id": "u", "verb": "frobnicate"})");
+  ASSERT_TRUE(response);
+  EXPECT_NE(response->find(serve::codes::kUnknownVerb), std::string::npos);
+
+  // A request line over max_request_bytes is rejected with `too_large`
+  // without buffering the rest of the line.
+  const std::string huge =
+      R"({"id": "h", "verb": "analyze", "netlist": ")" + std::string(500, 'x') + R"("})";
+  response = client.call(huge);
+  ASSERT_TRUE(response);
+  EXPECT_NE(response->find(serve::codes::kTooLarge), std::string::npos);
+
+  // The connection and server survive all of the above.
+  response = client.call(R"({"id": "p", "verb": "ping"})");
+  ASSERT_TRUE(response);
+  EXPECT_NE(response->find("\"pong\":true"), std::string::npos);
+  server.stop();
+}
+
+TEST(Server, ShedsLoadWhenTheAdmissionQueueIsFull) {
+  serve::ServerOptions options = tcp_options(1);
+  options.queue_capacity = 1;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+  serve::Client client = connect_or_die(server);
+
+  // Occupy the single worker, then flood: with capacity 1 at most two of the
+  // pings can ever be admitted; the rest must be shed immediately (not
+  // queued, not blocking the reader).
+  const int kPings = 10;
+  ASSERT_TRUE(client.send_line(R"({"id": "busy", "verb": "sleep", "ms": 1000})"));
+  for (int i = 0; i < kPings; ++i) {
+    ASSERT_TRUE(client.send_line(R"({"id": "f)" + std::to_string(i) + R"(", "verb": "ping"})"));
+  }
+
+  // All 11 responses arrive (nothing blocks, nothing is dropped); at least
+  // kPings - 2 pings are shed, and the shed responses come back while the
+  // worker is still sleeping — they never wait behind it.
+  util::Timer timer;
+  int overloaded = 0;
+  double sheds_done_ms = -1.0;
+  for (int i = 0; i < kPings + 1; ++i) {
+    const Result<std::string> response = client.recv_line();
+    ASSERT_TRUE(response);
+    if (response->find(serve::codes::kOverloaded) != std::string::npos) {
+      ++overloaded;
+      if (overloaded == kPings - 2) sheds_done_ms = timer.elapsed_ms();
+    }
+  }
+  EXPECT_GE(overloaded, kPings - 2);
+  EXPECT_LT(sheds_done_ms, 900.0) << "shedding must not wait for the busy worker";
+
+  const Result<std::string> stats = client.call(R"({"id": "s", "verb": "stats"})");
+  ASSERT_TRUE(stats);
+  EXPECT_NE(stats->find("\"shed\":" + std::to_string(overloaded)), std::string::npos) << *stats;
+  server.stop();
+}
+
+TEST(Server, ExpiredDeadlinesAreAnsweredWithoutExecuting) {
+  serve::Server server(tcp_options(1));
+  ASSERT_TRUE(server.start());
+  serve::Client client = connect_or_die(server);
+
+  // The worker is busy for 300 ms; the second request allows only 1 ms of
+  // queueing, so it must come back `deadline_exceeded`, unexecuted.
+  ASSERT_TRUE(client.send_line(R"({"id": "busy", "verb": "sleep", "ms": 300})"));
+  ASSERT_TRUE(client.send_line(R"({"id": "late", "verb": "ping", "deadline_ms": 1})"));
+
+  bool saw_deadline = false;
+  for (int i = 0; i < 2; ++i) {
+    const Result<std::string> response = client.recv_line();
+    ASSERT_TRUE(response);
+    if (response->find("\"late\"") != std::string::npos) {
+      EXPECT_NE(response->find(serve::codes::kDeadlineExceeded), std::string::npos) << *response;
+      EXPECT_EQ(response->find("\"pong\""), std::string::npos) << "must not execute";
+      saw_deadline = true;
+    }
+  }
+  EXPECT_TRUE(saw_deadline);
+  server.stop();
+}
+
+TEST(Server, DrainCompletesAdmittedRequests) {
+  serve::Server server(tcp_options(1));
+  ASSERT_TRUE(server.start());
+  serve::Client client = connect_or_die(server);
+
+  const std::string netlist = netlist_fixture(13);
+  ASSERT_TRUE(client.send_line(R"({"id": "busy", "verb": "sleep", "ms": 100})"));
+  for (int i = 0; i < 3; ++i) {
+    util::JsonWriter w;
+    w.begin_object().key("id").value("q" + std::to_string(i));
+    w.key("verb").value("analyze").key("netlist").value(netlist).end_object();
+    ASSERT_TRUE(client.send_line(w.str()));
+  }
+  // Give the reader a moment to admit all four, then initiate the drain the
+  // same way the SIGTERM handler does.
+  const Result<std::string> first = client.recv_line();  // the sleep: all admitted by now
+  ASSERT_TRUE(first);
+  EXPECT_NE(first->find("\"busy\""), std::string::npos);
+  server.request_stop();
+
+  // Every admitted request still gets its (successful) response.
+  for (int i = 0; i < 3; ++i) {
+    const Result<std::string> response = client.recv_line();
+    ASSERT_TRUE(response) << "response lost in drain";
+    EXPECT_TRUE(serve::extract_result(*response)) << *response;
+  }
+  server.wait();
+}
+
+// The determinism contract: a response payload observed through the server
+// equals the payload of executing the same request directly, byte for byte,
+// regardless of worker count (lid_selfcheck invariant 8 re-checks this on
+// random instances).
+TEST(Server, PayloadsAreByteIdenticalToDirectExecution) {
+  const std::string netlist = netlist_fixture(29);
+  std::vector<std::string> lines = {R"({"verb": "generate", "v": 10, "s": 3, "seed": 5})"};
+  for (const char* verb : {"parse", "analyze", "size-queues", "insert-rs", "rate-safety"}) {
+    util::JsonWriter w;
+    w.begin_object().key("verb").value(verb).key("netlist").value(netlist).end_object();
+    lines.push_back(w.str());
+  }
+
+  for (const int workers : {1, 4}) {
+    serve::Server server(tcp_options(workers));
+    ASSERT_TRUE(server.start());
+    serve::Client client = connect_or_die(server);
+    for (const std::string& line : lines) {
+      const serve::Outcome direct = run_line(line);
+      ASSERT_TRUE(direct.ok) << line;
+      const Result<std::string> response = client.call(line);
+      ASSERT_TRUE(response);
+      const Result<std::string> served = serve::extract_result(*response);
+      ASSERT_TRUE(served) << *response;
+      EXPECT_EQ(*served, direct.payload) << "workers=" << workers << ": " << line;
+    }
+    server.stop();
+  }
+}
+
+TEST(Server, UnixSocketEndToEnd) {
+  serve::ServerOptions options;
+  options.unix_socket = ::testing::TempDir() + "lid_serve_test.sock";
+  options.workers = 2;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+  Result<serve::Client> connected = serve::Client::connect_unix(options.unix_socket);
+  ASSERT_TRUE(connected) << (connected ? "" : connected.error().to_string());
+  serve::Client client = std::move(connected).value();
+  const Result<std::string> response = client.call(R"({"id": 1, "verb": "ping"})");
+  ASSERT_TRUE(response);
+  EXPECT_NE(response->find("\"pong\":true"), std::string::npos);
+  client.close();
+  server.stop();
+
+  // A second server on the same path recovers the stale socket file.
+  serve::Server again(options);
+  EXPECT_TRUE(again.start());
+  again.stop();
+}
+
+TEST(Server, StatsReportConfigurationAndCounters) {
+  serve::ServerOptions options = tcp_options(3);
+  options.queue_capacity = 17;
+  serve::Server server(options);
+  ASSERT_TRUE(server.start());
+  serve::Client client = connect_or_die(server);
+  ASSERT_TRUE(client.call(R"({"verb": "ping"})"));
+  const Result<std::string> response = client.call(R"({"id": "s", "verb": "stats"})");
+  ASSERT_TRUE(response);
+  const Result<std::string> stats = serve::extract_result(*response);
+  ASSERT_TRUE(stats);
+  EXPECT_NE(stats->find("\"workers\":3"), std::string::npos);
+  EXPECT_NE(stats->find("\"queue_capacity\":17"), std::string::npos);
+  EXPECT_NE(stats->find("\"verb_ping\":1"), std::string::npos);
+  EXPECT_NE(stats->find("\"latency\""), std::string::npos);
+  server.stop();
+}
+
+}  // namespace

@@ -6,6 +6,7 @@
 
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rational.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -142,6 +143,78 @@ TEST(Cli, RejectsMalformedInput) {
   const char* bad_int[] = {"prog", "--n", "abc"};
   const Cli cli(3, bad_int);
   EXPECT_THROW((void)cli.get_int("n", 0), std::invalid_argument);
+}
+
+TEST(Cli, ValidatesNumericRanges) {
+  const char* argv[] = {"prog", "--threads", "0", "--budget", "-3", "--port", "70000",
+                        "--rate", "1.5"};
+  const Cli cli(9, argv);
+  // In-range and missing flags pass through.
+  EXPECT_EQ(cli.get_int_in("missing", 4, 1, 8), 4);
+  EXPECT_DOUBLE_EQ(cli.get_double_in("rate", 0.0, 0.0, 2.0), 1.5);
+  // Zero / negative / out-of-range values are rejected with the flag name
+  // and the accepted range in the message.
+  EXPECT_THROW((void)cli.get_int_in("threads", 1, 1, 64), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_int_in("budget", 1, 0, 64), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_int_in("port", 0, 0, 65535), std::invalid_argument);
+  EXPECT_THROW((void)cli.get_double_in("rate", 0.0, 0.0, 1.0), std::invalid_argument);
+  try {
+    (void)cli.get_int_in("threads", 1, 1, 64);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("--threads"), std::string::npos);
+    EXPECT_NE(message.find("[1, 64]"), std::string::npos);
+  }
+  // Non-numeric input is rejected by the same entry point.
+  const char* bad[] = {"prog", "--threads", "many"};
+  const Cli bad_cli(3, bad);
+  EXPECT_THROW((void)bad_cli.get_int_in("threads", 1, 1, 64), std::invalid_argument);
+}
+
+TEST(Json, QuoteEscapesEverythingMandatory) {
+  EXPECT_EQ(json_quote("plain"), "\"plain\"");
+  EXPECT_EQ(json_quote("a\"b\\c"), "\"a\\\"b\\\\c\"");
+  EXPECT_EQ(json_quote("tab\there\nline"), "\"tab\\there\\nline\"");
+  EXPECT_EQ(json_quote(std::string("nul\0byte", 8)), "\"nul\\u0000byte\"");
+}
+
+TEST(Json, WriterEmitsCompactAndPrettyForms) {
+  JsonWriter compact;
+  compact.begin_object();
+  compact.key("n").value(3).key("s").value("x\"y").key("ok").value(true);
+  compact.key("list").begin_array().value(1).value(2).end_array();
+  compact.end_object();
+  EXPECT_EQ(compact.str(), R"({"n":3,"s":"x\"y","ok":true,"list":[1,2]})");
+
+  JsonWriter pretty(2);
+  pretty.begin_object().key("calls").value(1).end_object();
+  EXPECT_EQ(pretty.str(), "{\n  \"calls\": 1\n}");
+}
+
+TEST(Json, ParseRoundTripsIntegersExactly) {
+  const std::string doc = R"({"a":-42,"b":"5/6","c":[true,null,{"d":9007199254740993}]})";
+  const JsonParse parsed = json_parse(doc);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.value.dump(), doc);  // int-only payloads re-serialize byte-identically
+  EXPECT_EQ(parsed.value.find("a")->as_int(), -42);
+  EXPECT_EQ(parsed.value.find("b")->as_string(), "5/6");
+  EXPECT_EQ(parsed.value.find("c")->at(2).find("d")->as_int(), 9007199254740993);
+}
+
+TEST(Json, ParseDecodesEscapesAndRejectsGarbage) {
+  const JsonParse escaped = json_parse(R"("aA\né")");
+  ASSERT_TRUE(escaped);
+  EXPECT_EQ(escaped.value.as_string(), "aA\n\xc3\xa9");
+
+  EXPECT_FALSE(json_parse(""));
+  EXPECT_FALSE(json_parse("{"));
+  EXPECT_FALSE(json_parse("{\"a\":1,}"));   // trailing comma
+  EXPECT_FALSE(json_parse("{\"a\":1} x"));  // trailing garbage
+  EXPECT_FALSE(json_parse("[0"));
+  // The nesting-depth cap stops hostile input before the stack does.
+  const std::string deep(100, '[');
+  EXPECT_FALSE(json_parse(deep, 64));
 }
 
 TEST(Csv, WritesQuotedCells) {

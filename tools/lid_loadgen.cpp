@@ -1,0 +1,233 @@
+// lid_loadgen — closed-loop load generator for lid_serve.
+//
+//   lid_loadgen --socket /run/lid.sock [--clients N] [--seconds S]
+//               [--verb analyze] [--deadline-ms D] [--v N --s N --c N --rs N
+//               --seed N --instances N] [--sleep-ms N] [--json]
+//
+// Each client opens one connection and issues requests back to back (send,
+// wait for the response, send the next — a closed loop, so offered load
+// adapts to server latency). The workload cycles through `--instances`
+// pre-generated netlists. At the end it reports offered load, goodput
+// (successful responses/s), shed rate, and exact client-side p50/p95/p99
+// latency — the numbers Little's Law and the M/M/1 lens want (see
+// EXPERIMENTS.md "Serving under load").
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+using namespace lid;
+
+struct ClientStats {
+  std::int64_t sent = 0;
+  std::int64_t ok = 0;
+  std::int64_t shed = 0;
+  std::int64_t deadline_exceeded = 0;
+  std::int64_t other_errors = 0;
+  std::vector<double> latencies_ms;
+  std::string first_error;
+};
+
+double percentile(std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const util::Cli cli(argc, argv);
+    const std::string socket_path = cli.get_string("socket", "");
+    const std::string host = cli.get_string("host", "127.0.0.1");
+    const int port = socket_path.empty()
+                         ? static_cast<int>(cli.get_int_in("port", 0, 1, 65535))
+                         : -1;
+    const int clients = static_cast<int>(cli.get_int_in("clients", 4, 1, 1024));
+    const double seconds = cli.get_double_in("seconds", 5.0, 0.1, 3600.0);
+    const std::string verb = cli.get_string("verb", "analyze");
+    const double deadline_ms = cli.get_double_in("deadline-ms", 0.0, 0.0, 1e9);
+    const std::int64_t sleep_ms = cli.get_int_in("sleep-ms", 1, 0, 10'000);
+    const int instances = static_cast<int>(cli.get_int_in("instances", 8, 1, 1024));
+    const bool as_json = cli.get_bool("json", false);
+
+    // Pre-generate the request workload: `instances` distinct netlists.
+    lid::GenerateOptions gen;
+    gen.cores = static_cast<int>(cli.get_int_in("v", 20, 2, 2000));
+    gen.sccs = static_cast<int>(cli.get_int_in("s", 3, 1, 2000));
+    gen.extra_cycles = static_cast<int>(cli.get_int_in("c", 2, 0, 2000));
+    gen.relay_stations = static_cast<int>(cli.get_int_in("rs", 5, 0, 2000));
+    util::Rng seeder(static_cast<std::uint64_t>(cli.get_int_in("seed", 1, 0, 1'000'000'000)));
+
+    std::vector<std::string> request_bodies;
+    for (int i = 0; i < instances; ++i) {
+      util::JsonWriter w;
+      w.begin_object();
+      w.key("verb").value(verb);
+      if (deadline_ms > 0.0) w.key("deadline_ms").value_fixed(deadline_ms, 3);
+      if (verb == "sleep") {
+        w.key("ms").value(sleep_ms);
+      } else if (verb != "ping" && verb != "stats") {
+        gen.seed = seeder.fork_seed();
+        const Result<Instance> instance = lid::generate(gen);
+        if (!instance) {
+          std::cerr << "lid_loadgen: generate: " << instance.error().to_string() << "\n";
+          return 1;
+        }
+        const Result<std::string> text = lid::netlist_text(*instance);
+        if (!text) {
+          std::cerr << "lid_loadgen: " << text.error().to_string() << "\n";
+          return 1;
+        }
+        w.key("netlist").value(*text);
+      }
+      // The per-request id is appended by each client (key must be last-less;
+      // JsonWriter cannot reopen, so clients splice it via a template).
+      w.key("id");
+      request_bodies.push_back(w.str());
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    util::Timer run_timer;
+
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        ClientStats& s = stats[static_cast<std::size_t>(c)];
+        Result<serve::Client> connected =
+            socket_path.empty() ? serve::Client::connect_tcp(host, port)
+                                : serve::Client::connect_unix(socket_path);
+        if (!connected) {
+          s.first_error = connected.error().to_string();
+          return;
+        }
+        serve::Client client = std::move(connected).value();
+        std::int64_t n = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const std::string& body = request_bodies[static_cast<std::size_t>(
+              n % static_cast<std::int64_t>(request_bodies.size()))];
+          const std::string line =
+              body + "\"c" + std::to_string(c) + "-" + std::to_string(n) + "\"}";
+          ++n;
+          util::Timer timer;
+          ++s.sent;
+          const Result<std::string> response = client.call(line);
+          const double latency = timer.elapsed_ms();
+          if (!response) {
+            ++s.other_errors;
+            if (s.first_error.empty()) s.first_error = response.error().to_string();
+            return;  // connection gone
+          }
+          s.latencies_ms.push_back(latency);
+          const util::JsonParse parsed = util::json_parse(*response);
+          const util::Json* ok =
+              parsed.ok && parsed.value.is_object() ? parsed.value.find("ok") : nullptr;
+          if (ok != nullptr && ok->as_bool()) {
+            ++s.ok;
+            continue;
+          }
+          std::string code;
+          if (parsed.ok && parsed.value.is_object()) {
+            if (const util::Json* error = parsed.value.find("error")) {
+              if (const util::Json* code_field = error->find("code")) {
+                code = code_field->as_string();
+              }
+            }
+          }
+          if (code == serve::codes::kOverloaded) {
+            ++s.shed;
+          } else if (code == serve::codes::kDeadlineExceeded) {
+            ++s.deadline_exceeded;
+          } else {
+            ++s.other_errors;
+            if (s.first_error.empty()) s.first_error = *response;
+          }
+        }
+      });
+    }
+
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0)));
+    stop.store(true);
+    for (std::thread& t : threads) t.join();
+    const double elapsed_s = run_timer.elapsed_s();
+
+    ClientStats total;
+    std::vector<double> latencies;
+    for (const ClientStats& s : stats) {
+      total.sent += s.sent;
+      total.ok += s.ok;
+      total.shed += s.shed;
+      total.deadline_exceeded += s.deadline_exceeded;
+      total.other_errors += s.other_errors;
+      latencies.insert(latencies.end(), s.latencies_ms.begin(), s.latencies_ms.end());
+      if (total.first_error.empty() && !s.first_error.empty()) total.first_error = s.first_error;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const double offered = static_cast<double>(total.sent) / elapsed_s;
+    const double goodput = static_cast<double>(total.ok) / elapsed_s;
+    const double shed_rate =
+        total.sent == 0 ? 0.0 : static_cast<double>(total.shed) / static_cast<double>(total.sent);
+    const double p50 = percentile(latencies, 0.50);
+    const double p95 = percentile(latencies, 0.95);
+    const double p99 = percentile(latencies, 0.99);
+
+    if (as_json) {
+      util::JsonWriter w;
+      w.begin_object();
+      w.key("verb").value(verb);
+      w.key("clients").value(clients);
+      w.key("elapsed_s").value_fixed(elapsed_s, 3);
+      w.key("sent").value(total.sent);
+      w.key("ok").value(total.ok);
+      w.key("shed").value(total.shed);
+      w.key("deadline_exceeded").value(total.deadline_exceeded);
+      w.key("other_errors").value(total.other_errors);
+      w.key("offered_rps").value_fixed(offered, 2);
+      w.key("goodput_rps").value_fixed(goodput, 2);
+      w.key("shed_rate").value_fixed(shed_rate, 4);
+      w.key("p50_ms").value_fixed(p50, 3);
+      w.key("p95_ms").value_fixed(p95, 3);
+      w.key("p99_ms").value_fixed(p99, 3);
+      w.end_object();
+      std::cout << w.str() << "\n";
+    } else {
+      util::Table table({"metric", "value"});
+      table.add_row({"clients x seconds", std::to_string(clients) + " x " +
+                                              util::Table::fmt(elapsed_s, 1)});
+      table.add_row({"requests sent", std::to_string(total.sent)});
+      table.add_row({"offered load (req/s)", util::Table::fmt(offered, 1)});
+      table.add_row({"goodput (req/s)", util::Table::fmt(goodput, 1)});
+      table.add_row({"shed (overloaded)", std::to_string(total.shed) + " (" +
+                                              util::Table::fmt(shed_rate * 100.0, 2) + "%)"});
+      table.add_row({"deadline exceeded", std::to_string(total.deadline_exceeded)});
+      table.add_row({"other errors", std::to_string(total.other_errors)});
+      table.add_row({"latency p50 (ms)", util::Table::fmt(p50, 3)});
+      table.add_row({"latency p95 (ms)", util::Table::fmt(p95, 3)});
+      table.add_row({"latency p99 (ms)", util::Table::fmt(p99, 3)});
+      table.print(std::cout);
+      if (!total.first_error.empty()) {
+        std::cout << "first error: " << total.first_error << "\n";
+      }
+    }
+    return total.other_errors == 0 ? 0 : 2;
+  } catch (const std::exception& e) {
+    std::cerr << "lid_loadgen: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -14,8 +14,14 @@
 //   5. netlist serialization round-trips;
 //   6. simulated place occupancies never exceed the structural bounds;
 //   7. the batch engine is deterministic across thread counts and its
-//      AnalysisCache agrees with the uncached per-module entry points.
+//      AnalysisCache agrees with the uncached per-module entry points;
+//   8. responses observed through an in-process lid_serve server (over a
+//      real Unix socket) are byte-identical to executing the same requests
+//      directly, at 1 and at 4 workers — the serving layer adds no
+//      nondeterminism.
 // Exits nonzero on the first violation, printing the seed that triggers it.
+#include <unistd.h>
+
 #include <iostream>
 
 #include "core/exact_milp.hpp"
@@ -30,7 +36,11 @@
 #include "mg/analysis.hpp"
 #include "mg/mcm.hpp"
 #include "mg/simulate.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/timer.hpp"
 
@@ -206,6 +216,67 @@ bool check_engine(std::uint64_t trial_seed) {
   return true;
 }
 
+// Invariant (8): the serving layer is a pure transport. For a randomized
+// request set covering every deterministic verb, the `result` payload read
+// back through a Unix-socket lid_serve equals the payload of executing the
+// same request line directly, byte for byte — at 1 worker and at 4.
+bool check_serve(std::uint64_t trial_seed) {
+  util::Rng rng(trial_seed);
+  std::vector<std::string> lines;
+  for (int i = 0; i < 6; ++i) {
+    GenerateOptions options;
+    options.cores = 5 + static_cast<int>(rng.uniform_int(0, 8));
+    options.sccs = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    options.extra_cycles = static_cast<int>(rng.uniform_int(0, 2));
+    options.relay_stations = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    options.rs_anywhere = true;
+    options.seed = rng.fork_seed();
+    const Result<Instance> generated = lid::generate(options);
+    CHECK_OR_FAIL(generated.ok(), "serve: generate");
+    const Result<std::string> text = netlist_text(*generated);
+    CHECK_OR_FAIL(text.ok(), "serve: netlist text");
+    static const char* kVerbs[] = {"parse", "analyze", "size-queues", "insert-rs", "rate-safety"};
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("id").value(i);
+    w.key("verb").value(kVerbs[i % 5]);
+    w.key("netlist").value(*text);
+    w.end_object();
+    lines.push_back(w.str());
+  }
+  lines.push_back(R"({"id": "g", "verb": "generate", "v": 9, "s": 2, "seed": 17})");
+
+  std::vector<std::string> direct;
+  for (const std::string& line : lines) {
+    const Result<serve::Request> request = serve::parse_request(line);
+    CHECK_OR_FAIL(request.ok(), "serve: request parses");
+    const serve::Outcome outcome = serve::execute(*request);
+    CHECK_OR_FAIL(outcome.ok, "serve: direct execution succeeds");
+    direct.push_back(outcome.payload);
+  }
+
+  for (const int workers : {1, 4}) {
+    serve::ServerOptions options;
+    options.unix_socket = "/tmp/lid_selfcheck_" + std::to_string(::getpid()) + ".sock";
+    options.workers = workers;
+    serve::Server server(options);
+    CHECK_OR_FAIL(server.start().ok(), "serve: server starts");
+    Result<serve::Client> connected = serve::Client::connect_unix(options.unix_socket);
+    CHECK_OR_FAIL(connected.ok(), "serve: client connects");
+    serve::Client client = std::move(connected).value();
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      const Result<std::string> response = client.call(lines[i]);
+      CHECK_OR_FAIL(response.ok(), "serve: response arrives");
+      const Result<std::string> served = serve::extract_result(*response);
+      CHECK_OR_FAIL(served.ok(), "serve: response is ok");
+      CHECK_OR_FAIL(*served == direct[i], "serve: served payload == direct payload");
+    }
+    client.close();
+    server.stop();
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -218,6 +289,7 @@ int main(int argc, char** argv) {
     util::Rng seeder(seed);
     util::Timer timer;
     if (!check_engine(seed)) return 1;
+    if (!check_serve(seed)) return 1;
     std::int64_t trials = 0;
     while (timer.elapsed_s() < seconds) {
       if (!check_one(seeder.fork_seed(), verbose)) return 1;

@@ -1,0 +1,87 @@
+// lid_serve — the analysis service daemon.
+//
+//   lid_serve --socket /run/lid.sock [--workers N] [--queue-capacity N]
+//   lid_serve --port 7421 [--host 127.0.0.1] [--workers N] ...
+//
+// Serves the lid:: facade over newline-delimited JSON (see
+// src/serve/protocol.hpp for the wire schema and docs/api-overview.md for a
+// walkthrough). Flags:
+//
+//   --socket PATH            Unix-domain listening socket (preferred)
+//   --port N [--host A]      TCP listening socket (0 = kernel-assigned)
+//   --workers N              worker threads executing requests   (default 1)
+//   --queue-capacity N       admission-queue bound; beyond it requests are
+//                            shed with `overloaded`              (default 64)
+//   --max-request-bytes N    request-line size limit             (default 1 MiB)
+//   --default-deadline-ms N  deadline for requests without one   (default none)
+//   --max-nodes N            exact-QS node-budget cap            (default 200000)
+//   --quiet                  suppress per-request log lines (stderr)
+//
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish every
+// admitted request, flush responses, exit 0.
+#include <csignal>
+#include <iostream>
+
+#include "serve/server.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+lid::serve::Server* g_server = nullptr;
+
+extern "C" void handle_stop_signal(int) {
+  // Async-signal-safe: request_stop is a single write() to a pipe.
+  if (g_server != nullptr) g_server->request_stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lid;
+  try {
+    const util::Cli cli(argc, argv);
+    serve::ServerOptions options;
+    options.unix_socket = cli.get_string("socket", "");
+    if (options.unix_socket.empty()) {
+      options.tcp_port = cli.has("port")
+                             ? static_cast<int>(cli.get_int_in("port", 0, 0, 65535))
+                             : -1;
+      options.host = cli.get_string("host", "127.0.0.1");
+    }
+    options.workers = static_cast<int>(cli.get_int_in("workers", 1, 1, 1024));
+    options.queue_capacity =
+        static_cast<std::size_t>(cli.get_int_in("queue-capacity", 64, 1, 1'000'000));
+    options.max_request_bytes =
+        static_cast<std::size_t>(cli.get_int_in("max-request-bytes", 1 << 20, 64, 1 << 28));
+    options.default_deadline_ms = cli.get_double_in("default-deadline-ms", 0.0, 0.0, 1e9);
+    options.limits.exact_max_nodes = cli.get_int_in("max-nodes", 200'000, 1, 100'000'000);
+    if (!cli.get_bool("quiet", false)) options.log = &std::cerr;
+
+    if (options.unix_socket.empty() && options.tcp_port < 0) {
+      std::cerr << "lid_serve: set --socket PATH or --port N\n";
+      return 1;
+    }
+
+    serve::Server server(options);
+    g_server = &server;
+    std::signal(SIGINT, handle_stop_signal);
+    std::signal(SIGTERM, handle_stop_signal);
+
+    const Status started = server.start();
+    if (!started) {
+      std::cerr << "lid_serve: " << started.error().to_string() << "\n";
+      return 1;
+    }
+    // Readiness line on stdout so scripts can wait for it.
+    std::cout << "lid_serve: listening on " << server.endpoint() << " (workers="
+              << options.workers << ", queue=" << options.queue_capacity << ")" << std::endl;
+
+    server.wait();  // returns after a signal-triggered graceful drain
+    std::cout << "lid_serve: drained, final stats: " << server.stats_json() << std::endl;
+    g_server = nullptr;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "lid_serve: " << e.what() << "\n";
+    return 1;
+  }
+}

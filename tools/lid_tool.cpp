@@ -21,9 +21,22 @@
 //   lid_tool storage   --netlist sys.lis
 //   lid_tool pareto    --netlist sys.lis [--timeout-ms N]
 //   lid_tool schedule  --netlist sys.lis [--max-periods N]
+//   lid_tool client    (--socket PATH | --port N [--host A]) --verb analyze
+//                      [--netlist sys.lis] [--deadline-ms N] [--id STR]
+//                      [verb args: --v/--s/--c/--rs/--seed/--policy, --solver,
+//                       --max-nodes, --budget, --ms] [--result-only] [--stdin]
+//
+// Numeric flags are range-validated (Cli::get_int_in): zero, negative or
+// non-numeric values where they make no sense exit 1 with a message naming
+// the flag and the accepted range.
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
 
 #include "core/diagnostics.hpp"
 #include "core/pareto.hpp"
@@ -61,12 +74,13 @@ T value_or_throw(Result<T> result) {
 
 GenerateOptions generate_options(const util::Cli& cli) {
   GenerateOptions options;
-  options.cores = static_cast<int>(cli.get_int("v", 50));
-  options.sccs = static_cast<int>(cli.get_int("s", 5));
-  options.extra_cycles = static_cast<int>(cli.get_int("c", 5));
-  options.relay_stations = static_cast<int>(cli.get_int("rs", 10));
+  options.cores = static_cast<int>(cli.get_int_in("v", 50, 2, 1'000'000));
+  options.sccs = static_cast<int>(cli.get_int_in("s", 5, 1, 1'000'000));
+  options.extra_cycles = static_cast<int>(cli.get_int_in("c", 5, 0, 1'000'000));
+  options.relay_stations = static_cast<int>(cli.get_int_in("rs", 10, 0, 1'000'000));
   options.reconvergent = cli.get_bool("reconvergent", true);
-  options.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  options.seed = static_cast<std::uint64_t>(
+      cli.get_int_in("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
   const std::string policy = cli.get_string("policy", "scc");
   if (policy == "any") {
     options.rs_anywhere = true;
@@ -128,8 +142,8 @@ int cmd_size(const util::Cli& cli) {
   } else {
     throw std::invalid_argument("--method must be heuristic, exact or both");
   }
-  options.exact_timeout_ms = cli.get_double("timeout-ms", 60000.0);
-  options.exact_max_nodes = cli.get_int("max-nodes", 0);
+  options.exact_timeout_ms = cli.get_double_in("timeout-ms", 60000.0, 0.0, 1e9);
+  options.exact_max_nodes = cli.get_int_in("max-nodes", 0, 0, 1'000'000'000);
   const Sizing& sizing = value_or_throw(size_queues(system, options));
 
   std::cout << "ideal MST " << sizing.theta_ideal << ", practical MST " << sizing.theta_practical
@@ -179,7 +193,7 @@ int cmd_batch(const util::Cli& cli) {
   if (cli.get_bool("cofdm", false)) instances.push_back(cofdm_soc());
 
   // Source 3: generated instances (the default when nothing else is given).
-  std::int64_t count = cli.get_int("count", 0);
+  std::int64_t count = cli.get_int_in("count", 0, 0, 1'000'000);
   if (count <= 0 && instances.empty()) count = 20;
   if (count > 0) {
     GenerateOptions base = generate_options(cli);
@@ -191,11 +205,12 @@ int cmd_batch(const util::Cli& cli) {
   }
 
   engine::EngineOptions options;
-  options.threads = static_cast<int>(cli.get_int("threads", 1));
-  options.exact_max_nodes = cli.get_int("max-nodes", 200'000);
-  options.exact_timeout_ms = cli.get_double("timeout-ms", 0.0);
-  options.rs_budget = static_cast<int>(cli.get_int("rs-budget", 2));
-  options.max_cycles = static_cast<std::size_t>(cli.get_int("max-cycles", 500'000));
+  options.threads = static_cast<int>(cli.get_int_in("threads", 1, 1, 1024));
+  options.exact_max_nodes = cli.get_int_in("max-nodes", 200'000, 0, 1'000'000'000);
+  options.exact_timeout_ms = cli.get_double_in("timeout-ms", 0.0, 0.0, 1e9);
+  options.rs_budget = static_cast<int>(cli.get_int_in("rs-budget", 2, 0, 1024));
+  options.max_cycles =
+      static_cast<std::size_t>(cli.get_int_in("max-cycles", 500'000, 1, 1'000'000'000));
   options.analyses = value_or_throw(
       engine::parse_analyses(cli.get_string("analyses", "mst-ideal,mst-practical,qs-heuristic")));
 
@@ -268,7 +283,7 @@ int cmd_gen(const util::Cli& cli) {
 int cmd_insert_rs(const util::Cli& cli) {
   const Instance system = load(cli);
   InsertRelayStationsOptions options;
-  options.budget = static_cast<int>(cli.get_int("budget", 1));
+  options.budget = static_cast<int>(cli.get_int_in("budget", 1, 0, 100'000));
   options.exhaustive = cli.get_bool("exhaustive", false);
   const RelayInsertion& result = value_or_throw(insert_relay_stations(system, options));
   std::cout << "original ideal MST " << result.original_ideal << "\n";
@@ -287,7 +302,7 @@ int cmd_simulate(const util::Cli& cli) {
   const Instance instance = load(cli);
   const lis::LisGraph& system = instance.graph();
   lis::ProtocolOptions options;
-  options.periods = static_cast<std::size_t>(cli.get_int("periods", 10000));
+  options.periods = static_cast<std::size_t>(cli.get_int_in("periods", 10000, 1, 100'000'000));
   const std::string reference = cli.get_string("reference", "");
   if (!reference.empty()) {
     bool found = false;
@@ -332,7 +347,7 @@ int cmd_storage(const util::Cli& cli) {
 int cmd_pareto(const util::Cli& cli) {
   const Instance instance = load(cli);
   core::ParetoOptions options;
-  options.exact.timeout_ms = cli.get_double("timeout-ms", 60000.0);
+  options.exact.timeout_ms = cli.get_double_in("timeout-ms", 60000.0, 0.0, 1e9);
   util::Table table({"extra queue slots", "achieved MST"});
   for (const core::ParetoPoint& point : core::qs_pareto_frontier(instance.graph(), options)) {
     table.add_row({std::to_string(point.extra_tokens), point.achieved_mst.to_string()});
@@ -345,7 +360,7 @@ int cmd_schedule(const util::Cli& cli) {
   const Instance instance = load(cli);
   const lis::LisGraph& system = instance.graph();
   const core::StaticSchedule schedule = core::compute_static_schedule(
-      system, static_cast<std::size_t>(cli.get_int("max-periods", 20000)));
+      system, static_cast<std::size_t>(cli.get_int_in("max-periods", 20000, 1, 100'000'000)));
   if (!schedule.found) {
     std::cout << "no periodic schedule exists (unbalanced rates or budget too small);\n"
                  "this system needs backpressure (Sec. III-C)\n";
@@ -369,6 +384,93 @@ int cmd_schedule(const util::Cli& cli) {
   return 0;
 }
 
+/// Builds one request line for `client` from the command-line flags. The
+/// embedded netlist comes from --netlist (a local file read client-side; the
+/// server only ever sees text).
+std::string build_client_request(const util::Cli& cli, const std::string& verb) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(cli.get_string("id", "cli"));
+  w.key("verb").value(verb);
+  const double deadline_ms = cli.get_double_in("deadline-ms", 0.0, 0.0, 1e9);
+  if (deadline_ms > 0.0) w.key("deadline_ms").value_fixed(deadline_ms, 3);
+
+  if (verb == "sleep") {
+    w.key("ms").value(cli.get_int_in("ms", 0, 0, 10'000));
+  } else if (verb == "generate") {
+    const GenerateOptions options = generate_options(cli);
+    w.key("v").value(options.cores);
+    w.key("s").value(options.sccs);
+    w.key("c").value(options.extra_cycles);
+    w.key("rs").value(options.relay_stations);
+    w.key("seed").value(static_cast<std::int64_t>(options.seed));
+    w.key("policy").value(options.rs_anywhere ? "any" : "scc");
+    w.key("reconvergent").value(options.reconvergent);
+  } else if (verb != "ping" && verb != "stats") {
+    const std::string path = cli.get_string("netlist", "");
+    if (path.empty()) throw std::invalid_argument("--netlist <file> is required for " + verb);
+    std::ifstream file(path);
+    if (!file) throw std::runtime_error("cannot open '" + path + "'");
+    std::ostringstream text;
+    text << file.rdbuf();
+    w.key("netlist").value(text.str());
+    if (verb == "size-queues") {
+      w.key("solver").value(cli.get_string("solver", "both"));
+      const std::int64_t max_nodes = cli.get_int_in("max-nodes", 0, 0, 1'000'000'000);
+      if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
+    } else if (verb == "insert-rs") {
+      w.key("budget").value(cli.get_int_in("budget", 1, 0, 64));
+      if (cli.get_bool("exhaustive", false)) w.key("exhaustive").value(true);
+    }
+  }
+  w.end_object();
+  return w.str();
+}
+
+int cmd_client(const util::Cli& cli) {
+  const std::string socket_path = cli.get_string("socket", "");
+  Result<serve::Client> connected =
+      socket_path.empty()
+          ? serve::Client::connect_tcp(cli.get_string("host", "127.0.0.1"),
+                                       static_cast<int>(cli.get_int_in("port", 0, 1, 65535)))
+          : serve::Client::connect_unix(socket_path);
+  if (!connected) throw std::runtime_error(connected.error().to_string());
+  serve::Client client = std::move(connected).value();
+
+  // Raw mode: forward NDJSON request lines from stdin verbatim, print each
+  // response line. Lets scripts drive the full protocol through one
+  // connection.
+  if (cli.get_bool("stdin", false)) {
+    bool all_ok = true;
+    std::string line;
+    while (std::getline(std::cin, line)) {
+      if (line.empty()) continue;
+      const Result<std::string> response = client.call(line);
+      if (!response) throw std::runtime_error(response.error().to_string());
+      std::cout << *response << "\n";
+      const util::JsonParse parsed = util::json_parse(*response);
+      const util::Json* ok =
+          parsed.ok && parsed.value.is_object() ? parsed.value.find("ok") : nullptr;
+      all_ok = all_ok && ok != nullptr && ok->is_bool() && ok->as_bool();
+    }
+    return all_ok ? 0 : 2;
+  }
+
+  const std::string verb = cli.get_string("verb", "ping");
+  const std::string request = build_client_request(cli, verb);
+  const Result<std::string> response = client.call(request);
+  if (!response) throw std::runtime_error(response.error().to_string());
+  if (cli.get_bool("result-only", false)) {
+    const Result<std::string> result = serve::extract_result(*response);
+    if (!result) throw std::runtime_error(result.error().to_string());
+    std::cout << *result << "\n";
+    return 0;
+  }
+  std::cout << *response << "\n";
+  const Result<std::string> result = serve::extract_result(*response);
+  return result ? 0 : 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -383,6 +485,7 @@ int main(int argc, char** argv) {
       {"storage", {}, "worst-case per-channel storage bounds", cmd_storage},
       {"pareto", {}, "cost vs throughput frontier of queue sizing", cmd_pareto},
       {"schedule", {}, "static schedule baseline (Casu–Macchiarulo)", cmd_schedule},
+      {"client", {}, "send one request (or --stdin NDJSON) to a lid_serve daemon", cmd_client},
   };
   return util::dispatch_commands(argc, argv, commands, "lid_tool", std::cerr);
 }
