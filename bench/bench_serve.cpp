@@ -11,7 +11,9 @@
 #include "lid_api.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "serve/server.hpp"
+#include "util/cancel.hpp"
 #include "util/json.hpp"
 
 namespace {
@@ -112,6 +114,60 @@ void BM_PingRoundTrip(benchmark::State& state) {
   server.stop();
 }
 BENCHMARK(BM_PingRoundTrip)->Unit(benchmark::kMicrosecond);
+
+/// Cancellation latency: how long a hot solve keeps running after its token
+/// has already fired. Measures execute() on a size-queues request with an
+/// expired token — the reported time IS the cancellation-detection overhead
+/// plus the degrade fallback (heuristic rerun), i.e. the worker-freeing
+/// bound of the robustness docs.
+void BM_CancellationLatency(benchmark::State& state) {
+  GenerateOptions gen;
+  gen.cores = static_cast<int>(state.range(0));
+  gen.sccs = 3;
+  gen.extra_cycles = 2;
+  gen.relay_stations = 5;
+  gen.seed = 7;
+  const Result<Instance> instance = generate(gen);
+  const Result<std::string> text = netlist_text(*instance);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(1).key("verb").value("size-queues");
+  w.key("solver").value("both").key("on_deadline").value("degrade");
+  w.key("netlist").value(*text);
+  w.end_object();
+  const Result<serve::Request> request = serve::parse_request(w.str());
+  serve::ExecContext expired;
+  expired.cancel = util::CancelToken::after_ms(0.0);
+  expired.deadline_expired = true;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(serve::execute(*request, {}, expired));
+  }
+}
+BENCHMARK(BM_CancellationLatency)->Arg(20)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+/// Retry-path overhead: the RetryingClient wrapper around a healthy server
+/// (no faults, every call succeeds first try) against the bare Client of
+/// BM_PingRoundTrip — the cost of the validation + bookkeeping layer alone.
+void BM_RetryOverhead(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.unix_socket = "/tmp/lid_bench_retry.sock";
+  options.workers = 1;
+  serve::Server server(options);
+  if (!server.start()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  serve::RetryPolicy policy;
+  policy.max_attempts = 3;
+  serve::RetryingClient client(
+      [&]() { return serve::Client::connect_unix(options.unix_socket); }, policy);
+  const std::string line = R"({"id": 1, "verb": "ping"})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.call(line));
+  }
+  server.stop();
+}
+BENCHMARK(BM_RetryOverhead)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -40,9 +40,18 @@ class CoverSearch {
 
  private:
   bool search(std::int64_t budget) {
-    if (++stats_.nodes_explored % 1024 == 0) {
-      if (deadline_.expired() ||
-          (options_.max_nodes > 0 && stats_.nodes_explored >= options_.max_nodes)) {
+    // The node budget is checked at every node so the cut-off point is a
+    // pure function of the instance (deterministic responses); the clock
+    // and the cancel token are polled on a stride to keep the hot path
+    // cheap — a cancelled solve stops within 1024 nodes of the request.
+    ++stats_.nodes_explored;
+    if (options_.max_nodes > 0 && stats_.nodes_explored >= options_.max_nodes) {
+      cut_off_ = true;
+    } else if (stats_.nodes_explored % 1024 == 0) {
+      if (options_.cancel.cancelled()) {
+        cut_off_ = true;
+        stats_.cancelled = true;
+      } else if (deadline_.expired()) {
         cut_off_ = true;
       }
     }
@@ -140,6 +149,13 @@ ExactResult solve_exact(const TdInstance& instance, const TdSolution& upper_boun
   // Binary search the minimum feasible budget, as in the paper.
   bool proven = true;
   while (lo < hi) {
+    if (options.cancel.cancelled()) {
+      // Probe boundary: a token that fired between probes (or arrived
+      // already expired) stops the search before more work starts.
+      result.cancelled = true;
+      proven = false;
+      break;
+    }
     const std::int64_t mid = lo + (hi - lo) / 2;
     const auto assignment = search.run(mid);
     if (search.cut_off()) {

@@ -13,6 +13,7 @@
 #include <optional>
 
 #include "core/token_deficit.hpp"
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace lid::core {
@@ -21,8 +22,13 @@ namespace lid::core {
 struct ExactOptions {
   /// Wall-clock budget; <= 0 means unlimited.
   double timeout_ms = 0.0;
-  /// Hard cap on explored search nodes; 0 means unlimited.
+  /// Hard cap on explored search nodes; 0 means unlimited. Checked at every
+  /// node, so a cut-off lands on exactly max_nodes explored — deterministic
+  /// regardless of machine speed.
   std::int64_t max_nodes = 0;
+  /// Cooperative cancellation (request deadline, server drain). Polled at
+  /// iteration boundaries; the default token never cancels.
+  util::CancelToken cancel;
 };
 
 /// Outcome of an exact solve.
@@ -30,8 +36,12 @@ struct ExactResult {
   /// The optimal solution, present unless the search was cut off before it
   /// could be proven optimal.
   std::optional<TdSolution> solution;
-  /// True when the timeout or node cap fired.
+  /// True when the timeout, node cap or cancel token fired.
   bool cut_off = false;
+  /// True when specifically the cancel token fired (deadline expiry or an
+  /// external cancel) — lets callers distinguish "out of budget" from
+  /// "caller gave up" and report partial progress.
+  bool cancelled = false;
   /// Search nodes explored across all probes.
   std::int64_t nodes_explored = 0;
   /// Wall time spent.

@@ -57,9 +57,16 @@ class PaperSearch {
 
  private:
   bool descend(std::size_t first_replica, std::int64_t budget) {
-    if (++stats_.nodes_explored % 512 == 0) {
-      if (deadline_.expired() ||
-          (options_.max_nodes > 0 && stats_.nodes_explored >= options_.max_nodes)) {
+    // Node budget at every node (deterministic cut-off point); clock and
+    // cancel token on a stride (cheap hot path, stops within 512 nodes).
+    ++stats_.nodes_explored;
+    if (options_.max_nodes > 0 && stats_.nodes_explored >= options_.max_nodes) {
+      cut_off_ = true;
+    } else if (stats_.nodes_explored % 512 == 0) {
+      if (options_.cancel.cancelled()) {
+        cut_off_ = true;
+        stats_.cancelled = true;
+      } else if (deadline_.expired()) {
         cut_off_ = true;
       }
     }
@@ -130,6 +137,11 @@ ExactResult solve_exact_paper(const TdInstance& instance, const TdSolution& uppe
   std::int64_t hi = upper_bound.total;
   bool proven = true;
   while (lo < hi) {
+    if (options.cancel.cancelled()) {
+      result.cancelled = true;
+      proven = false;
+      break;
+    }
     const std::int64_t mid = lo + (hi - lo) / 2;
     const auto assignment = search.run(mid);
     if (search.cut_off()) {

@@ -165,7 +165,15 @@ QsProblem build_qs_problem_with_mst(const LisGraph& lis, const Rational& theta_i
     }
     return options.max_cycles == 0 || problem.cycles_enumerated < options.max_cycles;
   };
-  problem.truncated = !graph::for_each_cycle(dg.structure(), on_cycle);
+  const bool complete = graph::for_each_cycle(dg.structure(), on_cycle, nullptr, options.cancel);
+  if (!complete) {
+    problem.truncated = true;
+    // The only other way enumeration stops early is on_cycle declining at
+    // the cycle cap; anything else was the cancel token.
+    const bool cap_hit =
+        options.max_cycles != 0 && problem.cycles_enumerated >= options.max_cycles;
+    problem.cancelled = !cap_hit;
+  }
   problem.problem_cycles = raw.size();
 
   // Build the TD instance: one set per candidate channel, one element per

@@ -30,6 +30,7 @@
 
 #include "core/token_deficit.hpp"
 #include "lis/lis_graph.hpp"
+#include "util/cancel.hpp"
 #include "util/rational.hpp"
 
 namespace lid::core {
@@ -46,6 +47,10 @@ struct QsBuildOptions {
   /// repair (deficits are computed against it instead). Values above θ(G)
   /// are clamped to θ(G) — backpressure can never beat the ideal.
   util::Rational target_mst = util::Rational(0);
+  /// Cooperative cancellation for the enumeration phase. A fired token stops
+  /// the build early with `cancelled` set; the partial instance must not be
+  /// served as an answer (it is timing-dependent). The default never cancels.
+  util::CancelToken cancel;
 };
 
 /// A queue-sizing problem: the TD instance plus the channel map.
@@ -69,6 +74,8 @@ struct QsProblem {
   std::size_t problem_cycles = 0;
   /// True when cycle enumeration hit the cap.
   bool truncated = false;
+  /// True when the cancel token stopped enumeration before it finished.
+  bool cancelled = false;
   /// True when the SCC-collapse fast path was used.
   bool scc_collapsed = false;
 

@@ -71,6 +71,8 @@ QsReport size_queues_on_problem(const lis::LisGraph& lis, const QsProblem& probl
     const ExactResult exact = solve_exact(*instance, upper, options.exact);
     SolverOutcome outcome;
     outcome.finished = !exact.cut_off;
+    outcome.cancelled = exact.cancelled;
+    outcome.nodes_explored = exact.nodes_explored;
     if (exact.solution) {
       const TdSolution full = lift(*exact.solution);
       outcome.weights = full.weights;

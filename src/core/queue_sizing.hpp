@@ -49,6 +49,12 @@ struct SolverOutcome {
   double cpu_ms = 0.0;
   /// Exact solver only: true when it proved optimality within its budget.
   bool finished = true;
+  /// Exact solver only: true when the cancel token (not the node/time
+  /// budget) ended the search.
+  bool cancelled = false;
+  /// Exact solver only: search nodes explored — partial-progress evidence
+  /// when the solve was cut off or cancelled.
+  std::int64_t nodes_explored = 0;
 };
 
 /// Result of queue sizing.

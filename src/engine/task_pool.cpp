@@ -57,6 +57,11 @@ void TaskPool::worker_loop(int worker_index) {
     context.queue_wait_ms = entry.queued_at.elapsed_ms();
     context.deadline_expired =
         entry.deadline_ms > 0.0 && context.queue_wait_ms >= entry.deadline_ms;
+    if (entry.deadline_ms > 0.0) {
+      // Remaining budget after the queue wait; <= 0 yields an already-expired
+      // token, matching deadline_expired.
+      context.cancel = util::CancelToken::after_ms(entry.deadline_ms - context.queue_wait_ms);
+    }
     entry.task(context);
     {
       const std::lock_guard<std::mutex> lock(mutex_);

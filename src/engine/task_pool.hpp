@@ -12,7 +12,10 @@
 //     a worker picks it up is still invoked, but with
 //     Context::deadline_expired set, so the caller can answer
 //     `deadline_exceeded` without paying for the work (the work itself is
-//     bounded by deterministic node budgets, keeping results reproducible);
+//     bounded by deterministic node budgets, keeping results reproducible).
+//     Tasks still within deadline receive a Context::cancel token armed with
+//     the remaining budget, so cooperative solvers stop within one loop
+//     bound of expiry instead of holding the worker hostage;
 //   * queue-depth hooks — queue_depth()/submitted()/shed()/executed() are
 //     cheap snapshots for admission decisions and the `stats` verb.
 //
@@ -29,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/timer.hpp"
 
 namespace lid::engine {
@@ -51,6 +55,11 @@ class TaskPool {
     bool deadline_expired = false;
     /// Milliseconds the task waited between submit() and execution.
     double queue_wait_ms = 0.0;
+    /// Armed with the deadline's remaining budget when the task carries one
+    /// (already expired when deadline_expired); never cancels otherwise.
+    /// Thread long-running work through this so the worker frees itself
+    /// within one loop bound of expiry.
+    util::CancelToken cancel;
   };
 
   using Task = std::function<void(const Context&)>;

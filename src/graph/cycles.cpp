@@ -14,8 +14,9 @@ namespace {
 class JohnsonEnumerator {
  public:
   JohnsonEnumerator(const Digraph& g, const std::function<bool(const Cycle&)>& on_cycle,
-                    const std::function<bool(EdgeId)>& edge_filter)
-      : g_(g), on_cycle_(on_cycle), edge_filter_(edge_filter) {}
+                    const std::function<bool(EdgeId)>& edge_filter,
+                    const util::CancelToken& cancel)
+      : g_(g), on_cycle_(on_cycle), edge_filter_(edge_filter), cancel_(cancel) {}
 
   /// Returns true when enumeration ran to completion.
   bool run() {
@@ -25,6 +26,11 @@ class JohnsonEnumerator {
     in_round_.assign(n, 0);
 
     for (NodeId s = 0; s < static_cast<NodeId>(n) && !stopped_; ++s) {
+      if (cancel_.can_cancel() && cancel_.cancelled()) {
+        stopped_ = true;
+        cancelled_ = true;
+        break;
+      }
       mark_round_component(s);
       if (!in_round_[static_cast<std::size_t>(s)]) continue;
       for (const NodeId v : round_nodes_) {
@@ -36,6 +42,9 @@ class JohnsonEnumerator {
     }
     return !stopped_;
   }
+
+  /// True when the cancel token (not the callback) ended enumeration.
+  [[nodiscard]] bool cancelled() const { return cancelled_; }
 
  private:
   bool allowed(EdgeId e) const { return !edge_filter_ || edge_filter_(e); }
@@ -75,6 +84,14 @@ class JohnsonEnumerator {
   }
 
   bool circuit(NodeId v) {
+    // Poll the token on a stride: recursion steps are cheap, so checking the
+    // clock on each would dominate; a cancelled enumeration still stops
+    // within 256 steps.
+    if (cancel_.can_cancel() && ++poll_counter_ % 256 == 0 && cancel_.cancelled()) {
+      stopped_ = true;
+      cancelled_ = true;
+    }
+    if (stopped_) return false;
     bool found = false;
     blocked_[static_cast<std::size_t>(v)] = 1;
     for (const EdgeId e : g_.out_edges(v)) {
@@ -126,9 +143,12 @@ class JohnsonEnumerator {
   const Digraph& g_;
   const std::function<bool(const Cycle&)>& on_cycle_;
   const std::function<bool(EdgeId)>& edge_filter_;
+  const util::CancelToken& cancel_;
 
   NodeId start_ = 0;
   bool stopped_ = false;
+  bool cancelled_ = false;
+  std::uint64_t poll_counter_ = 0;
   std::vector<char> blocked_;
   std::vector<std::vector<NodeId>> block_map_;
   std::vector<char> in_round_;
@@ -139,20 +159,24 @@ class JohnsonEnumerator {
 }  // namespace
 
 bool for_each_cycle(const Digraph& g, const std::function<bool(const Cycle&)>& on_cycle,
-                    const std::function<bool(EdgeId)>& edge_filter) {
+                    const std::function<bool(EdgeId)>& edge_filter,
+                    const util::CancelToken& cancel) {
   LID_ENSURE(static_cast<bool>(on_cycle), "for_each_cycle: callback required");
-  JohnsonEnumerator enumerator(g, on_cycle, edge_filter);
+  JohnsonEnumerator enumerator(g, on_cycle, edge_filter, cancel);
   return enumerator.run();
 }
 
 CycleEnumResult enumerate_cycles(const Digraph& g, const CycleEnumOptions& options) {
   CycleEnumResult result;
-  const auto collect = [&](const Cycle& c) {
+  // Named std::function (not auto): the enumerator stores a reference to it.
+  const std::function<bool(const Cycle&)> collect = [&](const Cycle& c) {
     result.cycles.push_back(c);
     return options.max_cycles == 0 || result.cycles.size() < options.max_cycles;
   };
-  const bool complete = for_each_cycle(g, collect, options.edge_filter);
+  JohnsonEnumerator enumerator(g, collect, options.edge_filter, options.cancel);
+  const bool complete = enumerator.run();
   result.truncated = !complete;
+  result.cancelled = enumerator.cancelled();
   return result;
 }
 

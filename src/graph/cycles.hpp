@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "util/cancel.hpp"
 
 namespace lid::graph {
 
@@ -27,13 +28,20 @@ struct CycleEnumOptions {
   /// entirely (treated as absent). Useful to enumerate only cycles inside a
   /// subgraph. Null = keep all edges.
   std::function<bool(EdgeId)> edge_filter;
+  /// Cooperative cancellation, polled at search-tree boundaries. The default
+  /// token never cancels.
+  util::CancelToken cancel;
 };
 
 /// Result of cycle enumeration.
 struct CycleEnumResult {
   std::vector<Cycle> cycles;
-  /// True when enumeration stopped at max_cycles before completing.
+  /// True when enumeration stopped early (max_cycles reached or cancelled).
   bool truncated = false;
+  /// True when specifically the cancel token stopped enumeration; the cycle
+  /// list is then a prefix whose length depends on timing — callers must not
+  /// treat it as a deterministic answer.
+  bool cancelled = false;
 };
 
 /// Enumerates all elementary cycles of `g` (cycles that visit each vertex at
@@ -42,10 +50,11 @@ struct CycleEnumResult {
 CycleEnumResult enumerate_cycles(const Digraph& g, const CycleEnumOptions& options = {});
 
 /// Streaming variant: invokes `on_cycle` for each cycle; enumeration stops
-/// early when the callback returns false. Returns true if enumeration ran to
-/// completion (callback never declined).
+/// early when the callback returns false or `cancel` fires. Returns true if
+/// enumeration ran to completion (callback never declined, never cancelled).
 bool for_each_cycle(const Digraph& g, const std::function<bool(const Cycle&)>& on_cycle,
-                    const std::function<bool(EdgeId)>& edge_filter = nullptr);
+                    const std::function<bool(EdgeId)>& edge_filter = nullptr,
+                    const util::CancelToken& cancel = {});
 
 /// True if `g` has at least one cycle (self-loops count).
 bool has_cycle(const Digraph& g);

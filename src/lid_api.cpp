@@ -171,7 +171,7 @@ Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options
 
 Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options) {
   if (!instance.valid()) return invalid_handle("size_queues");
-  return guarded<Sizing>(ErrorCode::kInvalidArgument, [&] {
+  return guarded<Sizing>(ErrorCode::kInvalidArgument, [&]() -> Result<Sizing> {
     const lis::LisGraph& lis = instance.graph();
     core::QsOptions qs;
     switch (options.solver) {
@@ -181,9 +181,17 @@ Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& op
     }
     qs.exact.timeout_ms = options.exact_timeout_ms;
     qs.exact.max_nodes = options.exact_max_nodes;
+    qs.exact.cancel = options.cancel;
+    qs.simplify = options.simplify;
     qs.build.max_cycles = options.max_cycles;
     qs.build.target_mst = options.target;
+    qs.build.cancel = options.cancel;
     const core::QsReport report = core::size_queues(lis, qs);
+    if (report.problem.cancelled) {
+      // A partial enumeration depends on wall-clock timing; serving weights
+      // derived from it would break response determinism, so fail instead.
+      return Error{ErrorCode::kTimeout, "size_queues: cancelled during cycle enumeration"};
+    }
 
     Sizing sizing;
     sizing.theta_ideal = report.problem.theta_ideal;
@@ -200,6 +208,8 @@ Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& op
       sizing.exact_total = report.exact->total_extra_tokens;
       sizing.exact_ms = report.exact->cpu_ms;
       sizing.exact_proved = report.exact->finished;
+      sizing.exact_cancelled = report.exact->cancelled;
+      sizing.exact_nodes = report.exact->nodes_explored;
     }
     for (const lis::ChannelId ch : report.problem.channels) {
       const int before = lis.channel(ch).queue_capacity;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "lis/lis_graph.hpp"
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/rational.hpp"
 
@@ -211,8 +212,20 @@ struct SizeQueuesOptions {
   std::int64_t exact_max_nodes = 0;
   /// Cap on enumerated cycles (0 = unlimited).
   std::size_t max_cycles = 2'000'000;
+  /// Run the paper's TD-instance reductions before solving. Leave on except
+  /// for ablation, or to force the exact search to work on the raw instance
+  /// (the reductions collapse most instances to a zero-probe search, which
+  /// makes node budgets and cancel tokens unobservable).
+  bool simplify = true;
   /// Target throughput; 0 means the ideal MST θ(G).
   util::Rational target = util::Rational(0);
+  /// Cooperative cancellation (e.g. a request deadline). A token firing
+  /// during cycle enumeration fails the whole call with ErrorCode::kTimeout —
+  /// a partial enumeration is timing-dependent and never served as an
+  /// answer. A token firing during the exact solve degrades gracefully: the
+  /// result carries the heuristic weights with exact_proved == false and
+  /// exact_cancelled == true. The default token never cancels.
+  util::CancelToken cancel;
 };
 
 /// One grown queue.
@@ -233,7 +246,9 @@ struct Sizing {
   double heuristic_ms = 0.0;
   std::int64_t exact_total = -1;  ///< -1 when the exact solver did not run
   double exact_ms = 0.0;
-  bool exact_proved = false;  ///< exact finished within its budget
+  bool exact_proved = false;      ///< exact finished within its budget
+  bool exact_cancelled = false;   ///< the cancel token ended the exact solve
+  std::int64_t exact_nodes = 0;   ///< search nodes explored (partial-progress stat)
   std::size_t cycles_enumerated = 0;
   bool truncated = false;  ///< cycle enumeration hit max_cycles
   std::vector<QueueChange> changes;

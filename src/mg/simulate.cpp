@@ -7,7 +7,7 @@
 namespace lid::mg {
 
 SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps, TransitionId reference,
-                          const StepObserver& observer) {
+                          const StepObserver& observer, const util::CancelToken& cancel) {
   LID_ENSURE(reference >= 0 && static_cast<std::size_t>(reference) < g.num_transitions(),
              "simulate: reference transition out of range");
 
@@ -25,6 +25,11 @@ SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps, Transitio
 
   std::vector<char> fired(nt, 0);
   for (std::size_t step = 0; step < max_steps; ++step) {
+    // Step-boundary cancellation: strided so the poll never dominates a step.
+    if (cancel.can_cancel() && step % 256 == 0 && cancel.cancelled()) {
+      result.cancelled = true;
+      break;
+    }
     // Determine the enabled set from the current marking (all concurrently).
     for (TransitionId t = 0; t < static_cast<TransitionId>(nt); ++t) {
       bool enabled = true;

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "mg/marked_graph.hpp"
+#include "util/cancel.hpp"
 #include "util/rational.hpp"
 
 namespace lid::mg {
@@ -35,6 +36,9 @@ struct SimulationResult {
   std::vector<std::int64_t> max_tokens;
   /// Steps actually executed.
   std::size_t steps_run = 0;
+  /// True when the cancel token stopped the run before max_steps / recurrence;
+  /// the empirical stats cover only the steps actually executed.
+  bool cancelled = false;
 };
 
 /// Callback invoked after every step with the step index and, per transition,
@@ -43,7 +47,10 @@ using StepObserver = std::function<bool(std::size_t step, const std::vector<char
 
 /// Simulates up to `max_steps` steps from the graph's initial marking.
 /// `reference` selects the transition whose sustained rate is reported.
+/// `cancel` is polled every 256 steps; a fired token ends the run early with
+/// `cancelled` set (the default token never cancels).
 SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps,
-                          TransitionId reference = 0, const StepObserver& observer = nullptr);
+                          TransitionId reference = 0, const StepObserver& observer = nullptr,
+                          const util::CancelToken& cancel = {});
 
 }  // namespace lid::mg

@@ -3,13 +3,18 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <cmath>
 #include <cstring>
 #include <utility>
+
+#include "util/timer.hpp"
 
 namespace lid::serve {
 namespace {
@@ -94,8 +99,9 @@ Status Client::send_line(const std::string& line) {
   return Unit{};
 }
 
-Result<std::string> Client::recv_line() {
+Result<std::string> Client::recv_line(double timeout_ms) {
   if (fd_ < 0) return Error{ErrorCode::kIo, "client is closed"};
+  util::Timer waited;
   while (true) {
     const std::size_t newline = buffer_.find('\n');
     if (newline != std::string::npos) {
@@ -103,6 +109,22 @@ Result<std::string> Client::recv_line() {
       buffer_.erase(0, newline + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       return line;
+    }
+    if (timeout_ms > 0.0) {
+      const double remaining = timeout_ms - waited.elapsed_ms();
+      if (remaining <= 0.0) {
+        return Error{ErrorCode::kTimeout,
+                     "no response within " + std::to_string(timeout_ms) + " ms"};
+      }
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(std::ceil(remaining)));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return errno_error("poll");
+      }
+      if (ready == 0) continue;  // re-check remaining; expires next pass
     }
     char chunk[65536];
     const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);

@@ -22,12 +22,17 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// Writes `line` (a newline is appended if missing).
+  /// Writes `line` (a newline is appended if missing). Loops over short
+  /// writes and suppresses SIGPIPE (MSG_NOSIGNAL), so a peer vanishing
+  /// mid-send surfaces as a kIo error, never a signal.
   Status send_line(const std::string& line);
 
   /// Blocks until one full response line arrives (without the newline).
-  /// kIo on EOF/disconnect.
-  Result<std::string> recv_line();
+  /// kIo on EOF/disconnect. `timeout_ms` > 0 bounds the whole wait; on
+  /// expiry returns kTimeout and leaves any partial line buffered (the
+  /// connection is then mid-frame — callers should reconnect, as the
+  /// retrying client does).
+  Result<std::string> recv_line(double timeout_ms = 0.0);
 
   /// send_line + recv_line. Correct only while requests are issued one at a
   /// time on this connection (responses may interleave otherwise — match by

@@ -1,0 +1,149 @@
+#include "serve/faults.hpp"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace lid::serve {
+namespace {
+
+/// Parses a probability in [0, 1]; returns false on garbage.
+bool parse_probability(const std::string& text, double& out) {
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0' || text.empty()) return false;
+  if (value < 0.0 || value > 1.0) return false;
+  out = value;
+  return true;
+}
+
+}  // namespace
+
+Result<FaultPlan> FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  if (spec.empty()) return plan;
+
+  std::stringstream stream(spec);
+  std::string entry;
+  while (std::getline(stream, entry, ',')) {
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "fault plan entry '" + entry + "' is not key=value"};
+    }
+    const std::string key = entry.substr(0, eq);
+    const std::string value = entry.substr(eq + 1);
+    if (key == "seed") {
+      char* end = nullptr;
+      const unsigned long long seed = std::strtoull(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || value.empty()) {
+        return Error{ErrorCode::kInvalidArgument, "fault plan seed '" + value + "' is not an integer"};
+      }
+      plan.seed = static_cast<std::uint64_t>(seed);
+    } else if (key == "stall") {
+      // P:MS — probability and stall duration.
+      const std::size_t colon = value.find(':');
+      if (colon == std::string::npos) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault plan stall '" + value + "' must be P:MS (e.g. 0.1:50)"};
+      }
+      if (!parse_probability(value.substr(0, colon), plan.stall_p)) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault plan stall probability '" + value.substr(0, colon) +
+                         "' must be in [0, 1]"};
+      }
+      char* end = nullptr;
+      const std::string ms = value.substr(colon + 1);
+      plan.stall_ms = std::strtod(ms.c_str(), &end);
+      if (end == nullptr || *end != '\0' || ms.empty() || plan.stall_ms < 0.0) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault plan stall duration '" + ms + "' must be a non-negative number"};
+      }
+    } else if (key == "torn" || key == "drop" || key == "garbage") {
+      double* target = key == "torn" ? &plan.torn_p : key == "drop" ? &plan.drop_p : &plan.garbage_p;
+      if (!parse_probability(value, *target)) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "fault plan " + key + " probability '" + value + "' must be in [0, 1]"};
+      }
+    } else {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unknown fault plan key '" + key +
+                       "' (expected seed, stall, torn, drop or garbage)"};
+    }
+  }
+  if (plan.torn_p + plan.drop_p + plan.garbage_p > 1.0) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "torn + drop + garbage probabilities exceed 1"};
+  }
+  return plan;
+}
+
+std::string FaultPlan::to_string() const {
+  std::ostringstream out;
+  out << "seed=" << seed;
+  if (stall_p > 0.0) out << ",stall=" << stall_p << ":" << stall_ms;
+  if (torn_p > 0.0) out << ",torn=" << torn_p;
+  if (drop_p > 0.0) out << ",drop=" << drop_p;
+  if (garbage_p > 0.0) out << ",garbage=" << garbage_p;
+  return out.str();
+}
+
+FaultDecision FaultInjector::decide() {
+  FaultDecision decision;
+  if (!plan_.any()) return decision;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (plan_.stall_p > 0.0 && rng_.flip(plan_.stall_p)) {
+    decision.stall_ms = plan_.stall_ms;
+    ++stalls_;
+  }
+  // One draw selects among the mutually exclusive transport outcomes.
+  const double draw = rng_.uniform01();
+  if (draw < plan_.torn_p) {
+    decision.torn = true;
+    ++torn_;
+  } else if (draw < plan_.torn_p + plan_.drop_p) {
+    decision.drop = true;
+    ++drops_;
+  } else if (draw < plan_.torn_p + plan_.drop_p + plan_.garbage_p) {
+    decision.garbage = true;
+    ++garbage_;
+  }
+  return decision;
+}
+
+std::int64_t FaultInjector::stalls() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stalls_;
+}
+
+std::int64_t FaultInjector::torn() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return torn_;
+}
+
+std::int64_t FaultInjector::drops() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return drops_;
+}
+
+std::int64_t FaultInjector::garbage() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return garbage_;
+}
+
+std::string FaultInjector::stats_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("plan").value(plan_.to_string());
+  w.key("stalls").value(stalls_);
+  w.key("torn").value(torn_);
+  w.key("drops").value(drops_);
+  w.key("garbage").value(garbage_);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lid::serve

@@ -1,0 +1,102 @@
+// Seeded fault injection for lid_serve — the chaos-testing harness.
+//
+// A FaultPlan describes, per response, the probability of each injected
+// failure mode; a FaultInjector draws seeded decisions from it so a chaos
+// run is reproducible bit-for-bit. The server consults the injector once per
+// response (after executing the request, before writing the response line)
+// and perturbs only the *transport*: payload computation is never touched,
+// so every fault is exactly the kind a resilient client must survive —
+//
+//   stall   — the worker sleeps before responding (slow server / GC pause);
+//   torn    — only a prefix of the response line is written, then the
+//             connection is shut down (partial write / crash mid-response);
+//   drop    — the connection is shut down without writing anything
+//             (connection reset);
+//   garbage — a syntactically invalid line is written instead of the
+//             response (corrupted frame).
+//
+// Plan spec format (comma-separated, all fields optional):
+//
+//   seed=42,stall=0.1:50,torn=0.05,drop=0.02,garbage=0.01
+//
+// where `stall=P:MS` stalls with probability P for MS milliseconds and the
+// other entries are plain probabilities in [0, 1].
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "lid_api.hpp"
+#include "util/rng.hpp"
+
+namespace lid::serve {
+
+/// A parsed fault plan. The default plan injects nothing.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  double stall_p = 0.0;
+  double stall_ms = 0.0;
+  double torn_p = 0.0;
+  double drop_p = 0.0;
+  double garbage_p = 0.0;
+
+  /// True when any fault has a positive probability.
+  [[nodiscard]] bool any() const {
+    return stall_p > 0.0 || torn_p > 0.0 || drop_p > 0.0 || garbage_p > 0.0;
+  }
+
+  /// Parses the `seed=N,stall=P:MS,torn=P,drop=P,garbage=P` spec. An empty
+  /// spec yields the default (inactive) plan.
+  static Result<FaultPlan> parse(const std::string& spec);
+
+  /// Canonical spec string (round-trips through parse).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// One per-response decision. At most one of torn/drop/garbage is set (they
+/// are mutually exclusive outcomes of a single draw); a stall may accompany
+/// any of them.
+struct FaultDecision {
+  double stall_ms = 0.0;  ///< > 0: sleep this long before responding
+  bool torn = false;
+  bool drop = false;
+  bool garbage = false;
+
+  [[nodiscard]] bool any() const { return stall_ms > 0.0 || torn || drop || garbage; }
+};
+
+/// Draws seeded decisions and counts what it injected. Thread-safe: workers
+/// share one injector; the draw order (and thus the exact fault sequence)
+/// depends on scheduling, but counts concentrate tightly around plan
+/// probabilities regardless.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultPlan& plan) : plan_(plan), rng_(plan.seed) {}
+
+  [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+  [[nodiscard]] bool active() const { return plan_.any(); }
+
+  /// The decision for the next response.
+  FaultDecision decide();
+
+  // Counter snapshots.
+  [[nodiscard]] std::int64_t stalls() const;
+  [[nodiscard]] std::int64_t torn() const;
+  [[nodiscard]] std::int64_t drops() const;
+  [[nodiscard]] std::int64_t garbage() const;
+
+  /// Compact JSON object with the plan and the counters (for `stats`).
+  [[nodiscard]] std::string stats_json() const;
+
+ private:
+  FaultPlan plan_;
+  mutable std::mutex mutex_;
+  util::Rng rng_;
+  std::int64_t stalls_ = 0;
+  std::int64_t torn_ = 0;
+  std::int64_t drops_ = 0;
+  std::int64_t garbage_ = 0;
+};
+
+}  // namespace lid::serve

@@ -1,5 +1,6 @@
 #include "serve/protocol.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <limits>
 #include <thread>
@@ -106,10 +107,26 @@ Outcome do_ping() {
   return Outcome::success(w.str());
 }
 
-Outcome do_sleep(ArgReader& reader, const ExecLimits& limits) {
+Outcome do_sleep(ArgReader& reader, const ExecLimits& limits, const ExecContext& context) {
   const std::int64_t ms = reader.get_int("ms", 0, 0, limits.max_sleep_ms);
   if (reader.failed()) return arg_failure(reader);
-  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  if (context.cancel.can_cancel()) {
+    // Sleep in short slices polling the token, so a deadline expiring
+    // mid-sleep frees the worker within ~10 ms instead of `ms`.
+    std::int64_t slept = 0;
+    while (slept < ms) {
+      if (context.cancel.cancelled()) {
+        return Outcome::failure(codes::kDeadlineExceeded,
+                                "deadline expired after " + std::to_string(slept) + " of " +
+                                    std::to_string(ms) + " ms of sleep");
+      }
+      const std::int64_t slice = std::min<std::int64_t>(10, ms - slept);
+      std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+      slept += slice;
+    }
+  } else {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
   util::JsonWriter w;
   w.begin_object().key("slept_ms").value(ms).end_object();
   return Outcome::success(w.str());
@@ -195,7 +212,43 @@ Outcome do_analyze(ArgReader& reader, const ExecLimits& limits) {
   return Outcome::success(w.str());
 }
 
-Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits) {
+/// The `size-queues` result payload: a pure function of the Sizing (no
+/// floats, no timings), shared by the normal and the degraded path so a
+/// degraded response is byte-identical to a direct heuristic execution.
+Outcome sizing_outcome(const Sizing& sizing) {
+  const Result<std::string> sized_text = netlist_text(sizing.sized);
+  if (!sized_text) return from_error(sized_text.error());
+
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("theta_ideal").value(sizing.theta_ideal.to_string());
+  w.key("theta_practical").value(sizing.theta_practical.to_string());
+  w.key("degraded").value(sizing.degraded);
+  if (sizing.heuristic_total >= 0) w.key("heuristic_total").value(sizing.heuristic_total);
+  if (sizing.exact_total >= 0) {
+    w.key("exact_total").value(sizing.exact_total);
+    w.key("exact_proved").value(sizing.exact_proved);
+  }
+  w.key("achieved").value(sizing.achieved.to_string());
+  w.key("cycles_enumerated").value(sizing.cycles_enumerated);
+  w.key("truncated").value(sizing.truncated);
+  w.key("changes").begin_array();
+  for (const QueueChange& change : sizing.changes) {
+    w.begin_object();
+    w.key("src").value(change.src);
+    w.key("dst").value(change.dst);
+    w.key("before").value(change.before);
+    w.key("after").value(change.after);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("netlist").value(*sized_text);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
+                       OnDeadline policy) {
   const std::string text = reader.get_netlist(limits);
   SizeQueuesOptions options;
   const std::string solver = reader.get_string("solver", "both");
@@ -221,41 +274,69 @@ Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits) {
                      static_cast<std::int64_t>(limits.max_cycles));
   if (max_cycles == 0) max_cycles = static_cast<std::int64_t>(limits.max_cycles);
   options.max_cycles = static_cast<std::size_t>(max_cycles);
+  // TD-instance reductions, on by default. Off is the ablation mode; it also
+  // makes small node budgets observable (reduced instances usually prove at
+  // zero search nodes). The degrade fallback inherits the flag, so degraded
+  // payloads stay byte-identical to a direct heuristic request.
+  options.simplify = reader.get_bool("simplify", true);
   if (reader.failed()) return arg_failure(reader);
 
   const Result<Instance> parsed = parse_netlist(text);
   if (!parsed) return from_error(parsed.error());
-  const Result<Sizing> sizing = size_queues(*parsed, options);
-  if (!sizing) return from_error(sizing.error());
-  const Result<std::string> sized_text = netlist_text(sizing->sized);
-  if (!sized_text) return from_error(sized_text.error());
 
-  util::JsonWriter w;
-  w.begin_object();
-  w.key("theta_ideal").value(sizing->theta_ideal.to_string());
-  w.key("theta_practical").value(sizing->theta_practical.to_string());
-  w.key("degraded").value(sizing->degraded);
-  if (sizing->heuristic_total >= 0) w.key("heuristic_total").value(sizing->heuristic_total);
-  if (sizing->exact_total >= 0) {
-    w.key("exact_total").value(sizing->exact_total);
-    w.key("exact_proved").value(sizing->exact_proved);
+  const bool wants_exact = options.solver != Solver::kHeuristic;
+
+  // The degrade fallback: the same request with "solver":"heuristic" and no
+  // cancel token — its payload is byte-identical to direct heuristic
+  // execution by construction. Runtime stays bounded by the cycle cap.
+  const auto degrade = [&]() -> Outcome {
+    SizeQueuesOptions fallback = options;
+    fallback.solver = Solver::kHeuristic;
+    fallback.cancel = util::CancelToken();
+    const Result<Sizing> sizing = size_queues(*parsed, fallback);
+    if (!sizing) return from_error(sizing.error());
+    Outcome outcome = sizing_outcome(*sizing);
+    outcome.degraded = outcome.ok;
+    return outcome;
+  };
+
+  if (context.deadline_expired || context.cancel.cancelled()) {
+    // Deadline already gone before any solving started (queue wait ate it).
+    // Policy "degrade" still buys the heuristic answer; "error" requests
+    // normally never reach here (the server answers them at dequeue).
+    if (policy != OnDeadline::kDegrade) {
+      return Outcome::failure(codes::kDeadlineExceeded,
+                              "deadline expired before size-queues started");
+    }
+    if (wants_exact) return degrade();
+    // Heuristic-only request: nothing to degrade to — run it as asked,
+    // untagged, with no token (the answer is exactly what was requested).
+  } else {
+    options.cancel = context.cancel;
   }
-  w.key("achieved").value(sizing->achieved.to_string());
-  w.key("cycles_enumerated").value(sizing->cycles_enumerated);
-  w.key("truncated").value(sizing->truncated);
-  w.key("changes").begin_array();
-  for (const QueueChange& change : sizing->changes) {
-    w.begin_object();
-    w.key("src").value(change.src);
-    w.key("dst").value(change.dst);
-    w.key("before").value(change.before);
-    w.key("after").value(change.after);
-    w.end_object();
+
+  const Result<Sizing> sizing = size_queues(*parsed, options);
+  if (!sizing) {
+    if (sizing.error().code == ErrorCode::kTimeout) {
+      // Cancelled during cycle enumeration. Even the heuristic needs the
+      // full enumeration, so degrading cannot beat this deadline either.
+      return Outcome::failure(codes::kDeadlineExceeded, sizing.error().message);
+    }
+    return from_error(sizing.error());
   }
-  w.end_array();
-  w.key("netlist").value(*sized_text);
-  w.end_object();
-  return Outcome::success(w.str());
+  if (wants_exact && !sizing->exact_proved) {
+    if (policy == OnDeadline::kDegrade) return degrade();
+    if (sizing->exact_cancelled) {
+      return Outcome::failure(codes::kDeadlineExceeded,
+                              "deadline expired mid-exact-solve after " +
+                                  std::to_string(sizing->exact_nodes) +
+                                  " search nodes; raise deadline_ms or send "
+                                  "\"on_deadline\":\"degrade\"");
+    }
+    // Node-budget trip with policy "error": the legacy payload (heuristic
+    // weights, exact_proved:false) — still a pure function of the request.
+  }
+  return sizing_outcome(*sizing);
 }
 
 Outcome do_insert_rs(ArgReader& reader, const ExecLimits& limits) {
@@ -364,17 +445,33 @@ Result<Request> parse_request(const std::string& line) {
     }
     request.deadline_ms = deadline->as_double();
   }
+
+  if (const util::Json* policy = request.args.find("on_deadline")) {
+    if (policy->is_string() && policy->as_string() == "error") {
+      request.on_deadline = OnDeadline::kError;
+    } else if (policy->is_string() && policy->as_string() == "degrade") {
+      request.on_deadline = OnDeadline::kDegrade;
+    } else if (!policy->is_null()) {
+      return Error{ErrorCode::kInvalidArgument, "'on_deadline' must be \"error\" or \"degrade\""};
+    }
+  }
   return request;
 }
 
 Outcome execute(const Request& request, const ExecLimits& limits) {
+  return execute(request, limits, ExecContext{});
+}
+
+Outcome execute(const Request& request, const ExecLimits& limits, const ExecContext& context) {
   ArgReader reader(request.args);
   if (request.verb == "ping") return do_ping();
-  if (request.verb == "sleep") return do_sleep(reader, limits);
+  if (request.verb == "sleep") return do_sleep(reader, limits, context);
   if (request.verb == "parse") return do_parse(reader, limits);
   if (request.verb == "generate") return do_generate(reader, limits);
   if (request.verb == "analyze") return do_analyze(reader, limits);
-  if (request.verb == "size-queues") return do_size_queues(reader, limits);
+  if (request.verb == "size-queues") {
+    return do_size_queues(reader, limits, context, request.on_deadline);
+  }
   if (request.verb == "insert-rs") return do_insert_rs(reader, limits);
   if (request.verb == "rate-safety") return do_rate_safety(reader, limits);
   return Outcome::failure(codes::kUnknownVerb,
@@ -402,6 +499,7 @@ std::string response_line(const Request& request, const Outcome& outcome, double
     w.key("message").value(outcome.error_message);
     w.end_object();
   }
+  if (outcome.degraded) w.key("degraded").value(true);
   w.key("server_ms").value_fixed(server_ms, 3);
   w.key("wait_ms").value_fixed(wait_ms, 3);
   w.end_object();

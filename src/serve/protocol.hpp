@@ -10,14 +10,24 @@
 // "rate-safety", "sleep", "stats"); the remaining keys are verb arguments
 // (snake_case). `id` (string or integer, echoed back) correlates responses,
 // which a multi-worker server may emit out of order. `deadline_ms` bounds
-// how long the request may wait for a worker; a request whose deadline
-// elapsed in the admission queue is answered `deadline_exceeded` without
-// running.
+// the request end to end: a request whose deadline elapsed in the admission
+// queue is answered `deadline_exceeded` without running, and one whose
+// deadline expires mid-execution is cancelled cooperatively (the solvers
+// poll a CancelToken at iteration boundaries). `on_deadline` selects what a
+// deadline miss yields: "error" (the default) answers `deadline_exceeded`;
+// "degrade" trades quality for an answer — `size-queues` falls back to the
+// heuristic solver and tags the response `"degraded": true`, other verbs
+// simply run to completion.
 //
 // Responses:
 //
 //   {"id":"7","ok":true,"verb":"analyze","result":{...},"server_ms":1.25,"wait_ms":0.02}
 //   {"id":"7","ok":false,"verb":"analyze","error":{"code":"overloaded","message":"..."}}
+//
+// A degraded response carries `"degraded":true` in the envelope (never in
+// `result`, which stays a pure function of the request — a degraded
+// `size-queues` payload is byte-identical to the same request executed with
+// `"solver":"heuristic"` directly).
 //
 // `result` payloads are deliberately free of floating point and are produced
 // by the pure `execute()` below, so a response observed through the server
@@ -30,6 +40,7 @@
 #include <string>
 
 #include "lid_api.hpp"
+#include "util/cancel.hpp"
 #include "util/json.hpp"
 
 namespace lid::serve {
@@ -51,12 +62,19 @@ inline constexpr const char* kInternal = "internal";
 /// `code` mapped onto the wire string (kParse -> "parse_error", ...).
 const char* wire_code(ErrorCode code);
 
+/// Per-request deadline-miss policy.
+enum class OnDeadline {
+  kError,    ///< answer `deadline_exceeded` (default)
+  kDegrade,  ///< prefer a lower-quality answer over an error
+};
+
 /// One parsed request.
 struct Request {
   bool has_id = false;
   std::string id;            ///< echoed verbatim; "" when has_id is false
   std::string verb;
   double deadline_ms = 0.0;  ///< <= 0: no deadline
+  OnDeadline on_deadline = OnDeadline::kError;
   util::Json args;           ///< the whole request object
 };
 
@@ -79,6 +97,16 @@ struct ExecLimits {
   std::int64_t max_rs_budget = 64;
 };
 
+/// Execution-time context the server threads into `execute`: the request's
+/// cancel token (armed from the remaining deadline budget) and whether the
+/// deadline had already expired when a worker dequeued the request. The
+/// default context never cancels — direct `execute(request, limits)` calls
+/// stay pure and uncancellable.
+struct ExecContext {
+  util::CancelToken cancel;
+  bool deadline_expired = false;
+};
+
 /// Outcome of executing one request: either a compact JSON `result` payload
 /// or a wire error code + message.
 struct Outcome {
@@ -86,6 +114,9 @@ struct Outcome {
   std::string payload;        ///< compact JSON object ("{...}") when ok
   std::string error_code;     ///< codes::* when !ok
   std::string error_message;
+  /// True when the deadline-miss policy downgraded the answer (heuristic
+  /// instead of exact). Emitted in the response envelope, never the payload.
+  bool degraded = false;
 
   static Outcome success(std::string payload_json);
   static Outcome failure(std::string code, std::string message);
@@ -101,6 +132,13 @@ Result<Request> parse_request(const std::string& line);
 /// sleep's payload is deterministic. "stats" is not handled here: it needs
 /// server state and is answered by the Server directly.
 Outcome execute(const Request& request, const ExecLimits& limits = {});
+
+/// Like the two-argument overload, but cancellable: `context.cancel` is
+/// polled by the solvers, and a mid-flight expiry yields `deadline_exceeded`
+/// (policy "error") or a degraded answer (policy "degrade"). Successful
+/// payloads remain byte-identical to the pure overload's — cancellation
+/// never emits a partial result.
+Outcome execute(const Request& request, const ExecLimits& limits, const ExecContext& context);
 
 /// Formats the response line (without trailing newline) for an executed
 /// request. `server_ms` / `wait_ms` land in the envelope, not the payload.

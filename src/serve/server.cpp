@@ -8,9 +8,12 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <ostream>
+#include <thread>
 
 #include "util/timer.hpp"
 
@@ -51,7 +54,8 @@ struct Server::Connection {
   }
 };
 
-Server::Server(ServerOptions options) : options_(std::move(options)) {
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), faults_(options_.fault_plan) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
 }
@@ -309,17 +313,27 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
       [this, connection, request = std::move(request)](const engine::TaskPool::Context& context) {
         const util::Timer exec_timer;
         Outcome outcome;
-        if (context.deadline_expired) {
+        if (context.deadline_expired && request.on_deadline != OnDeadline::kDegrade) {
           outcome = Outcome::failure(
               codes::kDeadlineExceeded,
               "deadline expired after " + std::to_string(context.queue_wait_ms) +
                   " ms in the admission queue");
           metrics_.count("requests_deadline_exceeded");
         } else {
+          // The context's cancel token carries the remaining deadline budget
+          // (already expired on the degrade path), so in-flight solves stop
+          // within one loop bound of expiry instead of holding this worker.
           const engine::Metrics::ScopedStage stage(metrics_, "exec_" + request.verb);
-          outcome = execute(request, options_.limits);
+          ExecContext exec_context;
+          exec_context.cancel = context.cancel;
+          exec_context.deadline_expired = context.deadline_expired;
+          outcome = execute(request, options_.limits, exec_context);
           metrics_.count(outcome.ok ? "requests_ok" : "requests_error");
           metrics_.count("verb_" + request.verb);
+          if (outcome.degraded) metrics_.count("requests_degraded");
+          if (!outcome.ok && outcome.error_code == codes::kDeadlineExceeded) {
+            metrics_.count("requests_deadline_exceeded");
+          }
         }
         const double exec_ms = exec_timer.elapsed_ms();
         latency_.record(context.queue_wait_ms + exec_ms);
@@ -355,6 +369,46 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
 void Server::respond(const std::shared_ptr<Connection>& connection, const std::string& line) {
   std::string framed = line;
   framed.push_back('\n');
+
+  if (faults_.active()) {
+    const FaultDecision fault = faults_.decide();
+    if (fault.stall_ms > 0.0) {
+      // Worker stall: the response (and this worker) hang for a while.
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(fault.stall_ms));
+    }
+    if (fault.any()) metrics_.count("faults_injected");
+    if (fault.drop) {
+      // Connection reset without a byte of response. shutdown(), not
+      // close(): the reader thread still owns the fd (its recv returns 0
+      // and the Connection destructor does the close).
+      const std::lock_guard<std::mutex> lock(connection->write_mutex);
+      ::shutdown(connection->fd, SHUT_RDWR);
+      return;
+    }
+    if (fault.garbage) {
+      // A complete line that is not valid JSON: a corrupted frame.
+      framed = "!corrupted-frame #$%&\n";
+    } else if (fault.torn) {
+      // A prefix of the real response with no newline, then EOF: a torn
+      // write / crash mid-response.
+      framed.resize(std::max<std::size_t>(1, framed.size() / 2));
+    }
+    const std::lock_guard<std::mutex> lock(connection->write_mutex);
+    std::size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          ::send(connection->fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return;
+      }
+      sent += static_cast<std::size_t>(n);
+    }
+    if (fault.torn) ::shutdown(connection->fd, SHUT_RDWR);
+    metrics_.count("bytes_out", static_cast<std::int64_t>(framed.size()));
+    return;
+  }
+
   const std::lock_guard<std::mutex> lock(connection->write_mutex);
   std::size_t sent = 0;
   while (sent < framed.size()) {
@@ -417,6 +471,7 @@ std::string Server::stats_json() const {
   }
   w.end_object();
   w.key("latency").raw(latency_.to_json());
+  if (faults_.active()) w.key("faults").raw(faults_.stats_json());
   w.end_object();
   return w.str();
 }

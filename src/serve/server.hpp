@@ -38,6 +38,7 @@
 #include "engine/metrics.hpp"
 #include "engine/task_pool.hpp"
 #include "lid_api.hpp"
+#include "serve/faults.hpp"
 #include "serve/histogram.hpp"
 #include "serve/protocol.hpp"
 
@@ -65,6 +66,10 @@ struct ServerOptions {
   ExecLimits limits;
   /// Structured per-request log lines land here; nullptr = silent.
   std::ostream* log = nullptr;
+  /// Seeded fault injection applied at the response boundary (chaos
+  /// testing). The default plan injects nothing. Faults perturb only the
+  /// transport — payload computation is never touched.
+  FaultPlan fault_plan;
 };
 
 class Server {
@@ -120,6 +125,7 @@ class Server {
   std::unique_ptr<engine::TaskPool> pool_;
   engine::Metrics metrics_;
   LatencyHistogram latency_;
+  FaultInjector faults_;
 
   std::thread accept_thread_;
   std::mutex connections_mutex_;

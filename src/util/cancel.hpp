@@ -1,0 +1,99 @@
+// Cooperative cancellation for long-running solves.
+//
+// A CancelToken bundles the two ways an in-flight computation can be told to
+// stop — a wall-clock deadline and an externally raised cancel flag — behind
+// one cheap `cancelled()` poll. Hot loops (the exact token-deficit search,
+// cycle enumeration, the marked-graph simulator) check the token at
+// iteration boundaries, so a cancelled solve stops within one loop bound of
+// the request instead of running to completion while a caller (e.g. a
+// lid_serve worker whose request deadline expired) waits helplessly.
+//
+// Tokens are value types and cheap to copy; the default-constructed token
+// never cancels, so APIs can take one unconditionally. A CancelSource owns
+// the shared flag and hands out tokens; dropping the source does not cancel
+// outstanding tokens.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <limits>
+#include <memory>
+
+namespace lid::util {
+
+class CancelSource;
+
+/// A poll-only view of a cancellation request: an optional deadline, an
+/// optional shared flag, or both. Copyable, thread-safe to poll.
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// A token that never cancels.
+  CancelToken() = default;
+
+  /// A token whose deadline is `budget_ms` from now. A non-positive budget
+  /// yields an already-expired token (cancels immediately) — distinct from
+  /// the default token, which never cancels.
+  static CancelToken after_ms(double budget_ms) {
+    CancelToken token;
+    token.has_deadline_ = true;
+    token.deadline_ = budget_ms > 0.0
+                          ? Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                               std::chrono::duration<double, std::milli>(budget_ms))
+                          : Clock::now();
+    return token;
+  }
+
+  /// True once the deadline passed or the owning CancelSource fired.
+  [[nodiscard]] bool cancelled() const {
+    if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) return true;
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// False for the default token: polling it can never return true, so hot
+  /// loops may skip the check entirely.
+  [[nodiscard]] bool can_cancel() const { return flag_ != nullptr || has_deadline_; }
+
+  /// Milliseconds until the deadline (negative once past); +infinity when
+  /// the token carries no deadline.
+  [[nodiscard]] double remaining_ms() const {
+    if (!has_deadline_) return std::numeric_limits<double>::infinity();
+    return std::chrono::duration<double, std::milli>(deadline_ - Clock::now()).count();
+  }
+
+ private:
+  friend class CancelSource;
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+};
+
+/// Owns the cancel flag and mints tokens observing it. The typical holder is
+/// whoever can decide to abandon the work (a server draining, a caller
+/// losing interest); workers only ever see CancelTokens.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Flips every outstanding token to cancelled. Idempotent, thread-safe.
+  void cancel() { flag_->store(true, std::memory_order_relaxed); }
+
+  [[nodiscard]] bool cancel_requested() const {
+    return flag_->load(std::memory_order_relaxed);
+  }
+
+  /// A token observing this source; `budget_ms` > 0 additionally arms a
+  /// deadline that far in the future.
+  [[nodiscard]] CancelToken token(double budget_ms = 0.0) const {
+    CancelToken t = budget_ms > 0.0 ? CancelToken::after_ms(budget_ms) : CancelToken();
+    t.flag_ = flag_;
+    return t;
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace lid::util

@@ -3,6 +3,10 @@
 // accounting, and the analysis-list parser.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -12,6 +16,7 @@
 #include "engine/analysis_cache.hpp"
 #include "engine/engine.hpp"
 #include "engine/metrics.hpp"
+#include "engine/task_pool.hpp"
 #include "lid_api.hpp"
 #include "lis/lis_graph.hpp"
 #include "util/rng.hpp"
@@ -268,6 +273,116 @@ TEST(Metrics, ConcurrentCountsAreExact) {
   }
   for (std::thread& t : threads) t.join();
   EXPECT_EQ(m.counter("ticks"), 4000);
+}
+
+// Drain must execute every admitted task — both the ones still queued and
+// the one a worker holds in flight — before returning, even when the holder
+// blocks until shutdown is already underway.
+TEST(TaskPool, DrainRunsQueuedAndInFlightTasks) {
+  TaskPool::Options options;
+  options.threads = 1;  // one worker => the queue genuinely backs up
+  TaskPool pool(options);
+
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> executed{0};
+
+  ASSERT_EQ(pool.submit([&](const TaskPool::Context&) {
+              std::unique_lock<std::mutex> lock(mutex);
+              cv.wait(lock, [&] { return release; });
+              ++executed;
+            }),
+            TaskPool::Submit::kAccepted);
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_EQ(pool.submit([&](const TaskPool::Context&) { ++executed; }),
+              TaskPool::Submit::kAccepted);
+  }
+
+  std::thread drainer([&] { pool.drain(); });
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  drainer.join();
+  EXPECT_EQ(executed.load(), 6);
+  EXPECT_EQ(pool.executed(), 6);
+  EXPECT_EQ(pool.submit([](const TaskPool::Context&) {}), TaskPool::Submit::kClosed);
+}
+
+TEST(TaskPool, ArmsCancelTokenFromDeadline) {
+  TaskPool::Options options;
+  options.threads = 1;
+  TaskPool pool(options);
+
+  // A generous deadline: the token must be armed but not yet cancelled.
+  std::atomic<bool> armed{false};
+  std::atomic<bool> premature{true};
+  ASSERT_EQ(pool.submit(
+                [&](const TaskPool::Context& context) {
+                  armed = context.cancel.can_cancel();
+                  premature = context.cancel.cancelled();
+                },
+                60'000.0),
+            TaskPool::Submit::kAccepted);
+
+  // An expired deadline: the worker still runs the task, flags the expiry,
+  // and hands it an already-cancelled token.
+  std::atomic<bool> expired_flagged{false};
+  std::atomic<bool> token_expired{false};
+  ASSERT_EQ(pool.submit(
+                [&](const TaskPool::Context& context) {
+                  expired_flagged = context.deadline_expired;
+                  token_expired = context.cancel.cancelled();
+                },
+                0.0001),
+            TaskPool::Submit::kAccepted);
+
+  // No deadline: the default token, which can never cancel.
+  std::atomic<bool> uncancellable{false};
+  ASSERT_EQ(pool.submit([&](const TaskPool::Context& context) {
+              uncancellable = !context.cancel.can_cancel();
+            }),
+            TaskPool::Submit::kAccepted);
+
+  pool.drain();
+  EXPECT_TRUE(armed.load());
+  EXPECT_FALSE(premature.load());
+  EXPECT_TRUE(expired_flagged.load());
+  EXPECT_TRUE(token_expired.load());
+  EXPECT_TRUE(uncancellable.load());
+}
+
+// Cancellation racing completion: tasks that poll a token while the
+// submitting thread concurrently fires the source must all terminate, and
+// drain() must still account for every one of them.
+TEST(TaskPool, CancellationRacesCompletion) {
+  TaskPool::Options options;
+  options.threads = 4;
+  TaskPool pool(options);
+  util::CancelSource source;
+
+  std::atomic<int> finished{0};
+  std::atomic<int> saw_cancel{0};
+  for (int i = 0; i < 32; ++i) {
+    ASSERT_EQ(pool.submit([&, i](const TaskPool::Context&) {
+                const util::CancelToken token = source.token();
+                // Odd tasks complete instantly; even tasks spin until the
+                // external cancel fires — the race is which side wins.
+                while (i % 2 == 0 && !token.cancelled()) {
+                  std::this_thread::yield();
+                }
+                if (token.cancelled()) ++saw_cancel;
+                ++finished;
+              }),
+              TaskPool::Submit::kAccepted);
+  }
+  source.cancel();
+  pool.drain();
+  EXPECT_EQ(finished.load(), 32);
+  EXPECT_GE(saw_cancel.load(), 16);  // every spinner observed the cancel
+  EXPECT_EQ(pool.executed(), 32);
 }
 
 }  // namespace

@@ -168,6 +168,47 @@ TEST(Cycles, MaxCyclesCapTruncates) {
   EXPECT_TRUE(r.truncated);
 }
 
+TEST(Cycles, PreCancelledTokenStopsEnumeration) {
+  Digraph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  CycleEnumOptions options;
+  options.cancel = util::CancelToken::after_ms(0.0);  // already expired
+  const CycleEnumResult r = enumerate_cycles(g, options);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_LT(r.cycles.size(), 20u);  // the full graph has 20 cycles
+}
+
+TEST(Cycles, CapTruncationIsNotReportedAsCancellation) {
+  Digraph g(4);
+  for (NodeId u = 0; u < 4; ++u) {
+    for (NodeId v = 0; v < 4; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  CycleEnumOptions options;
+  options.max_cycles = 5;
+  const CycleEnumResult r = enumerate_cycles(g, options);
+  EXPECT_TRUE(r.truncated);
+  EXPECT_FALSE(r.cancelled);
+}
+
+TEST(Cycles, ForEachCycleReportsCancelledIncomplete) {
+  const Digraph g = ring(6);
+  int calls = 0;
+  const std::function<bool(const Cycle&)> count = [&](const Cycle&) {
+    ++calls;
+    return true;
+  };
+  EXPECT_TRUE(for_each_cycle(g, count));
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(for_each_cycle(g, count, nullptr, util::CancelToken::after_ms(-1.0)));
+}
+
 TEST(Cycles, EdgeFilterRestrictsSubgraph) {
   Digraph g(3);
   const EdgeId a = g.add_edge(0, 1);

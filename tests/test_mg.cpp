@@ -243,6 +243,22 @@ TEST(Simulate, ObserverSeesFiringsAndCanStop) {
   EXPECT_EQ(observed_firings, total);
 }
 
+TEST(Simulate, PreCancelledTokenStopsAtStepZero) {
+  const MarkedGraph g = token_ring(6, 1);
+  const SimulationResult r =
+      simulate(g, 1000, 0, nullptr, util::CancelToken::after_ms(0.0));
+  EXPECT_TRUE(r.cancelled);
+  EXPECT_EQ(r.steps_run, 0u);
+  EXPECT_FALSE(r.periodic_found);
+}
+
+TEST(Simulate, DefaultTokenNeverCancels) {
+  const MarkedGraph g = token_ring(6, 1);
+  const SimulationResult r = simulate(g, 1000);
+  EXPECT_FALSE(r.cancelled);
+  ASSERT_TRUE(r.periodic_found);
+}
+
 TEST(Simulate, TokenCountOnCycleIsInvariant) {
   MarkedGraph g = token_ring(5, 2);
   const auto cycle = graph::enumerate_cycles(g.structure()).cycles.front();

@@ -97,6 +97,86 @@ TEST(QsProblem, TruncatedEnumerationIsReported) {
   EXPECT_GE(report.achieved_mst, report.problem.theta_practical);
 }
 
+TEST(QsProblem, CancelledEnumerationIsDistinctFromCapTruncation) {
+  lis::LisGraph lis = lis::make_fig15_counterexample();
+  QsBuildOptions cancelled_build;
+  cancelled_build.cancel = util::CancelToken::after_ms(0.0);  // already expired
+  const QsProblem cancelled = build_qs_problem(lis, cancelled_build);
+  EXPECT_TRUE(cancelled.truncated);
+  EXPECT_TRUE(cancelled.cancelled);
+
+  QsBuildOptions capped_build;
+  capped_build.max_cycles = 2;
+  const QsProblem capped = build_qs_problem(lis, capped_build);
+  EXPECT_TRUE(capped.truncated);
+  EXPECT_FALSE(capped.cancelled);
+}
+
+/// A system whose unsimplified TD instance has a loose counting lower bound
+/// (lo = 3 < heuristic upper bound = 4), so solve_exact's binary search must
+/// actually probe instead of proving optimality at zero nodes. Most systems
+/// (fig. 15 included) have heuristic == lower bound and finish without ever
+/// consulting the cancel token or the node budget; cancellation tests need
+/// this one. Found by scanning the paper generator (v=8, single SCC, rs on
+/// arbitrary channels).
+lis::LisGraph make_loose_bound_system() {
+  lis::LisGraph lis;
+  for (int i = 0; i < 8; ++i) lis.add_core();
+  lis.add_channel(5, 3);
+  lis.add_channel(3, 2, /*relay_stations=*/1);
+  lis.add_channel(2, 1, /*relay_stations=*/2);
+  lis.add_channel(1, 7, /*relay_stations=*/2);
+  lis.add_channel(7, 0);
+  lis.add_channel(0, 6);
+  lis.add_channel(6, 4);
+  lis.add_channel(4, 5);
+  lis.add_channel(3, 7);
+  lis.add_channel(5, 6);
+  lis.add_channel(6, 7);
+  return lis;
+}
+
+TEST(SizeQueues, PreCancelledExactSolveReportsCancelled) {
+  QsOptions options;
+  options.method = QsMethod::kBoth;
+  options.simplify = false;
+  options.exact.cancel = util::CancelToken::after_ms(0.0);
+  const QsReport r = size_queues(make_loose_bound_system(), options);
+  ASSERT_TRUE(r.exact.has_value());
+  EXPECT_FALSE(r.exact->finished);
+  EXPECT_TRUE(r.exact->cancelled);
+  EXPECT_EQ(r.exact->nodes_explored, 0);  // stopped at the probe boundary
+  // The heuristic path does not consult the exact solver's token, so sizing
+  // still lands a feasible repair.
+  ASSERT_TRUE(r.heuristic.has_value());
+}
+
+TEST(SizeQueues, NodeBudgetCutOffIsDeterministicAndNotCancelled) {
+  QsOptions options;
+  options.method = QsMethod::kExact;
+  options.simplify = false;
+  options.exact.max_nodes = 1;
+  const QsReport r = size_queues(make_loose_bound_system(), options);
+  ASSERT_TRUE(r.exact.has_value());
+  EXPECT_FALSE(r.exact->finished);
+  EXPECT_FALSE(r.exact->cancelled);
+  EXPECT_EQ(r.exact->nodes_explored, 1);  // the budget is a pure node count
+}
+
+TEST(SizeQueues, LooseBoundSystemStillProvesWithFullBudget) {
+  // Sanity for the fixture above: with no budget the search probes a few
+  // nodes and proves; the simplified path collapses the instance entirely.
+  QsOptions options;
+  options.method = QsMethod::kBoth;
+  options.simplify = false;
+  const QsReport r = size_queues(make_loose_bound_system(), options);
+  ASSERT_TRUE(r.exact.has_value());
+  EXPECT_TRUE(r.exact->finished);
+  EXPECT_GT(r.exact->nodes_explored, 0);
+  EXPECT_LE(r.exact->total_extra_tokens, r.heuristic->total_extra_tokens);
+  EXPECT_EQ(r.achieved_mst, r.problem.theta_ideal);
+}
+
 TEST(SizeQueues, WithoutSimplification) {
   QsOptions options;
   options.method = QsMethod::kBoth;

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
+#include "util/cancel.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
 #include "util/json.hpp"
@@ -249,6 +251,69 @@ TEST(Rng, RespectsRanges) {
   }
   EXPECT_THROW(rng.uniform_int(5, 3), std::invalid_argument);
   EXPECT_THROW(rng.uniform_index(0), std::invalid_argument);
+}
+
+// Every *.json file in the malformed corpus must fail the strict parser
+// with a structured error — no crash, no hang, no silent acceptance.
+TEST(Json, RejectsEveryMalformedCorpusFile) {
+  const std::filesystem::path dir = LID_MALFORMED_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir)) << dir;
+  int seen = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.path().extension() != ".json") continue;
+    ++seen;
+    std::ifstream in(entry.path());
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    const JsonParse parsed = json_parse(buffer.str());
+    EXPECT_FALSE(parsed.ok) << entry.path().filename();
+    EXPECT_FALSE(parsed.error.empty()) << entry.path().filename();
+  }
+  EXPECT_GE(seen, 6) << "malformed JSON corpus went missing from " << dir;
+}
+
+TEST(Cancel, DefaultTokenNeverCancels) {
+  const CancelToken token;
+  EXPECT_FALSE(token.can_cancel());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_EQ(token.remaining_ms(), std::numeric_limits<double>::infinity());
+}
+
+TEST(Cancel, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(CancelToken::after_ms(0.0).cancelled());
+  EXPECT_TRUE(CancelToken::after_ms(-5.0).cancelled());
+  EXPECT_TRUE(CancelToken::after_ms(0.0).can_cancel());
+}
+
+TEST(Cancel, DeadlineExpires) {
+  const CancelToken token = CancelToken::after_ms(1e9);
+  EXPECT_TRUE(token.can_cancel());
+  EXPECT_FALSE(token.cancelled());
+  EXPECT_GT(token.remaining_ms(), 0.0);
+}
+
+TEST(Cancel, SourceFiresEveryToken) {
+  CancelSource source;
+  const CancelToken a = source.token();
+  const CancelToken b = source.token(1e9);
+  EXPECT_FALSE(a.cancelled());
+  EXPECT_FALSE(source.cancel_requested());
+  source.cancel();
+  EXPECT_TRUE(source.cancel_requested());
+  EXPECT_TRUE(a.cancelled());
+  EXPECT_TRUE(b.cancelled());
+  source.cancel();  // idempotent
+  EXPECT_TRUE(a.cancelled());
+}
+
+TEST(Cancel, TokensOutliveTheirSource) {
+  CancelToken token;
+  {
+    CancelSource source;
+    token = source.token();
+    source.cancel();
+  }
+  EXPECT_TRUE(token.cancelled());  // shared flag keeps the state alive
 }
 
 }  // namespace

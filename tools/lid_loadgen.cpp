@@ -1,8 +1,11 @@
 // lid_loadgen — closed-loop load generator for lid_serve.
 //
 //   lid_loadgen --socket /run/lid.sock [--clients N] [--seconds S]
-//               [--verb analyze] [--deadline-ms D] [--v N --s N --c N --rs N
-//               --seed N --instances N] [--sleep-ms N] [--json]
+//               [--verb analyze] [--deadline-ms D] [--on-deadline degrade]
+//               [--retries N] [--attempt-timeout-ms T] [--backoff-ms B]
+//               [--solver both] [--max-nodes N]
+//               [--v N --s N --c N --rs N --seed N --instances N]
+//               [--sleep-ms N] [--json]
 //
 // Each client opens one connection and issues requests back to back (send,
 // wait for the response, send the next — a closed loop, so offered load
@@ -11,15 +14,25 @@
 // (successful responses/s), shed rate, and exact client-side p50/p95/p99
 // latency — the numbers Little's Law and the M/M/1 lens want (see
 // EXPERIMENTS.md "Serving under load").
+//
+// Resilience knobs (docs/robustness.md): `--retries N` allows N retry
+// attempts per request through serve::RetryingClient (reconnect + backoff
+// with decorrelated jitter + circuit breaker); transport failures then only
+// count as errors after retries are exhausted. `--on-deadline degrade` asks
+// the server for a heuristic fallback instead of `deadline_exceeded`; the
+// summary separately counts `degraded` responses. All protocol verbs are
+// idempotent, so retrying is always safe here.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <csignal>
 #include <iostream>
 #include <thread>
 #include <vector>
 
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -33,9 +46,13 @@ using namespace lid;
 struct ClientStats {
   std::int64_t sent = 0;
   std::int64_t ok = 0;
+  std::int64_t degraded = 0;
   std::int64_t shed = 0;
   std::int64_t deadline_exceeded = 0;
   std::int64_t other_errors = 0;
+  std::int64_t retries = 0;
+  std::int64_t reconnects = 0;
+  std::int64_t breaker_fast_fails = 0;
   std::vector<double> latencies_ms;
   std::string first_error;
 };
@@ -61,9 +78,26 @@ int main(int argc, char** argv) {
     const double seconds = cli.get_double_in("seconds", 5.0, 0.1, 3600.0);
     const std::string verb = cli.get_string("verb", "analyze");
     const double deadline_ms = cli.get_double_in("deadline-ms", 0.0, 0.0, 1e9);
+    const std::string on_deadline = cli.get_string("on-deadline", "error");
+    if (on_deadline != "error" && on_deadline != "degrade") {
+      std::cerr << "lid_loadgen: --on-deadline must be 'error' or 'degrade'\n";
+      return 1;
+    }
+    const std::string solver = cli.get_string("solver", "");
+    const std::int64_t max_nodes = cli.get_int_in("max-nodes", 0, 0, 100'000'000);
     const std::int64_t sleep_ms = cli.get_int_in("sleep-ms", 1, 0, 10'000);
     const int instances = static_cast<int>(cli.get_int_in("instances", 8, 1, 1024));
     const bool as_json = cli.get_bool("json", false);
+
+    serve::RetryPolicy retry_policy;
+    retry_policy.max_attempts =
+        1 + static_cast<int>(cli.get_int_in("retries", 0, 0, 100));
+    retry_policy.attempt_timeout_ms = cli.get_double_in("attempt-timeout-ms", 0.0, 0.0, 1e9);
+    retry_policy.base_backoff_ms = cli.get_double_in("backoff-ms", 5.0, 0.0, 60'000.0);
+
+    // A peer reset while writing must surface as an EPIPE send error the
+    // retry layer can handle, not kill the process.
+    std::signal(SIGPIPE, SIG_IGN);
 
     // Pre-generate the request workload: `instances` distinct netlists.
     lid::GenerateOptions gen;
@@ -79,6 +113,11 @@ int main(int argc, char** argv) {
       w.begin_object();
       w.key("verb").value(verb);
       if (deadline_ms > 0.0) w.key("deadline_ms").value_fixed(deadline_ms, 3);
+      if (on_deadline == "degrade") w.key("on_deadline").value(on_deadline);
+      if (verb == "size-queues") {
+        if (!solver.empty()) w.key("solver").value(solver);
+        if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
+      }
       if (verb == "sleep") {
         w.key("ms").value(sleep_ms);
       } else if (verb != "ping" && verb != "stats") {
@@ -109,14 +148,14 @@ int main(int argc, char** argv) {
     for (int c = 0; c < clients; ++c) {
       threads.emplace_back([&, c] {
         ClientStats& s = stats[static_cast<std::size_t>(c)];
-        Result<serve::Client> connected =
-            socket_path.empty() ? serve::Client::connect_tcp(host, port)
-                                : serve::Client::connect_unix(socket_path);
-        if (!connected) {
-          s.first_error = connected.error().to_string();
-          return;
-        }
-        serve::Client client = std::move(connected).value();
+        serve::RetryPolicy policy = retry_policy;
+        policy.jitter_seed = static_cast<std::uint64_t>(c) + 1;
+        serve::RetryingClient client(
+            [&]() -> Result<serve::Client> {
+              return socket_path.empty() ? serve::Client::connect_tcp(host, port)
+                                         : serve::Client::connect_unix(socket_path);
+            },
+            policy);
         std::int64_t n = 0;
         while (!stop.load(std::memory_order_relaxed)) {
           const std::string& body = request_bodies[static_cast<std::size_t>(
@@ -131,7 +170,11 @@ int main(int argc, char** argv) {
           if (!response) {
             ++s.other_errors;
             if (s.first_error.empty()) s.first_error = response.error().to_string();
-            return;  // connection gone
+            // An open breaker means the server is gone (retries exhausted on
+            // consecutive transport failures); stop instead of spinning on
+            // fast-fails for the rest of the run.
+            if (client.breaker_open()) break;
+            continue;
           }
           s.latencies_ms.push_back(latency);
           const util::JsonParse parsed = util::json_parse(*response);
@@ -139,6 +182,10 @@ int main(int argc, char** argv) {
               parsed.ok && parsed.value.is_object() ? parsed.value.find("ok") : nullptr;
           if (ok != nullptr && ok->as_bool()) {
             ++s.ok;
+            const util::Json* degraded = parsed.value.find("degraded");
+            if (degraded != nullptr && degraded->is_bool() && degraded->as_bool()) {
+              ++s.degraded;
+            }
             continue;
           }
           std::string code;
@@ -158,6 +205,10 @@ int main(int argc, char** argv) {
             if (s.first_error.empty()) s.first_error = *response;
           }
         }
+        const serve::RetryStats& rs = client.stats();
+        s.retries = rs.retries;
+        s.reconnects = rs.reconnects;
+        s.breaker_fast_fails = rs.breaker_fast_fails;
       });
     }
 
@@ -172,9 +223,13 @@ int main(int argc, char** argv) {
     for (const ClientStats& s : stats) {
       total.sent += s.sent;
       total.ok += s.ok;
+      total.degraded += s.degraded;
       total.shed += s.shed;
       total.deadline_exceeded += s.deadline_exceeded;
       total.other_errors += s.other_errors;
+      total.retries += s.retries;
+      total.reconnects += s.reconnects;
+      total.breaker_fast_fails += s.breaker_fast_fails;
       latencies.insert(latencies.end(), s.latencies_ms.begin(), s.latencies_ms.end());
       if (total.first_error.empty() && !s.first_error.empty()) total.first_error = s.first_error;
     }
@@ -195,9 +250,13 @@ int main(int argc, char** argv) {
       w.key("elapsed_s").value_fixed(elapsed_s, 3);
       w.key("sent").value(total.sent);
       w.key("ok").value(total.ok);
+      w.key("degraded").value(total.degraded);
       w.key("shed").value(total.shed);
       w.key("deadline_exceeded").value(total.deadline_exceeded);
       w.key("other_errors").value(total.other_errors);
+      w.key("retries").value(total.retries);
+      w.key("reconnects").value(total.reconnects);
+      w.key("breaker_fast_fails").value(total.breaker_fast_fails);
       w.key("offered_rps").value_fixed(offered, 2);
       w.key("goodput_rps").value_fixed(goodput, 2);
       w.key("shed_rate").value_fixed(shed_rate, 4);
@@ -216,7 +275,11 @@ int main(int argc, char** argv) {
       table.add_row({"shed (overloaded)", std::to_string(total.shed) + " (" +
                                               util::Table::fmt(shed_rate * 100.0, 2) + "%)"});
       table.add_row({"deadline exceeded", std::to_string(total.deadline_exceeded)});
+      table.add_row({"degraded responses", std::to_string(total.degraded)});
       table.add_row({"other errors", std::to_string(total.other_errors)});
+      table.add_row({"retries / reconnects", std::to_string(total.retries) + " / " +
+                                                 std::to_string(total.reconnects)});
+      table.add_row({"breaker fast-fails", std::to_string(total.breaker_fast_fails)});
       table.add_row({"latency p50 (ms)", util::Table::fmt(p50, 3)});
       table.add_row({"latency p95 (ms)", util::Table::fmt(p95, 3)});
       table.add_row({"latency p99 (ms)", util::Table::fmt(p99, 3)});

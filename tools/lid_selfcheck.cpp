@@ -18,7 +18,12 @@
 //   8. responses observed through an in-process lid_serve server (over a
 //      real Unix socket) are byte-identical to executing the same requests
 //      directly, at 1 and at 4 workers — the serving layer adds no
-//      nondeterminism.
+//      nondeterminism;
+//   9. graceful degradation is honest: whenever the exact solver fails to
+//      prove within its node budget and the request says
+//      "on_deadline":"degrade", the degraded payload is byte-identical to
+//      executing the same request with "solver":"heuristic" directly, and
+//      the heuristic total it reports bounds the exact optimum from above.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
@@ -277,6 +282,120 @@ bool check_serve(std::uint64_t trial_seed) {
   return true;
 }
 
+// Invariant (9): graceful degradation is honest. Requests that trip a
+// 1-node exact budget with "on_deadline":"degrade" must answer with a
+// payload byte-identical to direct heuristic execution, tagged degraded in
+// the envelope only; and the heuristic total always upper-bounds the exact
+// optimum (when the latter is provable with a generous budget).
+bool check_degrade(std::uint64_t trial_seed) {
+  util::Rng rng(trial_seed);
+  // Four random systems, plus a fixed one whose UNSIMPLIFIED TD instance has
+  // a loose counting bound and provably trips a 1-node budget (random
+  // instances usually prove at zero search nodes, leaving the degrade branch
+  // unexercised; the reductions are disabled on this case for the same
+  // reason).
+  constexpr const char* kLooseBoundNetlist =
+      "core core0\ncore core1\ncore core2\ncore core3\ncore core4\n"
+      "core core5\ncore core6\ncore core7\n"
+      "channel core5 -> core3\n"
+      "channel core3 -> core2 rs=1\n"
+      "channel core2 -> core1 rs=2\n"
+      "channel core1 -> core7 rs=2\n"
+      "channel core7 -> core0\n"
+      "channel core0 -> core6\n"
+      "channel core6 -> core4\n"
+      "channel core4 -> core5\n"
+      "channel core3 -> core7\n"
+      "channel core5 -> core6\n"
+      "channel core6 -> core7\n";
+  for (int i = 0; i < 5; ++i) {
+    const bool fixed_case = i == 4;
+    const bool simplify = !fixed_case;
+    std::string text;
+    if (fixed_case) {
+      text = kLooseBoundNetlist;
+    } else {
+      GenerateOptions options;
+      options.cores = 6 + static_cast<int>(rng.uniform_int(0, 6));
+      options.sccs = 1 + static_cast<int>(rng.uniform_int(0, 2));
+      options.extra_cycles = static_cast<int>(rng.uniform_int(0, 2));
+      options.relay_stations = 1 + static_cast<int>(rng.uniform_int(0, 3));
+      options.rs_anywhere = true;
+      options.seed = rng.fork_seed();
+      const Result<Instance> generated = lid::generate(options);
+      CHECK_OR_FAIL(generated.ok(), "degrade: generate");
+      const Result<std::string> generated_text = netlist_text(*generated);
+      CHECK_OR_FAIL(generated_text.ok(), "degrade: netlist text");
+      text = *generated_text;
+    }
+
+    const auto request_line = [&](const char* solver, bool degrade_policy,
+                                  std::int64_t max_nodes) {
+      util::JsonWriter w;
+      w.begin_object();
+      w.key("id").value(i);
+      w.key("verb").value("size-queues");
+      w.key("solver").value(solver);
+      if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
+      if (!simplify) w.key("simplify").value(false);
+      if (degrade_policy) w.key("on_deadline").value("degrade");
+      w.key("netlist").value(text);
+      w.end_object();
+      return w.str();
+    };
+    const auto execute_line = [](const std::string& line) -> serve::Outcome {
+      const Result<serve::Request> request = serve::parse_request(line);
+      if (!request) return serve::Outcome::failure("parse_error", request.error().message);
+      return serve::execute(*request);
+    };
+
+    // Probe with policy "error" first: its legacy payload says whether a
+    // 1-node budget actually fails the proof on this instance (trivial
+    // instances may prove at the root and never degrade).
+    const serve::Outcome probe = execute_line(request_line("both", false, 1));
+    CHECK_OR_FAIL(probe.ok, "degrade: probe execution succeeds");
+    const util::JsonParse probe_json = util::json_parse(probe.payload);
+    CHECK_OR_FAIL(probe_json.ok && probe_json.value.is_object(), "degrade: probe payload parses");
+    const util::Json* proved = probe_json.value.find("exact_proved");
+    const bool budget_trips = proved != nullptr && proved->is_bool() && !proved->as_bool();
+    if (fixed_case) {
+      CHECK_OR_FAIL(budget_trips, "degrade: fixed loose-bound case trips a 1-node budget");
+    }
+
+    const serve::Outcome degraded = execute_line(request_line("both", true, 1));
+    CHECK_OR_FAIL(degraded.ok, "degrade: degraded execution succeeds");
+    CHECK_OR_FAIL(degraded.degraded == budget_trips, "degrade: tag iff budget tripped");
+    if (budget_trips) {
+      const serve::Outcome heuristic = execute_line(request_line("heuristic", false, 0));
+      CHECK_OR_FAIL(heuristic.ok, "degrade: heuristic execution succeeds");
+      CHECK_OR_FAIL(!heuristic.degraded, "degrade: direct heuristic untagged");
+      CHECK_OR_FAIL(degraded.payload == heuristic.payload,
+                    "degrade: degraded payload == direct heuristic payload");
+    }
+
+    // The heuristic total in the (possibly degraded) payload bounds the
+    // exact optimum whenever a generous budget proves it.
+    const Result<Instance> reparsed = parse_netlist(text);
+    CHECK_OR_FAIL(reparsed.ok(), "degrade: reparse");
+    SizeQueuesOptions full;
+    full.solver = Solver::kBoth;
+    full.exact_max_nodes = 200'000;
+    full.simplify = simplify;
+    const Result<Sizing> sized = size_queues(*reparsed, full);
+    CHECK_OR_FAIL(sized.ok(), "degrade: full sizing succeeds");
+    if (sized->exact_proved && sized->exact_total >= 0) {
+      const util::JsonParse payload = util::json_parse(degraded.payload);
+      CHECK_OR_FAIL(payload.ok && payload.value.is_object(), "degrade: payload parses");
+      const util::Json* heuristic_total = payload.value.find("heuristic_total");
+      if (heuristic_total != nullptr && heuristic_total->is_number()) {
+        CHECK_OR_FAIL(heuristic_total->as_int() >= sized->exact_total,
+                      "degrade: heuristic total bounds exact optimum");
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -290,6 +409,7 @@ int main(int argc, char** argv) {
     util::Timer timer;
     if (!check_engine(seed)) return 1;
     if (!check_serve(seed)) return 1;
+    if (!check_degrade(seed)) return 1;
     std::int64_t trials = 0;
     while (timer.elapsed_s() < seconds) {
       if (!check_one(seeder.fork_seed(), verbose)) return 1;

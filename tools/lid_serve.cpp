@@ -15,13 +15,18 @@
 //   --max-request-bytes N    request-line size limit             (default 1 MiB)
 //   --default-deadline-ms N  deadline for requests without one   (default none)
 //   --max-nodes N            exact-QS node-budget cap            (default 200000)
+//   --fault-plan SPEC        seeded fault injection at the response boundary
+//                            (chaos testing; see src/serve/faults.hpp), e.g.
+//                            seed=42,stall=0.1:50,torn=0.05,drop=0.02,garbage=0.01
 //   --quiet                  suppress per-request log lines (stderr)
 //
 // SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish every
-// admitted request, flush responses, exit 0.
+// admitted request, flush responses, exit 0. SIGPIPE is ignored so a peer
+// closing mid-write surfaces as an EPIPE send error, never a process kill.
 #include <csignal>
 #include <iostream>
 
+#include "serve/faults.hpp"
 #include "serve/server.hpp"
 #include "util/cli.hpp"
 
@@ -55,6 +60,15 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int_in("max-request-bytes", 1 << 20, 64, 1 << 28));
     options.default_deadline_ms = cli.get_double_in("default-deadline-ms", 0.0, 0.0, 1e9);
     options.limits.exact_max_nodes = cli.get_int_in("max-nodes", 200'000, 1, 100'000'000);
+    const std::string fault_spec = cli.get_string("fault-plan", "");
+    if (!fault_spec.empty()) {
+      Result<serve::FaultPlan> plan = serve::FaultPlan::parse(fault_spec);
+      if (!plan) {
+        std::cerr << "lid_serve: --fault-plan: " << plan.error().to_string() << "\n";
+        return 1;
+      }
+      options.fault_plan = *plan;
+    }
     if (!cli.get_bool("quiet", false)) options.log = &std::cerr;
 
     if (options.unix_socket.empty() && options.tcp_port < 0) {
@@ -66,6 +80,7 @@ int main(int argc, char** argv) {
     g_server = &server;
     std::signal(SIGINT, handle_stop_signal);
     std::signal(SIGTERM, handle_stop_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // peer resets surface as EPIPE, not a kill
 
     const Status started = server.start();
     if (!started) {
@@ -74,7 +89,11 @@ int main(int argc, char** argv) {
     }
     // Readiness line on stdout so scripts can wait for it.
     std::cout << "lid_serve: listening on " << server.endpoint() << " (workers="
-              << options.workers << ", queue=" << options.queue_capacity << ")" << std::endl;
+              << options.workers << ", queue=" << options.queue_capacity;
+    if (options.fault_plan.any()) {
+      std::cout << ", fault-plan=" << options.fault_plan.to_string();
+    }
+    std::cout << ")" << std::endl;
 
     server.wait();  // returns after a signal-triggered graceful drain
     std::cout << "lid_serve: drained, final stats: " << server.stats_json() << std::endl;

@@ -23,6 +23,8 @@
 //   lid_tool schedule  --netlist sys.lis [--max-periods N]
 //   lid_tool client    (--socket PATH | --port N [--host A]) --verb analyze
 //                      [--netlist sys.lis] [--deadline-ms N] [--id STR]
+//                      [--on-deadline error|degrade] [--retries N]
+//                      [--attempt-timeout-ms T]
 //                      [verb args: --v/--s/--c/--rs/--seed/--policy, --solver,
 //                       --max-nodes, --budget, --ms] [--result-only] [--stdin]
 //
@@ -36,6 +38,7 @@
 
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/retry.hpp"
 #include "util/json.hpp"
 
 #include "core/diagnostics.hpp"
@@ -394,6 +397,8 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
   w.key("verb").value(verb);
   const double deadline_ms = cli.get_double_in("deadline-ms", 0.0, 0.0, 1e9);
   if (deadline_ms > 0.0) w.key("deadline_ms").value_fixed(deadline_ms, 3);
+  const std::string on_deadline = cli.get_string("on-deadline", "");
+  if (!on_deadline.empty()) w.key("on_deadline").value(on_deadline);
 
   if (verb == "sleep") {
     w.key("ms").value(cli.get_int_in("ms", 0, 0, 10'000));
@@ -429,13 +434,21 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
 
 int cmd_client(const util::Cli& cli) {
   const std::string socket_path = cli.get_string("socket", "");
-  Result<serve::Client> connected =
-      socket_path.empty()
-          ? serve::Client::connect_tcp(cli.get_string("host", "127.0.0.1"),
-                                       static_cast<int>(cli.get_int_in("port", 0, 1, 65535)))
-          : serve::Client::connect_unix(socket_path);
-  if (!connected) throw std::runtime_error(connected.error().to_string());
-  serve::Client client = std::move(connected).value();
+  const std::string host = cli.get_string("host", "127.0.0.1");
+  const int port = socket_path.empty()
+                       ? static_cast<int>(cli.get_int_in("port", 0, 1, 65535))
+                       : -1;
+  // --retries N allows N retry attempts on transport failures (reconnect +
+  // jittered backoff); every protocol verb is idempotent, so this is safe.
+  serve::RetryPolicy policy;
+  policy.max_attempts = 1 + static_cast<int>(cli.get_int_in("retries", 0, 0, 100));
+  policy.attempt_timeout_ms = cli.get_double_in("attempt-timeout-ms", 0.0, 0.0, 1e9);
+  serve::RetryingClient client(
+      [socket_path, host, port]() -> Result<serve::Client> {
+        return socket_path.empty() ? serve::Client::connect_tcp(host, port)
+                                   : serve::Client::connect_unix(socket_path);
+      },
+      policy);
 
   // Raw mode: forward NDJSON request lines from stdin verbatim, print each
   // response line. Lets scripts drive the full protocol through one
