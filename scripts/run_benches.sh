@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Smoke-mode micro-benchmark sweep: runs every pure-CPU google-benchmark
+# suite with a short min-time and merges the results into one JSON artifact
+# mapping bench name -> ns/op. Record only — no thresholds; CI uploads the
+# artifact so regressions show up as trends across runs. bench_serve is
+# excluded (it spins up socket servers, which smoke CI runners may not
+# allow). Override BUILD_DIR / MIN_TIME via the environment; the output
+# path is the first argument (default BENCH_PR4.json).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD=${BUILD_DIR:-build}
+OUT=${1:-BENCH_PR4.json}
+MIN_TIME=${MIN_TIME:-0.01}
+TMP=$(mktemp -d)
+trap 'rm -rf "$TMP"' EXIT
+
+SUITES="bench_micro_mcm bench_micro_cycles bench_micro_qs bench_micro_lazy_qs \
+bench_micro_protocol"
+
+for bench in $SUITES; do
+  echo "== $bench =="
+  "$BUILD/bench/$bench" --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP/$bench.json"
+done
+
+python3 - "$OUT" "$TMP"/*.json <<'EOF'
+import json
+import sys
+
+out_path, *files = sys.argv[1:]
+merged = {}
+for path in files:
+    with open(path) as f:
+        doc = json.load(f)
+    for bench in doc.get("benchmarks", []):
+        if "real_time" not in bench:  # complexity aggregates (_BigO, _RMS)
+            continue
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[bench.get("time_unit", "ns")]
+        merged[bench["name"]] = round(bench["real_time"] * scale, 1)
+with open(out_path, "w") as f:
+    json.dump(dict(sorted(merged.items())), f, indent=2)
+    f.write("\n")
+print(f"wrote {out_path} ({len(merged)} benchmarks)")
+EOF

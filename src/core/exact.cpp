@@ -47,6 +47,11 @@ class CoverSearch {
     ++stats_.nodes_explored;
     if (options_.max_nodes > 0 && stats_.nodes_explored >= options_.max_nodes) {
       cut_off_ = true;
+      // The node cap and an outstanding cancel can trip on the same node;
+      // poll the token here too, else a request that is both budgeted and
+      // cancelled under-reports `cancelled`. The cut-off point is still
+      // exactly max_nodes — the extra poll changes no control flow.
+      if (options_.cancel.cancelled()) stats_.cancelled = true;
     } else if (stats_.nodes_explored % 1024 == 0) {
       if (options_.cancel.cancelled()) {
         cut_off_ = true;
@@ -140,7 +145,8 @@ ExactResult solve_exact(const TdInstance& instance, const TdSolution& upper_boun
   for (const auto& members : instance.set_members) {
     max_cover = std::max(max_cover, static_cast<std::int64_t>(members.size()));
   }
-  std::int64_t lo = std::max(max_deficit, (total_deficit + max_cover - 1) / max_cover);
+  std::int64_t lo = std::max({max_deficit, (total_deficit + max_cover - 1) / max_cover,
+                              options.min_total});
   std::int64_t hi = upper_bound.total;
 
   CoverSearch search(instance, options, result);

@@ -29,6 +29,11 @@ struct ExactOptions {
   /// Cooperative cancellation (request deadline, server drain). Polled at
   /// iteration boundaries; the default token never cancels.
   util::CancelToken cancel;
+  /// Caller-known lower bound on the optimal total (0 = none). The binary
+  /// search starts no lower than this. Must be a genuine lower bound; the
+  /// lazy sizing driver passes the previous iteration's proven optimum,
+  /// which stays valid because its constraint set only grows.
+  std::int64_t min_total = 0;
 };
 
 /// Outcome of an exact solve.

@@ -1,0 +1,49 @@
+// Lazy critical-cycle constraint generation — queue sizing without up-front
+// cycle enumeration.
+//
+// The eager pipeline (qs_problem.hpp) enumerates every elementary cycle of
+// the doubled graph before the first sizing decision, even though the
+// achieved MST is determined by a handful of *critical* cycles. This driver
+// exploits that: starting from an empty TdInstance, it solves MCM with
+// Howard's policy iteration on the (possibly SCC-collapsed) doubled graph,
+// and while the achieved MST falls short of the target it adds exactly one
+// constraint — the token deficit of the critical cycle Howard already
+// produced — re-solves the tiny covering instance (warm-started heuristic
+// upper bound + exact branch-and-bound with a monotone lower bound), applies
+// the weights to the marking, and repeats. Each added constraint is violated
+// by the current weights, so no cycle repeats and the loop converges; at
+// convergence the sub-instance optimum equals the full-enumeration optimum
+// (the solution is feasible for every cycle — Howard certifies the target —
+// and the full optimum is bounded below by any sub-instance optimum).
+//
+// The separation oracle is warm-started: marking perturbations between
+// rounds reuse the previous Howard policy via mg::Workspace, so a re-solve
+// costs a few policy improvements instead of a cold start.
+//
+// When progress stalls (duplicate cycle, sub-solve cut off by budget, or a
+// degrading cycle without a sizable queue) the driver falls back to the
+// bounded full pipeline (QsMethod::kBoth) and reports it in LazyStats.
+#pragma once
+
+#include "core/queue_sizing.hpp"
+#include "mg/mcm.hpp"
+
+namespace lid::core {
+
+/// Runs the lazy solver on `lis`. `options.method` is ignored (this *is*
+/// the kLazy implementation); `options.exact` budgets each sub-solve and the
+/// fallback, `options.build` supplies target/cancel/collapse knobs, and
+/// `options.simplify` applies only to the fallback pipeline. `workspace`
+/// optionally shares a Howard workspace across calls (engine pooling); null
+/// uses a solve-local one.
+QsReport size_queues_lazy(const lis::LisGraph& lis, const QsOptions& options = {},
+                          mg::Workspace* workspace = nullptr);
+
+/// Like size_queues_lazy, but reuses already-computed θ(G) and θ(d[G]) (e.g.
+/// from an engine::AnalysisCache). The thetas must be those of `lis` itself.
+QsReport size_queues_lazy_with_mst(const lis::LisGraph& lis, const util::Rational& theta_ideal,
+                                   const util::Rational& theta_practical,
+                                   const QsOptions& options = {},
+                                   mg::Workspace* workspace = nullptr);
+
+}  // namespace lid::core

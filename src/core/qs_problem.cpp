@@ -14,37 +14,22 @@ using lis::ChannelId;
 using lis::LisGraph;
 using util::Rational;
 
-/// Minimum extra tokens that bring a cycle's mean up to theta:
-/// smallest D >= 0 with (tokens + D) / places >= theta.
-std::int64_t deficit_of(std::int64_t tokens, std::int64_t places, const Rational& theta) {
-  // ceil(theta.num * places / theta.den) - tokens, clamped at 0.
-  const std::int64_t needed =
-      (theta.num() * places + theta.den() - 1) / theta.den();
-  return std::max<std::int64_t>(0, needed - tokens);
-}
-
-/// The SCC-collapsed LIS plus the map back to original channels.
-struct Collapsed {
-  LisGraph lis;
-  std::vector<ChannelId> channel_origin;  // collapsed channel -> original
-};
-
-Collapsed collapse_sccs(const LisGraph& lis) {
+/// The SCC-collapsed LIS plus the map back to original channels, written
+/// into a QsBuildTarget.
+void collapse_sccs(const LisGraph& lis, QsBuildTarget& out) {
   const graph::SccPartition part = graph::scc(lis.structure());
-  Collapsed out;
   for (int c = 0; c < part.count; ++c) {
-    out.lis.add_core("scc" + std::to_string(c));
+    out.collapsed.add_core("scc" + std::to_string(c));
   }
   for (ChannelId ch = 0; ch < static_cast<ChannelId>(lis.num_channels()); ++ch) {
     const lis::Channel& channel = lis.channel(ch);
     const int cs = part.comp_of[static_cast<std::size_t>(channel.src)];
     const int cd = part.comp_of[static_cast<std::size_t>(channel.dst)];
     if (cs == cd) continue;
-    out.lis.add_channel(static_cast<lis::CoreId>(cs), static_cast<lis::CoreId>(cd),
-                        channel.relay_stations, channel.queue_capacity);
+    out.collapsed.add_channel(static_cast<lis::CoreId>(cs), static_cast<lis::CoreId>(cd),
+                              channel.relay_stations, channel.queue_capacity);
     out.channel_origin.push_back(ch);
   }
-  return out;
 }
 
 /// True when every core has unit latency. The collapse rebuilds SCCs as
@@ -71,6 +56,29 @@ bool intra_scc_queues_are_unit(const LisGraph& lis) {
 }
 
 }  // namespace
+
+std::int64_t cycle_deficit(std::int64_t tokens, std::int64_t places, const Rational& theta) {
+  // ceil(theta.num * places / theta.den) - tokens, clamped at 0.
+  const std::int64_t needed = (theta.num() * places + theta.den() - 1) / theta.den();
+  return std::max<std::int64_t>(0, needed - tokens);
+}
+
+QsBuildTarget select_build_target(const LisGraph& lis, const QsBuildOptions& options) {
+  QsBuildTarget target;
+  // Simplification 4: collapse SCCs when relay stations sit only between
+  // them (and intra-SCC queues are unit, so deficits are preserved exactly).
+  if (options.allow_scc_collapse && all_cores_unit_latency(lis) &&
+      relay_stations_only_between_sccs(lis) && intra_scc_queues_are_unit(lis)) {
+    collapse_sccs(lis, target);
+    if (target.collapsed.num_cores() < lis.num_cores()) {
+      target.collapsed_used = true;
+    } else {
+      target.collapsed = LisGraph();
+      target.channel_origin.clear();
+    }
+  }
+  return target;
+}
 
 bool relay_stations_only_between_sccs(const LisGraph& lis) {
   const graph::SccPartition part = graph::scc(lis.structure());
@@ -99,25 +107,16 @@ QsProblem build_qs_problem_with_mst(const LisGraph& lis, const Rational& theta_i
                              : problem.theta_ideal;
   if (!problem.has_degradation()) return problem;
 
-  // Simplification 4: collapse SCCs when relay stations sit only between
-  // them (and intra-SCC queues are unit, so deficits are preserved exactly).
-  const LisGraph* target = &lis;
-  Collapsed collapsed;
-  if (options.allow_scc_collapse && all_cores_unit_latency(lis) &&
-      relay_stations_only_between_sccs(lis) && intra_scc_queues_are_unit(lis)) {
-    collapsed = collapse_sccs(lis);
-    if (collapsed.lis.num_cores() < lis.num_cores()) {
-      target = &collapsed.lis;
-      problem.scc_collapsed = true;
-    }
-  }
+  const QsBuildTarget build_target = select_build_target(lis, options);
+  problem.scc_collapsed = build_target.collapsed_used;
+  const LisGraph& target = build_target.graph(lis);
 
-  const lis::Expansion expansion = lis::expand_doubled(*target);
+  const lis::Expansion expansion = lis::expand_doubled(target);
   const mg::MarkedGraph& dg = expansion.graph;
 
   // Queue place -> channel (in `target` numbering).
   std::map<mg::PlaceId, ChannelId> queue_place_of;
-  for (ChannelId ch = 0; ch < static_cast<ChannelId>(target->num_channels()); ++ch) {
+  for (ChannelId ch = 0; ch < static_cast<ChannelId>(target.num_channels()); ++ch) {
     queue_place_of.emplace(expansion.queue_place(ch), ch);
   }
 
@@ -150,7 +149,7 @@ QsProblem build_qs_problem_with_mst(const LisGraph& lis, const Rational& theta_i
     }
     if (has_back && has_zero_forward) {
       const auto places = static_cast<std::int64_t>(cycle.size());
-      const std::int64_t deficit = deficit_of(tokens, places, theta);
+      const std::int64_t deficit = cycle_deficit(tokens, places, theta);
       if (deficit > 0) {
         RawCycle rc;
         rc.deficit = deficit;
@@ -200,9 +199,7 @@ QsProblem build_qs_problem_with_mst(const LisGraph& lis, const Rational& theta_i
   // Map candidate channels back to the original netlist numbering.
   problem.channels.reserve(target_channels.size());
   for (const ChannelId ch : target_channels) {
-    problem.channels.push_back(problem.scc_collapsed
-                                   ? collapsed.channel_origin[static_cast<std::size_t>(ch)]
-                                   : ch);
+    problem.channels.push_back(build_target.origin(ch));
   }
   return problem;
 }

@@ -103,4 +103,37 @@ lis::LisGraph apply_solution(const lis::LisGraph& lis, const QsProblem& problem,
 /// of the LIS netlist — the precondition of the SCC-collapse fast path.
 bool relay_stations_only_between_sccs(const lis::LisGraph& lis);
 
+/// The graph a TD instance is built against: the original netlist, or its
+/// SCC-collapsed form when simplification 4 applies. Shared by the eager
+/// builder and the lazy constraint-generation driver so both size exactly
+/// the same graph (and therefore agree on deficits and totals).
+struct QsBuildTarget {
+  /// True when the collapse was both allowed and profitable.
+  bool collapsed_used = false;
+  /// The collapsed netlist; meaningful only when `collapsed_used`.
+  lis::LisGraph collapsed;
+  /// Collapsed channel -> original channel; meaningful only when
+  /// `collapsed_used`.
+  std::vector<lis::ChannelId> channel_origin;
+
+  /// The graph to expand and size (`original` is the netlist this target was
+  /// selected from).
+  [[nodiscard]] const lis::LisGraph& graph(const lis::LisGraph& original) const {
+    return collapsed_used ? collapsed : original;
+  }
+  /// Maps a channel of graph() back to the original netlist numbering.
+  [[nodiscard]] lis::ChannelId origin(lis::ChannelId ch) const {
+    return collapsed_used ? channel_origin[static_cast<std::size_t>(ch)] : ch;
+  }
+};
+
+/// Decides whether the SCC-collapse fast path applies (see the header
+/// comment for the exact conditions) and builds the collapsed netlist if so.
+QsBuildTarget select_build_target(const lis::LisGraph& lis, const QsBuildOptions& options);
+
+/// Minimum extra tokens that bring a cycle with `tokens` tokens over `places`
+/// places up to mean `theta`: the smallest D >= 0 with
+/// (tokens + D) / places >= theta.
+std::int64_t cycle_deficit(std::int64_t tokens, std::int64_t places, const util::Rational& theta);
+
 }  // namespace lid::core

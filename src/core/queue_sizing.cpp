@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "core/lazy_sizing.hpp"
 #include "util/timer.hpp"
 
 namespace lid::core {
@@ -14,6 +15,7 @@ std::int64_t total_of(const std::vector<std::int64_t>& weights) {
 }  // namespace
 
 QsReport size_queues(const lis::LisGraph& lis, const QsOptions& options) {
+  if (options.method == QsMethod::kLazy) return size_queues_lazy(lis, options);
   return size_queues_on_problem(lis, build_qs_problem(lis, options.build), options);
 }
 

@@ -26,6 +26,24 @@ enum class QsMethod {
   kHeuristic,
   kExact,
   kBoth,
+  /// Lazy critical-cycle constraint generation (src/core/lazy_sizing.hpp):
+  /// exact-quality results without up-front cycle enumeration, falling back
+  /// to the full kBoth pipeline when progress stalls.
+  kLazy,
+};
+
+/// Diagnostics of a lazy (cutting-plane) solve.
+struct LazyStats {
+  /// Separation rounds run (Howard solve + constraint add + re-solve).
+  std::int64_t iterations = 0;
+  /// Critical-cycle constraints generated (== TD cycles in the final
+  /// sub-instance when the solve converged).
+  std::int64_t cycles_generated = 0;
+  /// Warm-started Howard solves performed by this run's MCM workspace.
+  std::int64_t howard_warm_restarts = 0;
+  /// True when the lazy loop stalled (duplicate cycle, budget cut-off,
+  /// unsizable cycle) and the bounded full-enumeration pipeline took over.
+  bool fell_back = false;
 };
 
 /// Full configuration of a queue-sizing run.
@@ -67,6 +85,9 @@ struct QsReport {
   lis::LisGraph sized;
   /// MST of `sized` (filled when options.verify).
   util::Rational achieved_mst;
+  /// Present when the lazy solver ran (method kLazy), including when it fell
+  /// back to full enumeration.
+  std::optional<LazyStats> lazy;
 };
 
 /// Runs the queue-sizing pipeline on `lis`.

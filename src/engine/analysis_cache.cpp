@@ -44,7 +44,9 @@ const util::Rational& AnalysisCache::theta_ideal() {
     const lis::Expansion& expansion = ideal();
     std::optional<Metrics::ScopedStage> stage;
     if (metrics_ != nullptr) stage.emplace(*metrics_, "mst_ideal");
-    theta_ideal_ = mg::mst(expansion.graph);
+    // Howard through the shared workspace: exact-rational, so identical to
+    // mg::mst (Karp), but warm-startable and allocation-pooled.
+    theta_ideal_ = mg::mst_howard(expansion.graph, workspace_);
   }
   return *theta_ideal_;
 }
@@ -54,7 +56,7 @@ const util::Rational& AnalysisCache::theta_practical() {
     const lis::Expansion& expansion = doubled();
     std::optional<Metrics::ScopedStage> stage;
     if (metrics_ != nullptr) stage.emplace(*metrics_, "mst_practical");
-    theta_practical_ = mg::mst(expansion.graph);
+    theta_practical_ = mg::mst_howard(expansion.graph, workspace_);
   }
   return *theta_practical_;
 }

@@ -20,6 +20,7 @@
 #include "core/qs_problem.hpp"
 #include "engine/metrics.hpp"
 #include "lis/lis_graph.hpp"
+#include "mg/mcm.hpp"
 #include "util/rational.hpp"
 
 namespace lid::engine {
@@ -56,6 +57,12 @@ class AnalysisCache {
   [[nodiscard]] std::int64_t hits() const { return hits_; }
   [[nodiscard]] std::int64_t misses() const { return misses_; }
 
+  /// The cache's Howard workspace. Both MSTs solve through it, so a stacked
+  /// analysis (ideal + practical + lazy sizing) warm-starts wherever
+  /// structure repeats. Safe because the cache — and therefore the workspace
+  /// — is confined to the worker that owns the instance.
+  [[nodiscard]] mg::Workspace& mcm_workspace() { return workspace_; }
+
  private:
   bool note(bool hit);  // updates counters; returns `hit`
 
@@ -70,6 +77,7 @@ class AnalysisCache {
   std::optional<util::Rational> theta_practical_;
   std::optional<core::QsProblem> qs_;
   core::QsBuildOptions qs_options_;
+  mg::Workspace workspace_;
 };
 
 }  // namespace lid::engine

@@ -4,6 +4,7 @@
 #include <exception>
 #include <sstream>
 
+#include "core/lazy_sizing.hpp"
 #include "core/qs_problem.hpp"
 #include "core/queue_sizing.hpp"
 #include "core/rate_safety.hpp"
@@ -43,6 +44,34 @@ void run_qs(const EngineOptions& options, AnalysisCache& cache, Metrics& metrics
   out.qs_achieved = report.achieved_mst;
 }
 
+void run_qs_lazy(const EngineOptions& options, AnalysisCache& cache, Metrics& metrics,
+                 InstanceResult& out) {
+  // No eager cycle enumeration: the lazy driver separates critical cycles on
+  // demand, warm-starting Howard through the cache's pooled workspace.
+  const Metrics::ScopedStage timer(metrics, "qs_lazy");
+  const core::QsReport report = core::size_queues_lazy_with_mst(
+      cache.lis(), cache.theta_ideal(), cache.theta_practical(),
+      qs_options_for(options, core::QsMethod::kLazy), &cache.mcm_workspace());
+  out.theta_ideal = report.problem.theta_ideal;
+  out.theta_practical = report.problem.theta_practical;
+  out.qs_truncated = out.qs_truncated || report.problem.truncated;
+  if (report.exact) {
+    out.qs_exact_total = report.exact->total_extra_tokens;
+    out.qs_exact_proved = report.exact->finished;
+  }
+  if (report.heuristic) out.qs_heuristic_total = report.heuristic->total_extra_tokens;
+  out.qs_achieved = report.achieved_mst;
+  if (report.lazy) {
+    out.qs_lazy_iterations = report.lazy->iterations;
+    out.qs_cycles_generated = report.lazy->cycles_generated;
+    out.qs_lazy_fell_back = report.lazy->fell_back;
+    metrics.count("lazy_iterations", report.lazy->iterations);
+    metrics.count("cycles_generated", report.lazy->cycles_generated);
+    metrics.count("howard_warm_restarts", report.lazy->howard_warm_restarts);
+    if (report.lazy->fell_back) metrics.count("lazy_fallbacks");
+  }
+}
+
 void analyze_one(const EngineOptions& options, const Instance& instance, InstanceResult& out,
                  Metrics& metrics) {
   metrics.count("instances");
@@ -71,6 +100,9 @@ void analyze_one(const EngineOptions& options, const Instance& instance, Instanc
           break;
         case AnalysisKind::kQsExact:
           run_qs(options, cache, metrics, core::QsMethod::kExact, out);
+          break;
+        case AnalysisKind::kQsLazy:
+          run_qs_lazy(options, cache, metrics, out);
           break;
         case AnalysisKind::kRsInsertion: {
           const Metrics::ScopedStage timer(metrics, "rs_insertion");
@@ -105,6 +137,7 @@ const char* to_string(AnalysisKind kind) {
     case AnalysisKind::kPracticalMst: return "mst-practical";
     case AnalysisKind::kQsHeuristic: return "qs-heuristic";
     case AnalysisKind::kQsExact: return "qs-exact";
+    case AnalysisKind::kQsLazy: return "qs-lazy";
     case AnalysisKind::kRsInsertion: return "rs-insertion";
     case AnalysisKind::kRateSafety: return "rate-safety";
   }
@@ -113,8 +146,9 @@ const char* to_string(AnalysisKind kind) {
 
 Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv) {
   static constexpr AnalysisKind kAll[] = {
-      AnalysisKind::kIdealMst,    AnalysisKind::kPracticalMst, AnalysisKind::kQsHeuristic,
-      AnalysisKind::kQsExact,     AnalysisKind::kRsInsertion,  AnalysisKind::kRateSafety,
+      AnalysisKind::kIdealMst, AnalysisKind::kPracticalMst, AnalysisKind::kQsHeuristic,
+      AnalysisKind::kQsExact,  AnalysisKind::kQsLazy,       AnalysisKind::kRsInsertion,
+      AnalysisKind::kRateSafety,
   };
   std::vector<AnalysisKind> kinds;
   std::istringstream stream(csv);
@@ -137,7 +171,7 @@ Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv) {
       return Error{ErrorCode::kInvalidArgument,
                    "unknown analysis '" + token +
                        "' (expected mst-ideal, mst-practical, qs-heuristic, qs-exact, "
-                       "rs-insertion, rate-safety or all)"};
+                       "qs-lazy, rs-insertion, rate-safety or all)"};
     }
   }
   if (kinds.empty()) {
@@ -163,6 +197,11 @@ std::string InstanceResult::serialize() const {
     append_field(os, "qs_proved", qs_exact_proved ? "1" : "0");
   }
   if (qs_achieved) append_field(os, "achieved", qs_achieved->to_string());
+  if (qs_lazy_iterations) {
+    append_field(os, "lazy_iters", std::to_string(*qs_lazy_iterations));
+    append_field(os, "lazy_cycles", std::to_string(qs_cycles_generated.value_or(0)));
+    if (qs_lazy_fell_back) append_field(os, "lazy_fallback", "1");
+  }
   if (rs_added) {
     append_field(os, "rs_added", std::to_string(*rs_added));
     append_field(os, "rs_ideal", rs_reached_ideal ? "1" : "0");

@@ -31,6 +31,8 @@ enum class AnalysisKind {
   kPracticalMst,  ///< θ(d[G]), finite queues
   kQsHeuristic,   ///< queue sizing, paper heuristic
   kQsExact,       ///< queue sizing, exact branch-and-bound (budgeted)
+  kQsLazy,        ///< queue sizing, lazy constraint generation (no up-front
+                  ///< cycle enumeration; warm-started Howard separation)
   kRsInsertion,   ///< greedy relay-station insertion repair
   kRateSafety,    ///< Sec. III-C producer/consumer rate hazards
 };
@@ -40,7 +42,7 @@ const char* to_string(AnalysisKind kind);
 
 /// Parses a comma-separated analysis list ("mst-ideal,qs-heuristic").
 /// Accepted tokens: mst-ideal, mst-practical, qs-heuristic, qs-exact,
-/// rs-insertion, rate-safety, and the umbrella "all".
+/// qs-lazy, rs-insertion, rate-safety, and the umbrella "all".
 Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv);
 
 /// Engine configuration.
@@ -83,6 +85,11 @@ struct InstanceResult {
   /// Cycles enumerated while building the QS problem.
   std::optional<std::size_t> qs_cycles = {};
   bool qs_truncated = false;
+  /// kQsLazy only: separation rounds, constraints generated, and whether the
+  /// lazy loop fell back to full enumeration.
+  std::optional<std::int64_t> qs_lazy_iterations;
+  std::optional<std::int64_t> qs_cycles_generated;
+  bool qs_lazy_fell_back = false;
   std::optional<int> rs_added;
   bool rs_reached_ideal = false;
   std::optional<std::size_t> rate_hazards;

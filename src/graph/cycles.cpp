@@ -24,6 +24,12 @@ class JohnsonEnumerator {
     blocked_.assign(n, 0);
     block_map_.assign(n, {});
     in_round_.assign(n, 0);
+    // Size the hot per-round buffers up front: the DFS stack and the round's
+    // node list never exceed n entries, and reserving here keeps circuit()'s
+    // push/pop cycle reallocation-free for the whole enumeration.
+    round_nodes_.reserve(n);
+    edge_stack_.reserve(n);
+    unblock_work_.reserve(n);
 
     for (NodeId s = 0; s < static_cast<NodeId>(n) && !stopped_; ++s) {
       if (cancel_.can_cancel() && cancel_.cancelled()) {
@@ -126,8 +132,11 @@ class JohnsonEnumerator {
   }
 
   void unblock(NodeId v) {
-    // Iterative unblock cascade.
-    std::vector<NodeId> work{v};
+    // Iterative unblock cascade; the work stack is a member so the cascade
+    // (run once per emitted cycle) never reallocates.
+    std::vector<NodeId>& work = unblock_work_;
+    work.clear();
+    work.push_back(v);
     while (!work.empty()) {
       const NodeId u = work.back();
       work.pop_back();
@@ -154,6 +163,7 @@ class JohnsonEnumerator {
   std::vector<char> in_round_;
   std::vector<NodeId> round_nodes_;
   Cycle edge_stack_;
+  std::vector<NodeId> unblock_work_;
 };
 
 }  // namespace

@@ -178,6 +178,7 @@ Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& op
       case Solver::kHeuristic: qs.method = core::QsMethod::kHeuristic; break;
       case Solver::kExact: qs.method = core::QsMethod::kExact; break;
       case Solver::kBoth: qs.method = core::QsMethod::kBoth; break;
+      case Solver::kLazy: qs.method = core::QsMethod::kLazy; break;
     }
     qs.exact.timeout_ms = options.exact_timeout_ms;
     qs.exact.max_nodes = options.exact_max_nodes;
@@ -210,6 +211,13 @@ Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& op
       sizing.exact_proved = report.exact->finished;
       sizing.exact_cancelled = report.exact->cancelled;
       sizing.exact_nodes = report.exact->nodes_explored;
+    }
+    if (report.lazy) {
+      sizing.solver_lazy = true;
+      sizing.lazy_iterations = report.lazy->iterations;
+      sizing.cycles_generated = report.lazy->cycles_generated;
+      sizing.howard_warm_restarts = report.lazy->howard_warm_restarts;
+      sizing.lazy_fell_back = report.lazy->fell_back;
     }
     for (const lis::ChannelId ch : report.problem.channels) {
       const int before = lis.channel(ch).queue_capacity;

@@ -200,6 +200,8 @@ enum class Solver {
   kHeuristic,  ///< the paper's sweep heuristic (fast, near-optimal)
   kExact,      ///< branch-and-bound (optimal, budgeted)
   kBoth,
+  kLazy,  ///< lazy critical-cycle constraint generation (optimal; no
+          ///< up-front cycle enumeration, falls back to kBoth on stall)
 };
 
 struct SizeQueuesOptions {
@@ -253,6 +255,12 @@ struct Sizing {
   bool truncated = false;  ///< cycle enumeration hit max_cycles
   std::vector<QueueChange> changes;
   Instance sized;
+  // --- lazy solver diagnostics (meaningful only when solver == kLazy) ---
+  bool solver_lazy = false;            ///< the lazy driver handled this call
+  std::int64_t lazy_iterations = 0;    ///< separation rounds run
+  std::int64_t cycles_generated = 0;   ///< critical-cycle constraints added
+  std::int64_t howard_warm_restarts = 0;  ///< warm-started Howard solves
+  bool lazy_fell_back = false;  ///< full enumeration took over mid-solve
 };
 
 Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options = {});

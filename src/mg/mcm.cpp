@@ -1,7 +1,10 @@
 #include "mg/mcm.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <memory>
+#include <utility>
 
 #include "graph/cycles.hpp"
 #include "graph/scc.hpp"
@@ -99,8 +102,9 @@ Rational karp_on_scc(const LocalScc& local) {
 /// Exact critical-cycle extraction used when policy iteration fails to
 /// settle: take Karp's minimum mean μ, compute Bellman-Ford potentials for
 /// edge costs (weight - μ), and walk the tight subgraph (edges achieving
-/// equality), which always contains a μ-mean cycle.
-MeanCycle karp_fallback_cycle(const LocalScc& local) {
+/// equality), which always contains a μ-mean cycle. The cycle is written
+/// into `cycle_out` (buffer reused); the mean μ is returned.
+Rational karp_fallback_cycle(const LocalScc& local, std::vector<PlaceId>& cycle_out) {
   const Rational mu = karp_on_scc(local);
   const auto n = static_cast<std::size_t>(local.n);
   // Bellman-Ford from a virtual source connected to every node with cost 0.
@@ -129,45 +133,69 @@ MeanCycle karp_fallback_cycle(const LocalScc& local) {
       tight_origin.push_back(e);
     }
   }
-  MeanCycle result;
+  cycle_out.clear();
   graph::for_each_cycle(tight_graph, [&](const graph::Cycle& cycle) {
     for (const graph::EdgeId te : cycle) {
-      result.cycle.push_back(
+      cycle_out.push_back(
           local.edges[static_cast<std::size_t>(tight_origin[static_cast<std::size_t>(te)])]
               .place);
     }
     return false;  // one cycle is enough
   });
-  LID_ASSERT(!result.cycle.empty(), "karp_fallback_cycle: tight subgraph has no cycle");
-  result.mean = mu;
-  return result;
+  LID_ASSERT(!cycle_out.empty(), "karp_fallback_cycle: tight subgraph has no cycle");
+  return mu;
 }
 
+/// Scratch vectors shared by every Howard solve issued through one workspace
+/// (or one top-level call): sized for the largest SCC seen, never shrunk, so
+/// a warm re-solve allocates nothing.
+struct HowardScratch {
+  std::vector<Rational> lambda;
+  std::vector<Rational> value;
+  std::vector<int> cycle_stamp;
+  std::vector<char> evaluated;
+  std::vector<int> chain;
+  std::vector<int> cyc;
+  std::vector<int> walk;
+  std::vector<int> seen_at;
+  std::vector<PlaceId> cycle;  // critical-cycle output buffer
+};
+
 /// Howard's policy iteration (min cycle mean) on one strongly connected
-/// component. Returns the minimum mean and one critical cycle (place ids).
-MeanCycle howard_on_scc(const LocalScc& local) {
+/// component. Returns the minimum mean; the critical cycle (place ids) lands
+/// in `sc.cycle`. `policy` is in/out: when sized to the SCC it seeds the
+/// iteration (warm start — any valid policy converges to the same minimum
+/// mean), otherwise it is (re)seeded with each node's minimum-weight
+/// out-edge. `rounds` accumulates policy-improvement rounds.
+Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardScratch& sc,
+                       std::int64_t& rounds) {
   const int n = local.n;
   const auto ns = static_cast<std::size_t>(n);
-  // Policy: chosen out-edge (index into local.edges) per node. Seed with the
-  // minimum-weight out-edge.
-  std::vector<int> policy(ns, -1);
-  for (int v = 0; v < n; ++v) {
-    const auto& outs = local.out[static_cast<std::size_t>(v)];
-    LID_ASSERT(!outs.empty(), "howard_on_scc: SCC node without internal out-edge");
-    int best = outs.front();
-    for (const int e : outs) {
-      if (local.edges[static_cast<std::size_t>(e)].weight <
-          local.edges[static_cast<std::size_t>(best)].weight) {
-        best = e;
+  // Policy: chosen out-edge (index into local.edges) per node.
+  if (policy.size() != ns) {
+    policy.assign(ns, -1);
+    for (int v = 0; v < n; ++v) {
+      const auto& outs = local.out[static_cast<std::size_t>(v)];
+      LID_ASSERT(!outs.empty(), "howard_on_scc: SCC node without internal out-edge");
+      int best = outs.front();
+      for (const int e : outs) {
+        if (local.edges[static_cast<std::size_t>(e)].weight <
+            local.edges[static_cast<std::size_t>(best)].weight) {
+          best = e;
+        }
       }
+      policy[static_cast<std::size_t>(v)] = best;
     }
-    policy[static_cast<std::size_t>(v)] = best;
   }
 
-  std::vector<Rational> lambda(ns);
-  std::vector<Rational> value(ns);
-  std::vector<int> cycle_stamp(ns, -1);  // which evaluation round visited the node
-  std::vector<char> evaluated(ns, 0);
+  sc.lambda.assign(ns, Rational());
+  sc.value.assign(ns, Rational());
+  sc.cycle_stamp.assign(ns, -1);  // which evaluation round visited the node
+  sc.evaluated.assign(ns, 0);
+  auto& lambda = sc.lambda;
+  auto& value = sc.value;
+  auto& cycle_stamp = sc.cycle_stamp;
+  auto& evaluated = sc.evaluated;
 
   const auto evaluate = [&] {
     std::fill(evaluated.begin(), evaluated.end(), 0);
@@ -177,7 +205,8 @@ MeanCycle howard_on_scc(const LocalScc& local) {
       if (evaluated[static_cast<std::size_t>(start)]) continue;
       // Follow the policy chain until we hit an evaluated node or revisit a
       // node from this walk (found the policy cycle).
-      std::vector<int> chain;
+      auto& chain = sc.chain;
+      chain.clear();
       int v = start;
       while (!evaluated[static_cast<std::size_t>(v)] &&
              cycle_stamp[static_cast<std::size_t>(v)] != round) {
@@ -200,7 +229,8 @@ MeanCycle howard_on_scc(const LocalScc& local) {
         // deterministic anchor keeps values comparable across evaluation
         // rounds, which phase-2 termination relies on), then solve
         // value[u] = w(u) - mean + value[next(u)] in reverse visit order.
-        std::vector<int> cyc;
+        auto& cyc = sc.cyc;
+        cyc.clear();
         u = v;
         do {
           cyc.push_back(u);
@@ -239,6 +269,7 @@ MeanCycle howard_on_scc(const LocalScc& local) {
   bool converged = false;
   for (long iter = 0; iter < max_iterations; ++iter) {
     evaluate();
+    ++rounds;
     bool improved = false;
     // Phase 1: switch to a successor whose policy cycle has a smaller mean.
     for (int v = 0; v < n; ++v) {
@@ -291,7 +322,7 @@ MeanCycle howard_on_scc(const LocalScc& local) {
     // fall back to the always-exact Karp mean with a tight-subgraph cycle
     // extraction (Bellman-Ford potentials; edges tight at the optimum form a
     // subgraph that must contain a critical cycle).
-    return karp_fallback_cycle(local);
+    return karp_fallback_cycle(local, sc.cycle);
   }
 
   // Extract the critical policy cycle: start from a node with minimal lambda.
@@ -300,22 +331,23 @@ MeanCycle howard_on_scc(const LocalScc& local) {
     if (lambda[static_cast<std::size_t>(v)] < lambda[static_cast<std::size_t>(start)]) start = v;
   }
   // Walk the policy until a node repeats; then emit the cycle portion.
-  std::vector<int> seen_at(ns, -1);
-  std::vector<int> walk;
+  sc.seen_at.assign(ns, -1);
+  auto& seen_at = sc.seen_at;
+  auto& walk = sc.walk;
+  walk.clear();
   int v = start;
   while (seen_at[static_cast<std::size_t>(v)] == -1) {
     seen_at[static_cast<std::size_t>(v)] = static_cast<int>(walk.size());
     walk.push_back(v);
     v = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(v)])].dst;
   }
-  MeanCycle result;
-  result.mean = lambda[static_cast<std::size_t>(v)];
+  sc.cycle.clear();
   for (std::size_t i = static_cast<std::size_t>(seen_at[static_cast<std::size_t>(v)]);
        i < walk.size(); ++i) {
-    result.cycle.push_back(
+    sc.cycle.push_back(
         local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(walk[i])])].place);
   }
-  return result;
+  return lambda[static_cast<std::size_t>(v)];
 }
 
 template <typename PerScc>
@@ -327,7 +359,97 @@ void for_each_cyclic_scc(const MarkedGraph& g, PerScc&& per_scc) {
   }
 }
 
+/// Cheap structural fingerprint: transition/place counts plus every place's
+/// endpoints. Two graphs with equal fingerprints are treated as structurally
+/// identical by the workspace (marking is deliberately excluded).
+std::uint64_t structure_fingerprint(const MarkedGraph& g) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;  // FNV-1a prime
+  };
+  mix(static_cast<std::uint64_t>(g.num_transitions()));
+  mix(static_cast<std::uint64_t>(g.num_places()));
+  const graph::Digraph& s = g.structure();
+  for (std::size_t p = 0; p < g.num_places(); ++p) {
+    const graph::Edge& e = s.edge(static_cast<EdgeId>(p));
+    mix(static_cast<std::uint64_t>(e.src));
+    mix(static_cast<std::uint64_t>(e.dst));
+  }
+  return h;
+}
+
 }  // namespace
+
+struct WorkspaceImpl {
+  bool valid = false;
+  std::uint64_t fingerprint = 0;
+  std::vector<LocalScc> locals;              // cyclic SCCs, in scc() order
+  std::vector<std::vector<int>> policies;    // last policy per local SCC
+  HowardScratch scratch;
+  MeanCycle mst_cycle;  // scratch for mst_howard so it allocates nothing warm
+  WorkspaceStats stats;
+
+  /// Points the cached views at `g`: true when the previous structure matched
+  /// and only edge weights needed refreshing, false after a full rebuild.
+  bool prepare(const MarkedGraph& g) {
+    const std::uint64_t fp = structure_fingerprint(g);
+    if (valid && fp == fingerprint) {
+      for (LocalScc& local : locals) {
+        for (LocalScc::LocalEdge& e : local.edges) e.weight = g.tokens(e.place);
+      }
+      return true;
+    }
+    locals.clear();
+    policies.clear();
+    const graph::SccPartition part = graph::scc(g.structure());
+    for (int c = 0; c < part.count; ++c) {
+      if (!part.is_cyclic(c, g.structure())) continue;
+      locals.push_back(make_local(g, part, c));
+    }
+    policies.resize(locals.size());
+    fingerprint = fp;
+    valid = true;
+    return false;
+  }
+};
+
+Workspace::Workspace() : impl_(std::make_unique<WorkspaceImpl>()) {}
+Workspace::~Workspace() = default;
+Workspace::Workspace(Workspace&&) noexcept = default;
+Workspace& Workspace::operator=(Workspace&&) noexcept = default;
+
+const WorkspaceStats& Workspace::stats() const { return impl_->stats; }
+
+bool min_cycle_mean_howard(const MarkedGraph& g, Workspace& ws, MeanCycle& out) {
+  WorkspaceImpl& im = *ws.impl_;
+  const bool reused = im.prepare(g);
+  out.cycle.clear();
+  bool found = false;
+  for (std::size_t i = 0; i < im.locals.size(); ++i) {
+    std::vector<int>& policy = im.policies[i];
+    const bool warm =
+        reused && policy.size() == static_cast<std::size_t>(im.locals[i].n);
+    if (!warm) policy.clear();
+    (warm ? im.stats.warm_restarts : im.stats.cold_starts) += 1;
+    const Rational mean =
+        howard_on_scc(im.locals[i], policy, im.scratch, im.stats.improvement_rounds);
+    if (!found || mean < out.mean) {
+      out.mean = mean;
+      std::swap(out.cycle, im.scratch.cycle);
+      found = true;
+    }
+  }
+  return found;
+}
+
+util::Rational mst_howard(const MarkedGraph& g, Workspace& ws) {
+  MeanCycle& mc = ws.impl_->mst_cycle;
+  if (!min_cycle_mean_howard(g, ws, mc)) return Rational(1);  // acyclic
+  const Rational theta = Rational::min(Rational(1), mc.mean);
+  LID_ENSURE(theta.num() != 0, "mst: token-free cycle (deadlocked marked graph)");
+  return theta;
+}
 
 std::optional<Rational> min_cycle_mean_karp(const MarkedGraph& g) {
   std::optional<Rational> best;
@@ -339,12 +461,12 @@ std::optional<Rational> min_cycle_mean_karp(const MarkedGraph& g) {
 }
 
 std::optional<MeanCycle> min_cycle_mean_howard(const MarkedGraph& g) {
-  std::optional<MeanCycle> best;
-  for_each_cyclic_scc(g, [&](const LocalScc& local) {
-    MeanCycle mc = howard_on_scc(local);
-    if (!best || mc.mean < best->mean) best = std::move(mc);
-  });
-  return best;
+  // One-shot path: a throwaway workspace still pools scratch + the cycle
+  // buffer across the graph's SCCs instead of reallocating per component.
+  Workspace ws;
+  MeanCycle out;
+  if (!min_cycle_mean_howard(g, ws, out)) return std::nullopt;
+  return out;
 }
 
 Rational cycle_time(const MarkedGraph& g) {

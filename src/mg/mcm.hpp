@@ -15,6 +15,8 @@
 // faster, also yields a critical cycle). Both use exact rational arithmetic.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -29,12 +31,64 @@ struct MeanCycle {
   std::vector<PlaceId> cycle;
 };
 
+/// Counters a Workspace accumulates across solves (never reset).
+struct WorkspaceStats {
+  std::int64_t cold_starts = 0;    ///< per-SCC solves seeded from scratch
+  std::int64_t warm_restarts = 0;  ///< per-SCC solves seeded from a previous policy
+  std::int64_t improvement_rounds = 0;  ///< total policy-iteration rounds run
+};
+
+struct WorkspaceImpl;
+class Workspace;
+
 /// Minimum cycle mean via Karp's algorithm, or nullopt if `g` is acyclic.
 std::optional<util::Rational> min_cycle_mean_karp(const MarkedGraph& g);
 
 /// Minimum cycle mean and one critical cycle via Howard's policy iteration,
 /// or nullopt if `g` is acyclic.
 std::optional<MeanCycle> min_cycle_mean_howard(const MarkedGraph& g);
+
+/// Workspace-backed Howard solve. Writes the minimum mean and one critical
+/// cycle into `out` (reusing `out.cycle`'s buffer) and returns true; returns
+/// false when `g` is acyclic, leaving `out.cycle` cleared and `out.mean`
+/// untouched. Results are deterministic for a given call sequence, but a
+/// warm-started solve may report a *different* (equally minimal) critical
+/// cycle than a cold one.
+bool min_cycle_mean_howard(const MarkedGraph& g, Workspace& ws, MeanCycle& out);
+
+/// Maximal sustainable throughput via the workspace-backed Howard solver.
+/// Exactly equal to mst() — both use exact rationals — but allocation-free
+/// once the workspace is warm. Throws like mst() on a token-free cycle.
+util::Rational mst_howard(const MarkedGraph& g, Workspace& ws);
+
+/// Reusable state for warm-started Howard solves: cached SCC views, the last
+/// converged policy per SCC, and every scratch vector the kernel needs.
+///
+/// Warm-start contract: a workspace may be handed any sequence of graphs, but
+/// it only warm-starts (refreshing edge weights in place and seeding policy
+/// iteration from the previous policy) when the graph has the SAME structure
+/// as the previous call — identical transitions and places with identical
+/// endpoints, differing at most in marking. This is exactly the lazy sizing
+/// loop's shape (re-solves after token perturbations). Structure changes are
+/// detected via a fingerprint and demoted to a cold start, never a wrong
+/// answer. Not thread-safe: use one workspace per thread.
+class Workspace {
+ public:
+  Workspace();
+  ~Workspace();
+  Workspace(Workspace&&) noexcept;
+  Workspace& operator=(Workspace&&) noexcept;
+  Workspace(const Workspace&) = delete;
+  Workspace& operator=(const Workspace&) = delete;
+
+  [[nodiscard]] const WorkspaceStats& stats() const;
+
+ private:
+  friend bool min_cycle_mean_howard(const MarkedGraph& g, Workspace& ws, MeanCycle& out);
+  friend util::Rational mst_howard(const MarkedGraph& g, Workspace& ws);
+
+  std::unique_ptr<WorkspaceImpl> impl_;
+};
 
 /// Cycle time π(G) = 1 / minimum cycle mean. Requires `g` to be strongly
 /// connected with at least one cycle; throws std::invalid_argument otherwise

@@ -232,6 +232,13 @@ Outcome sizing_outcome(const Sizing& sizing) {
   w.key("achieved").value(sizing.achieved.to_string());
   w.key("cycles_enumerated").value(sizing.cycles_enumerated);
   w.key("truncated").value(sizing.truncated);
+  // Lazy-only keys, so heuristic/exact/both payloads (and the degraded
+  // fallback, which reruns as heuristic) stay byte-stable.
+  if (sizing.solver_lazy) {
+    w.key("lazy_iterations").value(sizing.lazy_iterations);
+    w.key("cycles_generated").value(sizing.cycles_generated);
+    w.key("lazy_fell_back").value(sizing.lazy_fell_back);
+  }
   w.key("changes").begin_array();
   for (const QueueChange& change : sizing.changes) {
     w.begin_object();
@@ -244,22 +251,35 @@ Outcome sizing_outcome(const Sizing& sizing) {
   w.end_array();
   w.key("netlist").value(*sized_text);
   w.end_object();
-  return Outcome::success(w.str());
+  Outcome outcome = Outcome::success(w.str());
+  if (sizing.solver_lazy) {
+    outcome.lazy_iterations = sizing.lazy_iterations;
+    outcome.lazy_cycles_generated = sizing.cycles_generated;
+    outcome.lazy_warm_restarts = sizing.howard_warm_restarts;
+    outcome.lazy_fell_back = sizing.lazy_fell_back;
+  }
+  return outcome;
 }
 
 Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
                        OnDeadline policy) {
   const std::string text = reader.get_netlist(limits);
   SizeQueuesOptions options;
-  const std::string solver = reader.get_string("solver", "both");
+  // Default "lazy": constraint generation, falling back to full enumeration
+  // deterministically when it cannot make progress. "full" is an alias for
+  // the eager heuristic+exact pipeline ("both").
+  const std::string solver = reader.get_string("solver", "lazy");
   if (solver == "heuristic") {
     options.solver = Solver::kHeuristic;
   } else if (solver == "exact") {
     options.solver = Solver::kExact;
-  } else if (solver == "both") {
+  } else if (solver == "both" || solver == "full") {
     options.solver = Solver::kBoth;
+  } else if (solver == "lazy") {
+    options.solver = Solver::kLazy;
   } else {
-    reader.fail(codes::kInvalidArgument, "'solver' must be \"heuristic\", \"exact\" or \"both\"");
+    reader.fail(codes::kInvalidArgument,
+                "'solver' must be \"heuristic\", \"exact\", \"both\", \"full\" or \"lazy\"");
   }
   // Deterministic node budget only — no wall clock — so the response is a
   // pure function of the request. 0 ("unlimited") is clamped to the server

@@ -117,6 +117,13 @@ struct Outcome {
   /// True when the deadline-miss policy downgraded the answer (heuristic
   /// instead of exact). Emitted in the response envelope, never the payload.
   bool degraded = false;
+  /// Lazy-solver counters from a `size-queues` execution (zero for every
+  /// other verb/solver). The server folds them into its metrics so the
+  /// `stats` verb can report aggregate lazy-solver behavior.
+  std::int64_t lazy_iterations = 0;
+  std::int64_t lazy_cycles_generated = 0;
+  std::int64_t lazy_warm_restarts = 0;
+  bool lazy_fell_back = false;
 
   static Outcome success(std::string payload_json);
   static Outcome failure(std::string code, std::string message);

@@ -331,6 +331,12 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
           metrics_.count(outcome.ok ? "requests_ok" : "requests_error");
           metrics_.count("verb_" + request.verb);
           if (outcome.degraded) metrics_.count("requests_degraded");
+          if (outcome.lazy_iterations > 0) {
+            metrics_.count("lazy_iterations", outcome.lazy_iterations);
+            metrics_.count("lazy_cycles_generated", outcome.lazy_cycles_generated);
+            metrics_.count("howard_warm_restarts", outcome.lazy_warm_restarts);
+            if (outcome.lazy_fell_back) metrics_.count("lazy_fallbacks");
+          }
           if (!outcome.ok && outcome.error_code == codes::kDeadlineExceeded) {
             metrics_.count("requests_deadline_exceeded");
           }

@@ -16,6 +16,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <limits>
 #include <memory>
 
@@ -45,15 +46,32 @@ class CancelToken {
     return token;
   }
 
+  /// A token that starts reporting cancelled from its `polls`-th cancelled()
+  /// call on (earlier polls return false; `polls` <= 1 fires immediately).
+  /// Wall-clock-free, so tests can pin a cancellation to an exact point in a
+  /// poll-striding solver's execution on any machine. Copies share the
+  /// countdown.
+  static CancelToken after_polls(std::int64_t polls) {
+    CancelToken token;
+    token.countdown_ = std::make_shared<std::atomic<std::int64_t>>(polls);
+    return token;
+  }
+
   /// True once the deadline passed or the owning CancelSource fired.
   [[nodiscard]] bool cancelled() const {
     if (flag_ != nullptr && flag_->load(std::memory_order_relaxed)) return true;
+    if (countdown_ != nullptr &&
+        countdown_->fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      return true;
+    }
     return has_deadline_ && Clock::now() >= deadline_;
   }
 
   /// False for the default token: polling it can never return true, so hot
   /// loops may skip the check entirely.
-  [[nodiscard]] bool can_cancel() const { return flag_ != nullptr || has_deadline_; }
+  [[nodiscard]] bool can_cancel() const {
+    return flag_ != nullptr || countdown_ != nullptr || has_deadline_;
+  }
 
   /// Milliseconds until the deadline (negative once past); +infinity when
   /// the token carries no deadline.
@@ -66,6 +84,7 @@ class CancelToken {
   friend class CancelSource;
 
   std::shared_ptr<const std::atomic<bool>> flag_;
+  std::shared_ptr<std::atomic<std::int64_t>> countdown_;
   bool has_deadline_ = false;
   Clock::time_point deadline_{};
 };

@@ -64,7 +64,11 @@ TEST(ParseAnalyses, TokensAndAll) {
 
   const auto all = parse_analyses("all");
   ASSERT_TRUE(all.ok());
-  EXPECT_EQ(all->size(), 6u);
+  EXPECT_EQ(all->size(), 7u);
+
+  const auto lazy = parse_analyses("qs-lazy");
+  ASSERT_TRUE(lazy.ok());
+  EXPECT_EQ((*lazy)[0], AnalysisKind::kQsLazy);
 
   const auto bad = parse_analyses("mst-ideal,frobnicate");
   ASSERT_FALSE(bad.ok());

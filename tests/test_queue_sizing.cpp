@@ -163,6 +163,25 @@ TEST(SizeQueues, NodeBudgetCutOffIsDeterministicAndNotCancelled) {
   EXPECT_EQ(r.exact->nodes_explored, 1);  // the budget is a pure node count
 }
 
+TEST(SizeQueues, NodeCapAndCancelOnSameNodeReportsBoth) {
+  // Regression: when the node budget tripped, CoverSearch returned before
+  // polling the cancel token, so a request that was both budgeted AND
+  // cancelled reported cancelled=false. after_polls(2) makes the overlap
+  // deterministic: poll #1 is the binary search's probe-boundary check
+  // (not yet fired), poll #2 fires exactly at the node-cap trip.
+  QsOptions options;
+  options.method = QsMethod::kExact;
+  options.simplify = false;
+  options.exact.max_nodes = 2;
+  options.exact.cancel = util::CancelToken::after_polls(2);
+  const QsReport r = size_queues(make_loose_bound_system(), options);
+  ASSERT_TRUE(r.exact.has_value());
+  EXPECT_FALSE(r.exact->finished);
+  EXPECT_TRUE(r.exact->cancelled);
+  // The extra poll must not move the cut-off point: still exactly max_nodes.
+  EXPECT_EQ(r.exact->nodes_explored, 2);
+}
+
 TEST(SizeQueues, LooseBoundSystemStillProvesWithFullBudget) {
   // Sanity for the fixture above: with no budget the search probes a few
   // nodes and proves; the simplified path collapses the instance entirely.

@@ -3,7 +3,7 @@
 //   lid_loadgen --socket /run/lid.sock [--clients N] [--seconds S]
 //               [--verb analyze] [--deadline-ms D] [--on-deadline degrade]
 //               [--retries N] [--attempt-timeout-ms T] [--backoff-ms B]
-//               [--solver both] [--max-nodes N]
+//               [--solver lazy|full|both|exact|heuristic] [--max-nodes N]
 //               [--v N --s N --c N --rs N --seed N --instances N]
 //               [--sleep-ms N] [--json]
 //
@@ -22,6 +22,10 @@
 // the server for a heuristic fallback instead of `deadline_exceeded`; the
 // summary separately counts `degraded` responses. All protocol verbs are
 // idempotent, so retrying is always safe here.
+//
+// `--solver` is passed through to `size-queues` verbatim; omit it to use the
+// server default (lazy constraint generation). "full" is the server's alias
+// for the eager heuristic+exact pipeline.
 #include <algorithm>
 #include <atomic>
 #include <cmath>

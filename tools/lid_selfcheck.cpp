@@ -23,7 +23,11 @@
 //      prove within its node budget and the request says
 //      "on_deadline":"degrade", the degraded payload is byte-identical to
 //      executing the same request with "solver":"heuristic" directly, and
-//      the heuristic total it reports bounds the exact optimum from above.
+//      the heuristic total it reports bounds the exact optimum from above;
+//  10. lazy constraint generation is equivalent to the full pipeline: on
+//      every system, solver "lazy" reaches the same achieved MST as the
+//      enumerate-everything pipeline, and when both exact solves prove, the
+//      same optimal extra-token total.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
@@ -155,6 +159,19 @@ bool check_one(std::uint64_t trial_seed, bool verbose) {
                       "MILP == exact");
       }
     }
+  }
+
+  // (10) lazy constraint generation == full enumeration (reuses the full
+  // pipeline's report from (4) as the reference).
+  core::QsOptions lazy_options;
+  lazy_options.method = core::QsMethod::kLazy;
+  const core::QsReport lazy = core::size_queues(system, lazy_options);
+  CHECK_OR_FAIL(lazy.lazy.has_value(), "lazy stats present");
+  CHECK_OR_FAIL(lazy.achieved_mst == report.achieved_mst, "lazy achieved == full achieved");
+  if (report.exact->finished) {
+    CHECK_OR_FAIL(lazy.exact.has_value() && lazy.exact->finished, "lazy solve proves");
+    CHECK_OR_FAIL(lazy.exact->total_extra_tokens == report.exact->total_extra_tokens,
+                  "lazy total == exact total");
   }
 
   // (5) serialization round trip.

@@ -3,7 +3,7 @@
 //
 // Verb subcommands (legacy spellings kept as aliases):
 //   lid_tool analyze   --netlist sys.lis [--slack] [--rates]
-//   lid_tool size      --netlist sys.lis [--method heuristic|exact|both]
+//   lid_tool size      --netlist sys.lis [--method heuristic|exact|both|lazy]
 //                      [--out sized.lis] [--timeout-ms N] [--max-nodes N]
 //                      (alias: size-queues)
 //   lid_tool batch     [--netlists a.lis,b.lis] [--cofdm] [--count N]
@@ -140,10 +140,12 @@ int cmd_size(const util::Cli& cli) {
     options.solver = Solver::kHeuristic;
   } else if (method == "exact") {
     options.solver = Solver::kExact;
-  } else if (method == "both") {
+  } else if (method == "both" || method == "full") {
     options.solver = Solver::kBoth;
+  } else if (method == "lazy") {
+    options.solver = Solver::kLazy;
   } else {
-    throw std::invalid_argument("--method must be heuristic, exact or both");
+    throw std::invalid_argument("--method must be heuristic, exact, both or lazy");
   }
   options.exact_timeout_ms = cli.get_double_in("timeout-ms", 60000.0, 0.0, 1e9);
   options.exact_max_nodes = cli.get_int_in("max-nodes", 0, 0, 1'000'000'000);
@@ -162,6 +164,12 @@ int cmd_size(const util::Cli& cli) {
       std::cout << "exact:     " << sizing.exact_total << " extra slot(s) in "
                 << util::Table::fmt(sizing.exact_ms, 3) << " ms"
                 << (sizing.exact_proved ? "" : "  (timed out — heuristic fallback)") << "\n";
+    }
+    if (sizing.solver_lazy) {
+      std::cout << "lazy:      " << sizing.lazy_iterations << " separation round(s), "
+                << sizing.cycles_generated << " cycle constraint(s), "
+                << sizing.howard_warm_restarts << " warm Howard restart(s)"
+                << (sizing.lazy_fell_back ? "  (fell back to full enumeration)" : "") << "\n";
     }
     std::cout << "achieved MST " << sizing.achieved << "\n";
     for (const QueueChange& change : sizing.changes) {
@@ -420,7 +428,10 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
     text << file.rdbuf();
     w.key("netlist").value(text.str());
     if (verb == "size-queues") {
-      w.key("solver").value(cli.get_string("solver", "both"));
+      // Passed through verbatim; omitted when not given so the server
+      // default (lazy) applies. The server also accepts the "full" alias.
+      const std::string solver = cli.get_string("solver", "");
+      if (!solver.empty()) w.key("solver").value(solver);
       const std::int64_t max_nodes = cli.get_int_in("max-nodes", 0, 0, 1'000'000'000);
       if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
     } else if (verb == "insert-rs") {
@@ -489,7 +500,7 @@ int cmd_client(const util::Cli& cli) {
 int main(int argc, char** argv) {
   const std::vector<util::Command> commands = {
       {"analyze", {}, "throughput, topology class, critical cycle, rate safety", cmd_analyze},
-      {"size", {"size-queues"}, "queue sizing (heuristic / exact / both)", cmd_size},
+      {"size", {"size-queues"}, "queue sizing (heuristic / exact / both / lazy)", cmd_size},
       {"batch", {}, "parallel batch analysis over many instances, with metrics", cmd_batch},
       {"export", {"dot"}, "GraphViz / netlist-text export", cmd_export},
       {"gen", {"generate"}, "synthetic netlist generator (Sec. VIII)", cmd_gen},
