@@ -11,6 +11,7 @@
 #include "core/rs_insertion.hpp"
 #include "engine/analysis_cache.hpp"
 #include "engine/task_pool.hpp"
+#include "lint/checks.hpp"
 
 namespace lid::engine {
 namespace {
@@ -84,6 +85,15 @@ void analyze_one(const EngineOptions& options, const Instance& instance, Instanc
   out.cores = instance.num_cores();
   out.channels = instance.num_channels();
   out.relay_stations = instance.total_relay_stations();
+
+  if (options.preflight) {
+    const linter::Report lint = linter::run_error_checks(instance.graph());
+    if (lint.has_errors()) {
+      out.error = "lint: " + lint.error_summary();
+      metrics.count("lint_rejected");
+      return;
+    }
+  }
 
   AnalysisCache cache(instance.graph(), &metrics);
   try {

@@ -61,6 +61,10 @@ struct EngineOptions {
   int rs_budget = 2;
   /// Cycle-enumeration cap for the queue-sizing analyses (0 = unlimited).
   std::size_t max_cycles = 500'000;
+  /// Run the error-tier lint checks before any analysis and reject broken
+  /// instances (deadlocked, empty, q = 0) with the diagnostic summary in
+  /// InstanceResult::error instead of tripping an invariant mid-solve.
+  bool preflight = true;
 };
 
 /// Everything the engine learned about one instance. Fields are present only

@@ -2,6 +2,7 @@
 
 #include <exception>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 
@@ -36,6 +37,14 @@ Error invalid_handle(const char* who) {
   return Error{ErrorCode::kInvalidArgument, std::string(who) + ": invalid (empty) instance handle"};
 }
 
+/// The analyze/size-queues pre-flight: error-tier lint. Returns the kLint
+/// Error to fail with, or nothing when the model is analyzable.
+std::optional<Error> lint_preflight(const char* who, const lis::LisGraph& lis) {
+  const linter::Report report = linter::run_error_checks(lis);
+  if (!report.has_errors()) return std::nullopt;
+  return Error{ErrorCode::kLint, std::string(who) + ": " + report.error_summary()};
+}
+
 }  // namespace
 
 const char* to_string(ErrorCode code) {
@@ -45,6 +54,7 @@ const char* to_string(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return "invalid-argument";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kInternal: return "internal";
+    case ErrorCode::kLint: return "lint";
   }
   return "unknown";
 }
@@ -59,6 +69,10 @@ std::string Error::to_string() const {
 struct Instance::Impl {
   lis::LisGraph graph;
   std::string name;
+  /// Set when parsed from `.lis` text; empty file + empty line tables mean
+  /// "no provenance" (generated or wrapped instances).
+  lis::Provenance provenance;
+  bool has_provenance = false;
 };
 
 std::size_t Instance::num_cores() const { return graph().num_cores(); }
@@ -75,9 +89,28 @@ const lis::LisGraph& Instance::graph() const {
   return impl_->graph;
 }
 
+const lis::Provenance* Instance::provenance() const {
+  LID_ENSURE(valid(), "Instance::provenance: invalid handle");
+  return impl_->has_provenance ? &impl_->provenance : nullptr;
+}
+
 Instance Instance::wrap(lis::LisGraph graph, std::string name) {
   Instance instance;
-  instance.impl_ = std::make_shared<const Impl>(Impl{std::move(graph), std::move(name)});
+  Impl impl;
+  impl.graph = std::move(graph);
+  impl.name = std::move(name);
+  instance.impl_ = std::make_shared<const Impl>(std::move(impl));
+  return instance;
+}
+
+Instance Instance::wrap(lis::ParsedNetlist parsed, std::string name) {
+  Instance instance;
+  Impl impl;
+  impl.graph = std::move(parsed.graph);
+  impl.name = std::move(name);
+  impl.provenance = std::move(parsed.provenance);
+  impl.has_provenance = true;
+  instance.impl_ = std::make_shared<const Impl>(std::move(impl));
   return instance;
 }
 
@@ -99,7 +132,10 @@ Result<Instance> load_netlist(const std::string& path) {
 
 Result<Instance> parse_netlist(const std::string& text, std::string name) {
   return guarded<Instance>(ErrorCode::kParse, [&] {
-    return Instance::wrap(lis::from_text(text), std::move(name));
+    // Parse before wrapping: wrap() would otherwise race the move of `name`
+    // into its second argument against the copy in the first.
+    lis::ParsedNetlist parsed = lis::from_text_with_provenance(text, name);
+    return Instance::wrap(std::move(parsed), std::move(name));
   });
 }
 
@@ -140,6 +176,9 @@ Instance cofdm_soc() { return Instance::wrap(soc::build_cofdm(), "cofdm"); }
 
 Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options) {
   if (!instance.valid()) return invalid_handle("analyze");
+  if (options.preflight) {
+    if (auto rejected = lint_preflight("analyze", instance.graph())) return *rejected;
+  }
   return guarded<Analysis>(ErrorCode::kInvalidArgument, [&] {
     const lis::LisGraph& lis = instance.graph();
     Analysis analysis;
@@ -167,10 +206,22 @@ Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options
 }
 
 // ---------------------------------------------------------------------------
+// Static diagnostics.
+
+Result<linter::Report> lint(const Instance& instance, const linter::LintOptions& options) {
+  if (!instance.valid()) return invalid_handle("lint");
+  return guarded<linter::Report>(ErrorCode::kInvalidArgument,
+                               [&] { return linter::run_checks(instance.graph(), options); });
+}
+
+// ---------------------------------------------------------------------------
 // Queue sizing.
 
 Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options) {
   if (!instance.valid()) return invalid_handle("size_queues");
+  if (options.preflight) {
+    if (auto rejected = lint_preflight("size_queues", instance.graph())) return *rejected;
+  }
   return guarded<Sizing>(ErrorCode::kInvalidArgument, [&]() -> Result<Sizing> {
     const lis::LisGraph& lis = instance.graph();
     core::QsOptions qs;

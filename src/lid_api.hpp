@@ -27,7 +27,9 @@
 #include <variant>
 #include <vector>
 
+#include "lint/checks.hpp"
 #include "lis/lis_graph.hpp"
+#include "lis/netlist_io.hpp"
 #include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/rational.hpp"
@@ -44,6 +46,9 @@ enum class ErrorCode {
   kInvalidArgument,  ///< bad option value or inapplicable request
   kTimeout,          ///< a solver budget expired before an answer was proven
   kInternal,         ///< invariant violation inside the library
+  kLint,             ///< pre-flight lint found error-tier diagnostics (the
+                     ///< model is outside the analyses' domain); run
+                     ///< lid::lint() for the full report
 };
 
 const char* to_string(ErrorCode code);
@@ -122,9 +127,18 @@ class Instance {
   /// simulators): the underlying netlist. Throws on an invalid handle.
   [[nodiscard]] const lis::LisGraph& graph() const;
 
+  /// Source provenance (file + per-core/channel line numbers) when the
+  /// instance was parsed from `.lis` text; nullptr for generated/wrapped
+  /// instances. Lint renderers use it to anchor diagnostics to file:line.
+  [[nodiscard]] const lis::Provenance* provenance() const;
+
   /// Wraps an already-built netlist in a handle (used by generators, tests
   /// and code migrating from the per-module APIs).
   static Instance wrap(lis::LisGraph graph, std::string name = {});
+
+  /// Wraps a parsed netlist together with its source provenance, so lint
+  /// diagnostics can point at file:line (parse_netlist/load_netlist use this).
+  static Instance wrap(lis::ParsedNetlist parsed, std::string name = {});
 
  private:
   struct Impl;
@@ -172,6 +186,10 @@ struct AnalyzeOptions {
   bool critical_cycle = true;
   /// Also run the Sec. III-C rate-safety analysis.
   bool rate_safety = true;
+  /// Run the error-tier lint checks first and fail with ErrorCode::kLint
+  /// (carrying the diagnostic summary) instead of tripping an internal
+  /// invariant mid-solve on a broken model (deadlocked, empty, q = 0).
+  bool preflight = true;
 };
 
 /// Throughput analysis of one instance.
@@ -192,6 +210,17 @@ struct Analysis {
 };
 
 Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Static diagnostics (the lid_lint subsystem; see docs/lint.md).
+
+/// Runs the registered lint checks over the instance. The report lists every
+/// finding with its stable code ("L001"...), severity, message, location and
+/// machine-applicable fix-its; linter::LintOptions selects the tier (set
+/// `target` to enable the throughput-antipattern checks). A clean model
+/// yields an empty report — lint() only fails on an invalid handle or an
+/// internal error, never because diagnostics were found.
+Result<linter::Report> lint(const Instance& instance, const linter::LintOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Queue sizing.
@@ -228,6 +257,8 @@ struct SizeQueuesOptions {
   /// result carries the heuristic weights with exact_proved == false and
   /// exact_cancelled == true. The default token never cancels.
   util::CancelToken cancel;
+  /// Run the error-tier lint checks first; see AnalyzeOptions::preflight.
+  bool preflight = true;
 };
 
 /// One grown queue.

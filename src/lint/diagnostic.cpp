@@ -1,0 +1,117 @@
+#include "lint/diagnostic.hpp"
+
+#include <array>
+
+namespace lid::linter {
+namespace {
+
+// The registry. Code order is render order; severities here are the ones the
+// checks emit (there is no per-run severity remapping — stability of the
+// codes and tiers is part of the tool contract, see docs/lint.md).
+constexpr std::array<CheckInfo, 12> kCatalog = {{
+    {"L001", Severity::kError, "zero-token-cycle",
+     "a cycle of d[G] carries no tokens: the marked graph deadlocks and no MST is defined",
+     false},
+    {"L002", Severity::kError, "zero-capacity-queue",
+     "a channel has queue capacity 0: its producer can never be granted space", false},
+    {"L003", Severity::kError, "empty-netlist",
+     "the netlist declares no cores: every analysis is undefined on it", false},
+    {"L101", Severity::kWarning, "isolated-core",
+     "a core has no channels at all: it cannot exchange data with the system", false},
+    {"L102", Severity::kInfo, "duplicate-channel",
+     "two channels with identical endpoints and attributes: possibly a copy-paste "
+     "error (replicated channels are legal in a LIS, so this is informational)",
+     false},
+    {"L103", Severity::kWarning, "disconnected-netlist",
+     "the netlist splits into several unconnected components: the MST analysis "
+     "silently reports the worst component only",
+     false},
+    {"L201", Severity::kWarning, "throughput-below-target",
+     "the critical cycle of d[G] holds the practical MST below the requested target",
+     true},
+    {"L202", Severity::kWarning, "under-provisioned-queues",
+     "input queues are below their token-deficit lower bound: queue sizing would "
+     "reach the target",
+     true},
+    {"L203", Severity::kWarning, "target-above-ideal",
+     "the requested target exceeds the ideal MST theta(G): no queue sizing can reach "
+     "it, the relay-station placement itself limits throughput",
+     true},
+    {"L204", Severity::kInfo, "unbalanced-parallel-channels",
+     "reconvergent parallel channels carry different relay-station counts while "
+     "throughput misses the target: the shorter path stalls the longer one",
+     true},
+    {"L301", Severity::kWarning, "cycle-enumeration-blowup",
+     "the cyclomatic number of an SCC of d[G] predicts an intractable elementary-"
+     "cycle count: eager queue-sizing enumeration would blow up (use the lazy solver)",
+     false},
+    {"L302", Severity::kInfo, "oversized-queue",
+     "a queue is larger than its structural occupancy bound: the extra slots can "
+     "never fill",
+     false},
+}};
+
+}  // namespace
+
+const char* to_string(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "info";
+  }
+  return "warning";
+}
+
+const char* sarif_level(Severity severity) {
+  switch (severity) {
+    case Severity::kError: return "error";
+    case Severity::kWarning: return "warning";
+    case Severity::kInfo: return "note";
+  }
+  return "warning";
+}
+
+std::span<const CheckInfo> check_catalog() { return kCatalog; }
+
+const CheckInfo* find_check(const std::string& code) {
+  for (const CheckInfo& info : kCatalog) {
+    if (code == info.code) return &info;
+  }
+  return nullptr;
+}
+
+std::size_t Report::count(Severity severity) const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == severity) ++n;
+  }
+  return n;
+}
+
+bool Report::has_code(const std::string& code) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string Report::error_summary(std::size_t max_items) const {
+  std::string out;
+  std::size_t listed = 0;
+  std::size_t total = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity != Severity::kError) continue;
+    ++total;
+    if (listed < max_items) {
+      if (!out.empty()) out += "; ";
+      out += d.code + " " + d.message;
+      ++listed;
+    }
+  }
+  if (total > listed) {
+    out += " (+" + std::to_string(total - listed) + " more)";
+  }
+  return out;
+}
+
+}  // namespace lid::linter

@@ -1,0 +1,106 @@
+// The diagnostic model of the lid_lint static-analysis subsystem.
+//
+// A Diagnostic is one finding of one check: a stable code ("L001"...), a
+// severity, a human message, an optional location (core/channel id, resolved
+// to a netlist file/line when the instance was parsed from `.lis` text with
+// provenance), and zero or more machine-applicable fix-it suggestions
+// ("raise the queue on channel X to 2", "insert a relay station on Y").
+//
+// The check catalog (codes, default severities, one-line summaries) lives
+// here too, so renderers — including the SARIF one, which must emit a rule
+// table — and documentation can enumerate every check without running any.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "lis/netlist_io.hpp"
+
+namespace lid::linter {
+
+/// Severity tiers. kError marks models the paper's analyses are not defined
+/// on (they would previously die in a LID_ENSURE mid-solve); kWarning marks
+/// structures that are analyzable but almost certainly wrong or wasteful;
+/// kInfo marks suspicious-but-legal patterns.
+enum class Severity {
+  kError,
+  kWarning,
+  kInfo,
+};
+
+/// "error" / "warning" / "info".
+const char* to_string(Severity severity);
+
+/// SARIF 2.1.0 `level` for a severity ("error" / "warning" / "note").
+const char* sarif_level(Severity severity);
+
+/// Where a diagnostic points. Core- and channel-anchored locations are
+/// mutually exclusive; both may be absent for whole-netlist findings
+/// (e.g. L003 empty netlist).
+struct Location {
+  lis::CoreId core = graph::kInvalidNode;
+  lis::ChannelId channel = graph::kInvalidEdge;
+
+  [[nodiscard]] bool has_core() const { return core != graph::kInvalidNode; }
+  [[nodiscard]] bool has_channel() const { return channel != graph::kInvalidEdge; }
+};
+
+/// One machine-applicable repair suggestion. `description` is the human
+/// rendering; the typed fields make the edit applicable without parsing it:
+/// a non-negative `set_queue_capacity` sets channel's q, a positive
+/// `add_relay_stations` adds that many relay stations to channel.
+struct FixIt {
+  std::string description;
+  lis::ChannelId channel = graph::kInvalidEdge;
+  int set_queue_capacity = -1;
+  int add_relay_stations = 0;
+};
+
+/// One finding.
+struct Diagnostic {
+  std::string code;  ///< stable check code, "L001"...
+  Severity severity = Severity::kWarning;
+  std::string message;
+  Location location;
+  std::vector<FixIt> fixits;
+};
+
+/// Static description of one registered check.
+struct CheckInfo {
+  const char* code;
+  Severity severity;     ///< the severity its diagnostics carry
+  const char* name;      ///< short kebab-case name ("zero-token-cycle")
+  const char* summary;   ///< one-line description for rule tables / docs
+  bool needs_target;     ///< only fires when LintOptions::target is set
+};
+
+/// Every registered check, in code order. This is the SARIF rule table.
+std::span<const CheckInfo> check_catalog();
+
+/// Catalog entry for `code`, or nullptr for an unknown code.
+const CheckInfo* find_check(const std::string& code);
+
+/// A lint run's findings over one netlist, in deterministic order (checks
+/// run in catalog order; each check emits in model order).
+struct Report {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t count(Severity severity) const;
+  [[nodiscard]] std::size_t errors() const { return count(Severity::kError); }
+  [[nodiscard]] std::size_t warnings() const { return count(Severity::kWarning); }
+  [[nodiscard]] std::size_t infos() const { return count(Severity::kInfo); }
+  [[nodiscard]] bool has_errors() const { return errors() > 0; }
+  [[nodiscard]] bool empty() const { return diagnostics.empty(); }
+
+  /// True when some diagnostic carries `code`.
+  [[nodiscard]] bool has_code(const std::string& code) const;
+
+  /// Compact one-line summary of the error-tier findings, for embedding in
+  /// an Error message: "L001 <msg>; L002 <msg> (+2 more)". Empty when clean.
+  [[nodiscard]] std::string error_summary(std::size_t max_items = 2) const;
+};
+
+}  // namespace lid::linter

@@ -1,0 +1,229 @@
+#include "lint/render.hpp"
+
+#include <cstddef>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace lid::linter {
+namespace {
+
+/// Netlist line a diagnostic resolves to, or 0 when the item has no
+/// provenance (constructed programmatically) or the finding is global.
+int line_of(const RenderItem& item, const Diagnostic& d) {
+  if (item.provenance == nullptr) return 0;
+  if (d.location.has_channel()) return item.provenance->line_of_channel(d.location.channel);
+  if (d.location.has_core()) return item.provenance->line_of_core(d.location.core);
+  return 0;
+}
+
+/// "core X" / "channel X -> Y" subject of a diagnostic, or "" when global.
+std::string subject_of(const RenderItem& item, const Diagnostic& d) {
+  if (d.location.has_channel()) {
+    const lis::Channel& ch = item.lis->channel(d.location.channel);
+    return "channel " + item.lis->core_name(ch.src) + " -> " + item.lis->core_name(ch.dst);
+  }
+  if (d.location.has_core()) return "core " + item.lis->core_name(d.location.core);
+  return {};
+}
+
+void write_diagnostic_json(util::JsonWriter& w, const RenderItem& item, const Diagnostic& d) {
+  w.begin_object();
+  w.key("code").value(d.code);
+  w.key("severity").value(to_string(d.severity));
+  const CheckInfo* info = find_check(d.code);
+  w.key("check").value(info != nullptr ? info->name : "");
+  w.key("message").value(d.message);
+  if (d.location.has_core()) {
+    w.key("core").value(item.lis->core_name(d.location.core));
+  }
+  if (d.location.has_channel()) {
+    const lis::Channel& ch = item.lis->channel(d.location.channel);
+    w.key("channel").value(static_cast<std::int64_t>(d.location.channel));
+    w.key("src").value(item.lis->core_name(ch.src));
+    w.key("dst").value(item.lis->core_name(ch.dst));
+  }
+  if (const int line = line_of(item, d); line > 0) {
+    w.key("line").value(line);
+  }
+  w.key("fixits").begin_array();
+  for (const FixIt& fix : d.fixits) {
+    w.begin_object();
+    w.key("description").value(fix.description);
+    if (fix.channel != graph::kInvalidEdge) {
+      w.key("channel").value(static_cast<std::int64_t>(fix.channel));
+    }
+    if (fix.set_queue_capacity >= 0) {
+      w.key("set_queue_capacity").value(fix.set_queue_capacity);
+    }
+    if (fix.add_relay_stations > 0) {
+      w.key("add_relay_stations").value(fix.add_relay_stations);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string item_display_name(const RenderItem& item) {
+  if (item.provenance != nullptr && !item.provenance->file.empty()) return item.provenance->file;
+  if (!item.name.empty()) return item.name;
+  return "<netlist>";
+}
+
+std::string render_pretty(const std::vector<RenderItem>& items) {
+  std::ostringstream os;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  for (const RenderItem& item : items) {
+    const std::string name = item_display_name(item);
+    for (const Diagnostic& d : item.report->diagnostics) {
+      os << name;
+      if (const int line = line_of(item, d); line > 0) os << ":" << line;
+      os << ": " << to_string(d.severity) << ": " << d.code;
+      const CheckInfo* info = find_check(d.code);
+      if (info != nullptr) os << " [" << info->name << "]";
+      os << " " << d.message;
+      if (const std::string subject = subject_of(item, d);
+          !subject.empty() && d.message.find(subject) == std::string::npos) {
+        os << " (" << subject << ")";
+      }
+      os << "\n";
+      for (const FixIt& fix : d.fixits) {
+        os << "  fix: " << fix.description << "\n";
+      }
+    }
+    errors += item.report->errors();
+    warnings += item.report->warnings();
+    infos += item.report->infos();
+  }
+  os << errors << " error" << (errors == 1 ? "" : "s") << ", " << warnings << " warning"
+     << (warnings == 1 ? "" : "s") << ", " << infos << " info" << (infos == 1 ? "" : "s")
+     << " across " << items.size() << " netlist" << (items.size() == 1 ? "" : "s") << "\n";
+  return os.str();
+}
+
+void write_report_json(util::JsonWriter& w, const RenderItem& item) {
+  w.begin_object();
+  w.key("name").value(item_display_name(item));
+  w.key("errors").value(item.report->errors());
+  w.key("warnings").value(item.report->warnings());
+  w.key("infos").value(item.report->infos());
+  w.key("clean").value(item.report->empty());
+  w.key("diagnostics").begin_array();
+  for (const Diagnostic& d : item.report->diagnostics) {
+    write_diagnostic_json(w, item, d);
+  }
+  w.end_array();
+  w.end_object();
+}
+
+std::string render_json(const std::vector<RenderItem>& items, int indent) {
+  util::JsonWriter w(indent);
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  w.begin_object();
+  w.key("netlists").begin_array();
+  for (const RenderItem& item : items) {
+    write_report_json(w, item);
+    errors += item.report->errors();
+    warnings += item.report->warnings();
+    infos += item.report->infos();
+  }
+  w.end_array();
+  w.key("summary").begin_object();
+  w.key("netlists").value(items.size());
+  w.key("errors").value(errors);
+  w.key("warnings").value(warnings);
+  w.key("infos").value(infos);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::string render_sarif(const std::vector<RenderItem>& items, int indent) {
+  util::JsonWriter w(indent);
+  w.begin_object();
+  w.key("$schema").value(
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json");
+  w.key("version").value("2.1.0");
+  w.key("runs").begin_array();
+  w.begin_object();
+
+  w.key("tool").begin_object();
+  w.key("driver").begin_object();
+  w.key("name").value("lid_lint");
+  w.key("informationUri").value("https://github.com/lid/lid");
+  w.key("rules").begin_array();
+  for (const CheckInfo& info : check_catalog()) {
+    w.begin_object();
+    w.key("id").value(info.code);
+    w.key("name").value(info.name);
+    w.key("shortDescription").begin_object().key("text").value(info.summary).end_object();
+    w.key("defaultConfiguration")
+        .begin_object()
+        .key("level")
+        .value(sarif_level(info.severity))
+        .end_object();
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();  // driver
+  w.end_object();  // tool
+
+  w.key("results").begin_array();
+  for (const RenderItem& item : items) {
+    for (const Diagnostic& d : item.report->diagnostics) {
+      w.begin_object();
+      w.key("ruleId").value(d.code);
+      // ruleIndex: position in the rules array above (catalog order).
+      std::int64_t rule_index = -1;
+      {
+        std::int64_t i = 0;
+        for (const CheckInfo& info : check_catalog()) {
+          if (d.code == info.code) {
+            rule_index = i;
+            break;
+          }
+          ++i;
+        }
+      }
+      if (rule_index >= 0) w.key("ruleIndex").value(rule_index);
+      w.key("level").value(sarif_level(d.severity));
+      std::string text = d.message;
+      for (const FixIt& fix : d.fixits) text += "; fix: " + fix.description;
+      w.key("message").begin_object().key("text").value(text).end_object();
+      // SARIF requires a locations array; emit a physicalLocation whenever we
+      // know the source file, with the region only when the line resolved.
+      if (item.provenance != nullptr && !item.provenance->file.empty()) {
+        w.key("locations").begin_array();
+        w.begin_object();
+        w.key("physicalLocation").begin_object();
+        w.key("artifactLocation")
+            .begin_object()
+            .key("uri")
+            .value(item.provenance->file)
+            .end_object();
+        if (const int line = line_of(item, d); line > 0) {
+          w.key("region").begin_object().key("startLine").value(line).end_object();
+        }
+        w.end_object();  // physicalLocation
+        w.end_object();
+        w.end_array();
+      }
+      w.end_object();
+    }
+  }
+  w.end_array();  // results
+
+  w.end_object();  // run
+  w.end_array();   // runs
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lid::linter

@@ -1,0 +1,55 @@
+// Renderers for lint reports: pretty console text, a machine-readable JSON
+// document, and SARIF 2.1.0 (the GitHub code-scanning interchange shape).
+//
+// All three are pure functions of (report, context) — no global state, no
+// locale dependence — so golden tests can compare byte-for-byte. The context
+// carries the netlist (for core/channel names) and, when the instance was
+// parsed from `.lis` text, its provenance, which resolves diagnostics to
+// file/line for SARIF `physicalLocation`s.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/netlist_io.hpp"
+#include "util/json.hpp"
+
+namespace lid::linter {
+
+/// One linted netlist plus everything needed to render its findings.
+struct RenderItem {
+  const lis::LisGraph* lis = nullptr;        ///< required
+  const Report* report = nullptr;            ///< required
+  const lis::Provenance* provenance = nullptr;  ///< optional (.lis inputs)
+  std::string name;  ///< display name; provenance file wins when set
+};
+
+/// Display name of an item: provenance file, else `name`, else "<netlist>".
+std::string item_display_name(const RenderItem& item);
+
+/// Human console rendering:
+///   netlist.lis:7: error: L001 [zero-token-cycle] message
+///     fix: raise the queue on channel A -> B to 1
+///   1 error, 0 warnings, 0 infos
+std::string render_pretty(const std::vector<RenderItem>& items);
+
+/// JSON document: {"netlists":[{name, errors, warnings, infos, clean,
+/// diagnostics:[{code, severity, check, message, core?, channel?, line?,
+/// fixits:[...]}]}], summary:{...}}. Integers and strings only.
+std::string render_json(const std::vector<RenderItem>& items, int indent = 2);
+
+/// Writes one item's report as a JSON object onto `w` ({name, errors,
+/// warnings, infos, clean, diagnostics:[...]}); the per-netlist element of
+/// render_json, and the serve protocol's `lint` result payload. Emits
+/// integers, strings and booleans only — float-free by construction.
+void write_report_json(util::JsonWriter& w, const RenderItem& item);
+
+/// SARIF 2.1.0: one run, the full check catalog as the rule table, one
+/// result per diagnostic with ruleId/ruleIndex/level/message and a
+/// physicalLocation (artifactLocation.uri + region.startLine) whenever the
+/// item has provenance.
+std::string render_sarif(const std::vector<RenderItem>& items, int indent = 2);
+
+}  // namespace lid::linter

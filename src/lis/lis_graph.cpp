@@ -25,7 +25,10 @@ int LisGraph::core_latency(CoreId v) const {
 
 ChannelId LisGraph::add_channel(CoreId src, CoreId dst, int relay_stations, int queue_capacity) {
   LID_ENSURE(relay_stations >= 0, "add_channel: negative relay-station count");
-  LID_ENSURE(queue_capacity >= 1, "add_channel: queue capacity must be at least 1");
+  // q = 0 is representable (the lint layer diagnoses it as L002/L001) so that
+  // broken-but-parseable netlists can be analyzed statically instead of being
+  // rejected at construction; a correct LIS always has q >= 1.
+  LID_ENSURE(queue_capacity >= 0, "add_channel: negative queue capacity");
   const ChannelId c = structure_.add_edge(src, dst);
   channels_.push_back(Channel{src, dst, relay_stations, queue_capacity});
   return c;
@@ -49,7 +52,7 @@ void LisGraph::set_relay_stations(ChannelId c, int relay_stations) {
 
 void LisGraph::set_queue_capacity(ChannelId c, int queue_capacity) {
   check_channel(c);
-  LID_ENSURE(queue_capacity >= 1, "set_queue_capacity: capacity must be at least 1");
+  LID_ENSURE(queue_capacity >= 0, "set_queue_capacity: negative capacity");
   channels_[static_cast<std::size_t>(c)].queue_capacity = queue_capacity;
 }
 

@@ -28,7 +28,10 @@ struct Channel {
   CoreId dst = graph::kInvalidNode;
   /// Number of relay stations pipelining the channel.
   int relay_stations = 0;
-  /// Capacity of the destination shell's input queue for this channel (>= 1).
+  /// Capacity of the destination shell's input queue for this channel. A
+  /// correct LIS has q >= 1; q = 0 is representable so the lint layer can
+  /// diagnose it (L002, and L001 when it deadlocks a cycle) instead of the
+  /// model rejecting the netlist outright.
   int queue_capacity = 1;
 };
 

@@ -51,7 +51,13 @@ std::string to_text(const LisGraph& lis) {
 }
 
 LisGraph from_text(const std::string& text) {
-  LisGraph lis;
+  return from_text_with_provenance(text).graph;
+}
+
+ParsedNetlist from_text_with_provenance(const std::string& text, std::string file) {
+  ParsedNetlist out;
+  out.provenance.file = std::move(file);
+  LisGraph& lis = out.graph;
   std::map<std::string, CoreId> cores;
 
   std::istringstream in(text);
@@ -82,6 +88,7 @@ LisGraph from_text(const std::string& text) {
       if (!inserted) fail(line_no, "duplicate core '" + name + "'");
       it->second = lis.add_core(name);
       lis.set_core_latency(it->second, latency);
+      out.provenance.core_line.push_back(static_cast<int>(line_no));
       continue;
     }
     if (directive == "channel") {
@@ -102,18 +109,20 @@ LisGraph from_text(const std::string& text) {
         if (token.rfind("rs=", 0) == 0) {
           rs = parse_kv(token, "rs", line_no);
         } else if (token.rfind("q=", 0) == 0) {
+          // q = 0 parses: it is a semantic defect (lint L002/L001), not a
+          // syntax error, so static diagnostics can point at this line.
           q = parse_kv(token, "q", line_no);
-          if (q < 1) fail(line_no, "queue capacity must be at least 1");
         } else {
           fail(line_no, "unknown channel attribute '" + token + "'");
         }
       }
       lis.add_channel(src_it->second, dst_it->second, rs, q);
+      out.provenance.channel_line.push_back(static_cast<int>(line_no));
       continue;
     }
     fail(line_no, "unknown directive '" + directive + "'");
   }
-  return lis;
+  return out;
 }
 
 LisGraph load_netlist(const std::string& path) {

@@ -6,6 +6,9 @@
 #include <thread>
 #include <utility>
 
+#include "lint/render.hpp"
+#include "util/rational.hpp"
+
 namespace lid::serve {
 namespace {
 
@@ -384,6 +387,39 @@ Outcome do_insert_rs(ArgReader& reader, const ExecLimits& limits) {
   return Outcome::success(w.str());
 }
 
+Outcome do_lint(ArgReader& reader, const ExecLimits& limits) {
+  const std::string text = reader.get_netlist(limits);
+  const std::string target = reader.get_string("target", "");
+  const bool errors_only = reader.get_bool("errors_only", false);
+  if (reader.failed()) return arg_failure(reader);
+
+  linter::LintOptions options;
+  options.errors_only = errors_only;
+  if (!target.empty()) {
+    try {
+      options.target = util::rational_from_string(target);
+    } catch (const std::exception& e) {
+      return Outcome::failure(codes::kInvalidArgument, std::string("'target': ") + e.what());
+    }
+    if (options.target < util::Rational(0)) {
+      return Outcome::failure(codes::kInvalidArgument, "'target' must be non-negative");
+    }
+  }
+
+  const Result<Instance> parsed = parse_netlist(text);
+  if (!parsed) return from_error(parsed.error());
+  const Result<linter::Report> report = lint(*parsed, options);
+  if (!report) return from_error(report.error());
+
+  linter::RenderItem item;
+  item.lis = &parsed->graph();
+  item.report = &*report;
+  item.provenance = parsed->provenance();
+  util::JsonWriter w;
+  write_report_json(w, item);
+  return Outcome::success(w.str());
+}
+
 Outcome do_rate_safety(ArgReader& reader, const ExecLimits& limits) {
   const std::string text = reader.get_netlist(limits);
   if (reader.failed()) return arg_failure(reader);
@@ -411,6 +447,7 @@ const char* wire_code(ErrorCode code) {
     case ErrorCode::kInvalidArgument: return codes::kInvalidArgument;
     case ErrorCode::kTimeout: return codes::kTimeout;
     case ErrorCode::kInternal: return codes::kInternal;
+    case ErrorCode::kLint: return codes::kLint;
   }
   return codes::kInternal;
 }
@@ -494,10 +531,11 @@ Outcome execute(const Request& request, const ExecLimits& limits, const ExecCont
   }
   if (request.verb == "insert-rs") return do_insert_rs(reader, limits);
   if (request.verb == "rate-safety") return do_rate_safety(reader, limits);
+  if (request.verb == "lint") return do_lint(reader, limits);
   return Outcome::failure(codes::kUnknownVerb,
                           "unknown verb '" + request.verb +
                               "' (expected ping, parse, generate, analyze, size-queues, "
-                              "insert-rs, rate-safety, sleep or stats)");
+                              "insert-rs, rate-safety, lint, sleep or stats)");
 }
 
 std::string request_id_json(const Request& request) {

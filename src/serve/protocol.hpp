@@ -7,7 +7,8 @@
 //
 // `verb` selects a lid:: facade operation (the tokens match the CLI:
 // "ping", "parse", "generate", "analyze", "size-queues", "insert-rs",
-// "rate-safety", "sleep", "stats"); the remaining keys are verb arguments
+// "rate-safety", "lint", "sleep", "stats"); the remaining keys are verb
+// arguments
 // (snake_case). `id` (string or integer, echoed back) correlates responses,
 // which a multi-worker server may emit out of order. `deadline_ms` bounds
 // the request end to end: a request whose deadline elapsed in the admission
@@ -57,6 +58,7 @@ inline constexpr const char* kShuttingDown = "shutting_down";  ///< received dur
 inline constexpr const char* kIo = "io";
 inline constexpr const char* kTimeout = "timeout";
 inline constexpr const char* kInternal = "internal";
+inline constexpr const char* kLint = "lint";  ///< pre-flight lint rejected the model
 }  // namespace codes
 
 /// `code` mapped onto the wire string (kParse -> "parse_error", ...).

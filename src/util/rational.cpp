@@ -108,4 +108,30 @@ std::ostream& operator<<(std::ostream& os, const Rational& r) {
   return os;
 }
 
+namespace {
+
+I64 parse_i64(const std::string& text) {
+  if (text.empty()) throw std::invalid_argument("Rational: empty number in '" + text + "'");
+  std::size_t pos = 0;
+  I64 v = 0;
+  try {
+    v = std::stoll(text, &pos);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("Rational: bad integer '" + text + "'");
+  }
+  if (pos != text.size()) throw std::invalid_argument("Rational: bad integer '" + text + "'");
+  return v;
+}
+
+}  // namespace
+
+Rational rational_from_string(const std::string& text) {
+  const auto slash = text.find('/');
+  if (slash == std::string::npos) return Rational(parse_i64(text));
+  const I64 num = parse_i64(text.substr(0, slash));
+  const I64 den = parse_i64(text.substr(slash + 1));
+  if (den <= 0) throw std::invalid_argument("Rational: denominator must be positive in '" + text + "'");
+  return Rational(num, den);
+}
+
 }  // namespace lid::util

@@ -69,4 +69,10 @@ class Rational {
 
 std::ostream& operator<<(std::ostream& os, const Rational& r);
 
+/// Parses "N" or "N/D" (optionally signed N; D > 0) into a Rational — the
+/// inverse of to_string(), used by CLI flags and wire-protocol arguments.
+/// Throws std::invalid_argument on anything else (floats are rejected on
+/// purpose: thresholds must stay exact).
+Rational rational_from_string(const std::string& text);
+
 }  // namespace lid::util

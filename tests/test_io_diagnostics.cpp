@@ -47,11 +47,26 @@ TEST(NetlistIo, RejectsMalformedInput) {
   EXPECT_THROW(from_text("channel A -> B\n"), std::invalid_argument);           // unknown core
   EXPECT_THROW(from_text("core A\ncore B\nchannel A => B\n"), std::invalid_argument);
   EXPECT_THROW(from_text("core A\ncore B\nchannel A -> B rs=x\n"), std::invalid_argument);
-  EXPECT_THROW(from_text("core A\ncore B\nchannel A -> B q=0\n"), std::invalid_argument);
+  EXPECT_THROW(from_text("core A\ncore B\nchannel A -> B q=-1\n"), std::invalid_argument);
   EXPECT_THROW(from_text("wires A B\n"), std::invalid_argument);                // bad directive
   EXPECT_THROW(from_text("core A extra\n"), std::invalid_argument);
   EXPECT_THROW(from_text("core A\ncore B\nchannel A -> B color=red\n"),
                std::invalid_argument);
+}
+
+// q = 0 is a *semantic* defect (the lint layer reports it as L002/L001),
+// not a syntax error: it must parse, round-trip, and carry provenance so
+// diagnostics can point at the offending line.
+TEST(NetlistIo, ZeroQueueCapacityParsesWithProvenance) {
+  const auto parsed = from_text_with_provenance("core A\ncore B\nchannel A -> B q=0\n", "z.lis");
+  EXPECT_EQ(parsed.graph.channel(0).queue_capacity, 0);
+  EXPECT_EQ(parsed.provenance.file, "z.lis");
+  EXPECT_EQ(parsed.provenance.line_of_core(0), 1);
+  EXPECT_EQ(parsed.provenance.line_of_core(1), 2);
+  EXPECT_EQ(parsed.provenance.line_of_channel(0), 3);
+  // Round-trips: to_text emits q= whenever it differs from the default 1.
+  const LisGraph again = from_text(to_text(parsed.graph));
+  EXPECT_EQ(again.channel(0).queue_capacity, 0);
 }
 
 TEST(NetlistIo, FileRoundTrip) {

@@ -212,7 +212,7 @@ TEST(ErrorPaths, MalformedNetlistsAllCarryParseCodeAndMessage) {
       "chanel A -> B\n",                  // misspelled keyword
       "core A\nchannel A ->\n",           // truncated channel
       "core A\nchannel A -> A rs=-2\n",   // negative relay-station count
-      "core A\nchannel A -> A q=0\n",     // zero queue capacity
+      "core A\nchannel A -> A q=-1\n",    // negative queue capacity
   };
   for (const char* text : bad_texts) {
     const Result<Instance> r = parse_netlist(text);

@@ -29,10 +29,15 @@ TEST(LisGraph, RejectsBadParameters) {
   const CoreId a = lis.add_core();
   const CoreId b = lis.add_core();
   EXPECT_THROW(lis.add_channel(a, b, -1), std::invalid_argument);
-  EXPECT_THROW(lis.add_channel(a, b, 0, 0), std::invalid_argument);
+  EXPECT_THROW(lis.add_channel(a, b, 0, -1), std::invalid_argument);
   const ChannelId c = lis.add_channel(a, b);
-  EXPECT_THROW(lis.set_queue_capacity(c, 0), std::invalid_argument);
+  EXPECT_THROW(lis.set_queue_capacity(c, -1), std::invalid_argument);
   EXPECT_THROW(lis.set_relay_stations(c, -2), std::invalid_argument);
+  // q = 0 is representable on purpose: it is a semantic defect the lint
+  // layer reports (L001/L002), not a construction error.
+  EXPECT_EQ(lis.channel(lis.add_channel(a, b, 0, 0)).queue_capacity, 0);
+  lis.set_queue_capacity(c, 0);
+  EXPECT_EQ(lis.channel(c).queue_capacity, 0);
 }
 
 TEST(LisGraph, SetAllQueueCapacities) {

@@ -79,7 +79,7 @@ TEST(Protocol, ExecutesEveryVerb) {
   ASSERT_TRUE(analyzed.ok) << analyzed.error_message;
   EXPECT_NE(analyzed.payload.find("\"theta_ideal\""), std::string::npos);
 
-  for (const char* verb : {"parse", "size-queues", "insert-rs", "rate-safety"}) {
+  for (const char* verb : {"parse", "size-queues", "insert-rs", "rate-safety", "lint"}) {
     util::JsonWriter w;
     w.begin_object().key("verb").value(verb).key("netlist").value(netlist).end_object();
     const serve::Outcome outcome = run_line(w.str());
@@ -105,6 +105,84 @@ TEST(Protocol, ErrorsCarryWireCodes) {
   tight.max_netlist_bytes = 8;
   EXPECT_EQ(run_line(R"({"verb": "analyze", "netlist": "core A\ncore B\n"})", tight).error_code,
             serve::codes::kTooLarge);
+}
+
+TEST(Protocol, LintVerbReportsDiagnosticsInsteadOfFailing) {
+  // A netlist that parses but deadlocks: the lint verb *succeeds* — the
+  // findings ride in the payload rather than an error envelope.
+  const char* deadlocked = "core A\ncore B\nchannel A -> B q=0\nchannel B -> A q=0\n";
+  util::JsonWriter w;
+  w.begin_object().key("verb").value("lint").key("netlist").value(deadlocked).end_object();
+  const serve::Outcome outcome = run_line(w.str());
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  const util::JsonParse doc = util::json_parse(outcome.payload);
+  ASSERT_TRUE(doc.ok) << doc.error;
+  EXPECT_EQ(doc.value.find("errors")->as_int(), 3);
+  EXPECT_FALSE(doc.value.find("clean")->as_bool(true));
+  EXPECT_EQ(doc.value.find("diagnostics")->at(0).find("code")->as_string(), "L001");
+
+  // errors_only trims the run to the pre-flight tier.
+  util::JsonWriter eo;
+  eo.begin_object().key("verb").value("lint").key("netlist").value(deadlocked);
+  eo.key("errors_only").value(true).end_object();
+  const serve::Outcome trimmed = run_line(eo.str());
+  ASSERT_TRUE(trimmed.ok);
+  const util::JsonParse trimmed_doc = util::json_parse(trimmed.payload);
+  ASSERT_TRUE(trimmed_doc.ok);
+  EXPECT_EQ(trimmed_doc.value.find("warnings")->as_int(), 0);
+
+  // A healthy netlist comes back clean.
+  util::JsonWriter c;
+  c.begin_object().key("verb").value("lint");
+  c.key("netlist").value("core A\ncore B\nchannel A -> B\nchannel B -> A\n").end_object();
+  const serve::Outcome clean = run_line(c.str());
+  ASSERT_TRUE(clean.ok);
+  const util::JsonParse clean_doc = util::json_parse(clean.payload);
+  ASSERT_TRUE(clean_doc.ok);
+  EXPECT_TRUE(clean_doc.value.find("clean")->as_bool(false));
+}
+
+TEST(Protocol, LintVerbParsesRationalTargetsAndRejectsBadOnes) {
+  // Fig. 1's shape (parallel A -> B channels, one relay station): practical
+  // MST 2/3 misses target 1, so the L2xx tier fires.
+  const char* fig1 = "core A\ncore B\nchannel A -> B rs=1\nchannel A -> B\n";
+  util::JsonWriter w;
+  w.begin_object().key("verb").value("lint").key("netlist").value(fig1);
+  w.key("target").value("1").end_object();
+  const serve::Outcome outcome = run_line(w.str());
+  ASSERT_TRUE(outcome.ok) << outcome.error_message;
+  EXPECT_NE(outcome.payload.find("\"L201\""), std::string::npos);
+
+  // "2/3" is exactly the practical MST: the target is met, L201 stays quiet.
+  util::JsonWriter met;
+  met.begin_object().key("verb").value("lint").key("netlist").value(fig1);
+  met.key("target").value("2/3").end_object();
+  const serve::Outcome satisfied = run_line(met.str());
+  ASSERT_TRUE(satisfied.ok);
+  EXPECT_EQ(satisfied.payload.find("\"L201\""), std::string::npos);
+
+  for (const char* bad : {"abc", "1/0", "2.5", "-1"}) {
+    util::JsonWriter b;
+    b.begin_object().key("verb").value("lint").key("netlist").value(fig1);
+    b.key("target").value(bad).end_object();
+    const serve::Outcome rejected = run_line(b.str());
+    EXPECT_FALSE(rejected.ok) << bad;
+    EXPECT_EQ(rejected.error_code, serve::codes::kInvalidArgument) << bad;
+  }
+}
+
+TEST(Protocol, AnalyzeOnDeadlockedNetlistReturnsTheLintWireCode) {
+  // The pre-flight rejection crosses the wire as a structured error with its
+  // own code — previously this netlist would have tripped a LID_CHECK abort.
+  const char* deadlocked = "core A\ncore B\nchannel A -> B q=0\nchannel B -> A q=0\n";
+  for (const char* verb : {"analyze", "size-queues"}) {
+    util::JsonWriter w;
+    w.begin_object().key("verb").value(verb).key("netlist").value(deadlocked).end_object();
+    const serve::Outcome outcome = run_line(w.str());
+    EXPECT_FALSE(outcome.ok) << verb;
+    EXPECT_EQ(outcome.error_code, serve::codes::kLint) << verb;
+    EXPECT_NE(outcome.error_message.find("L001"), std::string::npos) << verb;
+  }
 }
 
 TEST(Protocol, ResponseLineRoundTripsThroughExtractResult) {
@@ -195,7 +273,8 @@ TEST(Server, RoundTripsEveryVerbOverTcp) {
                                     R"({"id": "g", "verb": "generate", "v": 6, "s": 2})",
                                     R"({"id": "z", "verb": "sleep", "ms": 1})",
                                     R"({"id": "t", "verb": "stats"})"};
-  for (const char* verb : {"parse", "analyze", "size-queues", "insert-rs", "rate-safety"}) {
+  for (const char* verb : {"parse", "analyze", "size-queues", "insert-rs", "rate-safety",
+                           "lint"}) {
     util::JsonWriter w;
     w.begin_object().key("id").value(verb).key("verb").value(verb);
     w.key("netlist").value(netlist).end_object();
@@ -339,7 +418,8 @@ TEST(Server, DrainCompletesAdmittedRequests) {
 TEST(Server, PayloadsAreByteIdenticalToDirectExecution) {
   const std::string netlist = netlist_fixture(29);
   std::vector<std::string> lines = {R"({"verb": "generate", "v": 10, "s": 3, "seed": 5})"};
-  for (const char* verb : {"parse", "analyze", "size-queues", "insert-rs", "rate-safety"}) {
+  for (const char* verb : {"parse", "analyze", "size-queues", "insert-rs", "rate-safety",
+                           "lint"}) {
     util::JsonWriter w;
     w.begin_object().key("verb").value(verb).key("netlist").value(netlist).end_object();
     lines.push_back(w.str());

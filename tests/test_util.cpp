@@ -65,6 +65,21 @@ TEST(Rational, Printing) {
   EXPECT_NEAR(Rational(2, 3).to_double(), 0.6667, 1e-3);
 }
 
+TEST(Rational, ParsesFromString) {
+  // to_string round-trips: "N" and "N/D" shapes, normalized on the way in.
+  EXPECT_EQ(rational_from_string("5/6"), Rational(5, 6));
+  EXPECT_EQ(rational_from_string("4/6"), Rational(2, 3));
+  EXPECT_EQ(rational_from_string("3"), Rational(3));
+  EXPECT_EQ(rational_from_string("0"), Rational(0));
+  EXPECT_EQ(rational_from_string("-7/2"), Rational(-7, 2));
+  EXPECT_EQ(rational_from_string(rational_from_string("14/4").to_string()), Rational(7, 2));
+  // Floats are rejected on purpose: every throughput in the system is exact,
+  // and silently rounding "0.66" to something else would be a lie.
+  for (const char* bad : {"", "abc", "2.5", "1/0", "1/-2", "1/", "/2", "1 /2", "0x2"}) {
+    EXPECT_THROW(rational_from_string(bad), std::invalid_argument) << bad;
+  }
+}
+
 class RationalPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RationalPropertyTest, FieldAxiomsOnRandomValues) {

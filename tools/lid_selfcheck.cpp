@@ -27,7 +27,11 @@
 //  10. lazy constraint generation is equivalent to the full pipeline: on
 //      every system, solver "lazy" reaches the same achieved MST as the
 //      enumerate-everything pipeline, and when both exact solves prove, the
-//      same optimal extra-token total.
+//      same optimal extra-token total;
+//  11. lint hygiene: every generated system passes the error-tier lint
+//      checks (the analyze/size-queues pre-flight admits it), and a
+//      deadlocked netlist is rejected with the structured `lint` error code
+//      through both the facade and the serve protocol — never an abort.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
@@ -37,6 +41,7 @@
 #include "engine/analysis_cache.hpp"
 #include "engine/engine.hpp"
 #include "lid_api.hpp"
+#include "lint/checks.hpp"
 #include "core/queue_sizing.hpp"
 #include "gen/generator.hpp"
 #include "graph/cycles.hpp"
@@ -178,6 +183,11 @@ bool check_one(std::uint64_t trial_seed, bool verbose) {
   const lis::LisGraph parsed = lis::from_text(lis::to_text(system));
   CHECK_OR_FAIL(lis::to_text(parsed) == lis::to_text(system), "round trip canonical");
   CHECK_OR_FAIL(lis::practical_mst(parsed) == practical, "round trip MST");
+
+  // (11) every generated system passes the error-tier lint pre-flight —
+  // everything above already analyzed it, so a lint error here would mean
+  // the pre-flight rejects models the solvers in fact handle.
+  CHECK_OR_FAIL(linter::run_error_checks(system).empty(), "lint: generated system error-clean");
 
   if (verbose) {
     std::cout << "seed " << trial_seed << ": v=" << system.num_cores()
@@ -413,6 +423,52 @@ bool check_degrade(std::uint64_t trial_seed) {
   return true;
 }
 
+// Invariant (11), structured-rejection half: a parseable but deadlocked
+// netlist must come back as a `lint` error — with the offending check code in
+// the message — through the facade AND through the serve protocol, while the
+// lint verb itself succeeds and itemizes the findings. Runs once.
+bool check_lint(std::uint64_t trial_seed) {
+  constexpr const char* kDeadlocked =
+      "core A\ncore B\nchannel A -> B q=0\nchannel B -> A q=0\n";
+  const Result<Instance> instance = parse_netlist(kDeadlocked, "deadlocked");
+  CHECK_OR_FAIL(instance.ok(), "lint: deadlocked netlist still parses");
+
+  const Result<Analysis> analysis = analyze(*instance);
+  CHECK_OR_FAIL(!analysis.ok() && analysis.error().code == ErrorCode::kLint,
+                "lint: analyze rejects with kLint");
+  CHECK_OR_FAIL(analysis.error().message.find("L001") != std::string::npos,
+                "lint: rejection names the check code");
+  const Result<Sizing> sizing = size_queues(*instance);
+  CHECK_OR_FAIL(!sizing.ok() && sizing.error().code == ErrorCode::kLint,
+                "lint: size_queues rejects with kLint");
+
+  const auto execute_line = [](const std::string& line) -> serve::Outcome {
+    const Result<serve::Request> request = serve::parse_request(line);
+    if (!request) return serve::Outcome::failure("parse_error", request.error().message);
+    return serve::execute(*request);
+  };
+  util::JsonWriter analyze_request;
+  analyze_request.begin_object();
+  analyze_request.key("verb").value("analyze").key("netlist").value(kDeadlocked);
+  analyze_request.end_object();
+  const serve::Outcome rejected = execute_line(analyze_request.str());
+  CHECK_OR_FAIL(!rejected.ok && rejected.error_code == serve::codes::kLint,
+                "lint: serve analyze rejects with the lint wire code");
+
+  util::JsonWriter lint_request;
+  lint_request.begin_object();
+  lint_request.key("verb").value("lint").key("netlist").value(kDeadlocked);
+  lint_request.end_object();
+  const serve::Outcome linted = execute_line(lint_request.str());
+  CHECK_OR_FAIL(linted.ok, "lint: the lint verb itself succeeds");
+  const util::JsonParse payload = util::json_parse(linted.payload);
+  CHECK_OR_FAIL(payload.ok && payload.value.is_object(), "lint: payload parses");
+  const util::Json* errors = payload.value.find("errors");
+  CHECK_OR_FAIL(errors != nullptr && errors->as_int() == 3,
+                "lint: payload itemizes the three error findings");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -427,6 +483,7 @@ int main(int argc, char** argv) {
     if (!check_engine(seed)) return 1;
     if (!check_serve(seed)) return 1;
     if (!check_degrade(seed)) return 1;
+    if (!check_lint(seed)) return 1;
     std::int64_t trials = 0;
     while (timer.elapsed_s() < seconds) {
       if (!check_one(seeder.fork_seed(), verbose)) return 1;

@@ -21,6 +21,10 @@
 //   lid_tool storage   --netlist sys.lis
 //   lid_tool pareto    --netlist sys.lis [--timeout-ms N]
 //   lid_tool schedule  --netlist sys.lis [--max-periods N]
+//   lid_tool lint      (--netlist sys.lis | --netlists a.lis,b.lis)
+//                      [--target N|N/D] [--errors-only]
+//                      [--format pretty|json|sarif] [--out file]
+//                      [--fail-on error|warning|info|never]
 //   lid_tool client    (--socket PATH | --port N [--host A]) --verb analyze
 //                      [--netlist sys.lis] [--deadline-ms N] [--id STR]
 //                      [--on-deadline error|degrade] [--retries N]
@@ -48,6 +52,7 @@
 #include "core/storage.hpp"
 #include "engine/engine.hpp"
 #include "lid_api.hpp"
+#include "lint/render.hpp"
 #include "lis/dot_export.hpp"
 #include "lis/protocol_sim.hpp"
 #include "lis/vcd_export.hpp"
@@ -395,6 +400,88 @@ int cmd_schedule(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_lint(const util::Cli& cli) {
+  // Inputs: --netlist one file, or --netlists a comma-separated list.
+  std::vector<std::string> files;
+  if (const std::string single = cli.get_string("netlist", ""); !single.empty()) {
+    files.push_back(single);
+  }
+  std::istringstream paths(cli.get_string("netlists", ""));
+  std::string path;
+  while (std::getline(paths, path, ',')) {
+    if (!path.empty()) files.push_back(path);
+  }
+  if (files.empty()) {
+    throw std::invalid_argument("lint: --netlist <file> or --netlists <a,b,...> is required");
+  }
+
+  linter::LintOptions options;
+  options.errors_only = cli.get_bool("errors-only", false);
+  if (const std::string target = cli.get_string("target", ""); !target.empty()) {
+    options.target = util::rational_from_string(target);
+    if (options.target < util::Rational(0)) {
+      throw std::invalid_argument("--target must be non-negative");
+    }
+  }
+
+  // Keep instances and reports alive for the render items that point at them.
+  std::vector<Instance> instances;
+  std::vector<linter::Report> reports;
+  instances.reserve(files.size());
+  reports.reserve(files.size());
+  for (const std::string& file : files) {
+    Result<Instance> loaded = load_netlist(file);
+    if (!loaded) throw std::runtime_error(loaded.error().to_string());
+    instances.push_back(*loaded);
+    reports.push_back(value_or_throw(lint(instances.back(), options)));
+  }
+  std::vector<linter::RenderItem> items(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    items[i].lis = &instances[i].graph();
+    items[i].report = &reports[i];
+    items[i].provenance = instances[i].provenance();
+    items[i].name = files[i];
+  }
+
+  const std::string format = cli.get_string("format", "pretty");
+  std::string rendered;
+  if (format == "pretty") {
+    rendered = linter::render_pretty(items);
+  } else if (format == "json") {
+    rendered = linter::render_json(items) + "\n";
+  } else if (format == "sarif") {
+    rendered = linter::render_sarif(items) + "\n";
+  } else {
+    throw std::invalid_argument("--format must be pretty, json or sarif");
+  }
+  const std::string out = cli.get_string("out", "");
+  if (out.empty()) {
+    std::cout << rendered;
+  } else {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot open '" + out + "' for writing");
+    file << rendered;
+    std::cout << "lint report written to " << out << "\n";
+  }
+
+  // Exit status: 0 clean at the threshold, 2 otherwise ("error" counts only
+  // errors, "warning" also warnings, "info" any finding, "never" always 0).
+  const std::string fail_on = cli.get_string("fail-on", "error");
+  std::size_t failing = 0;
+  for (const linter::Report& report : reports) {
+    if (fail_on == "error") {
+      failing += report.errors();
+    } else if (fail_on == "warning") {
+      failing += report.errors() + report.warnings();
+    } else if (fail_on == "info") {
+      failing += report.diagnostics.size();
+    } else if (fail_on != "never") {
+      throw std::invalid_argument("--fail-on must be error, warning, info or never");
+    }
+  }
+  return failing > 0 ? 2 : 0;
+}
+
 /// Builds one request line for `client` from the command-line flags. The
 /// embedded netlist comes from --netlist (a local file read client-side; the
 /// server only ever sees text).
@@ -437,6 +524,10 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
     } else if (verb == "insert-rs") {
       w.key("budget").value(cli.get_int_in("budget", 1, 0, 64));
       if (cli.get_bool("exhaustive", false)) w.key("exhaustive").value(true);
+    } else if (verb == "lint") {
+      const std::string target = cli.get_string("target", "");
+      if (!target.empty()) w.key("target").value(target);
+      if (cli.get_bool("errors-only", false)) w.key("errors_only").value(true);
     }
   }
   w.end_object();
@@ -509,6 +600,7 @@ int main(int argc, char** argv) {
       {"storage", {}, "worst-case per-channel storage bounds", cmd_storage},
       {"pareto", {}, "cost vs throughput frontier of queue sizing", cmd_pareto},
       {"schedule", {}, "static schedule baseline (Casu–Macchiarulo)", cmd_schedule},
+      {"lint", {}, "static diagnostics: deadlocks, broken queues, antipatterns", cmd_lint},
       {"client", {}, "send one request (or --stdin NDJSON) to a lid_serve daemon", cmd_client},
   };
   return util::dispatch_commands(argc, argv, commands, "lid_tool", std::cerr);
