@@ -13,6 +13,7 @@
 #include "serve/protocol.hpp"
 #include "serve/retry.hpp"
 #include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "util/cancel.hpp"
 #include "util/json.hpp"
 
@@ -144,6 +145,51 @@ void BM_CancellationLatency(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CancellationLatency)->Arg(20)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+/// The protocol-v2 register-once/query-many lane against the inline lane of
+/// BM_SocketRoundTrip: the same analyze on the same model, but addressed by
+/// fingerprint, so the server answers from the registered model's payload
+/// memo after the first hit and the request shrinks from a full netlist to
+/// ~60 bytes. Arg switches the transport (0 = NDJSON, 1 = binary frames).
+void BM_RegisteredAnalyzeRoundTrip(benchmark::State& state) {
+  serve::ServerOptions options;
+  options.unix_socket = "/tmp/lid_bench_registered.sock";
+  options.workers = 1;
+  serve::Server server(options);
+  if (!server.start()) {
+    state.SkipWithError("server failed to start");
+    return;
+  }
+  serve::SessionOptions session_options;
+  session_options.binary = state.range(0) != 0;
+  Result<serve::Session> connected =
+      serve::Session::connect_unix(options.unix_socket, session_options);
+  if (!connected) {
+    state.SkipWithError("session failed to connect");
+    return;
+  }
+  serve::Session session = std::move(connected).value();
+
+  GenerateOptions gen;
+  gen.cores = 20;
+  gen.sccs = 3;
+  gen.extra_cycles = 2;
+  gen.relay_stations = 5;
+  gen.seed = 7;  // the same model BM_SocketRoundTrip sends inline
+  const Result<Instance> instance = generate(gen);
+  const Result<std::string> text = netlist_text(*instance);
+  const Result<serve::ModelHandle> handle = session.register_model(*text);
+  if (!handle) {
+    state.SkipWithError("register-model failed");
+    return;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.query(*handle, "analyze"));
+  }
+  session.close();
+  server.stop();
+}
+BENCHMARK(BM_RegisteredAnalyzeRoundTrip)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
 
 /// Retry-path overhead: the RetryingClient wrapper around a healthy server
 /// (no faults, every call succeeds first try) against the bare Client of

@@ -2,16 +2,18 @@
 # Smoke-mode micro-benchmark sweep: runs every pure-CPU google-benchmark
 # suite with a short min-time and merges the results into one JSON artifact
 # mapping bench name -> ns/op. Record only — no thresholds; CI uploads the
-# artifact so regressions show up as trends across runs. bench_serve is
-# excluded (it spins up socket servers, which smoke CI runners may not
-# allow). Override BUILD_DIR / MIN_TIME via the environment; the output
-# path is the first argument (default BENCH_PR4.json).
+# artifact so regressions show up as trends across runs. The bench_serve
+# round-trip lane (inline vs registered-model RTTs over a Unix socket) is
+# included by default; set SERVE_BENCHES=0 on runners that cannot create
+# sockets. Override BUILD_DIR / MIN_TIME via the environment; the output
+# path is the first argument (default BENCH_PR6.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR4.json}
+OUT=${1:-BENCH_PR6.json}
 MIN_TIME=${MIN_TIME:-0.01}
+SERVE_BENCHES=${SERVE_BENCHES:-1}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
@@ -23,6 +25,13 @@ for bench in $SUITES; do
   "$BUILD/bench/$bench" --benchmark_min_time="$MIN_TIME" \
     --benchmark_format=json > "$TMP/$bench.json"
 done
+
+if [ "$SERVE_BENCHES" = "1" ]; then
+  echo "== bench_serve (round trips) =="
+  "$BUILD/bench/bench_serve" --benchmark_filter=RoundTrip \
+    --benchmark_min_time="$MIN_TIME" \
+    --benchmark_format=json > "$TMP/bench_serve.json"
+fi
 
 python3 - "$OUT" "$TMP"/*.json <<'EOF'
 import json

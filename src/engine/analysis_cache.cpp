@@ -73,4 +73,22 @@ const core::QsProblem& AnalysisCache::qs_problem(const core::QsBuildOptions& opt
   return *qs_;
 }
 
+const core::DegradationReport& AnalysisCache::degradation() {
+  if (!note(degradation_.has_value())) {
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "explain_degradation");
+    degradation_ = core::explain_degradation(lis_);
+  }
+  return *degradation_;
+}
+
+const core::RateSafetyReport& AnalysisCache::rate_safety() {
+  if (!note(rate_safety_.has_value())) {
+    std::optional<Metrics::ScopedStage> stage;
+    if (metrics_ != nullptr) stage.emplace(*metrics_, "rate_safety");
+    rate_safety_ = core::analyze_rate_safety(lis_);
+  }
+  return *rate_safety_;
+}
+
 }  // namespace lid::engine

@@ -17,7 +17,9 @@
 #include <cstdint>
 #include <optional>
 
+#include "core/diagnostics.hpp"
 #include "core/qs_problem.hpp"
+#include "core/rate_safety.hpp"
 #include "engine/metrics.hpp"
 #include "lis/lis_graph.hpp"
 #include "mg/mcm.hpp"
@@ -53,6 +55,15 @@ class AnalysisCache {
   /// options is a hit; differing options rebuild.
   const core::QsProblem& qs_problem(const core::QsBuildOptions& options = {});
 
+  /// The degradation report (thetas + critical cycle of d[G]), exactly
+  /// core::explain_degradation's result, computed once. This is what the
+  /// serve registry pools so repeated `analyze` verbs on a registered model
+  /// skip the expansions and MCM solves.
+  const core::DegradationReport& degradation();
+
+  /// The Sec. III-C rate-safety report, computed once.
+  const core::RateSafetyReport& rate_safety();
+
   /// Memoization traffic (for tests and the metrics report).
   [[nodiscard]] std::int64_t hits() const { return hits_; }
   [[nodiscard]] std::int64_t misses() const { return misses_; }
@@ -77,6 +88,8 @@ class AnalysisCache {
   std::optional<util::Rational> theta_practical_;
   std::optional<core::QsProblem> qs_;
   core::QsBuildOptions qs_options_;
+  std::optional<core::DegradationReport> degradation_;
+  std::optional<core::RateSafetyReport> rate_safety_;
   mg::Workspace workspace_;
 };
 

@@ -1,0 +1,75 @@
+#include "engine/cached_analysis.hpp"
+
+#include <exception>
+#include <stdexcept>
+
+#include "core/lazy_sizing.hpp"
+#include "core/queue_sizing.hpp"
+#include "lid_api_detail.hpp"
+
+namespace lid::engine {
+namespace {
+
+/// The facade's exception policy (lid_api.cpp `guarded`), duplicated here so
+/// error bytes match: std::invalid_argument marks bad input, everything else
+/// an internal invariant failure.
+template <typename T, typename Fn>
+Result<T> guarded(Fn&& body) {
+  try {
+    return body();
+  } catch (const std::invalid_argument& e) {
+    return Error{ErrorCode::kInvalidArgument, e.what()};
+  } catch (const std::exception& e) {
+    return Error{ErrorCode::kInternal, e.what()};
+  }
+}
+
+Error invalid_handle(const char* who) {
+  return Error{ErrorCode::kInvalidArgument, std::string(who) + ": invalid (empty) instance handle"};
+}
+
+}  // namespace
+
+Result<Analysis> analyze_cached(AnalysisCache& cache, const Instance& instance,
+                                const AnalyzeOptions& options) {
+  if (!instance.valid()) return invalid_handle("analyze");
+  if (options.preflight) {
+    if (auto rejected = detail::lint_preflight("analyze", instance.graph())) return *rejected;
+  }
+  return guarded<Analysis>([&] {
+    const lis::LisGraph& lis = instance.graph();
+    const core::DegradationReport& report = cache.degradation();
+    const core::RateSafetyReport* rates = options.rate_safety ? &cache.rate_safety() : nullptr;
+    return detail::analysis_from_reports(lis, report, rates, options);
+  });
+}
+
+Result<Sizing> size_queues_cached(AnalysisCache& cache, const Instance& instance,
+                                  const SizeQueuesOptions& options) {
+  if (!instance.valid()) return invalid_handle("size_queues");
+  if (options.preflight) {
+    if (auto rejected = detail::lint_preflight("size_queues", instance.graph())) return *rejected;
+  }
+  return guarded<Sizing>([&]() -> Result<Sizing> {
+    const lis::LisGraph& lis = instance.graph();
+    const core::QsOptions qs = detail::qs_options_from(options);
+    core::QsReport report;
+    if (options.cancel.can_cancel()) {
+      // A firing token would leave a partial (timing-dependent) enumeration
+      // in the shared cache, so cancellable requests run the plain pipeline.
+      report = core::size_queues(lis, qs);
+    } else if (qs.method == core::QsMethod::kLazy) {
+      // Cached thetas, but a solve-local Howard workspace: the lazy payload
+      // reports iteration/cycle counts, and a pooled warm-started workspace
+      // could pick a different (tie-equivalent) critical cycle than the cold
+      // solve a direct execution runs — the values must stay byte-identical.
+      report = core::size_queues_lazy_with_mst(lis, cache.theta_ideal(),
+                                               cache.theta_practical(), qs, nullptr);
+    } else {
+      report = core::size_queues_on_problem(lis, cache.qs_problem(qs.build), qs);
+    }
+    return detail::sizing_from_report(lis, report, instance);
+  });
+}
+
+}  // namespace lid::engine

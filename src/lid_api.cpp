@@ -10,6 +10,7 @@
 #include "core/queue_sizing.hpp"
 #include "core/rate_safety.hpp"
 #include "core/rs_insertion.hpp"
+#include "lid_api_detail.hpp"
 #include "gen/generator.hpp"
 #include "graph/topology.hpp"
 #include "lis/netlist_io.hpp"
@@ -37,15 +38,104 @@ Error invalid_handle(const char* who) {
   return Error{ErrorCode::kInvalidArgument, std::string(who) + ": invalid (empty) instance handle"};
 }
 
-/// The analyze/size-queues pre-flight: error-tier lint. Returns the kLint
-/// Error to fail with, or nothing when the model is analyzable.
+}  // namespace
+
+namespace detail {
+
 std::optional<Error> lint_preflight(const char* who, const lis::LisGraph& lis) {
   const linter::Report report = linter::run_error_checks(lis);
   if (!report.has_errors()) return std::nullopt;
   return Error{ErrorCode::kLint, std::string(who) + ": " + report.error_summary()};
 }
 
-}  // namespace
+Analysis analysis_from_reports(const lis::LisGraph& lis, const core::DegradationReport& report,
+                               const core::RateSafetyReport* rates, const AnalyzeOptions& options) {
+  Analysis analysis;
+  analysis.cores = lis.num_cores();
+  analysis.channels = lis.num_channels();
+  analysis.relay_stations = lis.total_relay_stations();
+  analysis.topology = graph::to_string(graph::classify(lis.structure()));
+  analysis.theta_ideal = report.theta_ideal;
+  analysis.theta_practical = report.theta_practical;
+  analysis.degraded = report.degraded;
+  if (options.critical_cycle) {
+    analysis.critical_cycle.reserve(report.critical_cycle.size());
+    for (const core::CriticalHop& hop : report.critical_cycle) {
+      analysis.critical_cycle.push_back(hop.description);
+    }
+  }
+  if (options.rate_safety) {
+    LID_ENSURE(rates != nullptr, "analysis_from_reports: rate_safety set without a report");
+    analysis.rate_hazards = rates->hazards.size();
+    analysis.rate_safe = rates->safe();
+  }
+  return analysis;
+}
+
+core::QsOptions qs_options_from(const SizeQueuesOptions& options) {
+  core::QsOptions qs;
+  switch (options.solver) {
+    case Solver::kHeuristic: qs.method = core::QsMethod::kHeuristic; break;
+    case Solver::kExact: qs.method = core::QsMethod::kExact; break;
+    case Solver::kBoth: qs.method = core::QsMethod::kBoth; break;
+    case Solver::kLazy: qs.method = core::QsMethod::kLazy; break;
+  }
+  qs.exact.timeout_ms = options.exact_timeout_ms;
+  qs.exact.max_nodes = options.exact_max_nodes;
+  qs.exact.cancel = options.cancel;
+  qs.simplify = options.simplify;
+  qs.build.max_cycles = options.max_cycles;
+  qs.build.target_mst = options.target;
+  qs.build.cancel = options.cancel;
+  return qs;
+}
+
+Result<Sizing> sizing_from_report(const lis::LisGraph& lis, const core::QsReport& report,
+                                  const Instance& original) {
+  if (report.problem.cancelled) {
+    // A partial enumeration depends on wall-clock timing; serving weights
+    // derived from it would break response determinism, so fail instead.
+    return Error{ErrorCode::kTimeout, "size_queues: cancelled during cycle enumeration"};
+  }
+
+  Sizing sizing;
+  sizing.theta_ideal = report.problem.theta_ideal;
+  sizing.theta_practical = report.problem.theta_practical;
+  sizing.achieved = report.achieved_mst;
+  sizing.degraded = report.problem.has_degradation();
+  sizing.cycles_enumerated = report.problem.cycles_enumerated;
+  sizing.truncated = report.problem.truncated;
+  if (report.heuristic) {
+    sizing.heuristic_total = report.heuristic->total_extra_tokens;
+    sizing.heuristic_ms = report.heuristic->cpu_ms;
+  }
+  if (report.exact) {
+    sizing.exact_total = report.exact->total_extra_tokens;
+    sizing.exact_ms = report.exact->cpu_ms;
+    sizing.exact_proved = report.exact->finished;
+    sizing.exact_cancelled = report.exact->cancelled;
+    sizing.exact_nodes = report.exact->nodes_explored;
+  }
+  if (report.lazy) {
+    sizing.solver_lazy = true;
+    sizing.lazy_iterations = report.lazy->iterations;
+    sizing.cycles_generated = report.lazy->cycles_generated;
+    sizing.howard_warm_restarts = report.lazy->howard_warm_restarts;
+    sizing.lazy_fell_back = report.lazy->fell_back;
+  }
+  for (const lis::ChannelId ch : report.problem.channels) {
+    const int before = lis.channel(ch).queue_capacity;
+    const int after = report.sized.channel(ch).queue_capacity;
+    if (after != before) {
+      sizing.changes.push_back(QueueChange{lis.core_name(lis.channel(ch).src),
+                                           lis.core_name(lis.channel(ch).dst), before, after});
+    }
+  }
+  sizing.sized = Instance::wrap(report.sized, original.name());
+  return sizing;
+}
+
+}  // namespace detail
 
 const char* to_string(ErrorCode code) {
   switch (code) {
@@ -177,31 +267,14 @@ Instance cofdm_soc() { return Instance::wrap(soc::build_cofdm(), "cofdm"); }
 Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options) {
   if (!instance.valid()) return invalid_handle("analyze");
   if (options.preflight) {
-    if (auto rejected = lint_preflight("analyze", instance.graph())) return *rejected;
+    if (auto rejected = detail::lint_preflight("analyze", instance.graph())) return *rejected;
   }
   return guarded<Analysis>(ErrorCode::kInvalidArgument, [&] {
     const lis::LisGraph& lis = instance.graph();
-    Analysis analysis;
-    analysis.cores = lis.num_cores();
-    analysis.channels = lis.num_channels();
-    analysis.relay_stations = lis.total_relay_stations();
-    analysis.topology = graph::to_string(graph::classify(lis.structure()));
     const core::DegradationReport report = core::explain_degradation(lis);
-    analysis.theta_ideal = report.theta_ideal;
-    analysis.theta_practical = report.theta_practical;
-    analysis.degraded = report.degraded;
-    if (options.critical_cycle) {
-      analysis.critical_cycle.reserve(report.critical_cycle.size());
-      for (const core::CriticalHop& hop : report.critical_cycle) {
-        analysis.critical_cycle.push_back(hop.description);
-      }
-    }
-    if (options.rate_safety) {
-      const core::RateSafetyReport rates = core::analyze_rate_safety(lis);
-      analysis.rate_hazards = rates.hazards.size();
-      analysis.rate_safe = rates.safe();
-    }
-    return analysis;
+    std::optional<core::RateSafetyReport> rates;
+    if (options.rate_safety) rates = core::analyze_rate_safety(lis);
+    return detail::analysis_from_reports(lis, report, rates ? &*rates : nullptr, options);
   });
 }
 
@@ -220,66 +293,12 @@ Result<linter::Report> lint(const Instance& instance, const linter::LintOptions&
 Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options) {
   if (!instance.valid()) return invalid_handle("size_queues");
   if (options.preflight) {
-    if (auto rejected = lint_preflight("size_queues", instance.graph())) return *rejected;
+    if (auto rejected = detail::lint_preflight("size_queues", instance.graph())) return *rejected;
   }
   return guarded<Sizing>(ErrorCode::kInvalidArgument, [&]() -> Result<Sizing> {
     const lis::LisGraph& lis = instance.graph();
-    core::QsOptions qs;
-    switch (options.solver) {
-      case Solver::kHeuristic: qs.method = core::QsMethod::kHeuristic; break;
-      case Solver::kExact: qs.method = core::QsMethod::kExact; break;
-      case Solver::kBoth: qs.method = core::QsMethod::kBoth; break;
-      case Solver::kLazy: qs.method = core::QsMethod::kLazy; break;
-    }
-    qs.exact.timeout_ms = options.exact_timeout_ms;
-    qs.exact.max_nodes = options.exact_max_nodes;
-    qs.exact.cancel = options.cancel;
-    qs.simplify = options.simplify;
-    qs.build.max_cycles = options.max_cycles;
-    qs.build.target_mst = options.target;
-    qs.build.cancel = options.cancel;
-    const core::QsReport report = core::size_queues(lis, qs);
-    if (report.problem.cancelled) {
-      // A partial enumeration depends on wall-clock timing; serving weights
-      // derived from it would break response determinism, so fail instead.
-      return Error{ErrorCode::kTimeout, "size_queues: cancelled during cycle enumeration"};
-    }
-
-    Sizing sizing;
-    sizing.theta_ideal = report.problem.theta_ideal;
-    sizing.theta_practical = report.problem.theta_practical;
-    sizing.achieved = report.achieved_mst;
-    sizing.degraded = report.problem.has_degradation();
-    sizing.cycles_enumerated = report.problem.cycles_enumerated;
-    sizing.truncated = report.problem.truncated;
-    if (report.heuristic) {
-      sizing.heuristic_total = report.heuristic->total_extra_tokens;
-      sizing.heuristic_ms = report.heuristic->cpu_ms;
-    }
-    if (report.exact) {
-      sizing.exact_total = report.exact->total_extra_tokens;
-      sizing.exact_ms = report.exact->cpu_ms;
-      sizing.exact_proved = report.exact->finished;
-      sizing.exact_cancelled = report.exact->cancelled;
-      sizing.exact_nodes = report.exact->nodes_explored;
-    }
-    if (report.lazy) {
-      sizing.solver_lazy = true;
-      sizing.lazy_iterations = report.lazy->iterations;
-      sizing.cycles_generated = report.lazy->cycles_generated;
-      sizing.howard_warm_restarts = report.lazy->howard_warm_restarts;
-      sizing.lazy_fell_back = report.lazy->fell_back;
-    }
-    for (const lis::ChannelId ch : report.problem.channels) {
-      const int before = lis.channel(ch).queue_capacity;
-      const int after = report.sized.channel(ch).queue_capacity;
-      if (after != before) {
-        sizing.changes.push_back(QueueChange{lis.core_name(lis.channel(ch).src),
-                                             lis.core_name(lis.channel(ch).dst), before, after});
-      }
-    }
-    sizing.sized = Instance::wrap(report.sized, instance.name());
-    return sizing;
+    const core::QsReport report = core::size_queues(lis, detail::qs_options_from(options));
+    return detail::sizing_from_report(lis, report, instance);
   });
 }
 

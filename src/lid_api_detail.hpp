@@ -1,0 +1,38 @@
+// Internal assembly helpers shared by the lid:: facade (lid_api.cpp) and the
+// engine's cache-pooled execution path (engine/cached_analysis.hpp). They
+// exist so the two paths cannot drift: a registered-model `analyze` on the
+// serve layer and a direct lid::analyze produce byte-identical results
+// because both run the exact same report-to-struct conversion. Not a stable
+// public API — include lid_api.hpp instead unless you are one of those two
+// call sites.
+#pragma once
+
+#include <optional>
+
+#include "core/diagnostics.hpp"
+#include "core/queue_sizing.hpp"
+#include "core/rate_safety.hpp"
+#include "lid_api.hpp"
+
+namespace lid::detail {
+
+/// The analyze/size-queues pre-flight: error-tier lint. Returns the kLint
+/// Error to fail with, or nothing when the model is analyzable.
+std::optional<Error> lint_preflight(const char* who, const lis::LisGraph& lis);
+
+/// Assembles the public Analysis from precomputed core reports. `rates` must
+/// be non-null exactly when options.rate_safety is set. May throw; callers
+/// wrap with their exception-to-Error policy.
+Analysis analysis_from_reports(const lis::LisGraph& lis, const core::DegradationReport& report,
+                               const core::RateSafetyReport* rates, const AnalyzeOptions& options);
+
+/// SizeQueuesOptions -> the core solver configuration, exactly as
+/// lid::size_queues builds it (solver mapping, clamps, cancel threading).
+core::QsOptions qs_options_from(const SizeQueuesOptions& options);
+
+/// QsReport -> the public Sizing, including the cancelled-enumeration ->
+/// kTimeout policy. `original` supplies the name of the sized instance.
+Result<Sizing> sizing_from_report(const lis::LisGraph& lis, const core::QsReport& report,
+                                  const Instance& original);
+
+}  // namespace lid::detail

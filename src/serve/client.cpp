@@ -1,140 +1,60 @@
 #include "serve/client.hpp"
 
-#include <arpa/inet.h>
-#include <fcntl.h>
-#include <netinet/in.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
-
-#include <algorithm>
-#include <cerrno>
-#include <cmath>
-#include <cstring>
 #include <utility>
-
-#include "util/timer.hpp"
 
 namespace lid::serve {
 namespace {
 
-Error errno_error(const std::string& what) {
-  return Error{ErrorCode::kIo, what + ": " + std::strerror(errno)};
+/// The legacy default: no handshake, NDJSON only — v1 on the wire.
+SessionOptions legacy_options() {
+  SessionOptions options;
+  options.protocol = 1;
+  options.hello = false;
+  options.binary = false;
+  return options;
 }
 
 }  // namespace
 
+Client::Client(Session session) : session_(std::make_unique<Session>(std::move(session))) {}
+
 Result<Client> Client::connect_unix(const std::string& path) {
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  if (path.size() >= sizeof(addr.sun_path)) {
-    return Error{ErrorCode::kInvalidArgument, "unix socket path too long: " + path};
-  }
-  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
-  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return errno_error("socket(AF_UNIX)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Error error = errno_error("connect('" + path + "')");
-    ::close(fd);
-    return error;
-  }
-  return Client(fd);
+  return connect_unix(path, legacy_options());
 }
 
 Result<Client> Client::connect_tcp(const std::string& host, int port) {
-  if (port <= 0 || port > 65535) {
-    return Error{ErrorCode::kInvalidArgument, "bad port " + std::to_string(port)};
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-    return Error{ErrorCode::kInvalidArgument, "bad host address '" + host + "'"};
-  }
-  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (fd < 0) return errno_error("socket(AF_INET)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Error error = errno_error("connect(" + host + ":" + std::to_string(port) + ")");
-    ::close(fd);
-    return error;
-  }
-  return Client(fd);
+  return connect_tcp(host, port, legacy_options());
 }
 
-Client::Client(Client&& other) noexcept
-    : fd_(std::exchange(other.fd_, -1)), buffer_(std::move(other.buffer_)) {}
-
-Client& Client::operator=(Client&& other) noexcept {
-  if (this != &other) {
-    close();
-    fd_ = std::exchange(other.fd_, -1);
-    buffer_ = std::move(other.buffer_);
-  }
-  return *this;
+Result<Client> Client::connect_unix(const std::string& path, const SessionOptions& options) {
+  Result<Session> session = Session::connect_unix(path, options);
+  if (!session) return session.error();
+  return Client(std::move(session).value());
 }
 
-Client::~Client() { close(); }
+Result<Client> Client::connect_tcp(const std::string& host, int port,
+                                   const SessionOptions& options) {
+  Result<Session> session = Session::connect_tcp(host, port, options);
+  if (!session) return session.error();
+  return Client(std::move(session).value());
+}
+
+Client::Client(Client&& other) noexcept = default;
+Client& Client::operator=(Client&& other) noexcept = default;
+Client::~Client() = default;
 
 void Client::close() {
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  if (session_) session_->close();
 }
 
 Status Client::send_line(const std::string& line) {
-  if (fd_ < 0) return Error{ErrorCode::kIo, "client is closed"};
-  std::string framed = line;
-  if (framed.empty() || framed.back() != '\n') framed.push_back('\n');
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t n = ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return errno_error("send");
-    }
-    sent += static_cast<std::size_t>(n);
-  }
-  return Unit{};
+  if (!session_) return Error{ErrorCode::kIo, "client is closed"};
+  return session_->send_message(line);
 }
 
 Result<std::string> Client::recv_line(double timeout_ms) {
-  if (fd_ < 0) return Error{ErrorCode::kIo, "client is closed"};
-  util::Timer waited;
-  while (true) {
-    const std::size_t newline = buffer_.find('\n');
-    if (newline != std::string::npos) {
-      std::string line = buffer_.substr(0, newline);
-      buffer_.erase(0, newline + 1);
-      if (!line.empty() && line.back() == '\r') line.pop_back();
-      return line;
-    }
-    if (timeout_ms > 0.0) {
-      const double remaining = timeout_ms - waited.elapsed_ms();
-      if (remaining <= 0.0) {
-        return Error{ErrorCode::kTimeout,
-                     "no response within " + std::to_string(timeout_ms) + " ms"};
-      }
-      pollfd pfd{};
-      pfd.fd = fd_;
-      pfd.events = POLLIN;
-      const int ready = ::poll(&pfd, 1, static_cast<int>(std::ceil(remaining)));
-      if (ready < 0) {
-        if (errno == EINTR) continue;
-        return errno_error("poll");
-      }
-      if (ready == 0) continue;  // re-check remaining; expires next pass
-    }
-    char chunk[65536];
-    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-    if (n == 0) return Error{ErrorCode::kIo, "server closed the connection"};
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return errno_error("recv");
-    }
-    buffer_.append(chunk, static_cast<std::size_t>(n));
-  }
+  if (!session_) return Error{ErrorCode::kIo, "client is closed"};
+  return session_->recv_message(timeout_ms);
 }
 
 Result<std::string> Client::call(const std::string& line) {

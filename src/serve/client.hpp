@@ -2,19 +2,37 @@
 // `lid_tool client` verb, the load generator, the serve tests and the
 // selfcheck invariant. One connection, line-framed: send a request line,
 // read response lines.
+//
+// DEPRECATED surface: Client predates protocol v2 and survives as a thin
+// v1-compatible wrapper over serve::Session (session.hpp). It still behaves
+// byte-identically to the pre-v2 client — the default connect sends no
+// `hello`, speaks NDJSON only, and the server keeps v1 envelopes. New code
+// should use Session directly: it adds version negotiation, the binary frame
+// lane, and the registered-model API (register once, query by ModelHandle)
+// instead of shipping netlist text with every request. The overloads taking
+// SessionOptions exist for callers migrating incrementally: they negotiate
+// v2 on the same old call()-shaped surface.
 #pragma once
 
 #include <memory>
 #include <string>
 
 #include "lid_api.hpp"
+#include "serve/session.hpp"
 
 namespace lid::serve {
 
 class Client {
  public:
+  /// Legacy v1 connection: NDJSON, no handshake — wire bytes identical to
+  /// pre-v2 builds.
   static Result<Client> connect_unix(const std::string& path);
   static Result<Client> connect_tcp(const std::string& host, int port);
+
+  /// v2-capable connection with explicit options (handshake, transport).
+  static Result<Client> connect_unix(const std::string& path, const SessionOptions& options);
+  static Result<Client> connect_tcp(const std::string& host, int port,
+                                    const SessionOptions& options);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -22,14 +40,15 @@ class Client {
   Client& operator=(const Client&) = delete;
   ~Client();
 
-  /// Writes `line` (a newline is appended if missing). Loops over short
-  /// writes and suppresses SIGPIPE (MSG_NOSIGNAL), so a peer vanishing
-  /// mid-send surfaces as a kIo error, never a signal.
+  /// Writes `line` (a newline is appended if missing on the NDJSON lane; a
+  /// frame header replaces it on the binary lane). Loops over short writes
+  /// and suppresses SIGPIPE (MSG_NOSIGNAL), so a peer vanishing mid-send
+  /// surfaces as a kIo error, never a signal.
   Status send_line(const std::string& line);
 
-  /// Blocks until one full response line arrives (without the newline).
+  /// Blocks until one full response message arrives (without its framing).
   /// kIo on EOF/disconnect. `timeout_ms` > 0 bounds the whole wait; on
-  /// expiry returns kTimeout and leaves any partial line buffered (the
+  /// expiry returns kTimeout and leaves any partial input buffered (the
   /// connection is then mid-frame — callers should reconnect, as the
   /// retrying client does).
   Result<std::string> recv_line(double timeout_ms = 0.0);
@@ -41,11 +60,14 @@ class Client {
 
   void close();
 
- private:
-  explicit Client(int fd) : fd_(fd) {}
+  /// The underlying Session (never null while the client is open): the
+  /// migration path to the v2 API without reconnecting.
+  [[nodiscard]] Session* session() { return session_.get(); }
 
-  int fd_ = -1;
-  std::string buffer_;
+ private:
+  explicit Client(Session session);
+
+  std::unique_ptr<Session> session_;
 };
 
 }  // namespace lid::serve

@@ -1,0 +1,76 @@
+#include "serve/frame.hpp"
+
+#include <cstdint>
+
+#include "serve/protocol.hpp"
+
+namespace lid::serve {
+
+std::string frame_message(std::string_view payload, unsigned char flags) {
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>(kFrameMagic0));
+  frame.push_back(static_cast<char>(kFrameMagic1));
+  frame.push_back(static_cast<char>(kFrameVersion));
+  frame.push_back(static_cast<char>(flags));
+  frame.push_back(static_cast<char>(length & 0xFF));
+  frame.push_back(static_cast<char>((length >> 8) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 16) & 0xFF));
+  frame.push_back(static_cast<char>((length >> 24) & 0xFF));
+  frame.append(payload);
+  return frame;
+}
+
+bool starts_frame(std::string_view buffer) {
+  return !buffer.empty() && static_cast<unsigned char>(buffer[0]) == kFrameMagic0;
+}
+
+FrameDecode decode_frame(std::string_view buffer, std::size_t max_payload_bytes) {
+  FrameDecode out;
+  if (buffer.size() < kFrameHeaderBytes) {
+    out.status = FrameStatus::kNeedMore;
+    return out;
+  }
+  const auto byte = [&](std::size_t i) { return static_cast<unsigned char>(buffer[i]); };
+  if (byte(0) != kFrameMagic0 || byte(1) != kFrameMagic1) {
+    out.status = FrameStatus::kBad;
+    out.error_code = codes::kParse;
+    out.error = "bad frame magic";
+    return out;
+  }
+  if (byte(2) != kFrameVersion) {
+    out.status = FrameStatus::kBad;
+    out.error_code = codes::kUnsupportedVersion;
+    out.error = "unsupported frame version " + std::to_string(byte(2)) + " (server speaks " +
+                std::to_string(kFrameVersion) + ")";
+    return out;
+  }
+  if (byte(3) != 0) {
+    out.status = FrameStatus::kBad;
+    out.error_code = codes::kParse;
+    out.error = "reserved frame flags must be 0, got " + std::to_string(byte(3));
+    return out;
+  }
+  const std::uint32_t length = static_cast<std::uint32_t>(byte(4)) |
+                               (static_cast<std::uint32_t>(byte(5)) << 8) |
+                               (static_cast<std::uint32_t>(byte(6)) << 16) |
+                               (static_cast<std::uint32_t>(byte(7)) << 24);
+  if (length > max_payload_bytes) {
+    out.status = FrameStatus::kBad;
+    out.error_code = codes::kTooLarge;
+    out.error = "frame payload of " + std::to_string(length) + " bytes exceeds the limit of " +
+                std::to_string(max_payload_bytes);
+    return out;
+  }
+  if (buffer.size() < kFrameHeaderBytes + length) {
+    out.status = FrameStatus::kNeedMore;
+    return out;
+  }
+  out.status = FrameStatus::kFrame;
+  out.payload.assign(buffer.data() + kFrameHeaderBytes, length);
+  out.consumed = kFrameHeaderBytes + length;
+  return out;
+}
+
+}  // namespace lid::serve

@@ -1,0 +1,58 @@
+// Length-prefixed binary framing — the protocol-v2 transport lane.
+//
+// A frame is an 8-byte header followed by the payload:
+//
+//   offset 0   magic byte 0 (0xC5)
+//   offset 1   magic byte 1 (0x1D)
+//   offset 2   protocol version (2)
+//   offset 3   flags (reserved; must be 0)
+//   offset 4   payload length, u32 little-endian
+//   offset 8   payload bytes
+//
+// The payload is the exact JSON text that the NDJSON lane would carry on one
+// line (without the trailing newline), so correctness is transport-
+// independent by construction: the two lanes differ only in how message
+// boundaries are marked. Magic byte 0xC5 can never begin a JSON document,
+// which lets a reader accept frames and NDJSON lines on the same connection
+// without ambiguity — each message self-describes its transport, and
+// responses are emitted in the transport their request arrived in.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace lid::serve {
+
+inline constexpr unsigned char kFrameMagic0 = 0xC5;
+inline constexpr unsigned char kFrameMagic1 = 0x1D;
+inline constexpr unsigned char kFrameVersion = 2;
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/// Wraps `payload` (one JSON message) into a binary frame.
+std::string frame_message(std::string_view payload, unsigned char flags = 0);
+
+/// True when `buffer` begins with the frame magic (and therefore cannot be
+/// the start of an NDJSON line).
+bool starts_frame(std::string_view buffer);
+
+enum class FrameStatus {
+  kNeedMore,  ///< header or payload incomplete; read more bytes
+  kFrame,     ///< one complete frame decoded
+  kBad,       ///< malformed header or oversized payload; the stream is dead
+};
+
+struct FrameDecode {
+  FrameStatus status = FrameStatus::kNeedMore;
+  std::string payload;            ///< valid when status == kFrame
+  std::size_t consumed = 0;       ///< bytes to drop from the buffer (kFrame)
+  const char* error_code = nullptr;  ///< a codes::* string when kBad
+  std::string error;              ///< human-readable detail when kBad
+};
+
+/// Attempts to decode one frame from the front of `buffer`. Payloads longer
+/// than `max_payload_bytes` are rejected as kBad (the length is known from
+/// the header, so an oversized frame is refused before it is buffered).
+FrameDecode decode_frame(std::string_view buffer, std::size_t max_payload_bytes);
+
+}  // namespace lid::serve

@@ -3,10 +3,15 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
 #include <thread>
 #include <utility>
 
+#include "engine/cached_analysis.hpp"
 #include "lint/render.hpp"
+#include "serve/registry.hpp"
 #include "util/rational.hpp"
 
 namespace lid::serve {
@@ -61,6 +66,19 @@ class ArgReader {
     return v->as_string();
   }
 
+  [[nodiscard]] bool has(const char* key) const { return args_.find(key) != nullptr; }
+
+  /// The optional "model" fingerprint; empty when absent.
+  std::string get_model() {
+    const util::Json* v = args_.find("model");
+    if (v == nullptr || v->is_null()) return {};
+    if (!v->is_string() || v->as_string().empty()) {
+      fail(codes::kInvalidArgument, "'model' must be a non-empty fingerprint string");
+      return {};
+    }
+    return v->as_string();
+  }
+
   /// The required embedded netlist text, with the size limit applied.
   std::string get_netlist(const ExecLimits& limits) {
     const util::Json* v = args_.find("netlist");
@@ -96,6 +114,102 @@ Outcome arg_failure(const ArgReader& reader) {
 
 Outcome from_error(const Error& error) {
   return Outcome::failure(wire_code(error.code), error.message);
+}
+
+/// How a netlist verb names its target: inline `netlist` text (v1) or a
+/// registered `model` fingerprint (v2). Reading only validates argument
+/// shape — parsing/registry lookup happens in `resolve_instance` after the
+/// caller has checked every argument, preserving v1's error precedence.
+struct ModelRef {
+  std::string fingerprint;  ///< non-empty selects the registry path
+  std::string netlist;
+};
+
+ModelRef read_model_ref(ArgReader& reader, const ExecLimits& limits) {
+  ModelRef ref;
+  ref.fingerprint = reader.get_model();
+  if (!ref.fingerprint.empty()) {
+    if (reader.has("netlist")) {
+      reader.fail(codes::kInvalidArgument, "give 'netlist' or 'model', not both");
+    }
+    return ref;
+  }
+  ref.netlist = reader.get_netlist(limits);
+  return ref;
+}
+
+/// The target instance plus, for registry-addressed requests, the resident
+/// entry whose pooled cache/memo serve it. `entry` stays null on the inline
+/// path.
+struct ResolvedModel {
+  Instance instance;
+  std::shared_ptr<Registry::Entry> entry;
+};
+
+std::optional<Outcome> resolve_instance(const ModelRef& ref, const ExecContext& context,
+                                        ResolvedModel& out) {
+  if (!ref.fingerprint.empty()) {
+    if (context.registry == nullptr) {
+      return Outcome::failure(codes::kUnknownModel,
+                              "model '" + ref.fingerprint +
+                                  "' cannot be resolved: this server has no model registry");
+    }
+    out.entry = context.registry->acquire(ref.fingerprint);
+    if (out.entry == nullptr) {
+      return Outcome::failure(codes::kUnknownModel,
+                              "model '" + ref.fingerprint +
+                                  "' is not registered (it may have been evicted; "
+                                  "register-model again)");
+    }
+    out.instance = out.entry->instance;
+    return std::nullopt;
+  }
+  const Result<Instance> parsed = parse_netlist(ref.netlist);
+  if (!parsed) return from_error(parsed.error());
+  out.instance = *parsed;
+  return std::nullopt;
+}
+
+/// The payload-memo key for a registered-model request: the verb plus every
+/// argument that can influence the payload, in request order. Envelope-only
+/// keys (id, deadline) are excluded so retries and different deadlines hit
+/// the same memo slot; `model` is constant within one entry's memo.
+std::string memo_key(const Request& request) {
+  std::string key = request.verb;
+  for (const auto& [name, value] : request.args.members()) {
+    if (name == "id" || name == "verb" || name == "model" || name == "deadline_ms" ||
+        name == "on_deadline") {
+      continue;
+    }
+    key += '\x1f';
+    key += name;
+    key += '=';
+    key += value.dump();
+  }
+  return key;
+}
+
+/// Runs `compute` for a resolved model. Registry-addressed requests take the
+/// entry lock (serializing work on one model, so the single-threaded
+/// AnalysisCache is safe) and consult the payload memo first; only ok,
+/// non-degraded outcomes are memoized — a degraded payload reflects deadline
+/// policy, not the request alone. Inline requests just compute.
+template <typename Fn>
+Outcome memoized(const ResolvedModel& model, const ExecContext& context, const Request& request,
+                 Fn&& compute) {
+  if (model.entry == nullptr) return compute();
+  const std::string key = memo_key(request);
+  const std::lock_guard<std::mutex> lock(model.entry->mutex);
+  if (const auto it = model.entry->memo.find(key); it != model.entry->memo.end()) {
+    context.registry->note_memo(true);
+    return Outcome::success(it->second);
+  }
+  context.registry->note_memo(false);
+  Outcome outcome = compute();
+  if (outcome.ok && !outcome.degraded) {
+    context.registry->memoize(*model.entry, key, outcome.payload);
+  }
+  return outcome;
 }
 
 void instance_summary(util::JsonWriter& w, const Instance& instance) {
@@ -182,37 +296,48 @@ Outcome do_generate(ArgReader& reader, const ExecLimits& limits) {
   return Outcome::success(w.str());
 }
 
-Outcome do_analyze(ArgReader& reader, const ExecLimits& limits) {
-  const std::string text = reader.get_netlist(limits);
+/// The `analyze` result payload: a pure function of the Analysis + options,
+/// shared by the inline and the cache-pooled path.
+Outcome analyze_payload(const Analysis& analysis, const AnalyzeOptions& options) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("cores").value(analysis.cores);
+  w.key("channels").value(analysis.channels);
+  w.key("relay_stations").value(analysis.relay_stations);
+  w.key("topology").value(analysis.topology);
+  w.key("theta_ideal").value(analysis.theta_ideal.to_string());
+  w.key("theta_practical").value(analysis.theta_practical.to_string());
+  w.key("degraded").value(analysis.degraded);
+  if (options.critical_cycle) {
+    w.key("critical_cycle").begin_array();
+    for (const std::string& hop : analysis.critical_cycle) w.value(hop);
+    w.end_array();
+  }
+  if (options.rate_safety) {
+    w.key("rate_hazards").value(analysis.rate_hazards);
+    w.key("rate_safe").value(analysis.rate_safe);
+  }
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_analyze(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
+                   const Request& request) {
+  const ModelRef ref = read_model_ref(reader, limits);
   AnalyzeOptions options;
   options.critical_cycle = reader.get_bool("critical_cycle", true);
   options.rate_safety = reader.get_bool("rate_safety", true);
   if (reader.failed()) return arg_failure(reader);
-  const Result<Instance> parsed = parse_netlist(text);
-  if (!parsed) return from_error(parsed.error());
-  const Result<Analysis> analysis = analyze(*parsed, options);
-  if (!analysis) return from_error(analysis.error());
-
-  util::JsonWriter w;
-  w.begin_object();
-  w.key("cores").value(analysis->cores);
-  w.key("channels").value(analysis->channels);
-  w.key("relay_stations").value(analysis->relay_stations);
-  w.key("topology").value(analysis->topology);
-  w.key("theta_ideal").value(analysis->theta_ideal.to_string());
-  w.key("theta_practical").value(analysis->theta_practical.to_string());
-  w.key("degraded").value(analysis->degraded);
-  if (options.critical_cycle) {
-    w.key("critical_cycle").begin_array();
-    for (const std::string& hop : analysis->critical_cycle) w.value(hop);
-    w.end_array();
-  }
-  if (options.rate_safety) {
-    w.key("rate_hazards").value(analysis->rate_hazards);
-    w.key("rate_safe").value(analysis->rate_safe);
-  }
-  w.end_object();
-  return Outcome::success(w.str());
+  ResolvedModel model;
+  if (auto failed = resolve_instance(ref, context, model)) return *failed;
+  return memoized(model, context, request, [&]() -> Outcome {
+    const Result<Analysis> analysis =
+        model.entry != nullptr
+            ? engine::analyze_cached(*model.entry->cache, model.instance, options)
+            : analyze(model.instance, options);
+    if (!analysis) return from_error(analysis.error());
+    return analyze_payload(*analysis, options);
+  });
 }
 
 /// The `size-queues` result payload: a pure function of the Sizing (no
@@ -265,8 +390,9 @@ Outcome sizing_outcome(const Sizing& sizing) {
 }
 
 Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
-                       OnDeadline policy) {
-  const std::string text = reader.get_netlist(limits);
+                       const Request& request) {
+  const OnDeadline policy = request.on_deadline;
+  const ModelRef ref = read_model_ref(reader, limits);
   SizeQueuesOptions options;
   // Default "lazy": constraint generation, falling back to full enumeration
   // deterministically when it cannot make progress. "full" is an alias for
@@ -304,62 +430,73 @@ Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits, const ExecCo
   options.simplify = reader.get_bool("simplify", true);
   if (reader.failed()) return arg_failure(reader);
 
-  const Result<Instance> parsed = parse_netlist(text);
-  if (!parsed) return from_error(parsed.error());
+  ResolvedModel model;
+  if (auto failed = resolve_instance(ref, context, model)) return *failed;
 
-  const bool wants_exact = options.solver != Solver::kHeuristic;
+  return memoized(model, context, request, [&]() -> Outcome {
+    const bool wants_exact = options.solver != Solver::kHeuristic;
 
-  // The degrade fallback: the same request with "solver":"heuristic" and no
-  // cancel token — its payload is byte-identical to direct heuristic
-  // execution by construction. Runtime stays bounded by the cycle cap.
-  const auto degrade = [&]() -> Outcome {
-    SizeQueuesOptions fallback = options;
-    fallback.solver = Solver::kHeuristic;
-    fallback.cancel = util::CancelToken();
-    const Result<Sizing> sizing = size_queues(*parsed, fallback);
-    if (!sizing) return from_error(sizing.error());
-    Outcome outcome = sizing_outcome(*sizing);
-    outcome.degraded = outcome.ok;
-    return outcome;
-  };
+    // Registered models solve through the entry's pooled cache (we hold its
+    // mutex via `memoized`); inline requests run the plain facade. Both
+    // produce byte-identical payloads (cached_analysis.hpp).
+    const auto solve = [&](const SizeQueuesOptions& opts) -> Result<Sizing> {
+      return model.entry != nullptr
+                 ? engine::size_queues_cached(*model.entry->cache, model.instance, opts)
+                 : size_queues(model.instance, opts);
+    };
 
-  if (context.deadline_expired || context.cancel.cancelled()) {
-    // Deadline already gone before any solving started (queue wait ate it).
-    // Policy "degrade" still buys the heuristic answer; "error" requests
-    // normally never reach here (the server answers them at dequeue).
-    if (policy != OnDeadline::kDegrade) {
-      return Outcome::failure(codes::kDeadlineExceeded,
-                              "deadline expired before size-queues started");
+    // The degrade fallback: the same request with "solver":"heuristic" and no
+    // cancel token — its payload is byte-identical to direct heuristic
+    // execution by construction. Runtime stays bounded by the cycle cap.
+    const auto degrade = [&]() -> Outcome {
+      SizeQueuesOptions fallback = options;
+      fallback.solver = Solver::kHeuristic;
+      fallback.cancel = util::CancelToken();
+      const Result<Sizing> sizing = solve(fallback);
+      if (!sizing) return from_error(sizing.error());
+      Outcome outcome = sizing_outcome(*sizing);
+      outcome.degraded = outcome.ok;
+      return outcome;
+    };
+
+    if (context.deadline_expired || context.cancel.cancelled()) {
+      // Deadline already gone before any solving started (queue wait ate it).
+      // Policy "degrade" still buys the heuristic answer; "error" requests
+      // normally never reach here (the server answers them at dequeue).
+      if (policy != OnDeadline::kDegrade) {
+        return Outcome::failure(codes::kDeadlineExceeded,
+                                "deadline expired before size-queues started");
+      }
+      if (wants_exact) return degrade();
+      // Heuristic-only request: nothing to degrade to — run it as asked,
+      // untagged, with no token (the answer is exactly what was requested).
+    } else {
+      options.cancel = context.cancel;
     }
-    if (wants_exact) return degrade();
-    // Heuristic-only request: nothing to degrade to — run it as asked,
-    // untagged, with no token (the answer is exactly what was requested).
-  } else {
-    options.cancel = context.cancel;
-  }
 
-  const Result<Sizing> sizing = size_queues(*parsed, options);
-  if (!sizing) {
-    if (sizing.error().code == ErrorCode::kTimeout) {
-      // Cancelled during cycle enumeration. Even the heuristic needs the
-      // full enumeration, so degrading cannot beat this deadline either.
-      return Outcome::failure(codes::kDeadlineExceeded, sizing.error().message);
+    const Result<Sizing> sizing = solve(options);
+    if (!sizing) {
+      if (sizing.error().code == ErrorCode::kTimeout) {
+        // Cancelled during cycle enumeration. Even the heuristic needs the
+        // full enumeration, so degrading cannot beat this deadline either.
+        return Outcome::failure(codes::kDeadlineExceeded, sizing.error().message);
+      }
+      return from_error(sizing.error());
     }
-    return from_error(sizing.error());
-  }
-  if (wants_exact && !sizing->exact_proved) {
-    if (policy == OnDeadline::kDegrade) return degrade();
-    if (sizing->exact_cancelled) {
-      return Outcome::failure(codes::kDeadlineExceeded,
-                              "deadline expired mid-exact-solve after " +
-                                  std::to_string(sizing->exact_nodes) +
-                                  " search nodes; raise deadline_ms or send "
-                                  "\"on_deadline\":\"degrade\"");
+    if (wants_exact && !sizing->exact_proved) {
+      if (policy == OnDeadline::kDegrade) return degrade();
+      if (sizing->exact_cancelled) {
+        return Outcome::failure(codes::kDeadlineExceeded,
+                                "deadline expired mid-exact-solve after " +
+                                    std::to_string(sizing->exact_nodes) +
+                                    " search nodes; raise deadline_ms or send "
+                                    "\"on_deadline\":\"degrade\"");
+      }
+      // Node-budget trip with policy "error": the legacy payload (heuristic
+      // weights, exact_proved:false) — still a pure function of the request.
     }
-    // Node-budget trip with policy "error": the legacy payload (heuristic
-    // weights, exact_proved:false) — still a pure function of the request.
-  }
-  return sizing_outcome(*sizing);
+    return sizing_outcome(*sizing);
+  });
 }
 
 Outcome do_insert_rs(ArgReader& reader, const ExecLimits& limits) {
@@ -387,8 +524,9 @@ Outcome do_insert_rs(ArgReader& reader, const ExecLimits& limits) {
   return Outcome::success(w.str());
 }
 
-Outcome do_lint(ArgReader& reader, const ExecLimits& limits) {
-  const std::string text = reader.get_netlist(limits);
+Outcome do_lint(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
+                const Request& request) {
+  const ModelRef ref = read_model_ref(reader, limits);
   const std::string target = reader.get_string("target", "");
   const bool errors_only = reader.get_bool("errors_only", false);
   if (reader.failed()) return arg_failure(reader);
@@ -406,34 +544,110 @@ Outcome do_lint(ArgReader& reader, const ExecLimits& limits) {
     }
   }
 
-  const Result<Instance> parsed = parse_netlist(text);
-  if (!parsed) return from_error(parsed.error());
-  const Result<linter::Report> report = lint(*parsed, options);
-  if (!report) return from_error(report.error());
+  ResolvedModel model;
+  if (auto failed = resolve_instance(ref, context, model)) return *failed;
+  return memoized(model, context, request, [&]() -> Outcome {
+    const Result<linter::Report> report = lint(model.instance, options);
+    if (!report) return from_error(report.error());
 
-  linter::RenderItem item;
-  item.lis = &parsed->graph();
-  item.report = &*report;
-  item.provenance = parsed->provenance();
-  util::JsonWriter w;
-  write_report_json(w, item);
-  return Outcome::success(w.str());
+    linter::RenderItem item;
+    item.lis = &model.instance.graph();
+    item.report = &*report;
+    item.provenance = model.instance.provenance();
+    util::JsonWriter w;
+    write_report_json(w, item);
+    return Outcome::success(w.str());
+  });
 }
 
-Outcome do_rate_safety(ArgReader& reader, const ExecLimits& limits) {
-  const std::string text = reader.get_netlist(limits);
+Outcome do_rate_safety(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
+                       const Request& request) {
+  const ModelRef ref = read_model_ref(reader, limits);
   if (reader.failed()) return arg_failure(reader);
-  const Result<Instance> parsed = parse_netlist(text);
-  if (!parsed) return from_error(parsed.error());
+  ResolvedModel model;
+  if (auto failed = resolve_instance(ref, context, model)) return *failed;
   AnalyzeOptions options;
   options.critical_cycle = false;
   options.rate_safety = true;
-  const Result<Analysis> analysis = analyze(*parsed, options);
-  if (!analysis) return from_error(analysis.error());
+  return memoized(model, context, request, [&]() -> Outcome {
+    const Result<Analysis> analysis =
+        model.entry != nullptr
+            ? engine::analyze_cached(*model.entry->cache, model.instance, options)
+            : analyze(model.instance, options);
+    if (!analysis) return from_error(analysis.error());
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("hazards").value(analysis->rate_hazards);
+    w.key("safe").value(analysis->rate_safe);
+    w.end_object();
+    return Outcome::success(w.str());
+  });
+}
+
+void model_info_json(util::JsonWriter& w, const ModelInfo& info) {
+  w.begin_object();
+  w.key("model").value(info.fingerprint);
+  w.key("bytes").value(info.bytes);
+  w.key("cores").value(info.cores);
+  w.key("channels").value(info.channels);
+  w.key("relay_stations").value(info.relay_stations);
+  w.end_object();
+}
+
+Outcome do_register_model(ArgReader& reader, const ExecLimits& limits,
+                          const ExecContext& context) {
+  const std::string text = reader.get_netlist(limits);
+  if (reader.failed()) return arg_failure(reader);
+  if (context.registry == nullptr) {
+    return Outcome::failure(codes::kRegistryFull, "this server has no model registry");
+  }
+  const Result<ModelInfo> info = context.registry->register_model(text);
+  if (!info) {
+    // The registry reports "does not fit" as kInvalidArgument; on the wire
+    // that is the dedicated registry_full code. Parse errors pass through.
+    if (info.error().code == ErrorCode::kInvalidArgument) {
+      return Outcome::failure(codes::kRegistryFull, info.error().message);
+    }
+    return from_error(info.error());
+  }
+  util::JsonWriter w;
+  model_info_json(w, *info);
+  return Outcome::success(w.str());
+}
+
+Outcome do_evict_model(ArgReader& reader, const ExecContext& context) {
+  const std::string fingerprint = reader.get_model();
+  if (fingerprint.empty() && !reader.failed()) {
+    reader.fail(codes::kInvalidArgument, "'model' (string) is required");
+  }
+  if (reader.failed()) return arg_failure(reader);
+  if (context.registry == nullptr || !context.registry->evict(fingerprint)) {
+    return Outcome::failure(codes::kUnknownModel,
+                            "model '" + fingerprint + "' is not registered");
+  }
   util::JsonWriter w;
   w.begin_object();
-  w.key("hazards").value(analysis->rate_hazards);
-  w.key("safe").value(analysis->rate_safe);
+  w.key("model").value(fingerprint);
+  w.key("evicted").value(true);
+  w.end_object();
+  return Outcome::success(w.str());
+}
+
+Outcome do_list_models(const ExecContext& context) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("models").begin_array();
+  std::size_t resident = 0;
+  std::size_t resident_bytes = 0;
+  if (context.registry != nullptr) {
+    for (const ModelInfo& info : context.registry->list()) model_info_json(w, info);
+    const Registry::Stats stats = context.registry->stats();
+    resident = stats.resident;
+    resident_bytes = stats.bytes;
+  }
+  w.end_array();
+  w.key("resident").value(resident);
+  w.key("resident_bytes").value(resident_bytes);
   w.end_object();
   return Outcome::success(w.str());
 }
@@ -525,17 +739,19 @@ Outcome execute(const Request& request, const ExecLimits& limits, const ExecCont
   if (request.verb == "sleep") return do_sleep(reader, limits, context);
   if (request.verb == "parse") return do_parse(reader, limits);
   if (request.verb == "generate") return do_generate(reader, limits);
-  if (request.verb == "analyze") return do_analyze(reader, limits);
-  if (request.verb == "size-queues") {
-    return do_size_queues(reader, limits, context, request.on_deadline);
-  }
+  if (request.verb == "analyze") return do_analyze(reader, limits, context, request);
+  if (request.verb == "size-queues") return do_size_queues(reader, limits, context, request);
   if (request.verb == "insert-rs") return do_insert_rs(reader, limits);
-  if (request.verb == "rate-safety") return do_rate_safety(reader, limits);
-  if (request.verb == "lint") return do_lint(reader, limits);
+  if (request.verb == "rate-safety") return do_rate_safety(reader, limits, context, request);
+  if (request.verb == "lint") return do_lint(reader, limits, context, request);
+  if (request.verb == "register-model") return do_register_model(reader, limits, context);
+  if (request.verb == "evict-model") return do_evict_model(reader, context);
+  if (request.verb == "list-models") return do_list_models(context);
   return Outcome::failure(codes::kUnknownVerb,
                           "unknown verb '" + request.verb +
                               "' (expected ping, parse, generate, analyze, size-queues, "
-                              "insert-rs, rate-safety, lint, sleep or stats)");
+                              "insert-rs, rate-safety, lint, register-model, evict-model, "
+                              "list-models, sleep, hello or stats)");
 }
 
 std::string request_id_json(const Request& request) {
@@ -543,10 +759,11 @@ std::string request_id_json(const Request& request) {
 }
 
 std::string response_line(const Request& request, const Outcome& outcome, double server_ms,
-                          double wait_ms) {
+                          double wait_ms, int protocol) {
   util::JsonWriter w;
   w.begin_object();
   w.key("id").raw(request_id_json(request));
+  if (protocol >= 2) w.key("protocol").value(protocol);
   w.key("ok").value(outcome.ok);
   w.key("verb").value(request.verb);
   if (outcome.ok) {
@@ -565,10 +782,11 @@ std::string response_line(const Request& request, const Outcome& outcome, double
 }
 
 std::string error_line(const std::string& id_json, const std::string& verb,
-                       const std::string& code, const std::string& message) {
+                       const std::string& code, const std::string& message, int protocol) {
   util::JsonWriter w;
   w.begin_object();
   w.key("id").raw(id_json.empty() ? "null" : id_json);
+  if (protocol >= 2) w.key("protocol").value(protocol);
   w.key("ok").value(false);
   if (!verb.empty()) w.key("verb").value(verb);
   w.key("error").begin_object();

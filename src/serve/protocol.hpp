@@ -35,6 +35,23 @@
 // is byte-identical to executing the same request directly — the serving
 // layer adds no nondeterminism (lid_selfcheck invariant 8). Timings live
 // only in the non-deterministic envelope fields (`server_ms`, `wait_ms`).
+//
+// Protocol v2 (negotiated per connection with the `hello` verb; see
+// docs/api-overview.md for the full walkthrough):
+//
+//   * `hello` — version/capability negotiation. A connection that never
+//     sends it stays on v1 and behaves exactly as above, byte for byte.
+//     After a successful hello, every response envelope carries
+//     `"protocol":2`.
+//   * registry verbs — `register-model` / `evict-model` / `list-models`
+//     manage the server's content-addressed model registry (registry.hpp),
+//     and `analyze` / `size-queues` / `lint` / `rate-safety` accept
+//     `"model": "<fingerprint>"` in place of inline `netlist` text. A
+//     registered-model payload is byte-identical to sending the model's
+//     canonical netlist inline.
+//   * a binary transport lane — length-prefixed frames (frame.hpp) carrying
+//     the same JSON bytes as the NDJSON lane. Responses always use the
+//     transport their request arrived in.
 #pragma once
 
 #include <cstdint>
@@ -59,7 +76,16 @@ inline constexpr const char* kIo = "io";
 inline constexpr const char* kTimeout = "timeout";
 inline constexpr const char* kInternal = "internal";
 inline constexpr const char* kLint = "lint";  ///< pre-flight lint rejected the model
+inline constexpr const char* kUnknownModel = "unknown_model";  ///< fingerprint not resident
+inline constexpr const char* kRegistryFull = "registry_full";  ///< model refused by the budget
+inline constexpr const char* kUnsupportedVersion = "unsupported_version";
 }  // namespace codes
+
+/// Protocol versions this build speaks. v1 is the implicit NDJSON protocol
+/// every connection starts in; v2 (negotiated via `hello`) adds the model
+/// registry, the binary frame lane, and the `protocol` envelope field.
+inline constexpr int kProtocolVersionMin = 1;
+inline constexpr int kProtocolVersion = 2;
 
 /// `code` mapped onto the wire string (kParse -> "parse_error", ...).
 const char* wire_code(ErrorCode code);
@@ -99,14 +125,18 @@ struct ExecLimits {
   std::int64_t max_rs_budget = 64;
 };
 
+class Registry;
+
 /// Execution-time context the server threads into `execute`: the request's
-/// cancel token (armed from the remaining deadline budget) and whether the
-/// deadline had already expired when a worker dequeued the request. The
-/// default context never cancels — direct `execute(request, limits)` calls
-/// stay pure and uncancellable.
+/// cancel token (armed from the remaining deadline budget), whether the
+/// deadline had already expired when a worker dequeued the request, and the
+/// server's model registry (nullptr disables `model` resolution and the
+/// registry verbs). The default context never cancels — direct
+/// `execute(request, limits)` calls stay pure and uncancellable.
 struct ExecContext {
   util::CancelToken cancel;
   bool deadline_expired = false;
+  Registry* registry = nullptr;
 };
 
 /// Outcome of executing one request: either a compact JSON `result` payload
@@ -151,14 +181,16 @@ Outcome execute(const Request& request, const ExecLimits& limits, const ExecCont
 
 /// Formats the response line (without trailing newline) for an executed
 /// request. `server_ms` / `wait_ms` land in the envelope, not the payload.
+/// `protocol` >= 2 adds the negotiated `"protocol"` envelope field; the
+/// default keeps v1 envelopes byte-identical to pre-v2 builds.
 std::string response_line(const Request& request, const Outcome& outcome, double server_ms,
-                          double wait_ms);
+                          double wait_ms, int protocol = 1);
 
 /// Formats an error response for a request that never executed (parse
 /// failure, shed, expired deadline). `id_json` is the already-serialized id
 /// ("\"7\"", "7", or "null"); use `request_id_json` to build it.
 std::string error_line(const std::string& id_json, const std::string& verb,
-                       const std::string& code, const std::string& message);
+                       const std::string& code, const std::string& message, int protocol = 1);
 
 /// The id of `request` as a JSON fragment ("null" when absent).
 std::string request_id_json(const Request& request);

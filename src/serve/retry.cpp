@@ -49,6 +49,13 @@ Result<std::string> RetryingClient::attempt(const std::string& line, bool& sent_
     if (!fresh) return fresh.error();
     connection_.emplace(std::move(fresh).value());
     ++stats_.reconnects;
+    if (policy_.session_warmup) {
+      const Status warmed = policy_.session_warmup(*connection_);
+      if (!warmed) {
+        disconnect();
+        return warmed.error();
+      }
+    }
   }
   const Status sent = connection_->send_line(line);
   if (!sent) {

@@ -54,6 +54,13 @@ struct RetryPolicy {
   int breaker_threshold = 5;
   /// How long an open breaker rejects calls before allowing a probe.
   double breaker_cooldown_ms = 1'000.0;
+  /// Runs once on every fresh connection before the pending request is
+  /// sent — the hook for per-connection/session state that a reconnect
+  /// loses. The canonical use is re-registering models after a failover, so
+  /// registered-model requests never see `unknown_model` on a replacement
+  /// server. A failing warmup counts as a transport failure of that attempt
+  /// (the connection is dropped and retried).
+  std::function<Status(Client&)> session_warmup;
 };
 
 /// Counters accumulated across calls (not thread-safe; one RetryingClient

@@ -15,6 +15,8 @@
 #include <ostream>
 #include <thread>
 
+#include "serve/frame.hpp"
+#include "serve/registry.hpp"
 #include "util/timer.hpp"
 
 namespace lid::serve {
@@ -48,6 +50,9 @@ struct Server::Connection {
   int fd = -1;
   std::uint64_t id = 0;
   std::mutex write_mutex;
+  /// Negotiated protocol version (1 until a successful `hello`). Atomic:
+  /// the reader writes it, workers read it when formatting envelopes.
+  std::atomic<int> protocol{1};
 
   ~Connection() {
     if (fd >= 0) ::close(fd);
@@ -58,6 +63,8 @@ Server::Server(ServerOptions options)
     : options_(std::move(options)), faults_(options_.fault_plan) {
   if (options_.workers < 1) options_.workers = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  registry_ = std::make_unique<Registry>(
+      RegistryOptions{options_.registry_max_bytes, options_.registry_max_models});
 }
 
 Server::~Server() {
@@ -241,47 +248,78 @@ void Server::connection_loop(std::shared_ptr<Connection> connection) {
     metrics_.count("bytes_in", n);
     buffer.append(chunk, static_cast<std::size_t>(n));
 
-    std::size_t start = 0;
-    while (true) {
-      const std::size_t newline = buffer.find('\n', start);
+    // Mixed-transport demultiplexing: a message starting with the frame
+    // magic is a binary frame, anything else is an NDJSON line. The magic
+    // byte can never begin JSON, so the two interleave without ambiguity.
+    bool hangup = false;
+    while (!hangup && !buffer.empty()) {
+      if (starts_frame(buffer)) {
+        const FrameDecode frame = decode_frame(buffer, options_.max_request_bytes);
+        if (frame.status == FrameStatus::kNeedMore) break;
+        if (frame.status == FrameStatus::kBad) {
+          // Framing is lost (bad header or oversized length): answer once,
+          // in kind, and hang up rather than resynchronize heuristically.
+          respond(connection, error_line("null", "", frame.error_code, frame.error,
+                                         connection->protocol.load()),
+                  /*binary=*/true);
+          metrics_.count("requests_rejected");
+          hangup = true;
+          break;
+        }
+        std::string payload = frame.payload;
+        buffer.erase(0, frame.consumed);
+        handle_message(connection, std::move(payload), /*binary=*/true);
+        continue;
+      }
+      const std::size_t newline = buffer.find('\n');
       if (newline == std::string::npos) break;
-      handle_line(connection, buffer.substr(start, newline - start));
-      start = newline + 1;
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      handle_message(connection, std::move(line), /*binary=*/false);
     }
-    buffer.erase(0, start);
+    if (hangup) break;
 
-    if (buffer.size() > options_.max_request_bytes) {
+    if (!starts_frame(buffer) && buffer.size() > options_.max_request_bytes) {
       // A line that exceeds the limit before its newline arrives would
-      // otherwise grow the buffer without bound.
+      // otherwise grow the buffer without bound. (Oversized frames are
+      // rejected from their declared length by decode_frame above.)
       respond(connection,
               error_line("null", "", codes::kTooLarge,
                          "request line exceeds " + std::to_string(options_.max_request_bytes) +
-                             " bytes"));
+                             " bytes",
+                         connection->protocol.load()),
+              /*binary=*/false);
       break;
     }
   }
   active_connections_.fetch_sub(1);
 }
 
-void Server::handle_line(const std::shared_ptr<Connection>& connection, std::string line) {
-  if (!line.empty() && line.back() == '\r') line.pop_back();
-  if (line.empty()) return;
+void Server::handle_message(const std::shared_ptr<Connection>& connection, std::string text,
+                            bool binary) {
+  if (!binary && !text.empty() && text.back() == '\r') text.pop_back();
+  if (text.empty()) return;
   metrics_.count("requests_total");
+  if (binary) metrics_.count("requests_binary");
 
-  if (line.size() > options_.max_request_bytes) {
+  if (text.size() > options_.max_request_bytes) {
     metrics_.count("requests_rejected");
     respond(connection,
             error_line("null", "", codes::kTooLarge,
-                       "request of " + std::to_string(line.size()) + " bytes exceeds the limit of " +
-                           std::to_string(options_.max_request_bytes)));
+                       "request of " + std::to_string(text.size()) + " bytes exceeds the limit of " +
+                           std::to_string(options_.max_request_bytes),
+                       connection->protocol.load()),
+            binary);
     return;
   }
 
-  Result<Request> parsed = parse_request(line);
+  Result<Request> parsed = parse_request(text);
   if (!parsed) {
     metrics_.count("requests_rejected");
-    respond(connection, error_line("null", "", wire_code(parsed.error().code),
-                                   parsed.error().message));
+    respond(connection,
+            error_line("null", "", wire_code(parsed.error().code), parsed.error().message,
+                       connection->protocol.load()),
+            binary);
     if (options_.log != nullptr) {
       Request unparsed;
       log_request(*connection, unparsed, wire_code(parsed.error().code), 0.0, 0.0);
@@ -290,6 +328,14 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
   }
   Request request = std::move(parsed).value();
 
+  // `hello` negotiates the connection's protocol; it is answered by the
+  // reader because it must take effect before any later request on this
+  // connection is formatted.
+  if (request.verb == "hello") {
+    handle_hello(connection, request, binary);
+    return;
+  }
+
   // `stats` is answered by the reader so it works even when every worker is
   // busy — that is exactly when you want to see the queue.
   if (request.verb == "stats") {
@@ -297,7 +343,9 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
     const Outcome outcome = Outcome::success(stats_json());
     metrics_.count("requests_ok");
     metrics_.count("verb_stats");
-    respond(connection, response_line(request, outcome, timer.elapsed_ms(), 0.0));
+    respond(connection,
+            response_line(request, outcome, timer.elapsed_ms(), 0.0, connection->protocol.load()),
+            binary);
     log_request(*connection, request, "ok", 0.0, timer.elapsed_ms());
     return;
   }
@@ -310,7 +358,8 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
   const std::string verb = request.verb;
 
   const engine::TaskPool::Submit submitted = pool_->submit(
-      [this, connection, request = std::move(request)](const engine::TaskPool::Context& context) {
+      [this, connection, binary,
+       request = std::move(request)](const engine::TaskPool::Context& context) {
         const util::Timer exec_timer;
         Outcome outcome;
         if (context.deadline_expired && request.on_deadline != OnDeadline::kDegrade) {
@@ -327,6 +376,7 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
           ExecContext exec_context;
           exec_context.cancel = context.cancel;
           exec_context.deadline_expired = context.deadline_expired;
+          exec_context.registry = registry_.get();
           outcome = execute(request, options_.limits, exec_context);
           metrics_.count(outcome.ok ? "requests_ok" : "requests_error");
           metrics_.count("verb_" + request.verb);
@@ -343,7 +393,10 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
         }
         const double exec_ms = exec_timer.elapsed_ms();
         latency_.record(context.queue_wait_ms + exec_ms);
-        respond(connection, response_line(request, outcome, exec_ms, context.queue_wait_ms));
+        respond(connection,
+                response_line(request, outcome, exec_ms, context.queue_wait_ms,
+                              connection->protocol.load()),
+                binary);
         log_request(*connection, request,
                     outcome.ok ? "ok" : outcome.error_code, context.queue_wait_ms, exec_ms);
       },
@@ -356,7 +409,9 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
       respond(connection,
               error_line(id_json, verb, codes::kOverloaded,
                          "admission queue full (" + std::to_string(pool_->queue_capacity()) +
-                             " requests); retry later"));
+                             " requests); retry later",
+                         connection->protocol.load()),
+              binary);
       Request shed_request;
       shed_request.verb = verb;
       shed_request.has_id = has_id;
@@ -367,14 +422,99 @@ void Server::handle_line(const std::shared_ptr<Connection>& connection, std::str
     case engine::TaskPool::Submit::kClosed:
       metrics_.count("requests_rejected");
       respond(connection,
-              error_line(id_json, verb, codes::kShuttingDown, "server is draining"));
+              error_line(id_json, verb, codes::kShuttingDown, "server is draining",
+                         connection->protocol.load()),
+              binary);
       break;
   }
 }
 
-void Server::respond(const std::shared_ptr<Connection>& connection, const std::string& line) {
-  std::string framed = line;
-  framed.push_back('\n');
+void Server::handle_hello(const std::shared_ptr<Connection>& connection, const Request& request,
+                          bool binary) {
+  const util::Timer timer;
+  metrics_.count("verb_hello");
+
+  int wanted = kProtocolVersion;
+  if (const util::Json* v = request.args.find("protocol"); v != nullptr && !v->is_null()) {
+    if (!v->is_number()) {
+      respond(connection,
+              response_line(request,
+                            Outcome::failure(codes::kInvalidArgument,
+                                             "'protocol' must be a number"),
+                            timer.elapsed_ms(), 0.0, connection->protocol.load()),
+              binary);
+      metrics_.count("requests_error");
+      return;
+    }
+    wanted = static_cast<int>(v->as_int());
+  }
+  if (wanted < kProtocolVersionMin || wanted > kProtocolVersion) {
+    respond(connection,
+            response_line(request,
+                          Outcome::failure(codes::kUnsupportedVersion,
+                                           "protocol " + std::to_string(wanted) +
+                                               " is not supported (this server speaks " +
+                                               std::to_string(kProtocolVersionMin) + ".." +
+                                               std::to_string(kProtocolVersion) + ")"),
+                          timer.elapsed_ms(), 0.0, connection->protocol.load()),
+            binary);
+    metrics_.count("requests_error");
+    return;
+  }
+
+  std::string transport = binary ? "binary" : "ndjson";
+  if (const util::Json* t = request.args.find("transport"); t != nullptr && !t->is_null()) {
+    const std::string value = t->is_string() ? t->as_string() : "";
+    if (value != "ndjson" && value != "binary") {
+      respond(connection,
+              response_line(request,
+                            Outcome::failure(codes::kInvalidArgument,
+                                             "'transport' must be \"ndjson\" or \"binary\""),
+                            timer.elapsed_ms(), 0.0, connection->protocol.load()),
+              binary);
+      metrics_.count("requests_error");
+      return;
+    }
+    if (value == "binary" && wanted < 2) {
+      respond(connection,
+              response_line(request,
+                            Outcome::failure(codes::kInvalidArgument,
+                                             "the binary transport requires protocol >= 2"),
+                            timer.elapsed_ms(), 0.0, connection->protocol.load()),
+              binary);
+      metrics_.count("requests_error");
+      return;
+    }
+    transport = value;
+  }
+
+  connection->protocol.store(wanted);
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("protocol").value(wanted);
+  w.key("server").value("lid_serve");
+  w.key("transports").begin_array().value("ndjson").value("binary").end_array();
+  w.key("transport").value(transport);
+  w.key("max_request_bytes").value(options_.max_request_bytes);
+  w.end_object();
+  const Outcome outcome = Outcome::success(w.str());
+  metrics_.count("requests_ok");
+  // The hello response itself already speaks the negotiated protocol.
+  respond(connection, response_line(request, outcome, timer.elapsed_ms(), 0.0, wanted), binary);
+  log_request(*connection, request, "ok", 0.0, timer.elapsed_ms());
+}
+
+void Server::respond(const std::shared_ptr<Connection>& connection, const std::string& line,
+                     bool binary) {
+  // In kind: a frame for a framed request, a newline-terminated line
+  // otherwise. The JSON bytes inside are identical either way.
+  std::string framed;
+  if (binary) {
+    framed = frame_message(line);
+  } else {
+    framed = line;
+    framed.push_back('\n');
+  }
 
   if (faults_.active()) {
     const FaultDecision fault = faults_.decide();
@@ -477,6 +617,7 @@ std::string Server::stats_json() const {
   }
   w.end_object();
   w.key("latency").raw(latency_.to_json());
+  w.key("registry").raw(registry_->stats_json());
   if (faults_.active()) w.key("faults").raw(faults_.stats_json());
   w.end_object();
   return w.str();

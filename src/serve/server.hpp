@@ -24,6 +24,15 @@
 //   * observability — per-request structured log lines, engine Metrics
 //     (counters + per-verb stage timers), queue depth / shed counts, and a
 //     latency histogram, all exposed by the `stats` verb.
+//
+// Transports: every connection speaks NDJSON; a message starting with the
+// frame magic (frame.hpp) is a length-prefixed binary frame instead, and the
+// two may interleave freely — each response uses the transport its request
+// arrived in. The `hello` verb (handled reader-side, like `stats`) upgrades
+// the connection to protocol v2, after which response envelopes carry
+// `"protocol":2`. Connections that never send `hello` get byte-identical v1
+// behavior. The server also owns the model registry (registry.hpp) backing
+// the v2 `register-model` / `model` request family.
 #pragma once
 
 #include <atomic>
@@ -70,6 +79,10 @@ struct ServerOptions {
   /// testing). The default plan injects nothing. Faults perturb only the
   /// transport — payload computation is never touched.
   FaultPlan fault_plan;
+  /// Model-registry budget (registry.hpp); registry_max_models = 0 disables
+  /// registration (register-model answers `registry_full`).
+  std::size_t registry_max_bytes = std::size_t{64} << 20;
+  std::size_t registry_max_models = 64;
 };
 
 class Server {
@@ -105,13 +118,20 @@ class Server {
   /// The `stats` verb payload: queue/shed/latency snapshot as compact JSON.
   [[nodiscard]] std::string stats_json() const;
 
+  /// The server's model registry (always present; budget from options).
+  [[nodiscard]] Registry& registry() { return *registry_; }
+
  private:
   struct Connection;
 
   void accept_loop();
   void connection_loop(std::shared_ptr<Connection> connection);
-  void handle_line(const std::shared_ptr<Connection>& connection, std::string line);
-  void respond(const std::shared_ptr<Connection>& connection, const std::string& line);
+  void handle_message(const std::shared_ptr<Connection>& connection, std::string text,
+                      bool binary);
+  void handle_hello(const std::shared_ptr<Connection>& connection, const Request& request,
+                    bool binary);
+  void respond(const std::shared_ptr<Connection>& connection, const std::string& line,
+               bool binary);
   void log_request(const Connection& connection, const Request& request,
                    const std::string& status, double wait_ms, double exec_ms);
 
@@ -123,6 +143,7 @@ class Server {
   bool unlink_on_close_ = false;
 
   std::unique_ptr<engine::TaskPool> pool_;
+  std::unique_ptr<Registry> registry_;
   engine::Metrics metrics_;
   LatencyHistogram latency_;
   FaultInjector faults_;

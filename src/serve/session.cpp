@@ -1,0 +1,367 @@
+#include "serve/session.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace lid::serve {
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error{ErrorCode::kIo, what + ": " + std::strerror(errno)};
+}
+
+/// Decodes a response: on `ok` returns the compact `result` bytes, otherwise
+/// an Error carrying the server's code + message. Also exposes the parsed
+/// envelope for callers that need more than the payload.
+Result<std::string> result_or_error(const std::string& response, util::Json* envelope_out) {
+  const util::JsonParse parsed = util::json_parse(response);
+  if (!parsed || !parsed.value.is_object()) {
+    return Error{ErrorCode::kParse, "malformed response: not a JSON object"};
+  }
+  if (envelope_out != nullptr) *envelope_out = parsed.value;
+  const util::Json* ok = parsed.value.find("ok");
+  if (ok == nullptr || !ok->is_bool()) {
+    return Error{ErrorCode::kParse, "malformed response: no boolean 'ok'"};
+  }
+  if (!ok->as_bool()) {
+    std::string code = "unknown";
+    std::string message;
+    if (const util::Json* error = parsed.value.find("error");
+        error != nullptr && error->is_object()) {
+      if (const util::Json* c = error->find("code"); c != nullptr && c->is_string()) {
+        code = c->as_string();
+      }
+      if (const util::Json* m = error->find("message"); m != nullptr && m->is_string()) {
+        message = m->as_string();
+      }
+    }
+    return Error{ErrorCode::kInvalidArgument, "server error [" + code + "] " + message};
+  }
+  const util::Json* result = parsed.value.find("result");
+  if (result == nullptr) {
+    return Error{ErrorCode::kParse, "ok response has no 'result'"};
+  }
+  return result->dump();
+}
+
+}  // namespace
+
+Session::Session(int fd, SessionOptions options) : fd_(fd), options_(options) {}
+
+Result<Session> Session::connect_unix(const std::string& path, const SessionOptions& options) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Error{ErrorCode::kInvalidArgument, "unix socket path too long: " + path};
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_error("socket(AF_UNIX)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Error error = errno_error("connect('" + path + "')");
+    ::close(fd);
+    return error;
+  }
+  Session session(fd, options);
+  const Status negotiated = session.handshake();
+  if (!negotiated) return negotiated.error();
+  return session;
+}
+
+Result<Session> Session::connect_tcp(const std::string& host, int port,
+                                     const SessionOptions& options) {
+  if (port <= 0 || port > 65535) {
+    return Error{ErrorCode::kInvalidArgument, "bad port " + std::to_string(port)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Error{ErrorCode::kInvalidArgument, "bad host address '" + host + "'"};
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return errno_error("socket(AF_INET)");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const Error error = errno_error("connect(" + host + ":" + std::to_string(port) + ")");
+    ::close(fd);
+    return error;
+  }
+  Session session(fd, options);
+  const Status negotiated = session.handshake();
+  if (!negotiated) return negotiated.error();
+  return session;
+}
+
+Session::Session(Session&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      options_(other.options_),
+      protocol_(other.protocol_),
+      buffer_(std::move(other.buffer_)),
+      next_id_(other.next_id_) {}
+
+Session& Session::operator=(Session&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    protocol_ = other.protocol_;
+    buffer_ = std::move(other.buffer_);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+Session::~Session() { close(); }
+
+void Session::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status Session::handshake() {
+  if (options_.binary && options_.protocol < 2) {
+    return Error{ErrorCode::kInvalidArgument, "the binary transport requires protocol >= 2"};
+  }
+  if (options_.protocol < 1 || options_.protocol > kProtocolVersion) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "unsupported client protocol " + std::to_string(options_.protocol)};
+  }
+  if (!options_.hello || options_.protocol < 2) {
+    protocol_ = 1;
+    return Unit{};
+  }
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value("hello");
+  w.key("protocol").value(options_.protocol);
+  w.key("transport").value(options_.binary ? "binary" : "ndjson");
+  w.end_object();
+  const Status sent = send_message(w.str());
+  if (!sent) return sent.error();
+  const Result<std::string> response = recv_message(options_.timeout_ms);
+  if (!response) return response.error();
+
+  util::Json envelope;
+  const Result<std::string> payload = result_or_error(*response, &envelope);
+  if (!payload) {
+    // A pre-v2 server answers `unknown_verb`: stay on v1 (NDJSON only).
+    if (const util::Json* error = envelope.find("error");
+        error != nullptr && error->is_object()) {
+      if (const util::Json* code = error->find("code");
+          code != nullptr && code->is_string() && code->as_string() == codes::kUnknownVerb) {
+        if (options_.binary) {
+          return Error{ErrorCode::kInvalidArgument,
+                       "server does not speak protocol 2; binary transport unavailable"};
+        }
+        protocol_ = 1;
+        return Unit{};
+      }
+    }
+    return payload.error();
+  }
+  const util::JsonParse parsed = util::json_parse(*payload);
+  if (parsed && parsed.value.is_object()) {
+    if (const util::Json* p = parsed.value.find("protocol"); p != nullptr && p->is_number()) {
+      protocol_ = static_cast<int>(p->as_int());
+    }
+  }
+  return Unit{};
+}
+
+Status Session::send_message(const std::string& json) {
+  if (fd_ < 0) return Error{ErrorCode::kIo, "session is closed"};
+  std::string wire;
+  if (options_.binary) {
+    std::string_view body = json;
+    if (!body.empty() && body.back() == '\n') body.remove_suffix(1);
+    wire = frame_message(body);
+  } else {
+    wire = json;
+    if (wire.empty() || wire.back() != '\n') wire.push_back('\n');
+  }
+  std::size_t sent = 0;
+  while (sent < wire.size()) {
+    const ssize_t n = ::send(fd_, wire.data() + sent, wire.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Unit{};
+}
+
+Result<std::string> Session::recv_message(double timeout_ms) {
+  if (fd_ < 0) return Error{ErrorCode::kIo, "session is closed"};
+  util::Timer waited;
+  while (true) {
+    // One complete message buffered? Frames and lines are distinguished per
+    // message by the frame magic (which can never begin JSON).
+    if (starts_frame(buffer_)) {
+      const FrameDecode frame = decode_frame(buffer_, ~std::size_t{0});
+      if (frame.status == FrameStatus::kBad) {
+        return Error{ErrorCode::kParse, "bad response frame: " + frame.error};
+      }
+      if (frame.status == FrameStatus::kFrame) {
+        std::string payload = frame.payload;
+        buffer_.erase(0, frame.consumed);
+        return payload;
+      }
+    } else {
+      const std::size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        if (!line.empty() && line.back() == '\r') line.pop_back();
+        return line;
+      }
+    }
+    if (timeout_ms > 0.0) {
+      const double remaining = timeout_ms - waited.elapsed_ms();
+      if (remaining <= 0.0) {
+        return Error{ErrorCode::kTimeout,
+                     "no response within " + std::to_string(timeout_ms) + " ms"};
+      }
+      pollfd pfd{};
+      pfd.fd = fd_;
+      pfd.events = POLLIN;
+      const int ready = ::poll(&pfd, 1, static_cast<int>(std::ceil(remaining)));
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return errno_error("poll");
+      }
+      if (ready == 0) continue;  // re-check remaining; expires next pass
+    }
+    char chunk[65536];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) return Error{ErrorCode::kIo, "server closed the connection"};
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return errno_error("recv");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+Result<std::string> Session::call(const std::string& json) {
+  const Status sent = send_message(json);
+  if (!sent) return sent.error();
+  return recv_message(options_.timeout_ms);
+}
+
+Result<ModelHandle> Session::register_model(const std::string& netlist_text) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::int64_t>(++next_id_));
+  w.key("verb").value("register-model");
+  w.key("netlist").value(netlist_text);
+  w.end_object();
+  const Result<std::string> response = call(w.str());
+  if (!response) return response.error();
+  const Result<std::string> payload = result_or_error(*response, nullptr);
+  if (!payload) return payload.error();
+  const util::JsonParse parsed = util::json_parse(*payload);
+  if (!parsed || !parsed.value.is_object()) {
+    return Error{ErrorCode::kParse, "malformed register-model payload"};
+  }
+  ModelHandle handle;
+  if (const util::Json* v = parsed.value.find("model"); v != nullptr && v->is_string()) {
+    handle.fingerprint = v->as_string();
+  }
+  if (const util::Json* v = parsed.value.find("bytes"); v != nullptr && v->is_number()) {
+    handle.bytes = static_cast<std::size_t>(v->as_int());
+  }
+  if (const util::Json* v = parsed.value.find("cores"); v != nullptr && v->is_number()) {
+    handle.cores = static_cast<std::size_t>(v->as_int());
+  }
+  if (const util::Json* v = parsed.value.find("channels"); v != nullptr && v->is_number()) {
+    handle.channels = static_cast<std::size_t>(v->as_int());
+  }
+  if (const util::Json* v = parsed.value.find("relay_stations"); v != nullptr && v->is_number()) {
+    handle.relay_stations = static_cast<int>(v->as_int());
+  }
+  if (!handle.valid()) {
+    return Error{ErrorCode::kParse, "register-model payload has no 'model' fingerprint"};
+  }
+  return handle;
+}
+
+Status Session::evict_model(const ModelHandle& model) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::int64_t>(++next_id_));
+  w.key("verb").value("evict-model");
+  w.key("model").value(model.fingerprint);
+  w.end_object();
+  const Result<std::string> response = call(w.str());
+  if (!response) return response.error();
+  const Result<std::string> payload = result_or_error(*response, nullptr);
+  if (!payload) return payload.error();
+  return Unit{};
+}
+
+Result<std::string> Session::query(const ModelHandle& model, const std::string& verb,
+                                   const std::string& extra_args_json) {
+  if (!model.valid()) {
+    return Error{ErrorCode::kInvalidArgument, "query: invalid (empty) model handle"};
+  }
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::int64_t>(++next_id_));
+  w.key("verb").value(verb);
+  w.key("model").value(model.fingerprint);
+  if (!extra_args_json.empty()) {
+    const util::JsonParse extra = util::json_parse(extra_args_json);
+    if (!extra || !extra.value.is_object()) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "query: extra_args_json must be a JSON object"};
+    }
+    for (const auto& [name, value] : extra.value.members()) {
+      w.key(name).raw(value.dump());
+    }
+  }
+  w.end_object();
+  const Result<std::string> response = call(w.str());
+  if (!response) return response.error();
+  return result_or_error(*response, nullptr);
+}
+
+Result<std::string> Session::list_models() {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::int64_t>(++next_id_));
+  w.key("verb").value("list-models");
+  w.end_object();
+  const Result<std::string> response = call(w.str());
+  if (!response) return response.error();
+  return result_or_error(*response, nullptr);
+}
+
+Result<std::string> Session::stats() {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(static_cast<std::int64_t>(++next_id_));
+  w.key("verb").value("stats");
+  w.end_object();
+  const Result<std::string> response = call(w.str());
+  if (!response) return response.error();
+  return result_or_error(*response, nullptr);
+}
+
+}  // namespace lid::serve

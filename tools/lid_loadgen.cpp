@@ -5,7 +5,8 @@
 //               [--retries N] [--attempt-timeout-ms T] [--backoff-ms B]
 //               [--solver lazy|full|both|exact|heuristic] [--max-nodes N]
 //               [--v N --s N --c N --rs N --seed N --instances N]
-//               [--sleep-ms N] [--json]
+//               [--sleep-ms N] [--registered] [--transport ndjson|binary]
+//               [--json]
 //
 // Each client opens one connection and issues requests back to back (send,
 // wait for the response, send the next — a closed loop, so offered load
@@ -26,6 +27,15 @@
 // `--solver` is passed through to `size-queues` verbatim; omit it to use the
 // server default (lazy constraint generation). "full" is the server's alias
 // for the eager heuristic+exact pipeline.
+//
+// Protocol-v2 knobs: `--registered` switches the model-addressed verbs
+// (analyze, size-queues, lint, rate-safety) to the register-once/query-many
+// pattern — each client registers every workload netlist on connect (via the
+// retry layer's session_warmup, so a reconnect re-registers) and then sends
+// ~60-byte fingerprint requests instead of inline netlists; the summary adds
+// the server's registry memo hit rate. `--transport binary` sends requests on
+// the length-prefixed frame lane. Either flag upgrades the connection to
+// protocol 2 via `hello`.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
@@ -36,6 +46,7 @@
 
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
+#include "serve/registry.hpp"
 #include "serve/retry.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
@@ -93,6 +104,23 @@ int main(int argc, char** argv) {
     const int instances = static_cast<int>(cli.get_int_in("instances", 8, 1, 1024));
     const bool as_json = cli.get_bool("json", false);
 
+    const bool registered = cli.get_bool("registered", false);
+    const std::string transport = cli.get_string("transport", "");
+    if (!transport.empty() && transport != "ndjson" && transport != "binary") {
+      std::cerr << "lid_loadgen: --transport must be 'ndjson' or 'binary'\n";
+      return 1;
+    }
+    if (registered && verb != "analyze" && verb != "size-queues" && verb != "lint" &&
+        verb != "rate-safety") {
+      std::cerr << "lid_loadgen: --registered applies to analyze, size-queues, lint or "
+                   "rate-safety\n";
+      return 1;
+    }
+    serve::SessionOptions session_options;
+    session_options.binary = transport == "binary";
+    session_options.protocol = (registered || session_options.binary) ? 2 : 1;
+    session_options.hello = session_options.protocol >= 2;
+
     serve::RetryPolicy retry_policy;
     retry_policy.max_attempts =
         1 + static_cast<int>(cli.get_int_in("retries", 0, 0, 100));
@@ -112,6 +140,7 @@ int main(int argc, char** argv) {
     util::Rng seeder(static_cast<std::uint64_t>(cli.get_int_in("seed", 1, 0, 1'000'000'000)));
 
     std::vector<std::string> request_bodies;
+    std::vector<std::string> netlist_texts;  // registered mode: sent once per connection
     for (int i = 0; i < instances; ++i) {
       util::JsonWriter w;
       w.begin_object();
@@ -136,7 +165,14 @@ int main(int argc, char** argv) {
           std::cerr << "lid_loadgen: " << text.error().to_string() << "\n";
           return 1;
         }
-        w.key("netlist").value(*text);
+        if (registered) {
+          // netlist_text output is already canonical, so the fingerprint can
+          // be computed locally; warmup registration confirms it server-side.
+          netlist_texts.push_back(*text);
+          w.key("model").value(serve::Registry::fingerprint(*text));
+        } else {
+          w.key("netlist").value(*text);
+        }
       }
       // The per-request id is appended by each client (key must be last-less;
       // JsonWriter cannot reopen, so clients splice it via a template).
@@ -154,10 +190,33 @@ int main(int argc, char** argv) {
         ClientStats& s = stats[static_cast<std::size_t>(c)];
         serve::RetryPolicy policy = retry_policy;
         policy.jitter_seed = static_cast<std::uint64_t>(c) + 1;
+        if (registered) {
+          // Re-register every workload model on each fresh connection so a
+          // reconnect (failover, torn connection) never sees unknown_model.
+          policy.session_warmup = [&](serve::Client& peer) -> Status {
+            for (const std::string& text : netlist_texts) {
+              util::JsonWriter reg;
+              reg.begin_object();
+              reg.key("verb").value("register-model");
+              reg.key("netlist").value(text);
+              reg.end_object();
+              const Result<std::string> response = peer.call(reg.str());
+              if (!response) return response.error();
+              const util::JsonParse parsed = util::json_parse(*response);
+              const util::Json* ok =
+                  parsed.ok && parsed.value.is_object() ? parsed.value.find("ok") : nullptr;
+              if (ok == nullptr || !ok->is_bool() || !ok->as_bool()) {
+                return Error{ErrorCode::kIo, "register-model failed: " + *response};
+              }
+            }
+            return Unit{};
+          };
+        }
         serve::RetryingClient client(
             [&]() -> Result<serve::Client> {
-              return socket_path.empty() ? serve::Client::connect_tcp(host, port)
-                                         : serve::Client::connect_unix(socket_path);
+              return socket_path.empty()
+                         ? serve::Client::connect_tcp(host, port, session_options)
+                         : serve::Client::connect_unix(socket_path, session_options);
             },
             policy);
         std::int64_t n = 0;
@@ -246,6 +305,37 @@ int main(int argc, char** argv) {
     const double p95 = percentile(latencies, 0.95);
     const double p99 = percentile(latencies, 0.99);
 
+    // Registered mode: one post-run stats probe reports how much of the load
+    // the server answered from its per-model payload memo.
+    std::int64_t memo_hits = 0;
+    std::int64_t memo_misses = 0;
+    if (registered) {
+      Result<serve::Client> probe = socket_path.empty()
+                                        ? serve::Client::connect_tcp(host, port)
+                                        : serve::Client::connect_unix(socket_path);
+      if (probe) {
+        serve::Client prober = std::move(probe).value();
+        const Result<std::string> response = prober.call("{\"verb\":\"stats\"}");
+        if (response) {
+          const util::JsonParse parsed = util::json_parse(*response);
+          const util::Json* result =
+              parsed.ok && parsed.value.is_object() ? parsed.value.find("result") : nullptr;
+          const util::Json* registry =
+              result != nullptr && result->is_object() ? result->find("registry") : nullptr;
+          if (registry != nullptr && registry->is_object()) {
+            if (const util::Json* hits = registry->find("memo_hits")) memo_hits = hits->as_int();
+            if (const util::Json* misses = registry->find("memo_misses")) {
+              memo_misses = misses->as_int();
+            }
+          }
+        }
+      }
+    }
+    const double registry_hit_rate =
+        memo_hits + memo_misses == 0
+            ? 0.0
+            : static_cast<double>(memo_hits) / static_cast<double>(memo_hits + memo_misses);
+
     if (as_json) {
       util::JsonWriter w;
       w.begin_object();
@@ -267,6 +357,13 @@ int main(int argc, char** argv) {
       w.key("p50_ms").value_fixed(p50, 3);
       w.key("p95_ms").value_fixed(p95, 3);
       w.key("p99_ms").value_fixed(p99, 3);
+      if (registered) {
+        w.key("registered").value(true);
+        w.key("registry_memo_hits").value(memo_hits);
+        w.key("registry_memo_misses").value(memo_misses);
+        w.key("registry_hit_rate").value_fixed(registry_hit_rate, 4);
+      }
+      if (!transport.empty()) w.key("transport").value(transport);
       w.end_object();
       std::cout << w.str() << "\n";
     } else {
@@ -287,6 +384,12 @@ int main(int argc, char** argv) {
       table.add_row({"latency p50 (ms)", util::Table::fmt(p50, 3)});
       table.add_row({"latency p95 (ms)", util::Table::fmt(p95, 3)});
       table.add_row({"latency p99 (ms)", util::Table::fmt(p99, 3)});
+      if (registered) {
+        table.add_row({"registry hit rate",
+                       util::Table::fmt(registry_hit_rate * 100.0, 2) + "% (" +
+                           std::to_string(memo_hits) + "/" +
+                           std::to_string(memo_hits + memo_misses) + ")"});
+      }
       table.print(std::cout);
       if (!total.first_error.empty()) {
         std::cout << "first error: " << total.first_error << "\n";

@@ -31,7 +31,12 @@
 //  11. lint hygiene: every generated system passes the error-tier lint
 //      checks (the analyze/size-queues pre-flight admits it), and a
 //      deadlocked netlist is rejected with the structured `lint` error code
-//      through both the facade and the serve protocol — never an abort.
+//      through both the facade and the serve protocol — never an abort;
+//  12. the model registry is a pure address: for every model-addressed verb,
+//      querying a registered fingerprint (protocol v2, over NDJSON and over
+//      the binary frame transport) returns a payload byte-identical to
+//      sending the same netlist inline, which equals direct execution — at
+//      1 and at 4 workers.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
@@ -53,6 +58,7 @@
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
+#include "serve/session.hpp"
 #include "util/cli.hpp"
 #include "util/json.hpp"
 #include "util/rng.hpp"
@@ -309,6 +315,90 @@ bool check_serve(std::uint64_t trial_seed) {
   return true;
 }
 
+// Invariant (12): the model registry is a pure address. Registering a model
+// and querying it by fingerprint — over NDJSON and over the binary frame
+// transport, at 1 and at 4 workers — answers byte-identically to sending the
+// same netlist inline on the same connection, which in turn equals direct
+// in-process execution. This covers both the registry's canonicalize/reparse
+// path and the per-model payload memo (the second worker sweep replays every
+// query against warm memo entries).
+bool check_registry(std::uint64_t trial_seed) {
+  util::Rng rng(trial_seed);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 3; ++i) {
+    GenerateOptions options;
+    options.cores = 5 + static_cast<int>(rng.uniform_int(0, 6));
+    options.sccs = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    options.extra_cycles = static_cast<int>(rng.uniform_int(0, 2));
+    options.relay_stations = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    options.rs_anywhere = true;
+    options.seed = rng.fork_seed();
+    const Result<Instance> generated = lid::generate(options);
+    CHECK_OR_FAIL(generated.ok(), "registry: generate");
+    const Result<std::string> text = netlist_text(*generated);
+    CHECK_OR_FAIL(text.ok(), "registry: netlist text");
+    texts.push_back(*text);
+  }
+
+  static const char* kVerbs[] = {"analyze", "size-queues", "lint", "rate-safety"};
+  const auto inline_line = [&](std::size_t m, const char* verb) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("verb").value(verb).key("netlist").value(texts[m]);
+    w.end_object();
+    return w.str();
+  };
+
+  // Direct execution of the inline-netlist form is the reference.
+  std::vector<std::vector<std::string>> direct(texts.size());
+  for (std::size_t m = 0; m < texts.size(); ++m) {
+    for (const char* verb : kVerbs) {
+      const Result<serve::Request> request = serve::parse_request(inline_line(m, verb));
+      CHECK_OR_FAIL(request.ok(), "registry: request parses");
+      const serve::Outcome outcome = serve::execute(*request);
+      CHECK_OR_FAIL(outcome.ok, "registry: direct execution succeeds");
+      direct[m].push_back(outcome.payload);
+    }
+  }
+
+  for (const int workers : {1, 4}) {
+    serve::ServerOptions options;
+    options.unix_socket =
+        "/tmp/lid_selfcheck_reg_" + std::to_string(::getpid()) + ".sock";
+    options.workers = workers;
+    serve::Server server(options);
+    CHECK_OR_FAIL(server.start().ok(), "registry: server starts");
+    for (const bool binary : {false, true}) {
+      serve::SessionOptions session_options;
+      session_options.binary = binary;
+      Result<serve::Session> connected =
+          serve::Session::connect_unix(options.unix_socket, session_options);
+      CHECK_OR_FAIL(connected.ok(), "registry: session connects");
+      serve::Session session = std::move(connected).value();
+      CHECK_OR_FAIL(session.protocol() == 2, "registry: hello negotiates v2");
+      for (std::size_t m = 0; m < texts.size(); ++m) {
+        const Result<serve::ModelHandle> handle = session.register_model(texts[m]);
+        CHECK_OR_FAIL(handle.ok(), "registry: register-model succeeds");
+        for (std::size_t v = 0; v < 4; ++v) {
+          const Result<std::string> registered = session.query(*handle, kVerbs[v]);
+          CHECK_OR_FAIL(registered.ok(), "registry: registered query succeeds");
+          CHECK_OR_FAIL(*registered == direct[m][v],
+                        "registry: registered payload == direct payload");
+          const Result<std::string> response = session.call(inline_line(m, kVerbs[v]));
+          CHECK_OR_FAIL(response.ok(), "registry: inline call succeeds");
+          const Result<std::string> inlined = serve::extract_result(*response);
+          CHECK_OR_FAIL(inlined.ok(), "registry: inline response ok");
+          CHECK_OR_FAIL(*inlined == direct[m][v],
+                        "registry: inline v2 payload == direct payload");
+        }
+      }
+      session.close();
+    }
+    server.stop();
+  }
+  return true;
+}
+
 // Invariant (9): graceful degradation is honest. Requests that trip a
 // 1-node exact budget with "on_deadline":"degrade" must answer with a
 // payload byte-identical to direct heuristic execution, tagged degraded in
@@ -482,6 +572,7 @@ int main(int argc, char** argv) {
     util::Timer timer;
     if (!check_engine(seed)) return 1;
     if (!check_serve(seed)) return 1;
+    if (!check_registry(seed)) return 1;
     if (!check_degrade(seed)) return 1;
     if (!check_lint(seed)) return 1;
     std::int64_t trials = 0;

@@ -15,6 +15,9 @@
 //   --max-request-bytes N    request-line size limit             (default 1 MiB)
 //   --default-deadline-ms N  deadline for requests without one   (default none)
 //   --max-nodes N            exact-QS node-budget cap            (default 200000)
+//   --registry-max-bytes N   model-registry byte budget          (default 64 MiB)
+//   --registry-max-models N  resident-model cap; 0 disables the registry
+//                            (register-model answers registry_full) (default 64)
 //   --fault-plan SPEC        seeded fault injection at the response boundary
 //                            (chaos testing; see src/serve/faults.hpp), e.g.
 //                            seed=42,stall=0.1:50,torn=0.05,drop=0.02,garbage=0.01
@@ -60,6 +63,10 @@ int main(int argc, char** argv) {
         static_cast<std::size_t>(cli.get_int_in("max-request-bytes", 1 << 20, 64, 1 << 28));
     options.default_deadline_ms = cli.get_double_in("default-deadline-ms", 0.0, 0.0, 1e9);
     options.limits.exact_max_nodes = cli.get_int_in("max-nodes", 200'000, 1, 100'000'000);
+    options.registry_max_bytes = static_cast<std::size_t>(
+        cli.get_int_in("registry-max-bytes", std::int64_t{64} << 20, 0, std::int64_t{1} << 40));
+    options.registry_max_models =
+        static_cast<std::size_t>(cli.get_int_in("registry-max-models", 64, 0, 1'000'000));
     const std::string fault_spec = cli.get_string("fault-plan", "");
     if (!fault_spec.empty()) {
       Result<serve::FaultPlan> plan = serve::FaultPlan::parse(fault_spec);

@@ -26,11 +26,17 @@
 //                      [--format pretty|json|sarif] [--out file]
 //                      [--fail-on error|warning|info|never]
 //   lid_tool client    (--socket PATH | --port N [--host A]) --verb analyze
-//                      [--netlist sys.lis] [--deadline-ms N] [--id STR]
+//                      [--netlist sys.lis | --model FINGERPRINT]
+//                      [--deadline-ms N] [--id STR]
 //                      [--on-deadline error|degrade] [--retries N]
 //                      [--attempt-timeout-ms T]
+//                      [--protocol 1|2] [--transport ndjson|binary]
 //                      [verb args: --v/--s/--c/--rs/--seed/--policy, --solver,
 //                       --max-nodes, --budget, --ms] [--result-only] [--stdin]
+//                      Protocol-v2 verbs: hello, register-model (--netlist),
+//                      evict-model (--model), list-models; analyze /
+//                      size-queues / lint / rate-safety accept --model to hit
+//                      a registered model instead of shipping the netlist.
 //
 // Numeric flags are range-validated (Cli::get_int_in): zero, negative or
 // non-numeric values where they make no sense exit 1 with a message naming
@@ -506,14 +512,29 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
     w.key("seed").value(static_cast<std::int64_t>(options.seed));
     w.key("policy").value(options.rs_anywhere ? "any" : "scc");
     w.key("reconvergent").value(options.reconvergent);
-  } else if (verb != "ping" && verb != "stats") {
-    const std::string path = cli.get_string("netlist", "");
-    if (path.empty()) throw std::invalid_argument("--netlist <file> is required for " + verb);
-    std::ifstream file(path);
-    if (!file) throw std::runtime_error("cannot open '" + path + "'");
-    std::ostringstream text;
-    text << file.rdbuf();
-    w.key("netlist").value(text.str());
+  } else if (verb == "hello") {
+    w.key("protocol").value(cli.get_int_in("protocol", 2, 1, 2));
+  } else if (verb == "evict-model") {
+    const std::string model = cli.get_string("model", "");
+    if (model.empty()) {
+      throw std::invalid_argument("--model <fingerprint> is required for evict-model");
+    }
+    w.key("model").value(model);
+  } else if (verb != "ping" && verb != "stats" && verb != "list-models") {
+    // A registered-model fingerprint replaces the inline netlist for the
+    // model-addressed verbs; register-model always ships the text.
+    const std::string model = verb == "register-model" ? "" : cli.get_string("model", "");
+    if (!model.empty()) {
+      w.key("model").value(model);
+    } else {
+      const std::string path = cli.get_string("netlist", "");
+      if (path.empty()) throw std::invalid_argument("--netlist <file> is required for " + verb);
+      std::ifstream file(path);
+      if (!file) throw std::runtime_error("cannot open '" + path + "'");
+      std::ostringstream text;
+      text << file.rdbuf();
+      w.key("netlist").value(text.str());
+    }
     if (verb == "size-queues") {
       // Passed through verbatim; omitted when not given so the server
       // default (lazy) applies. The server also accepts the "full" alias.
@@ -545,10 +566,24 @@ int cmd_client(const util::Cli& cli) {
   serve::RetryPolicy policy;
   policy.max_attempts = 1 + static_cast<int>(cli.get_int_in("retries", 0, 0, 100));
   policy.attempt_timeout_ms = cli.get_double_in("attempt-timeout-ms", 0.0, 0.0, 1e9);
+
+  // --protocol 2 / --transport binary opt into the v2 handshake; the default
+  // stays a byte-identical v1 NDJSON connection.
+  const std::string transport = cli.get_string("transport", "");
+  if (!transport.empty() && transport != "ndjson" && transport != "binary") {
+    throw std::invalid_argument("--transport must be ndjson or binary");
+  }
+  const int protocol = static_cast<int>(cli.get_int_in("protocol", 1, 1, 2));
+  serve::SessionOptions session_options;
+  session_options.binary = transport == "binary";
+  session_options.protocol = (protocol >= 2 || session_options.binary) ? 2 : 1;
+  session_options.hello = session_options.protocol >= 2;
+
   serve::RetryingClient client(
-      [socket_path, host, port]() -> Result<serve::Client> {
-        return socket_path.empty() ? serve::Client::connect_tcp(host, port)
-                                   : serve::Client::connect_unix(socket_path);
+      [socket_path, host, port, session_options]() -> Result<serve::Client> {
+        return socket_path.empty()
+                   ? serve::Client::connect_tcp(host, port, session_options)
+                   : serve::Client::connect_unix(socket_path, session_options);
       },
       policy);
 
