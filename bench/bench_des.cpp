@@ -1,0 +1,68 @@
+// Micro-benchmarks: discrete-event simulator throughput (token-arrival
+// events per second) across system sizes, with occupancy tracing on and off
+// — the `trace` arg pairs measure the tracing overhead directly (the PR
+// budget is <= 2x). Stochastic latencies defeat the recurrence early-exit,
+// so every iteration simulates the full horizon.
+#include <benchmark/benchmark.h>
+
+#include "des/des.hpp"
+#include "gen/generator.hpp"
+#include "lis/lis_graph.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace lid;
+
+lis::LisGraph system_of(int vertices) {
+  util::Rng rng(49);
+  gen::GeneratorParams params;
+  params.vertices = vertices;
+  params.sccs = 3;
+  params.min_cycles = 2;
+  params.relay_stations = 6;
+  params.reconvergent = true;
+  params.policy = gen::RsPolicy::kScc;
+  return gen::generate(params, rng);
+}
+
+void BM_DesEvents(benchmark::State& state) {
+  const lis::LisGraph system = system_of(static_cast<int>(state.range(0)));
+  const bool trace = state.range(1) != 0;
+  std::int64_t events = 0;
+  for (auto _ : state) {
+    des::SimOptions options;
+    options.horizon = 2'000;
+    options.channel_latency = des::LatencyDist::uniform(1, 4);
+    options.trace_occupancy = trace;
+    const des::SimReport report = des::simulate(system, options);
+    events += report.events;
+    benchmark::DoNotOptimize(report.firings);
+  }
+  state.SetItemsProcessed(events);
+}
+BENCHMARK(BM_DesEvents)
+    ->ArgNames({"v", "trace"})
+    ->Args({20, 0})
+    ->Args({20, 1})
+    ->Args({60, 0})
+    ->Args({60, 1})
+    ->Args({120, 0})
+    ->Args({120, 1});
+
+// The deterministic limit with recurrence detection: the whole run ends at
+// the first state revisit, so this measures detection cost, not horizon.
+void BM_DesDeterministicRecurrence(benchmark::State& state) {
+  const lis::LisGraph system = system_of(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    des::SimOptions options;
+    options.horizon = 30'000;
+    options.trace_occupancy = false;
+    benchmark::DoNotOptimize(des::simulate(system, options).periodic_found);
+  }
+}
+BENCHMARK(BM_DesDeterministicRecurrence)->ArgNames({"v"})->Arg(20)->Arg(60);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -6,19 +6,19 @@
 # round-trip lane (inline vs registered-model RTTs over a Unix socket) is
 # included by default; set SERVE_BENCHES=0 on runners that cannot create
 # sockets. Override BUILD_DIR / MIN_TIME via the environment; the output
-# path is the first argument (default BENCH_PR6.json).
+# path is the first argument (default BENCH_PR7.json).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD=${BUILD_DIR:-build}
-OUT=${1:-BENCH_PR6.json}
+OUT=${1:-BENCH_PR7.json}
 MIN_TIME=${MIN_TIME:-0.01}
 SERVE_BENCHES=${SERVE_BENCHES:-1}
 TMP=$(mktemp -d)
 trap 'rm -rf "$TMP"' EXIT
 
 SUITES="bench_micro_mcm bench_micro_cycles bench_micro_qs bench_micro_lazy_qs \
-bench_micro_protocol"
+bench_micro_protocol bench_des"
 
 for bench in $SUITES; do
   echo "== $bench =="

@@ -1,0 +1,50 @@
+// Stochastic-profile annotations carried inside .lis netlist text.
+//
+// A netlist can carry per-channel latency distributions and per-source
+// arrival processes as structured `#!` comment lines:
+//
+//     #! channel 3 latency=uniform:1:4
+//     #! source dct arrival=poisson:1/4
+//
+// Legacy readers are untouched: netlist_io strips everything after '#', so a
+// netlist with annotations parses to the identical LisGraph everywhere, and
+// only DES-aware tools (lid_tool simulate, gen --stochastic) interpret the
+// profile. Channel ordinals refer to the channel order of the netlist text,
+// which to_text/from_text preserve.
+#pragma once
+
+#include <string>
+
+#include "des/des.hpp"
+#include "lis/lis_graph.hpp"
+#include "util/rng.hpp"
+
+namespace lid::des {
+
+/// Extracts the stochastic profile from `#!` lines in .lis text. Lines not
+/// starting with "#!" are ignored; malformed directives, out-of-range channel
+/// ordinals, unknown core names, and duplicate assignments throw
+/// std::invalid_argument (with the offending line in the message). Returns a
+/// Profile sized to `lis` (all-nullopt when the text carries no annotations).
+Profile parse_profile(const std::string& lis_text, const lis::LisGraph& lis);
+
+/// Renders the profile as `#!` annotation lines (one per assignment, channel
+/// lines first, trailing newline; empty string for an empty profile).
+/// parse_profile(to_text(g) + profile_text(p, g), g) == p.
+std::string profile_text(const Profile& profile, const lis::LisGraph& lis);
+
+/// Knobs for random_profile (the `gen --stochastic` emitter).
+struct RandomProfileOptions {
+  /// Largest fixed latency / uniform upper bound drawn for a channel.
+  std::int64_t max_latency = 4;
+  /// Largest inter-arrival period / burst phase drawn for a source.
+  std::int64_t max_period = 8;
+};
+
+/// Draws a full profile for `lis`: every channel gets a latency model from
+/// {fixed, uniform, geometric} and every source core (in-degree 0) an arrival
+/// process from {rate, poisson, bursty}, all parameters within `options`.
+Profile random_profile(const lis::LisGraph& lis, const RandomProfileOptions& options,
+                       util::Rng& rng);
+
+}  // namespace lid::des

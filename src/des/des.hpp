@@ -1,0 +1,267 @@
+// Event-driven stochastic simulation of latency-insensitive systems.
+//
+// The paper's framework (and the mg simulator) is synchronous and
+// fixed-latency: every transition fires once per clock and every hop takes
+// exactly one cycle. Real deployments live elsewhere — channels jitter,
+// sources burst, queues fill. This subsystem simulates the doubled marked
+// graph d[G] as a discrete-event system over an event calendar keyed on
+// timestamped token arrivals (the per-element-timestamped latency-queue
+// idiom): each forward hop of a channel draws its latency from a per-channel
+// distribution, source cores can be driven by open-system arrival processes,
+// and backpressure follows the relay-station protocol exactly (a transition
+// fires only when every input place — data *and* credit — holds an arrived
+// token, at most once per cycle).
+//
+// Everything is integer/rational: timestamps are int64 cycles, random draws
+// are hand-rolled from raw std::mt19937_64 output (whose sequence the C++
+// standard pins down exactly) with rational probabilities, and all statistics
+// (throughput, time-weighted occupancy means, percentiles) are exact. Reports
+// are therefore byte-identical for a given seed on every platform.
+//
+// Cross-validation contract (selfcheck invariant 13): in the deterministic
+// limit — all latencies fixed at 1, closed system (saturated sources) — the
+// simulated throughput equals min(1, θ(d[G])) exactly, via the same
+// state-recurrence periodicity detection the mg simulator uses. A system
+// whose queues were sized by size_queues() simulates at exactly
+// min(1, θ_ideal); when that rate is 1 it also runs stall-free past the
+// transient (every core fires every cycle, so no credit can arrive late).
+// At rates below 1 steady-state stalls are expected even when sized: credit
+// backedges then lie on cycles whose ratio ties the forward critical cycle,
+// so backpressure legitimately shares the binding role without costing
+// throughput — equal cycle means equalize rates, not earliest schedules.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lis/lis_graph.hpp"
+#include "util/cancel.hpp"
+#include "util/rational.hpp"
+
+namespace lid::des {
+
+// ---------------------------------------------------------------------------
+// Latency distributions (per channel)
+// ---------------------------------------------------------------------------
+
+enum class DistKind : std::uint8_t {
+  kFixed,      ///< every hop traversal takes exactly `lo` cycles
+  kUniform,    ///< uniform integer latency in [lo, hi]
+  kGeometric,  ///< 1 + Geometric(prob_num/prob_den) failures; mean den/num
+};
+
+/// A per-channel forward-hop latency model. All draws are >= 1 cycle, so an
+/// event scheduled at time t always lands at t+1 or later — the simulator
+/// never has to resolve same-cycle cascades.
+struct LatencyDist {
+  DistKind kind = DistKind::kFixed;
+  std::int64_t lo = 1;  ///< kFixed: the latency; kUniform: lower bound
+  std::int64_t hi = 1;  ///< kUniform: upper bound (>= lo)
+  /// kGeometric: per-trial success probability prob_num/prob_den; the latency
+  /// is the number of trials up to and including the first success (>= 1).
+  std::int64_t prob_num = 1;
+  std::int64_t prob_den = 2;
+
+  static LatencyDist fixed(std::int64_t cycles);
+  static LatencyDist uniform(std::int64_t lo, std::int64_t hi);
+  static LatencyDist geometric(std::int64_t num, std::int64_t den);
+
+  /// True when every draw is the same value (the deterministic limit).
+  [[nodiscard]] bool is_deterministic() const { return kind == DistKind::kFixed; }
+  /// True for fixed:1 — the paper's synchronous unit-latency model.
+  [[nodiscard]] bool is_unit() const { return kind == DistKind::kFixed && lo == 1; }
+
+  /// Spec-string form: "fixed:3", "uniform:1:4", "geometric:1/2".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const LatencyDist&) const = default;
+};
+
+/// Parses a spec string ("fixed:3" / "uniform:1:4" / "geometric:1/2"; a bare
+/// integer "3" is shorthand for fixed:3). Returns nullopt on malformed input
+/// or out-of-range parameters (latencies must lie in [1, 1'000'000], the
+/// geometric success probability in (0, 1]).
+std::optional<LatencyDist> parse_latency_dist(const std::string& spec);
+
+// ---------------------------------------------------------------------------
+// Arrival processes (per source core)
+// ---------------------------------------------------------------------------
+
+enum class ArrivalKind : std::uint8_t {
+  kSaturated,  ///< closed system: the source always has data (mg semantics)
+  kPeriodic,   ///< one arrival every `period` cycles, starting at cycle 0
+  kPoisson,    ///< Bernoulli(num/den) arrival per cycle (discrete Poisson)
+  kBursty,     ///< deterministic on/off: `on` cycles of back-to-back
+               ///< arrivals, then `off` silent cycles, repeating
+};
+
+/// An open-system arrival process attached to a source core (a core with no
+/// incoming channels). Non-saturated sources fire only when their arrival
+/// backlog is non-empty; the backlog is unbounded (the open-system boundary
+/// has no backpressure — everything inside the system does).
+struct ArrivalSpec {
+  ArrivalKind kind = ArrivalKind::kSaturated;
+  std::int64_t period = 1;  ///< kPeriodic: inter-arrival gap (>= 1)
+  std::int64_t num = 1;     ///< kPoisson: per-cycle arrival probability num/den
+  std::int64_t den = 2;
+  std::int64_t on = 8;   ///< kBursty: burst length in cycles (>= 1)
+  std::int64_t off = 8;  ///< kBursty: gap length in cycles (>= 1)
+
+  static ArrivalSpec saturated();
+  static ArrivalSpec periodic(std::int64_t period);
+  static ArrivalSpec poisson(std::int64_t num, std::int64_t den);
+  static ArrivalSpec bursty(std::int64_t on, std::int64_t off);
+
+  /// True when the process involves no random draws.
+  [[nodiscard]] bool is_deterministic() const { return kind != ArrivalKind::kPoisson; }
+
+  /// Spec-string form: "saturated", "rate:4", "poisson:1/4", "bursty:8:8".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const ArrivalSpec&) const = default;
+};
+
+/// Parses a spec string ("saturated" / "rate:P" / "poisson:N/D" /
+/// "bursty:ON:OFF"). Returns nullopt on malformed input or out-of-range
+/// parameters (period/on/off in [1, 1'000'000], probability in (0, 1]).
+std::optional<ArrivalSpec> parse_arrival_spec(const std::string& spec);
+
+// ---------------------------------------------------------------------------
+// Stochastic profile (per-netlist overrides, carried by `#!` annotations)
+// ---------------------------------------------------------------------------
+
+/// Per-channel / per-source overrides of the simulation-wide defaults. The
+/// annotation layer (annotations.hpp) round-trips a Profile through `#!`
+/// comment lines in .lis text, which legacy readers skip as comments.
+struct Profile {
+  /// channel_latency[ch] overrides the default latency model of channel ch.
+  std::vector<std::optional<LatencyDist>> channel_latency;
+  /// core_arrival[v] overrides the default arrival process of source core v
+  /// (ignored for non-source cores).
+  std::vector<std::optional<ArrivalSpec>> core_arrival;
+
+  [[nodiscard]] bool empty() const;
+  bool operator==(const Profile&) const = default;
+};
+
+// ---------------------------------------------------------------------------
+// Simulation options / report
+// ---------------------------------------------------------------------------
+
+struct SimOptions {
+  /// Measured window in cycles. The run covers [0, warmup + horizon) and
+  /// statistics cover [warmup, warmup + horizon).
+  std::int64_t horizon = 10'000;
+  /// Cycles excluded from occupancy/throughput statistics (transient skip).
+  std::int64_t warmup = 0;
+  /// RNG seed; reports are byte-identical for identical (netlist, options).
+  std::uint64_t seed = 1;
+  /// Default forward-hop latency model for every channel.
+  LatencyDist channel_latency{};
+  /// Default arrival process for every source core.
+  ArrivalSpec arrival{};
+  /// Per-channel / per-source overrides (e.g. from `#!` annotations).
+  Profile profile;
+  /// Record per-channel occupancy histograms (p50/p95/p99/max/mean). Off
+  /// saves the per-event bookkeeping; counters and throughput still work.
+  bool trace_occupancy = true;
+  /// Core whose firing rate is reported as throughput. In a connected d[G]
+  /// every core has the same asymptotic rate, so this is a labeling choice.
+  lis::CoreId reference = 0;
+  /// In the fully deterministic regime, detect state recurrence and return
+  /// the exact periodic throughput (stopping early). Ignored when any
+  /// distribution or arrival process is stochastic.
+  bool detect_period = true;
+  util::CancelToken cancel;
+};
+
+/// Per-channel occupancy and backpressure statistics. Occupancy counts the
+/// tokens that have *arrived* at the destination shell's input queue place
+/// and not yet been consumed, sampled at the end of each cycle. Its
+/// structural bound is q + 2·rs + 1 (queue slots + relay-station slots + the
+/// source shell's initial latched output, which the doubled-graph abstraction
+/// lets drain forward).
+struct ChannelStats {
+  lis::ChannelId channel = 0;
+  lis::CoreId src = 0;
+  lis::CoreId dst = 0;
+  int capacity = 0;        ///< configured queue capacity q
+  int relay_stations = 0;  ///< rs on the channel
+
+  /// Conservation counters over the whole run (including warmup):
+  /// tokens_in == tokens_out + in_flight always holds.
+  std::int64_t tokens_in = 0;   ///< tokens injected into the queue place
+                                ///< (initial marking + producer firings)
+  std::int64_t tokens_out = 0;  ///< tokens consumed by the destination shell
+  std::int64_t in_flight = 0;   ///< still traveling or queued at end of run
+
+  /// Backpressure stalls over the measured window: firings where the data
+  /// side was ready but a credit (backward place) on this channel arrived
+  /// strictly later and delayed the firing.
+  std::int64_t stall_events = 0;
+  std::int64_t stall_cycles = 0;
+
+  /// Occupancy statistics over the measured window (time-weighted; exact).
+  std::int64_t max_occupancy = 0;
+  std::int64_t p50 = 0;
+  std::int64_t p95 = 0;
+  std::int64_t p99 = 0;
+  util::Rational mean_occupancy;  ///< Σ occupancy·cycles / measured cycles
+  /// histogram[v] = number of measured cycles spent at occupancy v.
+  std::vector<std::int64_t> histogram;
+};
+
+struct SimReport {
+  // Echo of the run configuration (for replayability from the artifact).
+  std::int64_t horizon = 0;
+  std::int64_t warmup = 0;
+  std::uint64_t seed = 0;
+  bool deterministic = false;  ///< no stochastic draws anywhere in the run
+
+  /// Cycles actually simulated (< warmup + horizon when a recurrence was
+  /// detected or the calendar drained).
+  std::int64_t cycles_run = 0;
+  std::int64_t events = 0;   ///< token-arrival events processed
+  std::int64_t firings = 0;  ///< total transition firings
+
+  /// Reference-core firings inside the measured window.
+  std::int64_t reference_firings = 0;
+  /// Exact periodic rate when periodic_found, else reference_firings divided
+  /// by the measured cycles.
+  util::Rational throughput;
+  bool periodic_found = false;
+  std::int64_t transient_cycles = 0;
+  std::int64_t period_cycles = 0;
+
+  /// Open-system arrivals generated / consumed across all sources, and the
+  /// largest backlog any source accumulated.
+  std::int64_t arrivals_generated = 0;
+  std::int64_t arrivals_consumed = 0;
+  std::int64_t max_backlog = 0;
+
+  /// Measured-window stall totals (sum over channels plus internal pipeline
+  /// backedges, which have no channel to be attributed to).
+  std::int64_t total_stall_events = 0;
+  std::int64_t total_stall_cycles = 0;
+
+  bool cancelled = false;
+
+  std::vector<ChannelStats> channels;  ///< indexed by ChannelId
+
+  /// Deterministic key=value text rendering (one line per scalar, one line
+  /// per channel). Two runs with identical inputs produce byte-identical
+  /// serializations — the seed-stability contract tests compare these.
+  [[nodiscard]] std::string serialize() const;
+};
+
+/// Simulates the doubled marked graph d[G] of `lis` as a discrete-event
+/// system. Throws std::invalid_argument on malformed options (non-positive
+/// horizon, out-of-range reference core, profile sized to a different
+/// netlist). Polls options.cancel once per event batch (strided); a
+/// cancelled run returns with cancelled = true and whatever statistics had
+/// accumulated.
+SimReport simulate(const lis::LisGraph& lis, const SimOptions& options = {});
+
+}  // namespace lid::des

@@ -127,6 +127,26 @@ void analyze_one(const EngineOptions& options, const Instance& instance, Instanc
           out.rate_hazards = core::analyze_rate_safety(instance.graph()).hazards.size();
           break;
         }
+        case AnalysisKind::kDes: {
+          // Deterministic limit (fixed unit latencies, saturated sources):
+          // the throughput is exact once a recurrence is found, so this
+          // doubles as a cheap cross-check of mst-practical. Occupancy
+          // tracing is off — the batch report carries no histograms.
+          const Metrics::ScopedStage timer(metrics, "des");
+          des::SimOptions sim;
+          sim.horizon = options.des_horizon;
+          sim.seed = options.des_seed;
+          sim.trace_occupancy = false;
+          const des::SimReport report = des::simulate(instance.graph(), sim);
+          out.des_throughput = report.throughput;
+          out.des_events = report.events;
+          out.des_stalls = report.total_stall_events;
+          out.des_periodic = report.periodic_found;
+          metrics.count("des_events", report.events);
+          metrics.count("des_firings", report.firings);
+          metrics.count("des_stall_events", report.total_stall_events);
+          break;
+        }
       }
     }
   } catch (const std::exception& e) {
@@ -150,6 +170,7 @@ const char* to_string(AnalysisKind kind) {
     case AnalysisKind::kQsLazy: return "qs-lazy";
     case AnalysisKind::kRsInsertion: return "rs-insertion";
     case AnalysisKind::kRateSafety: return "rate-safety";
+    case AnalysisKind::kDes: return "des";
   }
   return "unknown";
 }
@@ -158,7 +179,7 @@ Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv) {
   static constexpr AnalysisKind kAll[] = {
       AnalysisKind::kIdealMst, AnalysisKind::kPracticalMst, AnalysisKind::kQsHeuristic,
       AnalysisKind::kQsExact,  AnalysisKind::kQsLazy,       AnalysisKind::kRsInsertion,
-      AnalysisKind::kRateSafety,
+      AnalysisKind::kRateSafety, AnalysisKind::kDes,
   };
   std::vector<AnalysisKind> kinds;
   std::istringstream stream(csv);
@@ -181,7 +202,7 @@ Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv) {
       return Error{ErrorCode::kInvalidArgument,
                    "unknown analysis '" + token +
                        "' (expected mst-ideal, mst-practical, qs-heuristic, qs-exact, "
-                       "qs-lazy, rs-insertion, rate-safety or all)"};
+                       "qs-lazy, rs-insertion, rate-safety, des or all)"};
     }
   }
   if (kinds.empty()) {
@@ -217,6 +238,12 @@ std::string InstanceResult::serialize() const {
     append_field(os, "rs_ideal", rs_reached_ideal ? "1" : "0");
   }
   if (rate_hazards) append_field(os, "hazards", std::to_string(*rate_hazards));
+  if (des_throughput) {
+    append_field(os, "des", des_throughput->to_string());
+    append_field(os, "des_periodic", des_periodic ? "1" : "0");
+    append_field(os, "des_events", std::to_string(des_events.value_or(0)));
+    append_field(os, "des_stalls", std::to_string(des_stalls.value_or(0)));
+  }
   if (!error.empty()) append_field(os, "error", '"' + error + '"');
   return os.str();
 }

@@ -35,6 +35,8 @@ enum class AnalysisKind {
                   ///< cycle enumeration; warm-started Howard separation)
   kRsInsertion,   ///< greedy relay-station insertion repair
   kRateSafety,    ///< Sec. III-C producer/consumer rate hazards
+  kDes,           ///< deterministic-limit discrete-event simulation (src/des):
+                  ///< exact periodic throughput + backpressure stall counters
 };
 
 /// Short stable token used in CLIs and serialized output ("mst-ideal", ...).
@@ -42,7 +44,7 @@ const char* to_string(AnalysisKind kind);
 
 /// Parses a comma-separated analysis list ("mst-ideal,qs-heuristic").
 /// Accepted tokens: mst-ideal, mst-practical, qs-heuristic, qs-exact,
-/// qs-lazy, rs-insertion, rate-safety, and the umbrella "all".
+/// qs-lazy, rs-insertion, rate-safety, des, and the umbrella "all".
 Result<std::vector<AnalysisKind>> parse_analyses(const std::string& csv);
 
 /// Engine configuration.
@@ -61,6 +63,13 @@ struct EngineOptions {
   int rs_budget = 2;
   /// Cycle-enumeration cap for the queue-sizing analyses (0 = unlimited).
   std::size_t max_cycles = 500'000;
+  /// Cycle horizon for kDes (the run usually exits earlier via recurrence
+  /// detection; the horizon bounds pathological transients).
+  std::int64_t des_horizon = 30'000;
+  /// RNG seed for kDes. The engine's DES stage runs the deterministic limit
+  /// (fixed unit latencies, saturated sources), so the seed only matters for
+  /// reproducing reports, not results.
+  std::uint64_t des_seed = 1;
   /// Run the error-tier lint checks before any analysis and reject broken
   /// instances (deadlocked, empty, q = 0) with the diagnostic summary in
   /// InstanceResult::error instead of tripping an invariant mid-solve.
@@ -97,6 +106,12 @@ struct InstanceResult {
   std::optional<int> rs_added;
   bool rs_reached_ideal = false;
   std::optional<std::size_t> rate_hazards;
+  /// kDes: simulated throughput (exact when des_periodic), event count, and
+  /// backpressure stall events over the run.
+  std::optional<util::Rational> des_throughput;
+  std::optional<std::int64_t> des_events;
+  std::optional<std::int64_t> des_stalls;
+  bool des_periodic = false;
 
   /// One deterministic "key=value" line (no timings, stable field order).
   [[nodiscard]] std::string serialize() const;

@@ -303,6 +303,52 @@ Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& op
 }
 
 // ---------------------------------------------------------------------------
+// Event-driven stochastic simulation.
+
+Result<DesReport> simulate_des(const Instance& instance, const DesOptions& options) {
+  if (!instance.valid()) return invalid_handle("simulate_des");
+  if (options.preflight) {
+    if (auto rejected = detail::lint_preflight("simulate_des", instance.graph())) {
+      return *rejected;
+    }
+  }
+  return guarded<DesReport>(ErrorCode::kInvalidArgument, [&]() -> Result<DesReport> {
+    const lis::LisGraph& lis = instance.graph();
+    des::SimOptions sim;
+    sim.horizon = options.horizon;
+    sim.warmup = options.warmup;
+    sim.seed = options.seed;
+    sim.channel_latency = options.channel_latency;
+    sim.arrival = options.arrival;
+    sim.profile = options.profile;
+    sim.trace_occupancy = options.trace_occupancy;
+    sim.detect_period = options.detect_period;
+    sim.cancel = options.cancel;
+    if (!options.reference.empty()) {
+      lis::CoreId reference = graph::kInvalidNode;
+      for (lis::CoreId v = 0; v < static_cast<lis::CoreId>(lis.num_cores()); ++v) {
+        if (lis.core_name(v) == options.reference) {
+          reference = v;
+          break;
+        }
+      }
+      if (reference == graph::kInvalidNode) {
+        return Error{ErrorCode::kInvalidArgument,
+                     "simulate_des: unknown reference core '" + options.reference + "'"};
+      }
+      sim.reference = reference;
+    }
+    DesReport report = des::simulate(lis, sim);
+    if (report.cancelled) {
+      return Error{ErrorCode::kTimeout,
+                   "simulate_des: cancelled after " + std::to_string(report.cycles_run) +
+                       " of " + std::to_string(options.warmup + options.horizon) + " cycles"};
+    }
+    return report;
+  });
+}
+
+// ---------------------------------------------------------------------------
 // Relay-station insertion.
 
 Result<RelayInsertion> insert_relay_stations(const Instance& instance,

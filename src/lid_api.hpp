@@ -27,6 +27,7 @@
 #include <variant>
 #include <vector>
 
+#include "des/des.hpp"
 #include "lint/checks.hpp"
 #include "lis/lis_graph.hpp"
 #include "lis/netlist_io.hpp"
@@ -295,6 +296,48 @@ struct Sizing {
 };
 
 Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Event-driven stochastic simulation (src/des; see docs/simulation.md).
+
+struct DesOptions {
+  /// Measured window in cycles; statistics cover [warmup, warmup + horizon).
+  std::int64_t horizon = 10'000;
+  /// Cycles excluded from statistics (transient skip).
+  std::int64_t warmup = 0;
+  /// RNG seed. Reports are byte-identical per (netlist, options, seed).
+  std::uint64_t seed = 1;
+  /// Default per-channel forward-hop latency model (fixed:1 = the paper's
+  /// synchronous limit).
+  des::LatencyDist channel_latency{};
+  /// Default arrival process at source cores (saturated = closed system).
+  des::ArrivalSpec arrival{};
+  /// Per-channel / per-source overrides, e.g. parsed from `#!` netlist
+  /// annotations (des/annotations.hpp). Empty = defaults everywhere.
+  des::Profile profile;
+  /// Record per-channel occupancy histograms and percentiles.
+  bool trace_occupancy = true;
+  /// Name of the core whose firing rate is reported ("" = first core).
+  std::string reference;
+  /// Detect state recurrence in the deterministic regime and return the
+  /// exact periodic throughput (stopping early).
+  bool detect_period = true;
+  /// Cooperative cancellation, polled once per event batch. A cancelled run
+  /// fails with ErrorCode::kTimeout (partial statistics are never served).
+  util::CancelToken cancel;
+  /// Run the error-tier lint checks first; see AnalyzeOptions::preflight.
+  bool preflight = true;
+};
+
+/// The DES report: exact throughput, stall counters, per-channel occupancy
+/// percentiles. See des::SimReport for the field-level documentation.
+using DesReport = des::SimReport;
+
+/// Simulates the doubled marked graph d[G] of the instance as a
+/// discrete-event system with stochastic channel latencies and open-system
+/// arrivals. In the deterministic limit (fixed unit latencies, saturated
+/// sources) the reported throughput equals min(1, θ(d[G])) exactly.
+Result<DesReport> simulate_des(const Instance& instance, const DesOptions& options = {});
 
 // ---------------------------------------------------------------------------
 // Relay-station insertion (Sec. VI).

@@ -4,6 +4,8 @@
 #include <map>
 #include <utility>
 
+#include "util/sim_loop.hpp"
+
 namespace lid::mg {
 
 SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps, TransitionId reference,
@@ -24,9 +26,12 @@ SimulationResult simulate(const MarkedGraph& g, std::size_t max_steps, Transitio
   seen.emplace(marking, std::make_pair(std::size_t{0}, std::int64_t{0}));
 
   std::vector<char> fired(nt, 0);
+  // Step-boundary cancellation through the shared scaffolding: strided so
+  // the poll never dominates a step (the DES batch loop uses the same
+  // helper, and with it the same stride, across all of its phases).
+  util::StridedPoller poller(cancel);
   for (std::size_t step = 0; step < max_steps; ++step) {
-    // Step-boundary cancellation: strided so the poll never dominates a step.
-    if (cancel.can_cancel() && step % 256 == 0 && cancel.cancelled()) {
+    if (poller.poll()) {
       result.cancelled = true;
       break;
     }

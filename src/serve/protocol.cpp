@@ -9,6 +9,7 @@
 #include <thread>
 #include <utility>
 
+#include "des/des.hpp"
 #include "engine/cached_analysis.hpp"
 #include "lint/render.hpp"
 #include "serve/registry.hpp"
@@ -584,6 +585,111 @@ Outcome do_rate_safety(ArgReader& reader, const ExecLimits& limits, const ExecCo
   });
 }
 
+Outcome do_simulate(ArgReader& reader, const ExecLimits& limits, const ExecContext& context,
+                    const Request& request) {
+  const OnDeadline policy = request.on_deadline;
+  const ModelRef ref = read_model_ref(reader, limits);
+  DesOptions options;
+  options.horizon = reader.get_int("horizon", options.horizon, 1, limits.max_sim_horizon);
+  options.warmup = reader.get_int("warmup", options.warmup, 0, limits.max_sim_horizon);
+  options.seed = static_cast<std::uint64_t>(
+      reader.get_int("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+  const std::string dist = reader.get_string("dist", "");
+  if (!dist.empty()) {
+    const std::optional<des::LatencyDist> parsed = des::parse_latency_dist(dist);
+    if (!parsed) {
+      reader.fail(codes::kInvalidArgument,
+                  "'dist' must be a latency spec (\"fixed:3\", \"uniform:1:4\", "
+                  "\"geometric:1/2\"), got '" +
+                      dist + "'");
+    } else {
+      options.channel_latency = *parsed;
+    }
+  }
+  const std::string arrival = reader.get_string("arrival", "");
+  if (!arrival.empty()) {
+    const std::optional<des::ArrivalSpec> parsed = des::parse_arrival_spec(arrival);
+    if (!parsed) {
+      reader.fail(codes::kInvalidArgument,
+                  "'arrival' must be an arrival spec (\"saturated\", \"rate:4\", "
+                  "\"poisson:1/4\", \"bursty:8:8\"), got '" +
+                      arrival + "'");
+    } else {
+      options.arrival = *parsed;
+    }
+  }
+  const bool occupancy = reader.get_bool("occupancy", false);
+  options.trace_occupancy = occupancy;
+  options.reference = reader.get_string("reference", "");
+  options.detect_period = reader.get_bool("detect_period", true);
+  if (reader.failed()) return arg_failure(reader);
+
+  ResolvedModel model;
+  if (auto failed = resolve_instance(ref, context, model)) return *failed;
+  return memoized(model, context, request, [&]() -> Outcome {
+    if (context.deadline_expired && policy != OnDeadline::kDegrade) {
+      return Outcome::failure(codes::kDeadlineExceeded,
+                              "deadline expired before simulate started");
+    }
+    // Policy "degrade" has nothing cheaper to fall back to, so it runs the
+    // request to completion (the header's contract for verbs with no
+    // degraded form); "error" cancels cooperatively at batch boundaries.
+    if (policy != OnDeadline::kDegrade) options.cancel = context.cancel;
+    const Result<DesReport> simulated = simulate_des(model.instance, options);
+    if (!simulated) {
+      if (simulated.error().code == ErrorCode::kTimeout) {
+        return Outcome::failure(codes::kDeadlineExceeded, simulated.error().message);
+      }
+      return from_error(simulated.error());
+    }
+    const DesReport& report = *simulated;
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("horizon").value(report.horizon);
+    w.key("warmup").value(report.warmup);
+    w.key("seed").value(static_cast<std::int64_t>(report.seed));
+    w.key("deterministic").value(report.deterministic);
+    w.key("cycles_run").value(report.cycles_run);
+    w.key("events").value(report.events);
+    w.key("firings").value(report.firings);
+    w.key("throughput").value(report.throughput.to_string());
+    w.key("periodic").value(report.periodic_found);
+    if (report.periodic_found) {
+      w.key("transient_cycles").value(report.transient_cycles);
+      w.key("period_cycles").value(report.period_cycles);
+    }
+    w.key("arrivals_generated").value(report.arrivals_generated);
+    w.key("arrivals_consumed").value(report.arrivals_consumed);
+    w.key("max_backlog").value(report.max_backlog);
+    w.key("stall_events").value(report.total_stall_events);
+    w.key("stall_cycles").value(report.total_stall_cycles);
+    w.key("channels").begin_array();
+    for (const des::ChannelStats& ch : report.channels) {
+      w.begin_object();
+      w.key("src").value(model.instance.graph().core_name(ch.src));
+      w.key("dst").value(model.instance.graph().core_name(ch.dst));
+      w.key("capacity").value(ch.capacity);
+      w.key("relay_stations").value(ch.relay_stations);
+      w.key("tokens_in").value(ch.tokens_in);
+      w.key("tokens_out").value(ch.tokens_out);
+      w.key("in_flight").value(ch.in_flight);
+      w.key("stall_events").value(ch.stall_events);
+      w.key("stall_cycles").value(ch.stall_cycles);
+      if (occupancy) {
+        w.key("max_occupancy").value(ch.max_occupancy);
+        w.key("p50").value(ch.p50);
+        w.key("p95").value(ch.p95);
+        w.key("p99").value(ch.p99);
+        w.key("mean_occupancy").value(ch.mean_occupancy.to_string());
+      }
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+    return Outcome::success(w.str());
+  });
+}
+
 void model_info_json(util::JsonWriter& w, const ModelInfo& info) {
   w.begin_object();
   w.key("model").value(info.fingerprint);
@@ -744,14 +850,15 @@ Outcome execute(const Request& request, const ExecLimits& limits, const ExecCont
   if (request.verb == "insert-rs") return do_insert_rs(reader, limits);
   if (request.verb == "rate-safety") return do_rate_safety(reader, limits, context, request);
   if (request.verb == "lint") return do_lint(reader, limits, context, request);
+  if (request.verb == "simulate") return do_simulate(reader, limits, context, request);
   if (request.verb == "register-model") return do_register_model(reader, limits, context);
   if (request.verb == "evict-model") return do_evict_model(reader, context);
   if (request.verb == "list-models") return do_list_models(context);
   return Outcome::failure(codes::kUnknownVerb,
                           "unknown verb '" + request.verb +
                               "' (expected ping, parse, generate, analyze, size-queues, "
-                              "insert-rs, rate-safety, lint, register-model, evict-model, "
-                              "list-models, sleep, hello or stats)");
+                              "insert-rs, rate-safety, lint, simulate, register-model, "
+                              "evict-model, list-models, sleep, hello or stats)");
 }
 
 std::string request_id_json(const Request& request) {

@@ -7,8 +7,8 @@
 //
 // `verb` selects a lid:: facade operation (the tokens match the CLI:
 // "ping", "parse", "generate", "analyze", "size-queues", "insert-rs",
-// "rate-safety", "lint", "sleep", "stats"); the remaining keys are verb
-// arguments
+// "rate-safety", "lint", "simulate", "sleep", "stats"); the remaining keys
+// are verb arguments
 // (snake_case). `id` (string or integer, echoed back) correlates responses,
 // which a multi-worker server may emit out of order. `deadline_ms` bounds
 // the request end to end: a request whose deadline elapsed in the admission
@@ -45,8 +45,8 @@
 //     `"protocol":2`.
 //   * registry verbs — `register-model` / `evict-model` / `list-models`
 //     manage the server's content-addressed model registry (registry.hpp),
-//     and `analyze` / `size-queues` / `lint` / `rate-safety` accept
-//     `"model": "<fingerprint>"` in place of inline `netlist` text. A
+//     and `analyze` / `size-queues` / `lint` / `rate-safety` / `simulate`
+//     accept `"model": "<fingerprint>"` in place of inline `netlist` text. A
 //     registered-model payload is byte-identical to sending the model's
 //     canonical netlist inline.
 //   * a binary transport lane — length-prefixed frames (frame.hpp) carrying
@@ -123,6 +123,9 @@ struct ExecLimits {
   std::int64_t max_sleep_ms = 10'000;
   /// Relay stations `insert-rs` may be asked to add.
   std::int64_t max_rs_budget = 64;
+  /// Cap on the `simulate` cycle horizon (and warmup), keeping one DES
+  /// request from monopolizing a worker.
+  std::int64_t max_sim_horizon = 1'000'000;
 };
 
 class Registry;

@@ -1,0 +1,40 @@
+// Shared stepping scaffolding for the simulators (mg::simulate, des).
+//
+// Every bounded simulation loop in the library follows the same pattern: run
+// up to N steps/batches, polling a cooperative CancelToken at a fixed stride
+// so the poll never dominates the per-step work. This helper centralizes the
+// stride bookkeeping so all phases of a simulation (warmup and measurement
+// alike) poll at the same stride — a warmup loop that forgets to poll would
+// make a request's deadline unobservable for the entire warmup.
+#pragma once
+
+#include <cstddef>
+
+#include "util/cancel.hpp"
+
+namespace lid::util {
+
+/// Strided cancel polling: `poll()` is cheap on every call and only consults
+/// the token once per `stride` calls. One instance should be shared across
+/// all loop phases of a simulation so the stride stays uniform end to end.
+class StridedPoller {
+ public:
+  explicit StridedPoller(const CancelToken& token, std::size_t stride = 256)
+      : token_(token), stride_(stride == 0 ? 1 : stride) {}
+
+  /// True when the token has fired; checked every `stride`-th call.
+  bool poll() {
+    if (!token_.can_cancel()) return false;
+    if (calls_++ % stride_ != 0) return false;
+    return token_.cancelled();
+  }
+
+  [[nodiscard]] std::size_t stride() const { return stride_; }
+
+ private:
+  const CancelToken& token_;
+  std::size_t stride_;
+  std::size_t calls_ = 0;
+};
+
+}  // namespace lid::util

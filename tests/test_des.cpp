@@ -1,0 +1,403 @@
+// src/des — the event-driven stochastic simulation backend.
+//
+// The load-bearing suites are the cross-validation contracts (selfcheck
+// invariant 13): the deterministic limit must reproduce the analytic MST
+// exactly on every paper example and corpus netlist, sized systems must
+// simulate at exactly min(1, θ_ideal), and reports must be byte-identical
+// for a given seed. The rest covers spec parsing, the `#!` annotation
+// round-trip, open-system arrival exactness, conservation laws, and the
+// serve `simulate` verb (inline == registry-addressed payloads).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/queue_sizing.hpp"
+#include "des/annotations.hpp"
+#include "des/des.hpp"
+#include "lid_api.hpp"
+#include "lis/lis_graph.hpp"
+#include "lis/netlist_io.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+#ifndef LID_DATA_DIR
+#define LID_DATA_DIR "data"
+#endif
+
+namespace lid {
+namespace {
+
+std::vector<std::string> corpus_files() {
+  std::ifstream in(std::string(LID_DATA_DIR) + "/corpus/manifest.txt");
+  EXPECT_TRUE(in.good()) << "missing corpus manifest";
+  std::vector<std::string> files;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    std::string file;
+    row >> file;
+    files.push_back(std::string(LID_DATA_DIR) + "/corpus/" + file);
+  }
+  EXPECT_EQ(files.size(), 20u);
+  return files;
+}
+
+util::Rational min_one(const util::Rational& r) {
+  return std::min(util::Rational(1), r);
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing
+// ---------------------------------------------------------------------------
+
+TEST(DesSpecs, LatencyDistRoundTripsThroughToString) {
+  for (const char* spec : {"fixed:3", "uniform:1:4", "geometric:1/2", "fixed:1"}) {
+    const auto parsed = des::parse_latency_dist(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    EXPECT_EQ(parsed->to_string(), spec);
+    EXPECT_EQ(des::parse_latency_dist(parsed->to_string()), parsed);
+  }
+  // A bare integer is shorthand for fixed.
+  EXPECT_EQ(des::parse_latency_dist("7"), des::LatencyDist::fixed(7));
+}
+
+TEST(DesSpecs, ArrivalSpecRoundTripsThroughToString) {
+  for (const char* spec : {"saturated", "rate:4", "poisson:1/4", "bursty:8:8"}) {
+    const auto parsed = des::parse_arrival_spec(spec);
+    ASSERT_TRUE(parsed.has_value()) << spec;
+    EXPECT_EQ(parsed->to_string(), spec);
+    EXPECT_EQ(des::parse_arrival_spec(parsed->to_string()), parsed);
+  }
+}
+
+TEST(DesSpecs, MalformedSpecsAreRejected) {
+  for (const char* spec : {"", "fixed", "fixed:0", "fixed:-1", "uniform:4:1", "uniform:1",
+                           "geometric:0/2", "geometric:3/2", "geometric:1/0", "gauss:1",
+                           "fixed:1000001", "fixed:one"}) {
+    EXPECT_FALSE(des::parse_latency_dist(spec).has_value()) << spec;
+  }
+  for (const char* spec :
+       {"", "rate:0", "rate", "poisson:0/4", "poisson:5/4", "bursty:0:8", "bursty:8", "never"}) {
+    EXPECT_FALSE(des::parse_arrival_spec(spec).has_value()) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic limit == analytic MST (invariant 13a)
+// ---------------------------------------------------------------------------
+
+void expect_matches_practical(const lis::LisGraph& system, const std::string& label) {
+  SCOPED_TRACE(label);
+  des::SimOptions options;
+  options.horizon = 30'000;
+  const des::SimReport report = des::simulate(system, options);
+  EXPECT_TRUE(report.deterministic);
+  ASSERT_TRUE(report.periodic_found) << "no recurrence within the horizon";
+  EXPECT_EQ(report.throughput, min_one(lis::practical_mst(system)));
+  EXPECT_FALSE(report.cancelled);
+}
+
+TEST(DesDeterministic, PaperExamplesMatchAnalyticMst) {
+  expect_matches_practical(lis::load_netlist(std::string(LID_DATA_DIR) + "/fig1.lis"), "fig1");
+  expect_matches_practical(lis::load_netlist(std::string(LID_DATA_DIR) + "/fig15.lis"), "fig15");
+  expect_matches_practical(cofdm_soc().graph(), "cofdm");
+}
+
+TEST(DesDeterministic, EveryCorpusNetlistMatchesAnalyticMst) {
+  for (const std::string& file : corpus_files()) {
+    expect_matches_practical(lis::load_netlist(file), file);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Sized systems (invariant 13b/13c)
+// ---------------------------------------------------------------------------
+
+// size_queues restores min(1, θ_ideal) exactly in simulation; and when that
+// rate is 1, the sized system runs stall-free past the transient (every core
+// fires every cycle, so no credit can arrive strictly late). At rates below
+// 1 steady-state backpressure is expected even when sized — credit backedges
+// tie the forward critical cycle's ratio without costing throughput — so no
+// zero-stall claim is made there (see des.hpp).
+TEST(DesSized, SizedSystemsSimulateAtIdealRate) {
+  std::vector<std::string> files = corpus_files();
+  files.push_back(std::string(LID_DATA_DIR) + "/fig1.lis");
+  files.push_back(std::string(LID_DATA_DIR) + "/fig15.lis");
+  for (const std::string& file : files) {
+    SCOPED_TRACE(file);
+    const lis::LisGraph system = lis::load_netlist(file);
+    core::QsOptions qs;
+    qs.method = core::QsMethod::kLazy;
+    const core::QsReport sized = core::size_queues(system, qs);
+    const util::Rational ideal = lis::ideal_mst(system);
+
+    des::SimOptions options;
+    options.horizon = 30'000;
+    const des::SimReport report = des::simulate(sized.sized, options);
+    ASSERT_TRUE(report.periodic_found);
+    EXPECT_EQ(report.throughput, min_one(ideal));
+
+    if (min_one(ideal) == util::Rational(1)) {
+      // Steady state at rate 1: re-run without the recurrence early-exit
+      // (uniform:1:1 draws the same unit latencies but is classified
+      // stochastic) and check the post-warmup window is stall-free.
+      des::SimOptions windowed;
+      windowed.horizon = 1'000;
+      windowed.warmup = 1'000;
+      windowed.channel_latency = des::LatencyDist::uniform(1, 1);
+      const des::SimReport steady = des::simulate(sized.sized, windowed);
+      EXPECT_EQ(steady.total_stall_events, 0) << "sized rate-1 system stalled in steady state";
+      EXPECT_EQ(steady.total_stall_cycles, 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Seed stability / reproducibility
+// ---------------------------------------------------------------------------
+
+TEST(DesStochastic, SameSeedGivesByteIdenticalReports) {
+  const lis::LisGraph system = lis::load_netlist(std::string(LID_DATA_DIR) + "/fig15.lis");
+  des::SimOptions options;
+  options.horizon = 4'000;
+  options.warmup = 200;
+  options.seed = 42;
+  options.channel_latency = des::LatencyDist::uniform(1, 4);
+  const std::string first = des::simulate(system, options).serialize();
+  const std::string again = des::simulate(system, options).serialize();
+  EXPECT_EQ(first, again);
+
+  options.seed = 43;
+  const std::string other = des::simulate(system, options).serialize();
+  EXPECT_NE(first, other) << "different seeds should explore different sample paths";
+}
+
+TEST(DesStochastic, DeterministicConfigIgnoresSeed) {
+  const lis::LisGraph system = lis::load_netlist(std::string(LID_DATA_DIR) + "/fig1.lis");
+  des::SimOptions options;
+  options.horizon = 2'000;
+  options.seed = 1;
+  const des::SimReport a = des::simulate(system, options);
+  options.seed = 999;
+  const des::SimReport b = des::simulate(system, options);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.firings, b.firings);
+}
+
+// ---------------------------------------------------------------------------
+// Conservation + occupancy structure
+// ---------------------------------------------------------------------------
+
+TEST(DesStochastic, TokenConservationAndPercentileOrderHold) {
+  for (const char* file : {"/fig1.lis", "/fig15.lis", "/corpus/sys8.lis", "/corpus/sys16.lis"}) {
+    SCOPED_TRACE(file);
+    const lis::LisGraph system = lis::load_netlist(std::string(LID_DATA_DIR) + file);
+    des::SimOptions options;
+    options.horizon = 3'000;
+    options.seed = 7;
+    options.channel_latency = des::LatencyDist::geometric(1, 3);
+    const des::SimReport report = des::simulate(system, options);
+    ASSERT_EQ(report.channels.size(), system.num_channels());
+    for (const des::ChannelStats& ch : report.channels) {
+      SCOPED_TRACE("channel " + std::to_string(ch.channel));
+      EXPECT_EQ(ch.tokens_in, ch.tokens_out + ch.in_flight) << "token conservation violated";
+      EXPECT_LE(ch.p50, ch.p95);
+      EXPECT_LE(ch.p95, ch.p99);
+      EXPECT_LE(ch.p99, ch.max_occupancy);
+      // Structural bound: q queue slots + 2 per relay station + the source
+      // shell's latched output.
+      EXPECT_LE(ch.max_occupancy, ch.capacity + 2 * ch.relay_stations + 1);
+      std::int64_t histogram_total = 0;
+      for (const std::int64_t cycles : ch.histogram) histogram_total += cycles;
+      EXPECT_EQ(histogram_total, report.cycles_run - report.warmup)
+          << "histogram must cover the measured window exactly";
+    }
+  }
+}
+
+TEST(DesStochastic, CancelStopsTheRunEarly) {
+  const lis::LisGraph system = lis::load_netlist(std::string(LID_DATA_DIR) + "/fig15.lis");
+  des::SimOptions options;
+  options.horizon = 1'000'000;
+  options.channel_latency = des::LatencyDist::uniform(1, 2);
+  options.cancel = util::CancelToken::after_polls(2);
+  const des::SimReport report = des::simulate(system, options);
+  EXPECT_TRUE(report.cancelled);
+  EXPECT_LT(report.cycles_run, options.horizon);
+
+  // The facade maps a cancelled run onto kTimeout, never a partial report.
+  Result<Instance> parsed = load_netlist(std::string(LID_DATA_DIR) + "/fig15.lis");
+  ASSERT_TRUE(parsed.ok());
+  DesOptions api;
+  api.horizon = 1'000'000;
+  api.channel_latency = des::LatencyDist::uniform(1, 2);
+  api.cancel = util::CancelToken::after_polls(2);
+  const Result<DesReport> result = simulate_des(*parsed, api);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.error().code, ErrorCode::kTimeout);
+}
+
+// ---------------------------------------------------------------------------
+// Open-system arrivals
+// ---------------------------------------------------------------------------
+
+constexpr const char* kChain = R"(core A
+core B
+channel A -> B rs=1 q=2
+)";
+
+TEST(DesOpenSystem, PeriodicArrivalsSetTheExactRate) {
+  const lis::LisGraph system = lis::from_text(kChain);
+  des::SimOptions options;
+  options.horizon = 10'000;
+  options.arrival = des::ArrivalSpec::periodic(2);
+  const des::SimReport report = des::simulate(system, options);
+  EXPECT_TRUE(report.deterministic);
+  ASSERT_TRUE(report.periodic_found) << "a rate-1/2 chain is eventually periodic";
+  EXPECT_EQ(report.throughput, util::Rational(1, 2));
+  EXPECT_GT(report.arrivals_generated, 0);
+  EXPECT_LE(report.arrivals_consumed, report.arrivals_generated);
+}
+
+TEST(DesOpenSystem, BurstyArrivalsAverageTheDutyCycle) {
+  const lis::LisGraph system = lis::from_text(kChain);
+  des::SimOptions options;
+  options.horizon = 10'000;
+  options.arrival = des::ArrivalSpec::bursty(2, 2);
+  const des::SimReport report = des::simulate(system, options);
+  ASSERT_TRUE(report.periodic_found);
+  EXPECT_EQ(report.throughput, util::Rational(1, 2));
+}
+
+TEST(DesOpenSystem, PoissonArrivalsStayBelowTheOfferedRate) {
+  const lis::LisGraph system = lis::from_text(kChain);
+  des::SimOptions options;
+  options.horizon = 20'000;
+  options.arrival = des::ArrivalSpec::poisson(1, 4);
+  const des::SimReport report = des::simulate(system, options);
+  EXPECT_FALSE(report.deterministic);
+  EXPECT_FALSE(report.periodic_found);
+  // Offered load 1/4 on a rate-1 server: the long-run rate lands near 1/4,
+  // and can never exceed what arrived.
+  EXPECT_GT(report.throughput, util::Rational(1, 8));
+  EXPECT_LT(report.throughput, util::Rational(3, 8));
+  EXPECT_LE(report.arrivals_consumed, report.arrivals_generated);
+}
+
+// ---------------------------------------------------------------------------
+// `#!` annotations
+// ---------------------------------------------------------------------------
+
+TEST(DesAnnotations, ProfileRoundTripsThroughText) {
+  const lis::LisGraph system =
+      lis::load_netlist(std::string(LID_DATA_DIR) + "/corpus/sys3.lis");
+  util::Rng rng(11);
+  const des::Profile profile = des::random_profile(system, {}, rng);
+  const std::string annotated = lis::to_text(system) + des::profile_text(profile, system);
+
+  // Legacy readers treat `#!` lines as comments: the graph is unchanged.
+  const lis::LisGraph reparsed = lis::from_text(annotated);
+  EXPECT_EQ(lis::to_text(reparsed), lis::to_text(system));
+
+  // The annotation layer recovers the exact profile.
+  EXPECT_EQ(des::parse_profile(annotated, reparsed), profile);
+}
+
+TEST(DesAnnotations, MalformedAnnotationsThrow) {
+  const lis::LisGraph system = lis::from_text(kChain);
+  for (const char* line : {"#! channel 9 latency=fixed:2",      // out of range
+                           "#! channel 0 latency=warp:1",       // bad spec
+                           "#! source Z arrival=rate:2",        // unknown core
+                           "#! channel 0 speed=fixed:2",        // unknown key
+                           "#! frequency 0 latency=fixed:2"}) {  // unknown subject
+    EXPECT_THROW(des::parse_profile(std::string(kChain) + line + "\n", system),
+                 std::invalid_argument)
+        << line;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// serve `simulate` verb
+// ---------------------------------------------------------------------------
+
+serve::Outcome run_line(const std::string& line, serve::Registry* registry = nullptr) {
+  const Result<serve::Request> request = serve::parse_request(line);
+  EXPECT_TRUE(request.ok()) << line;
+  serve::ExecContext context;
+  context.registry = registry;
+  return serve::execute(*request, {}, context);
+}
+
+std::string json_escape(const std::string& text) {
+  return util::json_quote(text);
+}
+
+TEST(ServeSimulate, InlineAndRegistryAddressedPayloadsMatch) {
+  std::ifstream in(std::string(LID_DATA_DIR) + "/fig15.lis");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string netlist = text.str();
+
+  const std::string args =
+      R"("horizon": 2000, "seed": 5, "dist": "uniform:1:3", "arrival": "saturated",)"
+      R"( "occupancy": true)";
+  const serve::Outcome inline_run = run_line(
+      std::string(R"({"verb": "simulate", "netlist": )") + json_escape(netlist) + ", " + args + "}");
+  ASSERT_TRUE(inline_run.ok) << inline_run.error_message;
+  EXPECT_NE(inline_run.payload.find("\"throughput\""), std::string::npos);
+  EXPECT_NE(inline_run.payload.find("\"p95\""), std::string::npos);
+  EXPECT_EQ(inline_run.payload.find('e' + std::string("+")), std::string::npos)
+      << "payload must be float-free";
+
+  serve::Registry registry;
+  const Result<serve::ModelInfo> info = registry.register_model(netlist);
+  ASSERT_TRUE(info.ok());
+  const serve::Outcome addressed = run_line(
+      std::string(R"({"verb": "simulate", "model": ")") + info->fingerprint + "\", " + args + "}",
+      &registry);
+  ASSERT_TRUE(addressed.ok) << addressed.error_message;
+  EXPECT_EQ(addressed.payload, inline_run.payload)
+      << "registry-addressed payloads must be byte-identical to inline";
+}
+
+TEST(ServeSimulate, OccupancyKeysAppearOnlyWhenRequested) {
+  std::ifstream in(std::string(LID_DATA_DIR) + "/fig1.lis");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const serve::Outcome lean = run_line(std::string(R"({"verb": "simulate", "netlist": )") +
+                                       json_escape(text.str()) + R"(, "horizon": 500})");
+  ASSERT_TRUE(lean.ok) << lean.error_message;
+  EXPECT_EQ(lean.payload.find("\"p95\""), std::string::npos);
+  EXPECT_NE(lean.payload.find("\"stall_events\""), std::string::npos);
+}
+
+TEST(ServeSimulate, BadSpecsAndRangesAreRejected) {
+  std::ifstream in(std::string(LID_DATA_DIR) + "/fig1.lis");
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::string netlist = json_escape(text.str());
+  const serve::Outcome bad_dist = run_line(std::string(R"({"verb": "simulate", "netlist": )") +
+                                           netlist + R"(, "dist": "warp:9"})");
+  EXPECT_FALSE(bad_dist.ok);
+  EXPECT_EQ(bad_dist.error_code, serve::codes::kInvalidArgument);
+
+  const serve::Outcome bad_horizon = run_line(std::string(R"({"verb": "simulate", "netlist": )") +
+                                              netlist + R"(, "horizon": 99999999})");
+  EXPECT_FALSE(bad_horizon.ok);
+  EXPECT_EQ(bad_horizon.error_code, serve::codes::kInvalidArgument);
+
+  const serve::Outcome bad_reference = run_line(std::string(R"({"verb": "simulate", "netlist": )") +
+                                                netlist + R"(, "reference": "nope"})");
+  EXPECT_FALSE(bad_reference.ok);
+  EXPECT_EQ(bad_reference.error_code, serve::codes::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace lid

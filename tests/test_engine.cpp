@@ -64,7 +64,7 @@ TEST(ParseAnalyses, TokensAndAll) {
 
   const auto all = parse_analyses("all");
   ASSERT_TRUE(all.ok());
-  EXPECT_EQ(all->size(), 7u);
+  EXPECT_EQ(all->size(), 8u);
 
   const auto lazy = parse_analyses("qs-lazy");
   ASSERT_TRUE(lazy.ok());
@@ -78,7 +78,8 @@ TEST(ParseAnalyses, TokensAndAll) {
 TEST(ParseAnalyses, RoundTripsThroughToString) {
   for (AnalysisKind kind :
        {AnalysisKind::kIdealMst, AnalysisKind::kPracticalMst, AnalysisKind::kQsHeuristic,
-        AnalysisKind::kQsExact, AnalysisKind::kRsInsertion, AnalysisKind::kRateSafety}) {
+        AnalysisKind::kQsExact, AnalysisKind::kRsInsertion, AnalysisKind::kRateSafety,
+        AnalysisKind::kDes}) {
     const auto parsed = parse_analyses(to_string(kind));
     ASSERT_TRUE(parsed.ok()) << to_string(kind);
     ASSERT_EQ(parsed->size(), 1u);

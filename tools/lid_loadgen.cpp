@@ -137,7 +137,11 @@ int main(int argc, char** argv) {
     gen.sccs = static_cast<int>(cli.get_int_in("s", 3, 1, 2000));
     gen.extra_cycles = static_cast<int>(cli.get_int_in("c", 2, 0, 2000));
     gen.relay_stations = static_cast<int>(cli.get_int_in("rs", 5, 0, 2000));
-    util::Rng seeder(static_cast<std::uint64_t>(cli.get_int_in("seed", 1, 0, 1'000'000'000)));
+    // Hoisted so the summary can report the effective seed: reruns of a
+    // recorded summary reproduce the exact same workload.
+    const std::uint64_t workload_seed =
+        static_cast<std::uint64_t>(cli.get_int_in("seed", 1, 0, 1'000'000'000));
+    util::Rng seeder(workload_seed);
 
     std::vector<std::string> request_bodies;
     std::vector<std::string> netlist_texts;  // registered mode: sent once per connection
@@ -341,6 +345,7 @@ int main(int argc, char** argv) {
       w.begin_object();
       w.key("verb").value(verb);
       w.key("clients").value(clients);
+      w.key("seed").value(static_cast<std::int64_t>(workload_seed));
       w.key("elapsed_s").value_fixed(elapsed_s, 3);
       w.key("sent").value(total.sent);
       w.key("ok").value(total.ok);
@@ -370,6 +375,7 @@ int main(int argc, char** argv) {
       util::Table table({"metric", "value"});
       table.add_row({"clients x seconds", std::to_string(clients) + " x " +
                                               util::Table::fmt(elapsed_s, 1)});
+      table.add_row({"workload seed", std::to_string(workload_seed)});
       table.add_row({"requests sent", std::to_string(total.sent)});
       table.add_row({"offered load (req/s)", util::Table::fmt(offered, 1)});
       table.add_row({"goodput (req/s)", util::Table::fmt(goodput, 1)});

@@ -36,13 +36,19 @@
 //      querying a registered fingerprint (protocol v2, over NDJSON and over
 //      the binary frame transport) returns a payload byte-identical to
 //      sending the same netlist inline, which equals direct execution — at
-//      1 and at 4 workers.
+//      1 and at 4 workers;
+//  13. the event-driven simulator (src/des) cross-validates: its
+//      deterministic limit reproduces min(1, practical MST) exactly, the
+//      sized system simulates at exactly min(1, ideal MST) and — when that
+//      rate is 1 — runs stall-free past the transient, and stochastic
+//      reports are byte-identical for a given seed.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
 #include <iostream>
 
 #include "core/exact_milp.hpp"
+#include "des/des.hpp"
 #include "engine/analysis_cache.hpp"
 #include "engine/engine.hpp"
 #include "lid_api.hpp"
@@ -194,6 +200,44 @@ bool check_one(std::uint64_t trial_seed, bool verbose) {
   // everything above already analyzed it, so a lint error here would mean
   // the pre-flight rejects models the solvers in fact handle.
   CHECK_OR_FAIL(linter::run_error_checks(system).empty(), "lint: generated system error-clean");
+
+  // (13) DES cross-validation against the analytic stack, reusing the sized
+  // netlist from (4).
+  {
+    des::SimOptions des_options;
+    des_options.horizon = 30'000;
+    const des::SimReport des_run = des::simulate(system, des_options);
+    CHECK_OR_FAIL(des_run.deterministic && des_run.periodic_found, "des: recurrence found");
+    CHECK_OR_FAIL(des_run.throughput == util::Rational::min(util::Rational(1), practical),
+                  "des: deterministic limit == practical MST");
+
+    const des::SimReport des_sized = des::simulate(report.sized, des_options);
+    CHECK_OR_FAIL(des_sized.periodic_found, "des: sized system recurrence");
+    CHECK_OR_FAIL(des_sized.throughput ==
+                      util::Rational::min(util::Rational(1), report.problem.theta_ideal),
+                  "des: sized system == min(1, ideal MST)");
+    if (des_sized.throughput == util::Rational(1)) {
+      // Rate 1 means every core fires every cycle in steady state, so no
+      // credit can bind strictly: a post-warmup window must be stall-free.
+      // uniform:1:1 draws the same unit latencies but skips the recurrence
+      // early-exit, so the run actually covers the window.
+      des::SimOptions steady;
+      steady.horizon = 500;
+      steady.warmup = 500;
+      steady.channel_latency = des::LatencyDist::uniform(1, 1);
+      const des::SimReport windowed = des::simulate(report.sized, steady);
+      CHECK_OR_FAIL(windowed.total_stall_events == 0, "des: sized rate-1 system stall-free");
+    }
+
+    des::SimOptions stochastic;
+    stochastic.horizon = 2'000;
+    stochastic.seed = trial_seed;
+    stochastic.channel_latency = des::LatencyDist::geometric(1, 2);
+    stochastic.arrival = des::ArrivalSpec::poisson(1, 2);
+    const std::string once = des::simulate(system, stochastic).serialize();
+    const std::string twice = des::simulate(system, stochastic).serialize();
+    CHECK_OR_FAIL(once == twice, "des: same-seed reports byte-identical");
+  }
 
   if (verbose) {
     std::cout << "seed " << trial_seed << ": v=" << system.num_cores()

@@ -14,10 +14,19 @@
 //                      [--highlight-critical] [--show-queues]  (alias: dot)
 //   lid_tool gen       --out sys.lis [--v N --s N --c N --rs N
 //                      --policy scc|any --seed N --reconvergent 0|1]
+//                      [--stochastic [--max-latency N --max-period N]]
 //                      (alias: generate)
 //   lid_tool insert-rs --netlist sys.lis --budget N [--out repaired.lis]
 //   lid_tool simulate  --netlist sys.lis [--periods N] [--reference core]
 //                      [--vcd out.vcd]
+//                      DES mode (any of these flags selects the stochastic
+//                      event-driven backend, src/des):
+//                      [--dist fixed:3|uniform:1:4|geometric:1/2]
+//                      [--arrival saturated|rate:P|poisson:N/D|bursty:ON:OFF]
+//                      [--horizon N] [--warmup N] [--seed N]
+//                      [--occupancy-out occ.csv]
+//                      `#!` annotations in the netlist override per channel /
+//                      per source (see gen --stochastic, docs/simulation.md)
 //   lid_tool storage   --netlist sys.lis
 //   lid_tool pareto    --netlist sys.lis [--timeout-ms N]
 //   lid_tool schedule  --netlist sys.lis [--max-periods N]
@@ -35,8 +44,9 @@
 //                       --max-nodes, --budget, --ms] [--result-only] [--stdin]
 //                      Protocol-v2 verbs: hello, register-model (--netlist),
 //                      evict-model (--model), list-models; analyze /
-//                      size-queues / lint / rate-safety accept --model to hit
-//                      a registered model instead of shipping the netlist.
+//                      size-queues / lint / rate-safety / simulate accept
+//                      --model to hit a registered model instead of shipping
+//                      the netlist.
 //
 // Numeric flags are range-validated (Cli::get_int_in): zero, negative or
 // non-numeric values where they make no sense exit 1 with a message naming
@@ -53,6 +63,8 @@
 
 #include "core/diagnostics.hpp"
 #include "core/pareto.hpp"
+#include "des/annotations.hpp"
+#include "des/des.hpp"
 #include "core/scheduling.hpp"
 #include "core/slack.hpp"
 #include "core/storage.hpp"
@@ -63,6 +75,7 @@
 #include "lis/protocol_sim.hpp"
 #include "lis/vcd_export.hpp"
 #include "util/cli.hpp"
+#include "util/csv.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -295,7 +308,27 @@ int cmd_export(const util::Cli& cli) {
 int cmd_gen(const util::Cli& cli) {
   const std::string out = cli.get_string("out", "");
   if (out.empty()) throw std::invalid_argument("--out <file> is required");
-  const Instance generated = value_or_throw(generate(generate_options(cli)));
+  const GenerateOptions options = generate_options(cli);
+  const Instance generated = value_or_throw(generate(options));
+  if (cli.get_bool("stochastic", false)) {
+    // Annotate every channel / source with a random latency model and
+    // arrival process as `#!` comment lines, which legacy readers skip: the
+    // annotated file round-trips through parse/save untouched for them while
+    // `simulate` picks the profile up.
+    des::RandomProfileOptions profile_options;
+    profile_options.max_latency = cli.get_int_in("max-latency", 4, 1, 1'000'000);
+    profile_options.max_period = cli.get_int_in("max-period", 8, 1, 1'000'000);
+    util::Rng rng(options.seed ^ 0x5371'6f63'6861'7374ULL);
+    const des::Profile profile =
+        des::random_profile(generated.graph(), profile_options, rng);
+    const std::string text =
+        value_or_throw(netlist_text(generated)) + des::profile_text(profile, generated.graph());
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot open '" + out + "' for writing");
+    file << text;
+    std::cout << "generated netlist (stochastic annotations) written to " << out << "\n";
+    return 0;
+  }
   const Status saved = save_netlist(generated, out);
   if (!saved) throw std::runtime_error(saved.error().to_string());
   std::cout << "generated netlist written to " << out << "\n";
@@ -320,7 +353,94 @@ int cmd_insert_rs(const util::Cli& cli) {
   return result.reached_ideal ? 0 : 2;
 }
 
+/// The stochastic DES mode of `simulate` (selected by any DES flag): the
+/// src/des backend with per-channel latency models, open-system arrivals and
+/// occupancy tracing. `#!` annotations in the netlist file override the
+/// --dist/--arrival defaults per channel / per source.
+int cmd_simulate_des(const util::Cli& cli) {
+  const Instance instance = load(cli);
+  const lis::LisGraph& system = instance.graph();
+  DesOptions options;
+  options.horizon = cli.get_int_in("horizon", 10'000, 1, 1'000'000'000);
+  options.warmup = cli.get_int_in("warmup", 0, 0, 1'000'000'000);
+  options.seed = static_cast<std::uint64_t>(
+      cli.get_int_in("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+  if (const std::string dist = cli.get_string("dist", ""); !dist.empty()) {
+    const std::optional<des::LatencyDist> parsed = des::parse_latency_dist(dist);
+    if (!parsed) {
+      throw std::invalid_argument("--dist must be fixed:N, uniform:LO:HI or geometric:N/D, got '" +
+                                  dist + "'");
+    }
+    options.channel_latency = *parsed;
+  }
+  if (const std::string arrival = cli.get_string("arrival", ""); !arrival.empty()) {
+    const std::optional<des::ArrivalSpec> parsed = des::parse_arrival_spec(arrival);
+    if (!parsed) {
+      throw std::invalid_argument(
+          "--arrival must be saturated, rate:P, poisson:N/D or bursty:ON:OFF, got '" + arrival +
+          "'");
+    }
+    options.arrival = *parsed;
+  }
+  options.reference = cli.get_string("reference", "");
+
+  // Per-channel / per-source `#!` annotation overrides from the netlist file.
+  {
+    std::ifstream file(cli.get_string("netlist", ""));
+    std::ostringstream text;
+    text << file.rdbuf();
+    options.profile = des::parse_profile(text.str(), system);
+  }
+
+  const DesReport report = value_or_throw(simulate_des(instance, options));
+  std::cout << "simulated " << report.cycles_run << " cycle(s), " << report.events
+            << " event(s), " << report.firings << " firing(s)"
+            << (report.deterministic ? " [deterministic]" : "") << "\n";
+  std::cout << "throughput " << report.throughput.to_string()
+            << (report.periodic_found ? " (exact, periodic regime found)" : " (empirical)")
+            << "\n";
+  if (report.arrivals_generated > 0) {
+    std::cout << "arrivals: " << report.arrivals_generated << " generated, "
+              << report.arrivals_consumed << " consumed, max backlog " << report.max_backlog
+              << "\n";
+  }
+  std::cout << "backpressure stalls: " << report.total_stall_events << " event(s), "
+            << report.total_stall_cycles << " cycle(s)\n";
+  util::Table table({"channel", "q", "rs", "in", "out", "stalls", "max", "p50", "p95", "p99",
+                     "mean occupancy"});
+  for (const des::ChannelStats& ch : report.channels) {
+    table.add_row({system.core_name(ch.src) + " -> " + system.core_name(ch.dst),
+                   std::to_string(ch.capacity), std::to_string(ch.relay_stations),
+                   std::to_string(ch.tokens_in), std::to_string(ch.tokens_out),
+                   std::to_string(ch.stall_events), std::to_string(ch.max_occupancy),
+                   std::to_string(ch.p50), std::to_string(ch.p95), std::to_string(ch.p99),
+                   ch.mean_occupancy.to_string()});
+  }
+  table.print(std::cout);
+
+  if (const std::string occ = cli.get_string("occupancy-out", ""); !occ.empty()) {
+    // The full time-weighted histograms, one row per (channel, level).
+    util::CsvWriter csv(occ, {"src", "dst", "capacity", "relay_stations", "occupancy", "cycles"});
+    for (const des::ChannelStats& ch : report.channels) {
+      for (std::size_t level = 0; level < ch.histogram.size(); ++level) {
+        if (ch.histogram[level] == 0) continue;
+        csv.add_row({system.core_name(ch.src), system.core_name(ch.dst),
+                     std::to_string(ch.capacity), std::to_string(ch.relay_stations),
+                     std::to_string(level), std::to_string(ch.histogram[level])});
+      }
+    }
+    std::cout << "occupancy histograms written to " << occ << "\n";
+  }
+  return 0;
+}
+
 int cmd_simulate(const util::Cli& cli) {
+  // Any DES flag routes to the stochastic event-driven backend; the flagless
+  // form stays the legacy cycle-accurate protocol simulation.
+  if (cli.has("dist") || cli.has("arrival") || cli.has("horizon") || cli.has("warmup") ||
+      cli.has("seed") || cli.has("occupancy-out")) {
+    return cmd_simulate_des(cli);
+  }
   const Instance instance = load(cli);
   const lis::LisGraph& system = instance.graph();
   lis::ProtocolOptions options;
@@ -549,6 +669,27 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
       const std::string target = cli.get_string("target", "");
       if (!target.empty()) w.key("target").value(target);
       if (cli.get_bool("errors-only", false)) w.key("errors_only").value(true);
+    } else if (verb == "simulate") {
+      // DES args pass through verbatim; omitted flags fall to server
+      // defaults. Spec strings are validated server-side.
+      if (cli.has("horizon")) {
+        w.key("horizon").value(cli.get_int_in("horizon", 10'000, 1, 1'000'000'000));
+      }
+      if (cli.has("warmup")) w.key("warmup").value(cli.get_int_in("warmup", 0, 0, 1'000'000'000));
+      if (cli.has("seed")) {
+        w.key("seed").value(
+            cli.get_int_in("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+      }
+      if (const std::string dist = cli.get_string("dist", ""); !dist.empty()) {
+        w.key("dist").value(dist);
+      }
+      if (const std::string arrival = cli.get_string("arrival", ""); !arrival.empty()) {
+        w.key("arrival").value(arrival);
+      }
+      if (cli.get_bool("occupancy", false)) w.key("occupancy").value(true);
+      if (const std::string reference = cli.get_string("reference", ""); !reference.empty()) {
+        w.key("reference").value(reference);
+      }
     }
   }
   w.end_object();
@@ -631,7 +772,8 @@ int main(int argc, char** argv) {
       {"export", {"dot"}, "GraphViz / netlist-text export", cmd_export},
       {"gen", {"generate"}, "synthetic netlist generator (Sec. VIII)", cmd_gen},
       {"insert-rs", {}, "relay-station insertion repair (Sec. VI)", cmd_insert_rs},
-      {"simulate", {}, "cycle-accurate protocol simulation", cmd_simulate},
+      {"simulate", {}, "protocol simulation; --dist/--arrival select stochastic DES",
+       cmd_simulate},
       {"storage", {}, "worst-case per-channel storage bounds", cmd_storage},
       {"pareto", {}, "cost vs throughput frontier of queue sizing", cmd_pareto},
       {"schedule", {}, "static schedule baseline (Casu–Macchiarulo)", cmd_schedule},
