@@ -1,0 +1,1190 @@
+#include "serve/cluster.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include "serve/frame.hpp"
+#include "serve/protocol.hpp"
+#include "serve/registry.hpp"
+#include "serve/session.hpp"
+#include "util/json.hpp"
+
+namespace lid::serve {
+namespace {
+
+Error errno_error(const std::string& what) {
+  return Error{ErrorCode::kIo, what + ": " + std::strerror(errno)};
+}
+
+void sleep_ms(double ms) {
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+/// A worker response must be a JSON object with a boolean `ok` to be
+/// forwarded; anything else (torn line, injected garbage) is a transport
+/// failure and the request fails over.
+bool well_formed_response(const std::string& line, util::Json* parsed_out) {
+  const util::JsonParse parsed = util::json_parse(line);
+  if (!parsed || !parsed.value.is_object()) return false;
+  const util::Json* ok = parsed.value.find("ok");
+  if (ok == nullptr || !ok->is_bool()) return false;
+  if (parsed_out != nullptr) *parsed_out = parsed.value;
+  return true;
+}
+
+/// The `error.code` of a well-formed failure response ("" for ok:true).
+std::string response_error_code(const util::Json& response) {
+  const util::Json* ok = response.find("ok");
+  if (ok != nullptr && ok->is_bool() && ok->as_bool()) return "";
+  if (const util::Json* error = response.find("error");
+      error != nullptr && error->is_object()) {
+    if (const util::Json* code = error->find("code"); code != nullptr && code->is_string()) {
+      return code->as_string();
+    }
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+std::uint64_t HashRing::hash(const std::string& key) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (const unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+void HashRing::add(int worker) {
+  if (!workers_.insert(worker).second) return;
+  for (int r = 0; r < replicas_; ++r) {
+    ring_.emplace(hash("vnode-" + std::to_string(worker) + "-" + std::to_string(r)), worker);
+  }
+}
+
+void HashRing::remove(int worker) {
+  if (workers_.erase(worker) == 0) return;
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == worker ? ring_.erase(it) : std::next(it);
+  }
+}
+
+int HashRing::primary(const std::string& key) const {
+  if (ring_.empty()) return -1;
+  auto it = ring_.lower_bound(hash(key));
+  if (it == ring_.end()) it = ring_.begin();
+  return it->second;
+}
+
+std::vector<int> HashRing::route(const std::string& key, std::size_t n) const {
+  std::vector<int> out;
+  if (ring_.empty() || n == 0) return out;
+  auto it = ring_.lower_bound(hash(key));
+  for (std::size_t steps = 0; steps < ring_.size() && out.size() < std::min(n, workers_.size());
+       ++steps, ++it) {
+    if (it == ring_.end()) it = ring_.begin();
+    if (std::find(out.begin(), out.end(), it->second) == out.end()) out.push_back(it->second);
+  }
+  return out;
+}
+
+/// One worker of the cluster: spec, child pid (spawned), health/identity
+/// from the prober, breaker state, and the per-generation set of models the
+/// router knows to be registered there.
+struct Cluster::Worker {
+  WorkerSpec spec;
+  int index = 0;
+  pid_t child_pid = -1;  ///< spawned child; -1 for adopted workers
+
+  std::atomic<bool> healthy{false};
+  std::atomic<bool> draining{false};
+  std::atomic<int> probe_failures{0};
+  /// Bumped whenever the worker's identity changes (restart-worker, or a
+  /// silent restart detected by the prober). Everything the router believed
+  /// about the old process — registered models, breaker — dies with it.
+  std::atomic<std::int64_t> generation{1};
+  std::atomic<std::int64_t> reported_pid{0};
+  std::atomic<std::int64_t> reported_start_unix_ms{0};
+
+  std::atomic<std::int64_t> outstanding{0};  ///< in-flight forwards
+  std::atomic<std::int64_t> forwarded{0};
+  std::atomic<std::int64_t> forward_failures{0};
+  std::atomic<std::int64_t> probes_ok{0};
+  std::atomic<std::int64_t> probes_failed{0};
+
+  std::mutex breaker_mutex;
+  int consecutive_transport_failures = 0;
+  bool breaker_open = false;
+  util::Timer breaker_opened_at;
+
+  /// Models registered on this worker, valid for `models_generation` only.
+  std::mutex models_mutex;
+  std::int64_t models_generation = 1;
+  std::set<std::string> registered;
+
+  void bump_generation() {
+    generation.fetch_add(1);
+    {
+      const std::lock_guard<std::mutex> lock(models_mutex);
+      models_generation = generation.load();
+      registered.clear();
+    }
+    const std::lock_guard<std::mutex> lock(breaker_mutex);
+    consecutive_transport_failures = 0;
+    breaker_open = false;
+  }
+
+  bool knows_model(const std::string& fingerprint) {
+    const std::lock_guard<std::mutex> lock(models_mutex);
+    return models_generation == generation.load() && registered.count(fingerprint) > 0;
+  }
+
+  void note_model(const std::string& fingerprint) {
+    const std::lock_guard<std::mutex> lock(models_mutex);
+    if (models_generation != generation.load()) {
+      models_generation = generation.load();
+      registered.clear();
+    }
+    registered.insert(fingerprint);
+  }
+
+  void forget_model(const std::string& fingerprint) {
+    const std::lock_guard<std::mutex> lock(models_mutex);
+    registered.erase(fingerprint);
+  }
+};
+
+/// One accepted client connection: the fd, negotiated protocol, and this
+/// connection's cached backend connections (thread-confined to the
+/// connection thread — forwarding is synchronous, so no locking).
+struct Cluster::Connection {
+  int fd = -1;
+  std::uint64_t id = 0;
+  int protocol = 1;
+  /// Lazily connected backend per worker, tagged with the worker generation
+  /// it was opened against (a restart invalidates it).
+  struct Backend {
+    std::unique_ptr<Client> client;
+    std::int64_t generation = 0;
+  };
+  std::vector<Backend> backends;
+
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+Cluster::Cluster(ClusterOptions options)
+    : options_(std::move(options)), ring_(options_.ring_replicas) {
+  if (options_.eject_after < 1) options_.eject_after = 1;
+  for (std::size_t i = 0; i < options_.workers.size(); ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->spec = options_.workers[i];
+    worker->index = static_cast<int>(i);
+    workers_.push_back(std::move(worker));
+  }
+}
+
+Cluster::~Cluster() {
+  request_stop();
+  wait();
+}
+
+void Cluster::log_line(const std::string& event, const Worker* worker,
+                       const std::string& detail) {
+  if (options_.log == nullptr) return;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("cluster").value(event);
+  if (worker != nullptr) {
+    w.key("worker").value(worker->index);
+    w.key("generation").value(worker->generation.load());
+  }
+  if (!detail.empty()) w.key("detail").value(detail);
+  w.end_object();
+  static std::mutex log_mutex;
+  const std::lock_guard<std::mutex> lock(log_mutex);
+  *options_.log << w.str() << '\n';
+}
+
+Status Cluster::spawn_worker(Worker& worker) {
+  if (options_.serve_binary.empty()) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "worker " + std::to_string(worker.index) + " wants spawning but no "
+                 "serve_binary is configured"};
+  }
+  std::vector<std::string> args = {
+      options_.serve_binary,
+      "--socket", worker.spec.unix_socket,
+      "--workers", std::to_string(options_.serve_threads),
+      "--queue-capacity", std::to_string(options_.serve_queue_capacity),
+      "--quiet",
+  };
+  if (!worker.spec.fault_plan.empty()) {
+    args.push_back("--fault-plan");
+    args.push_back(worker.spec.fault_plan);
+  }
+  if (!worker.spec.pid_file.empty()) {
+    args.push_back("--pid-file");
+    args.push_back(worker.spec.pid_file);
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  // A stale socket file from a previous (killed) worker would make the
+  // child's bind fail; lid_serve itself also clears stale sockets, but a
+  // fresh spawn over a live old child must not race that, so restart_worker
+  // reaps first.
+  const pid_t pid = ::fork();
+  if (pid < 0) return errno_error("fork");
+  if (pid == 0) {
+    ::execv(argv[0], argv.data());
+    // exec failed; exit hard without running atexit handlers.
+    ::_exit(127);
+  }
+  worker.child_pid = pid;
+  log_line("spawn", &worker, "pid " + std::to_string(pid));
+  return Unit{};
+}
+
+void Cluster::reap_worker(Worker& worker) {
+  if (worker.child_pid <= 0) return;
+  int status = 0;
+  const pid_t reaped = ::waitpid(worker.child_pid, &status, WNOHANG);
+  if (reaped == worker.child_pid) {
+    log_line("reaped", &worker, "exit status " + std::to_string(status));
+    worker.child_pid = -1;
+  }
+}
+
+bool Cluster::probe_worker(Worker& worker) {
+  SessionOptions session_options;
+  session_options.hello = false;  // plain v1 probe
+  session_options.connect_timeout_ms = options_.connect_timeout_ms;
+  session_options.timeout_ms = options_.probe_timeout_ms;
+  Result<Session> connected = Session::connect_unix(worker.spec.unix_socket, session_options);
+  bool ok = false;
+  if (connected) {
+    Session session = std::move(connected).value();
+    const Result<std::string> response = session.call("{\"verb\":\"stats\"}");
+    util::Json parsed;
+    if (response && well_formed_response(*response, &parsed) &&
+        response_error_code(parsed).empty()) {
+      ok = true;
+      // Identity tracking: a changed pid or start time is a restart the
+      // router did not perform — distrust everything about the old process.
+      std::int64_t pid = 0;
+      std::int64_t start_ms = 0;
+      if (const util::Json* result = parsed.find("result");
+          result != nullptr && result->is_object()) {
+        if (const util::Json* v = result->find("pid"); v != nullptr && v->is_number()) {
+          pid = v->as_int();
+        }
+        if (const util::Json* v = result->find("start_unix_ms");
+            v != nullptr && v->is_number()) {
+          start_ms = v->as_int();
+        }
+      }
+      const std::int64_t old_pid = worker.reported_pid.exchange(pid);
+      const std::int64_t old_start = worker.reported_start_unix_ms.exchange(start_ms);
+      if (old_pid != 0 && (old_pid != pid || old_start != start_ms)) {
+        silent_restarts_.fetch_add(1);
+        worker.bump_generation();
+        log_line("silent-restart", &worker,
+                 "pid " + std::to_string(old_pid) + " -> " + std::to_string(pid));
+      }
+    }
+  }
+  if (ok) {
+    worker.probes_ok.fetch_add(1);
+    worker.probe_failures.store(0);
+    if (!worker.healthy.exchange(true)) log_line("rejoined", &worker, "probe succeeded");
+    // A live probe is better evidence than a stale breaker.
+    const std::lock_guard<std::mutex> lock(worker.breaker_mutex);
+    worker.consecutive_transport_failures = 0;
+    worker.breaker_open = false;
+  } else {
+    worker.probes_failed.fetch_add(1);
+    const int failures = worker.probe_failures.fetch_add(1) + 1;
+    if (failures >= options_.eject_after && worker.healthy.exchange(false)) {
+      ejections_.fetch_add(1);
+      log_line("ejected", &worker, std::to_string(failures) + " consecutive probe failures");
+    }
+    reap_worker(worker);  // a dead spawned child becomes visible here
+  }
+  return ok;
+}
+
+void Cluster::prober_loop() {
+  while (!stop_requested_.load()) {
+    for (const std::unique_ptr<Worker>& worker : workers_) {
+      if (stop_requested_.load()) return;
+      probe_worker(*worker);
+    }
+    // Finite dozes so a stop request is honored promptly.
+    double remaining = options_.probe_interval_ms;
+    while (remaining > 0.0 && !stop_requested_.load()) {
+      const double nap = std::min(remaining, 20.0);
+      sleep_ms(nap);
+      remaining -= nap;
+    }
+  }
+}
+
+Status Cluster::wait_for_worker(Worker& worker, double timeout_ms) {
+  util::Timer waited;
+  while (waited.elapsed_ms() < timeout_ms) {
+    if (probe_worker(worker)) return Unit{};
+    sleep_ms(std::min(50.0, options_.probe_interval_ms));
+  }
+  return Error{ErrorCode::kTimeout, "worker " + std::to_string(worker.index) + " ('" +
+                                        worker.spec.unix_socket + "') not answering probes after " +
+                                        std::to_string(timeout_ms) + " ms"};
+}
+
+Status Cluster::start() {
+  {
+    const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+    if (started_) return Error{ErrorCode::kInvalidArgument, "Cluster::start called twice"};
+    started_ = true;
+  }
+  if (workers_.empty()) {
+    return Error{ErrorCode::kInvalidArgument, "a cluster needs at least one worker"};
+  }
+
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->spec.spawn) {
+      const Status spawned = spawn_worker(*worker);
+      if (!spawned) return spawned.error();
+    }
+  }
+  // Workers are unreliable by assumption, at startup too: wait for each, but
+  // a worker that will not answer (its fault plan may be eating the probes)
+  // starts ejected and re-enters routing when a probe finally lands. Only a
+  // cluster with no healthy worker at all refuses to start.
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    const Status up = wait_for_worker(*worker, 5'000.0);
+    if (!up) log_line("start-unhealthy", worker.get(), up.error().message);
+  }
+  if (std::none_of(workers_.begin(), workers_.end(),
+                   [](const std::unique_ptr<Worker>& w) { return w->healthy.load(); })) {
+    return Error{ErrorCode::kIo, "no worker answered a startup probe"};
+  }
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    for (const std::unique_ptr<Worker>& worker : workers_) ring_.add(worker->index);
+  }
+
+  // Front door (same shape as Server::start).
+  if (!options_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      return Error{ErrorCode::kInvalidArgument,
+                   "unix socket path too long: " + options_.unix_socket};
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket.c_str(), sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket.c_str());
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return errno_error("socket(AF_UNIX)");
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Error error = errno_error("bind('" + options_.unix_socket + "')");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return error;
+    }
+    unlink_on_close_ = true;
+    endpoint_ = "unix:" + options_.unix_socket;
+  } else if (options_.tcp_port >= 0) {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (listen_fd_ < 0) return errno_error("socket(AF_INET)");
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Error{ErrorCode::kInvalidArgument, "bad host address '" + options_.host + "'"};
+    }
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+      const Error error = errno_error("bind(" + options_.host + ")");
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return error;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      resolved_port_ = ntohs(bound.sin_port);
+    }
+    endpoint_ = "tcp:" + options_.host + ":" + std::to_string(resolved_port_);
+  } else {
+    return Error{ErrorCode::kInvalidArgument, "no endpoint: set unix_socket or tcp_port"};
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Error error = errno_error("listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  if (::pipe(stop_pipe_) != 0) {
+    const Error error = errno_error("pipe");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return error;
+  }
+  for (const int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  prober_thread_ = std::thread([this] { prober_loop(); });
+  log_line("started", nullptr,
+           endpoint_ + ", " + std::to_string(workers_.size()) + " workers");
+  return Unit{};
+}
+
+void Cluster::request_stop() {
+  if (stop_pipe_[1] >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+}
+
+void Cluster::stop() {
+  request_stop();
+  wait();
+}
+
+void Cluster::wait() {
+  const std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (finished_ || !started_) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  stop_requested_.store(true);
+  if (prober_thread_.joinable()) prober_thread_.join();
+  {
+    const std::lock_guard<std::mutex> connections_lock(connections_mutex_);
+    for (std::thread& t : connection_threads_) {
+      if (t.joinable()) t.join();
+    }
+    connection_threads_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (unlink_on_close_) ::unlink(options_.unix_socket.c_str());
+  for (int& fd : stop_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  // Spawned workers drain and exit on SIGTERM; reap them so no zombies
+  // outlive the router.
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->child_pid > 0) ::kill(worker->child_pid, SIGTERM);
+  }
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    if (worker->child_pid > 0) {
+      int status = 0;
+      ::waitpid(worker->child_pid, &status, 0);
+      worker->child_pid = -1;
+    }
+  }
+  finished_ = true;
+}
+
+void Cluster::accept_loop() {
+  while (true) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if ((fds[1].revents & (POLLIN | POLLHUP | POLLERR)) != 0) break;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
+    auto connection = std::make_shared<Connection>();
+    connection->fd = client;
+    connection->id = next_connection_id_.fetch_add(1) + 1;
+    connection->backends.resize(workers_.size());
+    const std::lock_guard<std::mutex> lock(connections_mutex_);
+    connection_threads_.emplace_back([this, connection = std::move(connection)]() mutable {
+      connection_loop(std::move(connection));
+    });
+  }
+  stop_requested_.store(true);
+}
+
+void Cluster::connection_loop(std::shared_ptr<Connection> connection) {
+  std::string buffer;
+  char chunk[65536];
+  while (!stop_requested_.load()) {
+    pollfd pfd{connection->fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (rc == 0) continue;
+    if ((pfd.revents & (POLLIN | POLLHUP)) == 0) break;
+    const ssize_t n = ::recv(connection->fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+
+    bool hangup = false;
+    while (!hangup && !buffer.empty()) {
+      if (starts_frame(buffer)) {
+        const FrameDecode frame = decode_frame(buffer, options_.max_request_bytes);
+        if (frame.status == FrameStatus::kNeedMore) break;
+        if (frame.status == FrameStatus::kBad) {
+          const std::string line =
+              error_line("null", "", frame.error_code, frame.error, connection->protocol);
+          const std::string framed = frame_message(line);
+          (void)::send(connection->fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+          hangup = true;
+          break;
+        }
+        std::string payload = frame.payload;
+        buffer.erase(0, frame.consumed);
+        handle_message(*connection, std::move(payload), /*binary=*/true);
+        continue;
+      }
+      const std::size_t newline = buffer.find('\n');
+      if (newline == std::string::npos) break;
+      std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      handle_message(*connection, std::move(line), /*binary=*/false);
+    }
+    if (hangup) break;
+    if (!starts_frame(buffer) && buffer.size() > options_.max_request_bytes) {
+      const std::string line =
+          error_line("null", "", codes::kTooLarge,
+                     "request line exceeds " + std::to_string(options_.max_request_bytes) +
+                         " bytes",
+                     connection->protocol);
+      const std::string framed = line + "\n";
+      (void)::send(connection->fd, framed.data(), framed.size(), MSG_NOSIGNAL);
+      break;
+    }
+  }
+}
+
+namespace {
+
+/// Writes one response (in the transport of its request) to the client.
+void send_to_client(int fd, const std::string& line, bool binary) {
+  std::string framed = binary ? frame_message(line) : line + "\n";
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n = ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // client gone; drop the response
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void Cluster::handle_message(Connection& connection, std::string text, bool binary) {
+  if (!binary && !text.empty() && text.back() == '\r') text.pop_back();
+  if (text.empty()) return;
+  if (text.size() > options_.max_request_bytes) {
+    send_to_client(connection.fd,
+                   error_line("null", "", codes::kTooLarge,
+                              "request of " + std::to_string(text.size()) +
+                                  " bytes exceeds the limit of " +
+                                  std::to_string(options_.max_request_bytes),
+                              connection.protocol),
+                   binary);
+    return;
+  }
+
+  // Router-handled verbs peek at the request; everything else forwards
+  // verbatim (workers answer their own parse errors, keeping the router
+  // transparent).
+  std::string verb;
+  if (const util::JsonParse parsed = util::json_parse(text);
+      parsed && parsed.value.is_object()) {
+    if (const util::Json* v = parsed.value.find("verb"); v != nullptr && v->is_string()) {
+      verb = v->as_string();
+    }
+  }
+  if (verb == "hello") {
+    handle_hello(connection, text, binary);
+    return;
+  }
+  if (verb == "cluster-stats" || verb == "drain-worker" || verb == "rejoin-worker" ||
+      verb == "restart-worker") {
+    handle_admin(connection, verb, text, binary);
+    return;
+  }
+  if (verb == "stats") {
+    handle_aggregate_stats(connection, text, binary);
+    return;
+  }
+
+  admitted_.fetch_add(1);
+  const std::string response = forward(connection, text);
+  send_to_client(connection.fd, response, binary);
+}
+
+void Cluster::handle_hello(Connection& connection, const std::string& text, bool binary) {
+  const Result<Request> parsed = parse_request(text);
+  if (!parsed) {
+    send_to_client(connection.fd,
+                   error_line("null", "hello", wire_code(parsed.error().code),
+                              parsed.error().message, connection.protocol),
+                   binary);
+    return;
+  }
+  const Request& request = *parsed;
+  int wanted = kProtocolVersion;
+  if (const util::Json* v = request.args.find("protocol"); v != nullptr && v->is_number()) {
+    wanted = static_cast<int>(v->as_int());
+  }
+  if (wanted < kProtocolVersionMin || wanted > kProtocolVersion) {
+    send_to_client(
+        connection.fd,
+        response_line(request,
+                      Outcome::failure(codes::kUnsupportedVersion,
+                                       "protocol " + std::to_string(wanted) +
+                                           " is not supported (this router speaks " +
+                                           std::to_string(kProtocolVersionMin) + ".." +
+                                           std::to_string(kProtocolVersion) + ")"),
+                      0.0, 0.0, connection.protocol),
+        binary);
+    return;
+  }
+  connection.protocol = wanted;
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("protocol").value(wanted);
+  w.key("server").value("lid_cluster");
+  w.key("transports").begin_array().value("ndjson").value("binary").end_array();
+  w.key("transport").value(binary ? "binary" : "ndjson");
+  w.key("max_request_bytes").value(options_.max_request_bytes);
+  w.key("workers").value(static_cast<std::int64_t>(workers_.size()));
+  w.end_object();
+  send_to_client(connection.fd,
+                 response_line(request, Outcome::success(w.str()), 0.0, 0.0, wanted), binary);
+}
+
+std::string Cluster::route_key(const std::string& line, std::string* model_fingerprint,
+                               std::string* netlist_text, std::string* verb) {
+  const util::JsonParse parsed = util::json_parse(line);
+  if (!parsed || !parsed.value.is_object()) return "";
+  if (const util::Json* v = parsed.value.find("verb"); v != nullptr && v->is_string()) {
+    *verb = v->as_string();
+  }
+  if (const util::Json* m = parsed.value.find("model"); m != nullptr && m->is_string()) {
+    *model_fingerprint = m->as_string();
+    return *model_fingerprint;
+  }
+  if (const util::Json* n = parsed.value.find("netlist"); n != nullptr && n->is_string()) {
+    *netlist_text = n->as_string();
+    return "netlist-" + std::to_string(HashRing::hash(*netlist_text));
+  }
+  return "";
+}
+
+bool Cluster::usable(const Worker& worker) const {
+  if (!worker.healthy.load() || worker.draining.load()) return false;
+  if (options_.breaker_threshold > 0) {
+    const std::lock_guard<std::mutex> lock(
+        const_cast<Worker&>(worker).breaker_mutex);
+    if (worker.breaker_open &&
+        worker.breaker_opened_at.elapsed_ms() < options_.breaker_cooldown_ms) {
+      return false;  // open; half-open (cooldown elapsed) counts as usable
+    }
+  }
+  return true;
+}
+
+void Cluster::note_forward_failure(Worker& worker) {
+  worker.forward_failures.fetch_add(1);
+  if (options_.breaker_threshold <= 0) return;
+  const std::lock_guard<std::mutex> lock(worker.breaker_mutex);
+  if (++worker.consecutive_transport_failures >= options_.breaker_threshold) {
+    worker.breaker_open = true;
+    worker.breaker_opened_at = util::Timer();
+  }
+}
+
+void Cluster::note_forward_success(Worker& worker) {
+  const std::lock_guard<std::mutex> lock(worker.breaker_mutex);
+  worker.consecutive_transport_failures = 0;
+  worker.breaker_open = false;
+}
+
+std::vector<Cluster::Worker*> Cluster::candidates(const std::string& key) {
+  std::vector<int> order;
+  {
+    const std::lock_guard<std::mutex> lock(ring_mutex_);
+    if (key.empty()) {
+      // No affinity: start from a rotating ring position for spread.
+      order = ring_.route("rr-" + std::to_string(round_robin_.fetch_add(1)), workers_.size());
+    } else {
+      order = ring_.route(key, workers_.size());
+    }
+  }
+  std::vector<Worker*> usable_first;
+  std::vector<Worker*> last_resort;
+  for (const int index : order) {
+    Worker& worker = *workers_[static_cast<std::size_t>(index)];
+    if (usable(worker)) {
+      usable_first.push_back(&worker);
+    } else if (!worker.draining.load()) {
+      // Unhealthy/broken workers are still tried last — between probe
+      // intervals this is what notices a recovery first, and when every
+      // worker looks down it beats failing without trying.
+      last_resort.push_back(&worker);
+    }
+  }
+  usable_first.insert(usable_first.end(), last_resort.begin(), last_resort.end());
+  return usable_first;
+}
+
+bool Cluster::forward_once(Connection& connection, Worker& worker, const std::string& line,
+                           std::string& response_out) {
+  Connection::Backend& backend = connection.backends[static_cast<std::size_t>(worker.index)];
+  const std::int64_t generation = worker.generation.load();
+  if (backend.client == nullptr || backend.generation != generation) {
+    backend.client.reset();
+    SessionOptions session_options;
+    session_options.hello = false;  // v1 upstream: forwarded lines carry everything
+    session_options.connect_timeout_ms = options_.connect_timeout_ms;
+    session_options.timeout_ms = options_.forward_timeout_ms;
+    Result<Client> fresh = Client::connect_unix(worker.spec.unix_socket, session_options);
+    if (!fresh) {
+      note_forward_failure(worker);
+      return false;
+    }
+    backend.client = std::make_unique<Client>(std::move(fresh).value());
+    backend.generation = generation;
+  }
+  worker.outstanding.fetch_add(1);
+  const Status sent = backend.client->send_line(line);
+  Result<std::string> response =
+      sent ? backend.client->recv_line(options_.forward_timeout_ms)
+           : Result<std::string>(sent.error());
+  worker.outstanding.fetch_sub(1);
+  if (!response || !well_formed_response(*response, nullptr)) {
+    // Torn line, garbage, EOF, timeout: drop the backend (it may be
+    // mid-frame) and let the caller fail over.
+    backend.client.reset();
+    note_forward_failure(worker);
+    return false;
+  }
+  worker.forwarded.fetch_add(1);
+  note_forward_success(worker);
+  response_out = std::move(response).value();
+  return true;
+}
+
+bool Cluster::ensure_model(Connection& connection, Worker& worker,
+                           const std::string& fingerprint) {
+  if (worker.knows_model(fingerprint)) return true;
+  std::string text;
+  {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    const auto it = model_texts_.find(fingerprint);
+    if (it == model_texts_.end()) return false;  // not registered through us
+    text = it->second;
+  }
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("verb").value("register-model");
+  w.key("netlist").value(text);
+  w.end_object();
+  std::string response;
+  if (!forward_once(connection, worker, w.str(), response)) return false;
+  util::Json parsed;
+  if (!well_formed_response(response, &parsed) || !response_error_code(parsed).empty()) {
+    return false;
+  }
+  reregistrations_.fetch_add(1);
+  worker.note_model(fingerprint);
+  log_line("reregistered", &worker, fingerprint);
+  return true;
+}
+
+std::string Cluster::forward(Connection& connection, const std::string& line) {
+  std::string fingerprint;
+  std::string netlist;
+  std::string verb;
+  const std::string key = route_key(line, &fingerprint, &netlist, &verb);
+
+  // register-model: canonicalize router-side so the routing key equals the
+  // canonical fingerprint later model-addressed requests will carry, and
+  // remember the text for failover re-registration. A netlist the router
+  // cannot parse routes by raw bytes and lets the worker phrase the error.
+  std::string canonical_fingerprint;
+  if (verb == "register-model" && !netlist.empty()) {
+    if (const Result<Instance> instance = parse_netlist(netlist)) {
+      if (const Result<std::string> canonical = netlist_text(*instance)) {
+        canonical_fingerprint = Registry::fingerprint(*canonical);
+        const std::lock_guard<std::mutex> lock(models_mutex_);
+        model_texts_[canonical_fingerprint] = *canonical;
+      }
+    }
+  }
+  const std::string effective_key =
+      !canonical_fingerprint.empty() ? canonical_fingerprint : key;
+
+  const std::vector<Worker*> order = candidates(effective_key);
+  std::string response;
+  int hops = 0;
+  for (Worker* worker : order) {
+    ++hops;
+    if (hops > 1) failovers_.fetch_add(1);
+    // Model-addressed request: make sure the target holds the model before
+    // asking, so a failover target answers instead of `unknown_model`.
+    if (!fingerprint.empty()) (void)ensure_model(connection, *worker, fingerprint);
+    if (!forward_once(connection, *worker, line, response)) continue;
+    util::Json parsed;
+    if (well_formed_response(response, &parsed)) {
+      const std::string code = response_error_code(parsed);
+      if (code == codes::kUnknownModel && !fingerprint.empty() &&
+          ensure_model(connection, *worker, fingerprint)) {
+        // The worker lost the model (eviction, restart between ensure and
+        // forward): re-register and replay once on the same worker.
+        if (!forward_once(connection, *worker, line, response)) continue;
+        if (!well_formed_response(response, &parsed)) continue;
+      }
+      if (code == codes::kShuttingDown) continue;  // worker draining: fail over
+    }
+    if (verb == "register-model" && !canonical_fingerprint.empty() &&
+        response_error_code(parsed).empty()) {
+      worker->note_model(canonical_fingerprint);
+    }
+    if (verb == "evict-model" && !fingerprint.empty()) {
+      worker->forget_model(fingerprint);
+      const std::lock_guard<std::mutex> lock(models_mutex_);
+      model_texts_.erase(fingerprint);
+    }
+    completed_.fetch_add(1);
+    return response;
+  }
+
+  failed_.fetch_add(1);
+  // Echo the id if the request parses; "null" otherwise.
+  std::string id_json = "null";
+  if (const Result<Request> request = parse_request(line)) {
+    id_json = request_id_json(*request);
+  }
+  return error_line(id_json, verb, codes::kUpstreamUnavailable,
+                    "no worker could serve the request (" + std::to_string(hops) +
+                        " of " + std::to_string(workers_.size()) + " workers tried)",
+                    connection.protocol);
+}
+
+void Cluster::handle_admin(Connection& connection, const std::string& verb,
+                           const std::string& text, bool binary) {
+  const Result<Request> parsed = parse_request(text);
+  if (!parsed) {
+    send_to_client(connection.fd,
+                   error_line("null", verb, wire_code(parsed.error().code),
+                              parsed.error().message, connection.protocol),
+                   binary);
+    return;
+  }
+  const Request& request = *parsed;
+
+  if (verb == "cluster-stats") {
+    send_to_client(connection.fd,
+                   response_line(request, Outcome::success(cluster_stats_json()), 0.0, 0.0,
+                                 connection.protocol),
+                   binary);
+    return;
+  }
+
+  const util::Json* index_arg = request.args.find("worker");
+  if (index_arg == nullptr || !index_arg->is_number()) {
+    send_to_client(connection.fd,
+                   response_line(request,
+                                 Outcome::failure(codes::kInvalidArgument,
+                                                  "'worker' must be a worker index"),
+                                 0.0, 0.0, connection.protocol),
+                   binary);
+    return;
+  }
+  const std::int64_t index = index_arg->as_int();
+  if (index < 0 || index >= static_cast<std::int64_t>(workers_.size())) {
+    send_to_client(
+        connection.fd,
+        response_line(request,
+                      Outcome::failure(codes::kInvalidArgument,
+                                       "worker " + std::to_string(index) + " out of range (" +
+                                           std::to_string(workers_.size()) + " workers)"),
+                      0.0, 0.0, connection.protocol),
+        binary);
+    return;
+  }
+
+  double timeout_ms = 30'000.0;
+  if (const util::Json* t = request.args.find("timeout_ms"); t != nullptr && t->is_number()) {
+    timeout_ms = static_cast<double>(t->as_int());
+  }
+  Status status = Unit{};
+  if (verb == "drain-worker") {
+    status = drain_worker(static_cast<std::size_t>(index), timeout_ms);
+  } else if (verb == "rejoin-worker") {
+    status = rejoin_worker(static_cast<std::size_t>(index));
+  } else {
+    status = restart_worker(static_cast<std::size_t>(index), timeout_ms);
+  }
+  if (!status) {
+    send_to_client(connection.fd,
+                   response_line(request,
+                                 Outcome::failure(wire_code(status.error().code),
+                                                  status.error().message),
+                                 0.0, 0.0, connection.protocol),
+                   binary);
+    return;
+  }
+  const Worker& worker = *workers_[static_cast<std::size_t>(index)];
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("worker").value(index);
+  w.key("action").value(verb);
+  w.key("healthy").value(worker.healthy.load());
+  w.key("draining").value(worker.draining.load());
+  w.key("generation").value(worker.generation.load());
+  w.end_object();
+  send_to_client(connection.fd,
+                 response_line(request, Outcome::success(w.str()), 0.0, 0.0,
+                               connection.protocol),
+                 binary);
+}
+
+void Cluster::handle_aggregate_stats(Connection& connection, const std::string& text,
+                                     bool binary) {
+  const Result<Request> parsed = parse_request(text);
+  if (!parsed) {
+    send_to_client(connection.fd,
+                   error_line("null", "stats", wire_code(parsed.error().code),
+                              parsed.error().message, connection.protocol),
+                   binary);
+    return;
+  }
+  // Live-sum the workers' own stats: pool counters and the registry block
+  // (which loadgen's hit-rate probe reads), in the single-server shape.
+  std::int64_t submitted = 0;
+  std::int64_t executed = 0;
+  std::int64_t shed = 0;
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, std::int64_t> registry_counters;
+  int reachable = 0;
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    std::string response;
+    if (!forward_once(connection, *worker, "{\"verb\":\"stats\"}", response)) continue;
+    util::Json envelope;
+    if (!well_formed_response(response, &envelope) ||
+        !response_error_code(envelope).empty()) {
+      continue;
+    }
+    const util::Json* result = envelope.find("result");
+    if (result == nullptr || !result->is_object()) continue;
+    ++reachable;
+    if (const util::Json* v = result->find("submitted"); v != nullptr && v->is_number()) {
+      submitted += v->as_int();
+    }
+    if (const util::Json* v = result->find("executed"); v != nullptr && v->is_number()) {
+      executed += v->as_int();
+    }
+    if (const util::Json* v = result->find("shed"); v != nullptr && v->is_number()) {
+      shed += v->as_int();
+    }
+    if (const util::Json* c = result->find("counters"); c != nullptr && c->is_object()) {
+      for (const auto& [name, value] : c->members()) {
+        if (value.is_number()) counters[name] += value.as_int();
+      }
+    }
+    if (const util::Json* r = result->find("registry"); r != nullptr && r->is_object()) {
+      for (const auto& [name, value] : r->members()) {
+        if (value.is_number()) registry_counters[name] += value.as_int();
+      }
+    }
+  }
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("cluster").value(true);
+  w.key("workers").value(static_cast<std::int64_t>(workers_.size()));
+  w.key("workers_reachable").value(reachable);
+  w.key("admitted").value(admitted_.load());
+  w.key("completed").value(completed_.load());
+  w.key("failed").value(failed_.load());
+  w.key("failovers").value(failovers_.load());
+  w.key("submitted").value(submitted);
+  w.key("executed").value(executed);
+  w.key("shed").value(shed);
+  w.key("counters").begin_object();
+  for (const auto& [name, value] : counters) w.key(name).value(value);
+  w.end_object();
+  w.key("registry").begin_object();
+  for (const auto& [name, value] : registry_counters) w.key(name).value(value);
+  w.end_object();
+  w.end_object();
+  send_to_client(connection.fd,
+                 response_line(*parsed, Outcome::success(w.str()), 0.0, 0.0,
+                               connection.protocol),
+                 binary);
+}
+
+Status Cluster::drain_worker(std::size_t index, double timeout_ms) {
+  if (index >= workers_.size()) {
+    return Error{ErrorCode::kInvalidArgument, "worker index out of range"};
+  }
+  Worker& worker = *workers_[index];
+  worker.draining.store(true);
+  log_line("draining", &worker, "");
+  util::Timer waited;
+  while (worker.outstanding.load() > 0) {
+    if (waited.elapsed_ms() > timeout_ms) {
+      return Error{ErrorCode::kTimeout,
+                   "worker " + std::to_string(index) + " still has " +
+                       std::to_string(worker.outstanding.load()) +
+                       " requests in flight after " + std::to_string(timeout_ms) + " ms"};
+    }
+    sleep_ms(1.0);
+  }
+  log_line("drained", &worker, "");
+  return Unit{};
+}
+
+Status Cluster::rejoin_worker(std::size_t index) {
+  if (index >= workers_.size()) {
+    return Error{ErrorCode::kInvalidArgument, "worker index out of range"};
+  }
+  Worker& worker = *workers_[index];
+  worker.draining.store(false);
+  log_line("rejoin", &worker, "");
+  return Unit{};
+}
+
+Status Cluster::restart_worker(std::size_t index, double timeout_ms) {
+  if (index >= workers_.size()) {
+    return Error{ErrorCode::kInvalidArgument, "worker index out of range"};
+  }
+  Worker& worker = *workers_[index];
+  if (!worker.spec.spawn) {
+    return Error{ErrorCode::kInvalidArgument,
+                 "worker " + std::to_string(index) +
+                     " is adopted, not spawned; restart it externally"};
+  }
+  const Status drained = drain_worker(index, timeout_ms);
+  if (!drained) {
+    worker.draining.store(false);
+    return drained.error();
+  }
+  // The worker has no router traffic in flight; its own SIGTERM drain
+  // finishes whatever other clients sent before exiting.
+  if (worker.child_pid > 0) {
+    ::kill(worker.child_pid, SIGTERM);
+    int status = 0;
+    ::waitpid(worker.child_pid, &status, 0);
+    worker.child_pid = -1;
+    log_line("stopped", &worker, "exit status " + std::to_string(status));
+  }
+  worker.healthy.store(false);
+  worker.reported_pid.store(0);
+  worker.reported_start_unix_ms.store(0);
+  worker.bump_generation();
+  const Status spawned = spawn_worker(worker);
+  if (!spawned) {
+    worker.draining.store(false);
+    return spawned.error();
+  }
+  const Status up = wait_for_worker(worker, timeout_ms);
+  if (!up) {
+    worker.draining.store(false);
+    return up.error();
+  }
+  worker.draining.store(false);
+  log_line("restarted", &worker, "");
+  return Unit{};
+}
+
+std::string Cluster::cluster_stats_json() const {
+  util::JsonWriter w;
+  w.begin_object();
+  w.key("workers").value(static_cast<std::int64_t>(workers_.size()));
+  w.key("admitted").value(admitted_.load());
+  w.key("completed").value(completed_.load());
+  w.key("failed").value(failed_.load());
+  w.key("failovers").value(failovers_.load());
+  w.key("reregistrations").value(reregistrations_.load());
+  w.key("ejections").value(ejections_.load());
+  w.key("silent_restarts").value(silent_restarts_.load());
+  {
+    const std::lock_guard<std::mutex> lock(models_mutex_);
+    w.key("known_models").value(static_cast<std::int64_t>(model_texts_.size()));
+  }
+  w.key("worker_state").begin_array();
+  for (const std::unique_ptr<Worker>& worker : workers_) {
+    bool breaker_open = false;
+    {
+      const std::lock_guard<std::mutex> lock(worker->breaker_mutex);
+      breaker_open = worker->breaker_open;
+    }
+    std::size_t registered = 0;
+    {
+      const std::lock_guard<std::mutex> lock(worker->models_mutex);
+      registered = worker->registered.size();
+    }
+    w.begin_object();
+    w.key("index").value(worker->index);
+    w.key("endpoint").value("unix:" + worker->spec.unix_socket);
+    w.key("spawned").value(worker->spec.spawn);
+    w.key("pid").value(worker->reported_pid.load());
+    w.key("healthy").value(worker->healthy.load());
+    w.key("draining").value(worker->draining.load());
+    w.key("breaker_open").value(breaker_open);
+    w.key("generation").value(worker->generation.load());
+    w.key("start_unix_ms").value(worker->reported_start_unix_ms.load());
+    w.key("outstanding").value(worker->outstanding.load());
+    w.key("forwarded").value(worker->forwarded.load());
+    w.key("forward_failures").value(worker->forward_failures.load());
+    w.key("probes_ok").value(worker->probes_ok.load());
+    w.key("probes_failed").value(worker->probes_failed.load());
+    w.key("registered_models").value(static_cast<std::int64_t>(registered));
+    if (!worker->spec.fault_plan.empty()) w.key("fault_plan").value(worker->spec.fault_plan);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace lid::serve

@@ -79,6 +79,8 @@ inline constexpr const char* kLint = "lint";  ///< pre-flight lint rejected the 
 inline constexpr const char* kUnknownModel = "unknown_model";  ///< fingerprint not resident
 inline constexpr const char* kRegistryFull = "registry_full";  ///< model refused by the budget
 inline constexpr const char* kUnsupportedVersion = "unsupported_version";
+/// Cluster router: every candidate worker failed (after failover + retries).
+inline constexpr const char* kUpstreamUnavailable = "upstream_unavailable";
 }  // namespace codes
 
 /// Protocol versions this build speaks. v1 is the implicit NDJSON protocol

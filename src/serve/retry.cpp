@@ -46,13 +46,23 @@ Result<std::string> RetryingClient::attempt(const std::string& line, bool& sent_
   overloaded = false;
   if (!connection_) {
     Result<Client> fresh = connect_();
-    if (!fresh) return fresh.error();
+    if (!fresh) {
+      ++stats_.connect_failures;
+      // ECONNREFUSED surfaces as strerror text; "refused" is stable in the C
+      // locale ("Connection refused"), and a dead Unix socket path reports
+      // the same errno — both mean "nothing is listening there".
+      if (fresh.error().message.find("refused") != std::string::npos) {
+        ++stats_.connect_refused;
+      }
+      return fresh.error();
+    }
     connection_.emplace(std::move(fresh).value());
     ++stats_.reconnects;
     if (policy_.session_warmup) {
       const Status warmed = policy_.session_warmup(*connection_);
       if (!warmed) {
         disconnect();
+        ++stats_.connect_failures;
         return warmed.error();
       }
     }
@@ -60,6 +70,7 @@ Result<std::string> RetryingClient::attempt(const std::string& line, bool& sent_
   const Status sent = connection_->send_line(line);
   if (!sent) {
     disconnect();
+    ++stats_.mid_request_failures;
     return sent.error();
   }
   sent_request = true;
@@ -67,6 +78,7 @@ Result<std::string> RetryingClient::attempt(const std::string& line, bool& sent_
   if (!response) {
     // EOF, recv error or timeout: the connection may be mid-frame; drop it.
     disconnect();
+    ++stats_.mid_request_failures;
     return response.error();
   }
   // Validate framing: a response must be a JSON object with a boolean `ok`.
@@ -76,6 +88,7 @@ Result<std::string> RetryingClient::attempt(const std::string& line, bool& sent_
       parsed && parsed.value.is_object() ? parsed.value.find("ok") : nullptr;
   if (ok == nullptr || !ok->is_bool()) {
     disconnect();
+    ++stats_.mid_request_failures;
     return Error{ErrorCode::kParse, "malformed response line: '" + preview(*response) + "'"};
   }
   if (!ok->as_bool()) {

@@ -74,6 +74,12 @@ struct RetryStats {
   std::int64_t breaker_fast_fails = 0;  ///< calls rejected by an open breaker
   std::int64_t backoff_sleeps = 0;
   double backoff_ms_total = 0.0;
+  // Transport failures split by phase, so a dead server (nothing listening:
+  // connects fail) reads differently from a flaky one (connects succeed,
+  // requests die mid-flight).
+  std::int64_t connect_failures = 0;     ///< connector/warmup failed; no request sent
+  std::int64_t connect_refused = 0;      ///< subset: actively refused (no listener)
+  std::int64_t mid_request_failures = 0; ///< send/recv/garbage on a live connection
 };
 
 class RetryingClient {

@@ -65,6 +65,9 @@ Server::Server(ServerOptions options)
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
   registry_ = std::make_unique<Registry>(
       RegistryOptions{options_.registry_max_bytes, options_.registry_max_models});
+  start_unix_ms_ = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count();
 }
 
 Server::~Server() {
@@ -604,6 +607,9 @@ std::string Server::stats_json() const {
   w.key("deadline_expired").value(pool_ ? pool_->expired() : 0);
   w.key("connections_total").value(connections_total_.load());
   w.key("active_connections").value(active_connections_.load());
+  w.key("pid").value(static_cast<std::int64_t>(::getpid()));
+  w.key("start_unix_ms").value(start_unix_ms_);
+  w.key("uptime_ms").value(static_cast<std::int64_t>(uptime_.elapsed_ms()));
   w.key("counters").begin_object();
   for (const auto& [name, value] : metrics_.counters()) w.key(name).value(value);
   w.end_object();

@@ -50,6 +50,7 @@
 #include "serve/faults.hpp"
 #include "serve/histogram.hpp"
 #include "serve/protocol.hpp"
+#include "util/timer.hpp"
 
 namespace lid::serve {
 
@@ -155,6 +156,12 @@ class Server {
   std::atomic<std::uint64_t> next_connection_id_{0};
   std::atomic<std::int64_t> active_connections_{0};
   std::atomic<std::int64_t> connections_total_{0};
+
+  /// Process identity reported by `stats` (pid + wall-clock start time +
+  /// uptime): what a supervisor needs to notice that the process behind an
+  /// endpoint is not the one it last spoke to (a silent restart).
+  std::int64_t start_unix_ms_ = 0;
+  util::Timer uptime_;
 
   std::mutex lifecycle_mutex_;
   bool started_ = false;

@@ -1,6 +1,7 @@
 #include "serve/session.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
@@ -22,6 +23,69 @@ namespace {
 
 Error errno_error(const std::string& what) {
   return Error{ErrorCode::kIo, what + ": " + std::strerror(errno)};
+}
+
+/// connect() bounded by `timeout_ms` (0 = the blocking OS default). The fd is
+/// flipped to non-blocking for the attempt and restored after, so callers see
+/// a plain blocking socket either way. A refused connection reports kIo
+/// (errno text) immediately; only an attempt still pending after the budget
+/// reports kTimeout.
+Status connect_with_timeout(int fd, const sockaddr* addr, socklen_t len, double timeout_ms,
+                            const std::string& what) {
+  if (timeout_ms <= 0.0) {
+    if (::connect(fd, addr, len) != 0) return errno_error(what);
+    return Unit{};
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return errno_error("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) return errno_error("fcntl(O_NONBLOCK)");
+  Status outcome = Unit{};
+  util::Timer waited;
+  while (::connect(fd, addr, len) != 0) {
+    if (errno == EISCONN) break;  // a retried connect that completed
+    if (errno == EINPROGRESS) {
+      // TCP handshake pending: poll for writability, then read SO_ERROR.
+      const double remaining = timeout_ms - waited.elapsed_ms();
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int ready =
+          ::poll(&pfd, 1, remaining > 0.0 ? static_cast<int>(std::ceil(remaining)) : 0);
+      if (ready < 0) {
+        outcome = errno_error("poll");
+      } else if (ready == 0) {
+        outcome = Error{ErrorCode::kTimeout,
+                        what + ": not connected within " + std::to_string(timeout_ms) + " ms"};
+      } else {
+        int so_error = 0;
+        socklen_t so_len = sizeof(so_error);
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &so_len) != 0) {
+          outcome = errno_error("getsockopt(SO_ERROR)");
+        } else if (so_error != 0) {
+          errno = so_error;
+          outcome = errno_error(what);
+        }
+      }
+      break;
+    }
+    if (errno == EAGAIN || errno == EINTR) {
+      // EAGAIN on a Unix socket means the listener's backlog is full and the
+      // connect did NOT start — poll cannot observe it, so retry until the
+      // budget runs out.
+      if (waited.elapsed_ms() >= timeout_ms) {
+        outcome = Error{ErrorCode::kTimeout,
+                        what + ": not connected within " + std::to_string(timeout_ms) + " ms"};
+        break;
+      }
+      pollfd delay{};  // a short nap without pulling in <thread>
+      (void)::poll(&delay, 0, 5);
+      continue;
+    }
+    outcome = errno_error(what);
+    break;
+  }
+  if (::fcntl(fd, F_SETFL, flags) != 0 && outcome) outcome = errno_error("fcntl(F_SETFL)");
+  return outcome;
 }
 
 /// Decodes a response: on `ok` returns the compact `result` bytes, otherwise
@@ -71,10 +135,12 @@ Result<Session> Session::connect_unix(const std::string& path, const SessionOpti
   std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
   const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return errno_error("socket(AF_UNIX)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Error error = errno_error("connect('" + path + "')");
+  const Status connected =
+      connect_with_timeout(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr),
+                           options.connect_timeout_ms, "connect('" + path + "')");
+  if (!connected) {
     ::close(fd);
-    return error;
+    return connected.error();
   }
   Session session(fd, options);
   const Status negotiated = session.handshake();
@@ -95,10 +161,12 @@ Result<Session> Session::connect_tcp(const std::string& host, int port,
   }
   const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return errno_error("socket(AF_INET)");
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
-    const Error error = errno_error("connect(" + host + ":" + std::to_string(port) + ")");
+  const Status connected = connect_with_timeout(
+      fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr), options.connect_timeout_ms,
+      "connect(" + host + ":" + std::to_string(port) + ")");
+  if (!connected) {
     ::close(fd);
-    return error;
+    return connected.error();
   }
   Session session(fd, options);
   const Status negotiated = session.handshake();

@@ -43,6 +43,10 @@ struct SessionOptions {
   bool hello = true;
   /// Default receive timeout applied by call()/typed wrappers; 0 = forever.
   double timeout_ms = 0.0;
+  /// Bound on connect() itself; 0 = the OS default (which can be minutes for
+  /// TCP). A connection not established within the budget fails with
+  /// kTimeout; a refused one still fails immediately with kIo.
+  double connect_timeout_ms = 0.0;
 };
 
 /// A registered model: the content-address plus the server's registration

@@ -36,10 +36,23 @@
 // the server's registry memo hit rate. `--transport binary` sends requests on
 // the length-prefixed frame lane. Either flag upgrades the connection to
 // protocol 2 via `hello`.
+//
+// Cluster knobs (docs/cluster.md): `--cluster` replaces the single-verb
+// workload with a mixed scenario shaped like real traffic against a sharded
+// deployment — four analysis verbs, hot/cold model skew (a quarter of the
+// models take ~80% of the load, exercising the router's registry affinity),
+// and three diurnal phases per cycle (two work-heavy, one quiet with pings).
+// `--requests N` runs exactly N requests per client instead of a wall-clock
+// budget, so replays are count-exact. `--trace-out F` records the generated
+// workload (header + netlists + request templates, all verbatim strings — no
+// floats re-parsed, so the file is byte-stable) and `--trace-in F` replays it
+// identically; CI's cluster-smoke job records one trace and replays it after
+// a rolling restart to prove the same workload survives both topologies.
 #include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <csignal>
+#include <fstream>
 #include <iostream>
 #include <thread>
 #include <vector>
@@ -79,6 +92,88 @@ double percentile(std::vector<double>& sorted, double q) {
   return sorted[std::min(sorted.size() - 1, rank == 0 ? 0 : rank - 1)];
 }
 
+/// The recorded workload: request templates (each ends at `"id":`, the client
+/// splices a per-request id) plus the netlists `--registered` warmup must
+/// register. Strings only — replay is byte-exact, no floats are re-parsed.
+struct Workload {
+  std::string scenario = "default";
+  std::uint64_t seed = 0;
+  bool registered = false;
+  std::vector<std::string> request_bodies;
+  std::vector<std::string> netlist_texts;
+};
+
+bool write_trace(const std::string& path, const Workload& load) {
+  std::ofstream out(path);
+  if (!out) return false;
+  util::JsonWriter header;
+  header.begin_object();
+  header.key("lid_trace").value(1);
+  header.key("scenario").value(load.scenario);
+  header.key("seed").value(static_cast<std::int64_t>(load.seed));
+  header.key("registered").value(load.registered);
+  header.key("netlists").value(static_cast<std::int64_t>(load.netlist_texts.size()));
+  header.key("requests").value(static_cast<std::int64_t>(load.request_bodies.size()));
+  header.end_object();
+  out << header.str() << "\n";
+  for (const std::string& text : load.netlist_texts) {
+    util::JsonWriter w;
+    w.begin_object().key("netlist").value(text).end_object();
+    out << w.str() << "\n";
+  }
+  for (const std::string& body : load.request_bodies) {
+    util::JsonWriter w;
+    w.begin_object().key("body").value(body).end_object();
+    out << w.str() << "\n";
+  }
+  return out.good();
+}
+
+bool read_trace(const std::string& path, Workload& load, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::string line;
+  bool saw_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const util::JsonParse parsed = util::json_parse(line);
+    if (!parsed.ok || !parsed.value.is_object()) {
+      error = "malformed trace line: " + line.substr(0, 80);
+      return false;
+    }
+    if (!saw_header) {
+      const util::Json* version = parsed.value.find("lid_trace");
+      if (version == nullptr || !version->is_number() || version->as_int() != 1) {
+        error = "not a lid_trace v1 file (bad header)";
+        return false;
+      }
+      if (const util::Json* s = parsed.value.find("scenario")) load.scenario = s->as_string();
+      if (const util::Json* s = parsed.value.find("seed")) {
+        load.seed = static_cast<std::uint64_t>(s->as_int());
+      }
+      if (const util::Json* r = parsed.value.find("registered")) load.registered = r->as_bool();
+      saw_header = true;
+      continue;
+    }
+    if (const util::Json* netlist = parsed.value.find("netlist")) {
+      load.netlist_texts.push_back(netlist->as_string());
+    } else if (const util::Json* body = parsed.value.find("body")) {
+      load.request_bodies.push_back(body->as_string());
+    } else {
+      error = "trace record is neither netlist nor body: " + line.substr(0, 80);
+      return false;
+    }
+  }
+  if (!saw_header || load.request_bodies.empty()) {
+    error = "trace holds no requests";
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -104,22 +199,22 @@ int main(int argc, char** argv) {
     const int instances = static_cast<int>(cli.get_int_in("instances", 8, 1, 1024));
     const bool as_json = cli.get_bool("json", false);
 
-    const bool registered = cli.get_bool("registered", false);
+    const bool registered_flag = cli.get_bool("registered", false);
+    const bool cluster_scenario = cli.get_bool("cluster", false);
+    const std::string trace_out = cli.get_string("trace-out", "");
+    const std::string trace_in = cli.get_string("trace-in", "");
+    const std::int64_t requests_per_client = cli.get_int_in("requests", 0, 0, 100'000'000);
     const std::string transport = cli.get_string("transport", "");
     if (!transport.empty() && transport != "ndjson" && transport != "binary") {
       std::cerr << "lid_loadgen: --transport must be 'ndjson' or 'binary'\n";
       return 1;
     }
-    if (registered && verb != "analyze" && verb != "size-queues" && verb != "lint" &&
-        verb != "rate-safety") {
+    if (registered_flag && !cluster_scenario && trace_in.empty() && verb != "analyze" &&
+        verb != "size-queues" && verb != "lint" && verb != "rate-safety") {
       std::cerr << "lid_loadgen: --registered applies to analyze, size-queues, lint or "
                    "rate-safety\n";
       return 1;
     }
-    serve::SessionOptions session_options;
-    session_options.binary = transport == "binary";
-    session_options.protocol = (registered || session_options.binary) ? 2 : 1;
-    session_options.hello = session_options.protocol >= 2;
 
     serve::RetryPolicy retry_policy;
     retry_policy.max_attempts =
@@ -143,21 +238,26 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(cli.get_int_in("seed", 1, 0, 1'000'000'000));
     util::Rng seeder(workload_seed);
 
-    std::vector<std::string> request_bodies;
-    std::vector<std::string> netlist_texts;  // registered mode: sent once per connection
-    for (int i = 0; i < instances; ++i) {
-      util::JsonWriter w;
-      w.begin_object();
-      w.key("verb").value(verb);
-      if (deadline_ms > 0.0) w.key("deadline_ms").value_fixed(deadline_ms, 3);
-      if (on_deadline == "degrade") w.key("on_deadline").value(on_deadline);
-      if (verb == "size-queues") {
-        if (!solver.empty()) w.key("solver").value(solver);
-        if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
+    Workload load;
+    load.seed = workload_seed;
+    load.registered = registered_flag;
+    if (!trace_in.empty()) {
+      // Replay: the trace header decides registered/scenario; CLI workload
+      // flags are ignored so the replayed byte stream matches the recording.
+      load = Workload{};
+      std::string trace_error;
+      if (!read_trace(trace_in, load, trace_error)) {
+        std::cerr << "lid_loadgen: --trace-in: " << trace_error << "\n";
+        return 1;
       }
-      if (verb == "sleep") {
-        w.key("ms").value(sleep_ms);
-      } else if (verb != "ping" && verb != "stats") {
+    } else if (cluster_scenario) {
+      load.scenario = "cluster";
+      // `instances` distinct models; the first quarter are "hot" and absorb
+      // ~80% of the model-addressed load, so a consistent-hash router keeps
+      // serving most requests from warm registry memos.
+      const int hot_models = std::max(1, instances / 4);
+      std::vector<std::string> fingerprints;
+      for (int i = 0; i < instances; ++i) {
         gen.seed = seeder.fork_seed();
         const Result<Instance> instance = lid::generate(gen);
         if (!instance) {
@@ -169,20 +269,96 @@ int main(int argc, char** argv) {
           std::cerr << "lid_loadgen: " << text.error().to_string() << "\n";
           return 1;
         }
-        if (registered) {
-          // netlist_text output is already canonical, so the fingerprint can
-          // be computed locally; warmup registration confirms it server-side.
-          netlist_texts.push_back(*text);
-          w.key("model").value(serve::Registry::fingerprint(*text));
-        } else {
-          w.key("netlist").value(*text);
-        }
+        load.netlist_texts.push_back(*text);
+        fingerprints.push_back(serve::Registry::fingerprint(*text));
       }
-      // The per-request id is appended by each client (key must be last-less;
-      // JsonWriter cannot reopen, so clients splice it via a template).
-      w.key("id");
-      request_bodies.push_back(w.str());
+      // Three diurnal phases per 96-slot cycle: two work-heavy bursts and a
+      // quiet phase that mostly pings. Integer draws only — the same seed
+      // always yields the same request sequence.
+      constexpr int kCycle = 96;
+      for (int slot = 0; slot < kCycle; ++slot) {
+        const int phase = (slot * 3) / kCycle;
+        const int draw = seeder.uniform_int(0, 99);
+        const char* slot_verb = nullptr;
+        if (phase == 2) {
+          slot_verb = draw < 50 ? "ping" : (draw < 80 ? "lint" : "analyze");
+        } else {
+          slot_verb = draw < 45   ? "analyze"
+                      : draw < 65 ? "size-queues"
+                      : draw < 85 ? "lint"
+                                  : "rate-safety";
+        }
+        util::JsonWriter w;
+        w.begin_object();
+        w.key("verb").value(slot_verb);
+        if (std::string(slot_verb) != "ping") {
+          const bool hot = seeder.uniform_int(0, 99) < 80;
+          const std::size_t model =
+              hot || instances == hot_models
+                  ? static_cast<std::size_t>(seeder.uniform_int(0, hot_models - 1))
+                  : static_cast<std::size_t>(seeder.uniform_int(hot_models, instances - 1));
+          if (load.registered) {
+            w.key("model").value(fingerprints[model]);
+          } else {
+            w.key("netlist").value(load.netlist_texts[model]);
+          }
+        }
+        w.key("id");
+        load.request_bodies.push_back(w.str());
+      }
+      if (!load.registered) load.netlist_texts.clear();
+    } else {
+      for (int i = 0; i < instances; ++i) {
+        util::JsonWriter w;
+        w.begin_object();
+        w.key("verb").value(verb);
+        if (deadline_ms > 0.0) w.key("deadline_ms").value_fixed(deadline_ms, 3);
+        if (on_deadline == "degrade") w.key("on_deadline").value(on_deadline);
+        if (verb == "size-queues") {
+          if (!solver.empty()) w.key("solver").value(solver);
+          if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
+        }
+        if (verb == "sleep") {
+          w.key("ms").value(sleep_ms);
+        } else if (verb != "ping" && verb != "stats") {
+          gen.seed = seeder.fork_seed();
+          const Result<Instance> instance = lid::generate(gen);
+          if (!instance) {
+            std::cerr << "lid_loadgen: generate: " << instance.error().to_string() << "\n";
+            return 1;
+          }
+          const Result<std::string> text = lid::netlist_text(*instance);
+          if (!text) {
+            std::cerr << "lid_loadgen: " << text.error().to_string() << "\n";
+            return 1;
+          }
+          if (load.registered) {
+            // netlist_text output is already canonical, so the fingerprint can
+            // be computed locally; warmup registration confirms it server-side.
+            load.netlist_texts.push_back(*text);
+            w.key("model").value(serve::Registry::fingerprint(*text));
+          } else {
+            w.key("netlist").value(*text);
+          }
+        }
+        // The per-request id is appended by each client (key must be last-less;
+        // JsonWriter cannot reopen, so clients splice it via a template).
+        w.key("id");
+        load.request_bodies.push_back(w.str());
+      }
     }
+    if (!trace_out.empty() && !write_trace(trace_out, load)) {
+      std::cerr << "lid_loadgen: cannot write trace to " << trace_out << "\n";
+      return 1;
+    }
+    const bool registered = load.registered;
+    const std::vector<std::string>& request_bodies = load.request_bodies;
+    const std::vector<std::string>& netlist_texts = load.netlist_texts;
+
+    serve::SessionOptions session_options;
+    session_options.binary = transport == "binary";
+    session_options.protocol = (registered || session_options.binary) ? 2 : 1;
+    session_options.hello = session_options.protocol >= 2;
 
     std::atomic<bool> stop{false};
     std::vector<ClientStats> stats(static_cast<std::size_t>(clients));
@@ -224,7 +400,8 @@ int main(int argc, char** argv) {
             },
             policy);
         std::int64_t n = 0;
-        while (!stop.load(std::memory_order_relaxed)) {
+        while (!stop.load(std::memory_order_relaxed) &&
+               (requests_per_client == 0 || n < requests_per_client)) {
           const std::string& body = request_bodies[static_cast<std::size_t>(
               n % static_cast<std::int64_t>(request_bodies.size()))];
           const std::string line =
@@ -279,10 +456,18 @@ int main(int argc, char** argv) {
       });
     }
 
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0)));
-    stop.store(true);
-    for (std::thread& t : threads) t.join();
+    if (requests_per_client > 0) {
+      // Count-exact run: every client performs exactly --requests calls (the
+      // retry layer's timeouts bound each one), so replays are comparable
+      // request-for-request rather than wall-clock-for-wall-clock.
+      for (std::thread& t : threads) t.join();
+      stop.store(true);
+    } else {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(static_cast<std::int64_t>(seconds * 1000.0)));
+      stop.store(true);
+      for (std::thread& t : threads) t.join();
+    }
     const double elapsed_s = run_timer.elapsed_s();
 
     ClientStats total;
@@ -343,9 +528,10 @@ int main(int argc, char** argv) {
     if (as_json) {
       util::JsonWriter w;
       w.begin_object();
-      w.key("verb").value(verb);
+      w.key("verb").value(load.scenario == "cluster" ? "mixed" : verb);
+      w.key("scenario").value(load.scenario);
       w.key("clients").value(clients);
-      w.key("seed").value(static_cast<std::int64_t>(workload_seed));
+      w.key("seed").value(static_cast<std::int64_t>(load.seed));
       w.key("elapsed_s").value_fixed(elapsed_s, 3);
       w.key("sent").value(total.sent);
       w.key("ok").value(total.ok);
@@ -375,7 +561,7 @@ int main(int argc, char** argv) {
       util::Table table({"metric", "value"});
       table.add_row({"clients x seconds", std::to_string(clients) + " x " +
                                               util::Table::fmt(elapsed_s, 1)});
-      table.add_row({"workload seed", std::to_string(workload_seed)});
+      table.add_row({"workload", load.scenario + " (seed " + std::to_string(load.seed) + ")"});
       table.add_row({"requests sent", std::to_string(total.sent)});
       table.add_row({"offered load (req/s)", util::Table::fmt(offered, 1)});
       table.add_row({"goodput (req/s)", util::Table::fmt(goodput, 1)});

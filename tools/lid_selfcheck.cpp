@@ -41,11 +41,17 @@
 //      deterministic limit reproduces min(1, practical MST) exactly, the
 //      sized system simulates at exactly min(1, ideal MST) and — when that
 //      rate is 1 — runs stall-free past the transient, and stochastic
-//      reports are byte-identical for a given seed.
+//      reports are byte-identical for a given seed;
+//  14. the cluster router is a pure transport: payloads read back through a
+//      3-worker lid_cluster front door equal the payloads of a single
+//      lid_serve and of direct execution, byte for byte — for inline and
+//      registered (model-addressed) requests, and still after a worker is
+//      stopped mid-run so the router must fail over and re-register.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
 #include <iostream>
+#include <memory>
 
 #include "core/exact_milp.hpp"
 #include "des/des.hpp"
@@ -62,7 +68,9 @@
 #include "mg/mcm.hpp"
 #include "mg/simulate.hpp"
 #include "serve/client.hpp"
+#include "serve/cluster.hpp"
 #include "serve/protocol.hpp"
+#include "serve/registry.hpp"
 #include "serve/server.hpp"
 #include "serve/session.hpp"
 #include "util/cli.hpp"
@@ -603,6 +611,143 @@ bool check_lint(std::uint64_t trial_seed) {
   return true;
 }
 
+// Invariant (14): the cluster router is a pure transport. Every payload read
+// back through a 3-worker lid_cluster front door equals the payload of a
+// single lid_serve and of direct in-process execution, byte for byte —
+// inline netlists and registered fingerprints alike — and the identity
+// survives stopping a worker mid-run (failover + model re-registration).
+bool check_cluster(std::uint64_t trial_seed) {
+  util::Rng rng(trial_seed);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 3; ++i) {
+    GenerateOptions options;
+    options.cores = 5 + static_cast<int>(rng.uniform_int(0, 6));
+    options.sccs = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    options.extra_cycles = static_cast<int>(rng.uniform_int(0, 2));
+    options.relay_stations = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    options.rs_anywhere = true;
+    options.seed = rng.fork_seed();
+    const Result<Instance> generated = lid::generate(options);
+    CHECK_OR_FAIL(generated.ok(), "cluster: generate");
+    const Result<std::string> text = netlist_text(*generated);
+    CHECK_OR_FAIL(text.ok(), "cluster: netlist text");
+    texts.push_back(*text);
+  }
+
+  static const char* kVerbs[] = {"analyze", "size-queues", "lint", "rate-safety"};
+  const auto inline_line = [&](std::size_t m, const char* verb) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("verb").value(verb).key("netlist").value(texts[m]);
+    w.end_object();
+    return w.str();
+  };
+  const auto model_line = [&](std::size_t m, const char* verb) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("verb").value(verb).key("model").value(serve::Registry::fingerprint(texts[m]));
+    w.end_object();
+    return w.str();
+  };
+
+  // Direct execution is the reference.
+  std::vector<std::vector<std::string>> direct(texts.size());
+  for (std::size_t m = 0; m < texts.size(); ++m) {
+    for (const char* verb : kVerbs) {
+      const Result<serve::Request> request = serve::parse_request(inline_line(m, verb));
+      CHECK_OR_FAIL(request.ok(), "cluster: request parses");
+      const serve::Outcome outcome = serve::execute(*request);
+      CHECK_OR_FAIL(outcome.ok, "cluster: direct execution succeeds");
+      direct[m].push_back(outcome.payload);
+    }
+  }
+
+  // Three adopted in-process workers behind a router, plus one plain server
+  // as the middle term of the identity.
+  const std::string stem = "/tmp/lid_selfcheck_cl_" + std::to_string(::getpid());
+  std::vector<std::unique_ptr<serve::Server>> workers;
+  serve::ClusterOptions cluster_options;
+  for (int i = 0; i < 3; ++i) {
+    serve::ServerOptions options;
+    options.unix_socket = stem + "_w" + std::to_string(i) + ".sock";
+    workers.push_back(std::make_unique<serve::Server>(options));
+    CHECK_OR_FAIL(workers.back()->start().ok(), "cluster: worker starts");
+    serve::WorkerSpec spec;
+    spec.unix_socket = options.unix_socket;
+    spec.spawn = false;
+    cluster_options.workers.push_back(spec);
+  }
+  cluster_options.unix_socket = stem + "_front.sock";
+  cluster_options.probe_interval_ms = 20.0;
+  cluster_options.eject_after = 2;
+  serve::Cluster cluster(cluster_options);
+  CHECK_OR_FAIL(cluster.start().ok(), "cluster: router starts");
+
+  serve::ServerOptions single_options;
+  single_options.unix_socket = stem + "_single.sock";
+  serve::Server single(single_options);
+  CHECK_OR_FAIL(single.start().ok(), "cluster: single server starts");
+
+  Result<serve::Client> front = serve::Client::connect_unix(cluster_options.unix_socket);
+  Result<serve::Client> side = serve::Client::connect_unix(single_options.unix_socket);
+  CHECK_OR_FAIL(front.ok() && side.ok(), "cluster: clients connect");
+  serve::Client via_cluster = std::move(front).value();
+  serve::Client via_single = std::move(side).value();
+
+  const auto payload_of = [](serve::Client& client,
+                             const std::string& line) -> Result<std::string> {
+    const Result<std::string> response = client.call(line);
+    if (!response) return response.error();
+    return serve::extract_result(*response);
+  };
+
+  // Inline requests: cluster == single server == direct.
+  for (std::size_t m = 0; m < texts.size(); ++m) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      const Result<std::string> clustered = payload_of(via_cluster, inline_line(m, kVerbs[v]));
+      const Result<std::string> singled = payload_of(via_single, inline_line(m, kVerbs[v]));
+      CHECK_OR_FAIL(clustered.ok() && singled.ok(), "cluster: inline responses ok");
+      CHECK_OR_FAIL(*clustered == *singled, "cluster: inline cluster == single server");
+      CHECK_OR_FAIL(*clustered == direct[m][v], "cluster: inline cluster == direct");
+    }
+  }
+
+  // Registered requests through the router (which owns placement).
+  for (const std::string& text : texts) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("verb").value("register-model").key("netlist").value(text);
+    w.end_object();
+    const Result<std::string> registered = payload_of(via_cluster, w.str());
+    CHECK_OR_FAIL(registered.ok(), "cluster: register-model succeeds");
+  }
+  for (std::size_t m = 0; m < texts.size(); ++m) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      const Result<std::string> payload = payload_of(via_cluster, model_line(m, kVerbs[v]));
+      CHECK_OR_FAIL(payload.ok(), "cluster: registered query succeeds");
+      CHECK_OR_FAIL(*payload == direct[m][v], "cluster: registered payload == direct");
+    }
+  }
+
+  // Stop one worker: the router must fail over, re-register the displaced
+  // models, and keep every payload byte-identical — never unknown_model.
+  workers[0]->stop();
+  for (std::size_t m = 0; m < texts.size(); ++m) {
+    for (std::size_t v = 0; v < 4; ++v) {
+      const Result<std::string> payload = payload_of(via_cluster, model_line(m, kVerbs[v]));
+      CHECK_OR_FAIL(payload.ok(), "cluster: post-failover query succeeds");
+      CHECK_OR_FAIL(*payload == direct[m][v], "cluster: post-failover payload == direct");
+    }
+  }
+
+  via_cluster.close();
+  via_single.close();
+  cluster.stop();
+  single.stop();
+  for (const std::unique_ptr<serve::Server>& worker : workers) worker->stop();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -619,6 +764,7 @@ int main(int argc, char** argv) {
     if (!check_registry(seed)) return 1;
     if (!check_degrade(seed)) return 1;
     if (!check_lint(seed)) return 1;
+    if (!check_cluster(seed)) return 1;
     std::int64_t trials = 0;
     while (timer.elapsed_s() < seconds) {
       if (!check_one(seeder.fork_seed(), verbose)) return 1;

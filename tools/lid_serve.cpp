@@ -21,12 +21,20 @@
 //   --fault-plan SPEC        seeded fault injection at the response boundary
 //                            (chaos testing; see src/serve/faults.hpp), e.g.
 //                            seed=42,stall=0.1:50,torn=0.05,drop=0.02,garbage=0.01
+//   --pid-file PATH          write the process pid to PATH once listening and
+//                            unlink it on graceful exit (supervisors/routers
+//                            detect restarts; `stats` also reports pid,
+//                            start_unix_ms and uptime_ms)
 //   --quiet                  suppress per-request log lines (stderr)
 //
 // SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish every
 // admitted request, flush responses, exit 0. SIGPIPE is ignored so a peer
 // closing mid-write surfaces as an EPIPE send error, never a process kill.
+#include <unistd.h>
+
+#include <cstdio>
 #include <csignal>
+#include <fstream>
 #include <iostream>
 
 #include "serve/faults.hpp"
@@ -94,6 +102,16 @@ int main(int argc, char** argv) {
       std::cerr << "lid_serve: " << started.error().to_string() << "\n";
       return 1;
     }
+    const std::string pid_file = cli.get_string("pid-file", "");
+    if (!pid_file.empty()) {
+      std::ofstream out(pid_file, std::ios::trunc);
+      if (!out) {
+        std::cerr << "lid_serve: cannot write --pid-file '" << pid_file << "'\n";
+        server.stop();
+        return 1;
+      }
+      out << ::getpid() << "\n";
+    }
     // Readiness line on stdout so scripts can wait for it.
     std::cout << "lid_serve: listening on " << server.endpoint() << " (workers="
               << options.workers << ", queue=" << options.queue_capacity;
@@ -104,6 +122,7 @@ int main(int argc, char** argv) {
 
     server.wait();  // returns after a signal-triggered graceful drain
     std::cout << "lid_serve: drained, final stats: " << server.stats_json() << std::endl;
+    if (!pid_file.empty()) std::remove(pid_file.c_str());
     g_server = nullptr;
     return 0;
   } catch (const std::exception& e) {
