@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI guard: cycle enumeration must never creep back onto a default path.
+#
+# The default analyze / size-queues / lint paths are enumeration-free: the
+# lazy sizing solver, Howard's MCM, graph::find_cycle (single O(V+E) DFS)
+# and the certificate checker cover everything they need. Johnson-style
+# elementary-cycle enumeration (graph::enumerate_cycles / for_each_cycle)
+# is exponential on dense netlists and is allowed only at the explicit
+# opt-in sites below.
+#
+# If this script fails, either the new call site must be rewritten against
+# graph::find_cycle / mg::mcm_evidence, or — when it is a genuinely new
+# opt-in verb — added to the allowlist together with a comment at the call
+# site explaining why enumeration is acceptable there.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Files allowed to mention enumerate_cycles / for_each_cycle:
+#   graph/cycles.*        the definitions themselves
+#   core/qs_problem.cpp   eager constraint builder (opt-in: Solver::kBoth /
+#                         kExact / kHeuristic, never the kLazy default)
+#   core/pareto.cpp       Pareto frontier (explicit `pareto` verb only)
+ALLOWLIST='^src/(graph/cycles\.(hpp|cpp)|core/qs_problem\.cpp|core/pareto\.cpp)$'
+
+violations=0
+while IFS= read -r file; do
+  if [[ ! "$file" =~ $ALLOWLIST ]]; then
+    echo "error: cycle enumeration call in non-allowlisted file: $file" >&2
+    grep -nE 'enumerate_cycles|for_each_cycle' "$file" >&2 || true
+    violations=1
+  fi
+done < <(grep -rlE 'enumerate_cycles|for_each_cycle' src --include='*.cpp' --include='*.hpp' || true)
+
+if [[ "$violations" -ne 0 ]]; then
+  echo "" >&2
+  echo "Default paths must stay enumeration-free (see docs/lint.md)." >&2
+  exit 1
+fi
+echo "ok: cycle enumeration confined to allowlisted opt-in sites"

@@ -1,0 +1,99 @@
+#include "core/certify.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "mg/mcm.hpp"
+#include "util/check.hpp"
+
+namespace lid::core {
+namespace {
+
+using util::Rational;
+
+/// Optimality witness for one expansion, from the Howard evidence pass.
+/// By convention an acyclic expansion carries theta = 1 (the MST cap); the
+/// checker ignores the value and instead demands that every place crosses
+/// label classes.
+verify::McmWitness witness_for(const mg::MarkedGraph& g) {
+  mg::McmEvidence ev = mg::mcm_evidence(g);
+  verify::McmWitness w;
+  if (ev.critical) {
+    w.acyclic = false;
+    w.theta = ev.critical->mean;
+    w.critical.mean = ev.critical->mean;
+    w.critical.places.reserve(ev.critical->cycle.size());
+    for (const mg::PlaceId p : ev.critical->cycle) {
+      w.critical.places.push_back(static_cast<std::int64_t>(p));
+    }
+  } else {
+    w.acyclic = true;
+    w.theta = Rational(1);
+  }
+  w.component = std::move(ev.component);
+  w.component_cyclic = std::move(ev.component_cyclic);
+  w.lambda = std::move(ev.lambda);
+  w.potential = std::move(ev.potential);
+  return w;
+}
+
+}  // namespace
+
+verify::Certificate certify_analysis(const lis::LisGraph& lis) {
+  verify::Certificate cert;
+  cert.kind = verify::Kind::kAnalyze;
+  cert.fingerprint = verify::fingerprint(lis);
+  cert.ideal = witness_for(lis::expand_ideal(lis).graph);
+  cert.practical = witness_for(lis::expand_doubled(lis).graph);
+  return cert;
+}
+
+verify::Certificate certify_sizing(const lis::LisGraph& original, const QsReport& report) {
+  verify::Certificate cert;
+  cert.kind = verify::Kind::kSizing;
+  cert.fingerprint = verify::fingerprint(original);
+  cert.ideal = witness_for(lis::expand_ideal(original).graph);
+  cert.target = report.problem.theta_target;
+
+  // The applied sizing, diffed channel by channel: valid for whichever
+  // solver produced report.sized (exact, heuristic, or none needed).
+  LID_ASSERT(report.sized.num_channels() == original.num_channels(),
+             "certify_sizing: report does not belong to this netlist");
+  for (lis::ChannelId ch = 0; ch < static_cast<lis::ChannelId>(original.num_channels()); ++ch) {
+    const std::int64_t extra = static_cast<std::int64_t>(report.sized.channel(ch).queue_capacity) -
+                               original.channel(ch).queue_capacity;
+    LID_ASSERT(extra >= 0, "certify_sizing: sized netlist shrank a queue");
+    if (extra > 0) {
+      cert.weights.push_back({static_cast<std::int64_t>(ch), extra});
+      cert.total += extra;
+    }
+  }
+
+  // Lower-bound section: only when the lazy solve converged on the pristine
+  // (uncollapsed) graph, so the recorded cycles' place ids are valid in the
+  // d[G] the checker re-expands. A fallback or collapse leaves the section
+  // out (constraint_count stays -1).
+  if (report.lazy.has_value() && !report.lazy->fell_back && !report.problem.scc_collapsed) {
+    cert.constraint_count = static_cast<std::int64_t>(report.lazy_cycles.size());
+    const lis::Expansion pristine = lis::expand_doubled(original);
+    for (const std::vector<mg::PlaceId>& cycle : report.lazy_cycles) {
+      verify::DeficitConstraint dc;
+      std::int64_t tokens = 0;
+      dc.cycle.reserve(cycle.size());
+      for (const mg::PlaceId p : cycle) {
+        dc.cycle.push_back(static_cast<std::int64_t>(p));
+        tokens += pristine.graph.tokens(p);
+        const lis::ChannelId ch = pristine.place_channel[static_cast<std::size_t>(p)];
+        if (pristine.queue_place(ch) == p) dc.channels.push_back(static_cast<std::int64_t>(ch));
+      }
+      dc.deficit =
+          cycle_deficit(tokens, static_cast<std::int64_t>(cycle.size()), cert.target);
+      cert.constraints.push_back(std::move(dc));
+    }
+  }
+
+  cert.achieved = witness_for(lis::expand_doubled(report.sized).graph);
+  return cert;
+}
+
+}  // namespace lid::core

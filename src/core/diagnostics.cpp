@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "mg/mcm.hpp"
+#include "util/check.hpp"
 
 namespace lid::core {
 
@@ -26,15 +27,25 @@ DegradationReport explain_degradation(const lis::LisGraph& lis) {
   DegradationReport report;
   report.theta_ideal = lis::ideal_mst(lis);
 
+  // One Howard solve yields both the practical MST and its critical cycle —
+  // a separate mg::mst() pass would redo the same minimum-cycle-mean work.
   const lis::Expansion expansion = lis::expand_doubled(lis);
-  report.theta_practical = mg::mst(expansion.graph);
-  report.degraded = report.theta_practical < report.theta_ideal;
-
   const auto critical = mg::min_cycle_mean_howard(expansion.graph);
-  if (!critical) return report;  // acyclic doubled graph: single channel-free core
+  if (!critical) {
+    // Acyclic doubled graph: single channel-free core; MST stays at 1.
+    report.theta_practical = util::Rational(1);
+    report.degraded = report.theta_practical < report.theta_ideal;
+    return report;
+  }
+  LID_ENSURE(critical->mean.num() != 0,
+             "explain_degradation: token-free cycle (deadlocked doubled graph)");
+  report.theta_practical = util::Rational::min(util::Rational(1), critical->mean);
+  report.degraded = report.theta_practical < report.theta_ideal;
 
   report.cycle_places = static_cast<std::int64_t>(critical->cycle.size());
   report.cycle_tokens = expansion.graph.cycle_tokens(critical->cycle);
+  report.cycle_place_ids.reserve(critical->cycle.size());
+  for (const mg::PlaceId p : critical->cycle) report.cycle_place_ids.push_back(p);
   for (const mg::PlaceId p : critical->cycle) {
     CriticalHop hop;
     hop.channel = expansion.place_channel[static_cast<std::size_t>(p)];

@@ -31,6 +31,9 @@ struct DegradationReport {
   bool degraded = false;
   /// The critical cycle of d[G] (empty when the doubled graph is acyclic).
   std::vector<CriticalHop> critical_cycle;
+  /// The same cycle as raw place ids of lis::expand_doubled — the witness
+  /// form consumers (lint, certificates) can re-check without re-solving.
+  std::vector<std::int64_t> cycle_place_ids;
   std::int64_t cycle_tokens = 0;
   std::int64_t cycle_places = 0;
 

@@ -154,6 +154,9 @@ QsReport size_queues_lazy_with_mst(const LisGraph& lis, const Rational& theta_id
       td.set_members[static_cast<std::size_t>(it->second)].push_back(cycle_index);
     }
     ++stats.cycles_generated;
+    // Without the SCC collapse, `target` IS `lis`, so the cycle's place ids
+    // are valid in the pristine d[G] — record it as certificate evidence.
+    if (!build_target.collapsed_used) report.lazy_cycles.push_back(critical.cycle);
 
     // Re-solve: warm heuristic upper bound, then exact with the previous
     // optimum as a lower bound (valid — the constraint set only grew).

@@ -21,6 +21,12 @@ std::vector<ParetoPoint> qs_pareto_frontier(const lis::LisGraph& lis,
   // Candidate throughput levels: the means of the doubled graph's cycles in
   // (practical, ideal] — after any sizing, the practical MST is the minimum
   // cycle mean, so only these values are achievable — plus the ideal itself.
+  //
+  // This is one of the two deliberate enumeration call sites (the other is
+  // the eager constraint builder in qs_problem.cpp). Both are explicit
+  // opt-ins — the frontier is only computed by the `pareto` verb — and are
+  // allowlisted in scripts/check_no_enumeration.sh; default analyze /
+  // size-queues / lint paths must never enumerate cycles.
   const lis::Expansion expansion = lis::expand_doubled(lis);
   std::set<Rational> levels;
   levels.insert(ideal);

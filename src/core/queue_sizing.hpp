@@ -88,6 +88,13 @@ struct QsReport {
   /// Present when the lazy solver ran (method kLazy), including when it fell
   /// back to full enumeration.
   std::optional<LazyStats> lazy;
+  /// The lazy solver's generating critical cycles, as place ids of the
+  /// *pristine* (unsized, uncollapsed) d[G]. Filled only when the lazy solve
+  /// converged without the SCC-collapse fast path — exactly the runs whose
+  /// constraint set can be embedded in a sizing certificate
+  /// (core::certify_sizing). One entry per generated constraint, in
+  /// generation order (matches problem.td.deficits when not simplified).
+  std::vector<std::vector<mg::PlaceId>> lazy_cycles;
 };
 
 /// Runs the queue-sizing pipeline on `lis`.

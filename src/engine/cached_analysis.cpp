@@ -68,7 +68,7 @@ Result<Sizing> size_queues_cached(AnalysisCache& cache, const Instance& instance
     } else {
       report = core::size_queues_on_problem(lis, cache.qs_problem(qs.build), qs);
     }
-    return detail::sizing_from_report(lis, report, instance);
+    return detail::sizing_from_report(lis, report, instance, options);
   });
 }
 

@@ -198,4 +198,46 @@ bool has_cycle(const Digraph& g) {
   return false;
 }
 
+Cycle find_cycle(const Digraph& g, const std::function<bool(EdgeId)>& edge_filter) {
+  const auto n = static_cast<NodeId>(g.num_nodes());
+  std::vector<char> color(static_cast<std::size_t>(n), 0);  // 0 new, 1 on path, 2 done
+  std::vector<EdgeId> via(static_cast<std::size_t>(n), kInvalidEdge);  // path-entry edge
+  struct Frame {
+    NodeId node;
+    std::size_t next;  // index into out_edges(node)
+  };
+  std::vector<Frame> stack;
+  for (NodeId root = 0; root < n; ++root) {
+    if (color[static_cast<std::size_t>(root)] != 0) continue;
+    color[static_cast<std::size_t>(root)] = 1;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& frame = stack.back();
+      const std::span<const EdgeId> out = g.out_edges(frame.node);
+      if (frame.next == out.size()) {
+        color[static_cast<std::size_t>(frame.node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const EdgeId e = out[frame.next++];
+      if (edge_filter && !edge_filter(e)) continue;
+      const NodeId w = g.edge(e).dst;
+      if (color[static_cast<std::size_t>(w)] == 0) {
+        color[static_cast<std::size_t>(w)] = 1;
+        via[static_cast<std::size_t>(w)] = e;
+        stack.push_back({w, 0});
+      } else if (color[static_cast<std::size_t>(w)] == 1) {
+        // `e` closes a cycle back to `w`: unwind the path-entry edges.
+        Cycle cycle{e};
+        for (NodeId v = frame.node; v != w; v = g.edge(via[static_cast<std::size_t>(v)]).src) {
+          cycle.push_back(via[static_cast<std::size_t>(v)]);
+        }
+        std::reverse(cycle.begin(), cycle.end());
+        return cycle;
+      }
+    }
+  }
+  return {};
+}
+
 }  // namespace lid::graph

@@ -59,4 +59,12 @@ bool for_each_cycle(const Digraph& g, const std::function<bool(const Cycle&)>& o
 /// True if `g` has at least one cycle (self-loops count).
 bool has_cycle(const Digraph& g);
 
+/// Finds ONE cycle of `g` (restricted to edges passing `edge_filter` when
+/// non-null) by depth-first search in O(V + E) — no enumeration. Returns the
+/// cycle as edge ids in traversal order, or an empty vector when the
+/// (filtered) graph is acyclic. This is the primitive behind every "is there
+/// a token-free cycle?" check: unlike for_each_cycle it is safe on graphs
+/// whose elementary-cycle count is astronomical.
+Cycle find_cycle(const Digraph& g, const std::function<bool(EdgeId)>& edge_filter = nullptr);
+
 }  // namespace lid::graph

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "core/certify.hpp"
 #include "core/diagnostics.hpp"
 #include "core/queue_sizing.hpp"
 #include "core/rate_safety.hpp"
@@ -69,6 +70,7 @@ Analysis analysis_from_reports(const lis::LisGraph& lis, const core::Degradation
     analysis.rate_hazards = rates->hazards.size();
     analysis.rate_safe = rates->safe();
   }
+  if (options.certify) analysis.certificate = core::certify_analysis(lis);
   return analysis;
 }
 
@@ -91,7 +93,7 @@ core::QsOptions qs_options_from(const SizeQueuesOptions& options) {
 }
 
 Result<Sizing> sizing_from_report(const lis::LisGraph& lis, const core::QsReport& report,
-                                  const Instance& original) {
+                                  const Instance& original, const SizeQueuesOptions& options) {
   if (report.problem.cancelled) {
     // A partial enumeration depends on wall-clock timing; serving weights
     // derived from it would break response determinism, so fail instead.
@@ -132,6 +134,7 @@ Result<Sizing> sizing_from_report(const lis::LisGraph& lis, const core::QsReport
     }
   }
   sizing.sized = Instance::wrap(report.sized, original.name());
+  if (options.certify) sizing.certificate = core::certify_sizing(lis, report);
   return sizing;
 }
 
@@ -298,8 +301,25 @@ Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& op
   return guarded<Sizing>(ErrorCode::kInvalidArgument, [&]() -> Result<Sizing> {
     const lis::LisGraph& lis = instance.graph();
     const core::QsReport report = core::size_queues(lis, detail::qs_options_from(options));
-    return detail::sizing_from_report(lis, report, instance);
+    return detail::sizing_from_report(lis, report, instance, options);
   });
+}
+
+// ---------------------------------------------------------------------------
+// Certificate verification.
+
+Result<verify::CheckResult> verify_certificate(const Instance& instance,
+                                               const verify::Certificate& certificate) {
+  if (!instance.valid()) return invalid_handle("verify_certificate");
+  return guarded<verify::CheckResult>(ErrorCode::kInvalidArgument,
+                                      [&] { return verify::check(instance.graph(), certificate); });
+}
+
+Result<verify::CheckResult> verify_certificate(const Instance& instance, const std::string& json) {
+  if (!instance.valid()) return invalid_handle("verify_certificate");
+  const verify::CertificateParse parsed = verify::parse_certificate_text(json);
+  if (!parsed.ok) return Error{ErrorCode::kParse, "verify_certificate: " + parsed.error};
+  return verify_certificate(instance, parsed.certificate);
 }
 
 // ---------------------------------------------------------------------------

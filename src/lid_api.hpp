@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <variant>
@@ -34,6 +35,7 @@
 #include "util/cancel.hpp"
 #include "util/check.hpp"
 #include "util/rational.hpp"
+#include "verify/certificate.hpp"
 
 namespace lid {
 
@@ -191,6 +193,10 @@ struct AnalyzeOptions {
   /// (carrying the diagnostic summary) instead of tripping an internal
   /// invariant mid-solve on a broken model (deadlocked, empty, q = 0).
   bool preflight = true;
+  /// Attach an independently checkable certificate for the reported thetas
+  /// (verify::Certificate; see docs/certificates.md). Costs one extra
+  /// evidence pass per expansion; off by default.
+  bool certify = false;
 };
 
 /// Throughput analysis of one instance.
@@ -208,6 +214,8 @@ struct Analysis {
   /// Inter-SCC channels where a faster producer feeds a slower consumer.
   std::size_t rate_hazards = 0;
   bool rate_safe = true;
+  /// The optimality certificate (present when AnalyzeOptions::certify).
+  std::optional<verify::Certificate> certificate;
 };
 
 Result<Analysis> analyze(const Instance& instance, const AnalyzeOptions& options = {});
@@ -235,7 +243,12 @@ enum class Solver {
 };
 
 struct SizeQueuesOptions {
-  Solver solver = Solver::kBoth;
+  /// Default kLazy: optimal totals without enumerating the cycles of d[G]
+  /// up front (it generates only the binding critical cycles and falls back
+  /// to the eager kBoth pipeline on stall), so the default path scales to
+  /// netlists whose cycle count is astronomical. Pick kBoth/kHeuristic/
+  /// kExact explicitly to force the eager pipeline.
+  Solver solver = Solver::kLazy;
   /// Wall-clock budget of the exact solver; <= 0 means unlimited. Wall-clock
   /// cutoffs are load-dependent; prefer exact_max_nodes when reproducibility
   /// matters (the batch engine does).
@@ -260,6 +273,11 @@ struct SizeQueuesOptions {
   util::CancelToken cancel;
   /// Run the error-tier lint checks first; see AnalyzeOptions::preflight.
   bool preflight = true;
+  /// Attach an independently checkable certificate for the sizing: the ideal
+  /// ceiling, the applied weights, a post-sizing optimality witness, and —
+  /// when the lazy solver converged without the SCC collapse — its
+  /// generating constraint set as the lower-bound witness.
+  bool certify = false;
 };
 
 /// One grown queue.
@@ -293,9 +311,23 @@ struct Sizing {
   std::int64_t cycles_generated = 0;   ///< critical-cycle constraints added
   std::int64_t howard_warm_restarts = 0;  ///< warm-started Howard solves
   bool lazy_fell_back = false;  ///< full enumeration took over mid-solve
+  /// The sizing certificate (present when SizeQueuesOptions::certify).
+  std::optional<verify::Certificate> certificate;
 };
 
 Result<Sizing> size_queues(const Instance& instance, const SizeQueuesOptions& options = {});
+
+// ---------------------------------------------------------------------------
+// Certificate verification (the src/verify checker; docs/certificates.md).
+
+/// Re-checks a certificate against an instance with the standalone O(E)
+/// checker — no solver code runs. A *rejected* certificate is a successful
+/// call (inspect CheckResult::ok / reason); the Result only fails on an
+/// invalid handle. The `json` overload parses the certificate document first
+/// and fails with ErrorCode::kParse when it is not even well-formed.
+Result<verify::CheckResult> verify_certificate(const Instance& instance,
+                                               const verify::Certificate& certificate);
+Result<verify::CheckResult> verify_certificate(const Instance& instance, const std::string& json);
 
 // ---------------------------------------------------------------------------
 // Event-driven stochastic simulation (src/des; see docs/simulation.md).

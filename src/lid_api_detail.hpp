@@ -31,8 +31,9 @@ Analysis analysis_from_reports(const lis::LisGraph& lis, const core::Degradation
 core::QsOptions qs_options_from(const SizeQueuesOptions& options);
 
 /// QsReport -> the public Sizing, including the cancelled-enumeration ->
-/// kTimeout policy. `original` supplies the name of the sized instance.
+/// kTimeout policy. `original` supplies the name of the sized instance;
+/// `options` controls certificate emission (options.certify).
 Result<Sizing> sizing_from_report(const lis::LisGraph& lis, const core::QsReport& report,
-                                  const Instance& original);
+                                  const Instance& original, const SizeQueuesOptions& options);
 
 }  // namespace lid::detail

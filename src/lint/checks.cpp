@@ -66,17 +66,11 @@ void check_deadlock(const lis::LisGraph& lis, Report& report) {
   // A cycle whose places all carry zero tokens can never fire any of its
   // transitions (Commoner's liveness condition). In a LIS expansion such a
   // cycle must run through backpressure places of channels with q = 0 and
-  // rs = 0, so it maps cleanly back to netlist channels. Finding one witness
-  // is enough; the filtered subgraph of a *correct* LIS is acyclic, so the
-  // enumeration is linear in practice.
-  graph::Cycle witness;
-  graph::for_each_cycle(
-      g.structure(),
-      [&witness](const graph::Cycle& cycle) {
-        witness = cycle;
-        return false;  // first witness suffices
-      },
-      [&g](graph::EdgeId place) { return g.tokens(place) == 0; });
+  // rs = 0, so it maps cleanly back to netlist channels. One DFS witness on
+  // the zero-token subgraph suffices — O(E) regardless of how many
+  // elementary cycles d[G] has.
+  const graph::Cycle witness = graph::find_cycle(
+      g.structure(), [&g](graph::EdgeId place) { return g.tokens(place) == 0; });
   if (witness.empty()) return;
 
   // Name the channels on the cycle, in traversal order, deduplicated.
@@ -96,6 +90,12 @@ void check_deadlock(const lis::LisGraph& lis, Report& report) {
                                   (via.empty() ? std::string() : " through channel(s) " + via) +
                                   ": the marked graph deadlocks, no sustainable "
                                   "throughput exists");
+  CycleEvidence evidence;
+  evidence.places.reserve(witness.size());
+  for (const graph::EdgeId place : witness) evidence.places.push_back(place);
+  evidence.tokens = 0;  // zero by construction — that is the finding
+  evidence.channels = channels;
+  d.witness = std::move(evidence);
   if (!channels.empty()) d.location.channel = channels.front();
   for (const lis::ChannelId c : channels) {
     if (lis.channel(c).queue_capacity != 0) continue;
@@ -210,23 +210,38 @@ void check_throughput(const lis::LisGraph& lis, const LintOptions& options, Repo
                                     (cycle.empty() ? std::string()
                                                    : "; critical cycle: " + cycle));
     d.location.channel = anchor;
+    if (!degradation.cycle_place_ids.empty()) {
+      CycleEvidence evidence;
+      evidence.places = degradation.cycle_place_ids;
+      evidence.tokens = degradation.cycle_tokens;
+      for (const core::CriticalHop& hop : degradation.critical_cycle) {
+        if (hop.channel == graph::kInvalidEdge) continue;
+        if (std::find(evidence.channels.begin(), evidence.channels.end(), hop.channel) ==
+            evidence.channels.end()) {
+          evidence.channels.push_back(hop.channel);
+        }
+      }
+      d.witness = std::move(evidence);
+    }
     report.diagnostics.push_back(std::move(d));
   }
 
   // L202: if raising input queues alone reaches the (ideal-clamped) target,
   // the current capacities sit below their token-deficit lower bound. The
-  // heuristic solution is a feasible witness and doubles as the fix-it list.
+  // lazy solver's solution is a feasible witness and doubles as the fix-it
+  // list — no up-front cycle enumeration on this (default) path.
   {
     core::QsOptions qs;
-    qs.method = core::QsMethod::kHeuristic;
+    qs.method = core::QsMethod::kLazy;
     qs.build.target_mst = target;
     qs.build.max_cycles = options.max_cycles;
     const core::QsReport sized = core::size_queues(lis, qs);
     const util::Rational clamped = std::min(target, ideal);
-    if (sized.achieved_mst >= clamped && sized.heuristic &&
-        sized.heuristic->total_extra_tokens > 0) {
+    const core::SolverOutcome* best =
+        sized.exact ? &*sized.exact : sized.heuristic ? &*sized.heuristic : nullptr;
+    if (sized.achieved_mst >= clamped && best != nullptr && best->total_extra_tokens > 0) {
       Diagnostic d =
-          make("L202", "input queues are " + std::to_string(sized.heuristic->total_extra_tokens) +
+          make("L202", "input queues are " + std::to_string(best->total_extra_tokens) +
                            " slot(s) below their token-deficit lower bound for target " +
                            clamped.to_string() + "; sizing them reaches " +
                            sized.achieved_mst.to_string() +
@@ -319,7 +334,8 @@ void check_blowup(const lis::LisGraph& lis, const LintOptions& options, Report& 
                     std::to_string(internal_edges[static_cast<std::size_t>(comp)]) +
                     " places has cyclomatic number " + std::to_string(mu) +
                     "; elementary-cycle enumeration can reach ~2^" + std::to_string(mu) +
-                    " cycles — prefer the lazy queue-sizing solver over eager enumeration");
+                    " cycles — informational: the default analyze/size-queues/lint paths "
+                    "are enumeration-free, only the opt-in eager solvers are affected");
     report.diagnostics.push_back(std::move(d));
   }
 }

@@ -41,9 +41,10 @@ constexpr std::array<CheckInfo, 12> kCatalog = {{
      "reconvergent parallel channels carry different relay-station counts while "
      "throughput misses the target: the shorter path stalls the longer one",
      true},
-    {"L301", Severity::kWarning, "cycle-enumeration-blowup",
+    {"L301", Severity::kInfo, "cycle-enumeration-blowup",
      "the cyclomatic number of an SCC of d[G] predicts an intractable elementary-"
-     "cycle count: eager queue-sizing enumeration would blow up (use the lazy solver)",
+     "cycle count: informational since the default analyze/size-queues/lint paths "
+     "are enumeration-free (it only concerns the opt-in eager solvers)",
      false},
     {"L302", Severity::kInfo, "oversized-queue",
      "a queue is larger than its structural occupancy bound: the extra slots can "

@@ -12,6 +12,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -59,6 +61,19 @@ struct FixIt {
   int add_relay_stations = 0;
 };
 
+/// Machine-checkable evidence behind a cycle-derived finding: the concrete
+/// closed walk of d[G] that triggered it, as place ids (re-checkable against
+/// lis::expand_doubled without re-running the analysis), its token count,
+/// and the netlist channels it runs through in traversal order (dedup).
+/// Checks that derive their finding from a witness cycle attach this (L001
+/// zero-token cycle, L201 critical cycle); renderers embed it in JSON and
+/// SARIF (`properties.witness`).
+struct CycleEvidence {
+  std::vector<std::int64_t> places;
+  std::int64_t tokens = 0;
+  std::vector<lis::ChannelId> channels;
+};
+
 /// One finding.
 struct Diagnostic {
   std::string code;  ///< stable check code, "L001"...
@@ -66,6 +81,7 @@ struct Diagnostic {
   std::string message;
   Location location;
   std::vector<FixIt> fixits;
+  std::optional<CycleEvidence> witness;
 };
 
 /// Static description of one registered check.

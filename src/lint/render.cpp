@@ -27,6 +27,20 @@ std::string subject_of(const RenderItem& item, const Diagnostic& d) {
   return {};
 }
 
+/// The witness object shared by the JSON and SARIF renderers: the concrete
+/// cycle of d[G] behind the finding, re-checkable against expand_doubled.
+void write_witness_json(util::JsonWriter& w, const CycleEvidence& evidence) {
+  w.begin_object();
+  w.key("places").begin_array();
+  for (const std::int64_t p : evidence.places) w.value(p);
+  w.end_array();
+  w.key("tokens").value(evidence.tokens);
+  w.key("channels").begin_array();
+  for (const lis::ChannelId c : evidence.channels) w.value(static_cast<std::int64_t>(c));
+  w.end_array();
+  w.end_object();
+}
+
 void write_diagnostic_json(util::JsonWriter& w, const RenderItem& item, const Diagnostic& d) {
   w.begin_object();
   w.key("code").value(d.code);
@@ -45,6 +59,10 @@ void write_diagnostic_json(util::JsonWriter& w, const RenderItem& item, const Di
   }
   if (const int line = line_of(item, d); line > 0) {
     w.key("line").value(line);
+  }
+  if (d.witness) {
+    w.key("witness");
+    write_witness_json(w, *d.witness);
   }
   w.key("fixits").begin_array();
   for (const FixIt& fix : d.fixits) {
@@ -214,6 +232,14 @@ std::string render_sarif(const std::vector<RenderItem>& items, int indent) {
         w.end_object();  // physicalLocation
         w.end_object();
         w.end_array();
+      }
+      // The witness cycle rides in the SARIF property bag so downstream
+      // tooling can re-check the finding against the netlist's expansion.
+      if (d.witness) {
+        w.key("properties").begin_object();
+        w.key("witness");
+        write_witness_json(w, *d.witness);
+        w.end_object();
       }
       w.end_object();
     }

@@ -39,9 +39,11 @@ std::int64_t min_token_path(const MarkedGraph& g, TransitionId from, TransitionI
 }  // namespace
 
 bool is_live(const MarkedGraph& g) {
-  // Live iff no token-free cycle: stop enumeration at the first offender.
-  return graph::for_each_cycle(g.structure(),
-                               [&](const graph::Cycle& c) { return g.cycle_tokens(c) >= 1; });
+  // Live iff no token-free cycle, i.e. the zero-token subgraph is acyclic —
+  // one O(E) DFS, never an elementary-cycle enumeration.
+  return graph::find_cycle(g.structure(),
+                           [&](graph::EdgeId place) { return g.tokens(place) == 0; })
+      .empty();
 }
 
 std::optional<std::int64_t> place_bound(const MarkedGraph& g, PlaceId p) {

@@ -110,11 +110,9 @@ void MarkedGraph::validate_lis_structure() const {
     }
   }
 
-  // Every cycle must carry at least one token, otherwise the system deadlocks.
-  const bool no_dead_cycle = graph::for_each_cycle(structure_, [&](const graph::Cycle& c) {
-    return cycle_tokens(c) >= 1;  // stop enumeration on the first dead cycle
-  });
-  if (!no_dead_cycle) {
+  // Every cycle must carry at least one token, otherwise the system
+  // deadlocks. Equivalent: the zero-token subgraph is acyclic (one DFS).
+  if (!graph::find_cycle(structure_, [&](graph::EdgeId p) { return tokens(p) == 0; }).empty()) {
     throw std::invalid_argument("marked graph has a token-free cycle (deadlock)");
   }
 }

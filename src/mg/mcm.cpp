@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <limits>
 #include <memory>
 #include <utility>
@@ -99,20 +102,129 @@ Rational karp_on_scc(const LocalScc& local) {
   return best;
 }
 
+/// True when some cycle of the SCC has mean strictly below p/q: Bellman-Ford
+/// from a virtual source over integer reduced costs q*w(e) - p fails to
+/// stabilize exactly when a negative reduced-cost cycle exists.
+bool has_cycle_mean_below(const LocalScc& local, __int128 p, std::int64_t q) {
+  const auto n = static_cast<std::size_t>(local.n);
+  std::vector<__int128> dist(n, 0);
+  for (int pass = 0; pass <= local.n; ++pass) {
+    bool changed = false;
+    for (const auto& e : local.edges) {
+      const __int128 cand = dist[static_cast<std::size_t>(e.src)] +
+                            static_cast<__int128>(q) * e.weight - p;
+      if (cand < dist[static_cast<std::size_t>(e.dst)]) {
+        dist[static_cast<std::size_t>(e.dst)] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) return false;
+  }
+  return true;
+}
+
+/// The minimum-denominator fraction in the closed interval [a/b, c/d]
+/// (0 <= a/b <= c/d), by Stern-Brocot / continued-fraction descent. Used to
+/// recover an exact cycle mean from a bisection bracket: once the bracket is
+/// narrower than 1/n^2 it contains exactly one fraction with denominator
+/// <= n, and that fraction is the minimum-denominator one.
+Rational simplest_between(__int128 a, __int128 b, __int128 c, __int128 d) {
+  // Convergent accumulation: the result is the continued fraction
+  // [i0; i1, ..., t] and equals (p1*t + p0) / (q1*t + q0) at termination.
+  __int128 p0 = 0;
+  __int128 q0 = 1;
+  __int128 p1 = 1;
+  __int128 q1 = 0;
+  for (;;) {
+    const __int128 i = a / b;
+    const __int128 r = a - i * b;
+    const __int128 ceil_lo = i + (r != 0 ? 1 : 0);
+    if (ceil_lo * d <= c) {
+      // An integer lies in the (shifted) interval: it terminates the descent.
+      const __int128 num = p1 * ceil_lo + p0;
+      const __int128 den = q1 * ceil_lo + q0;
+      LID_ASSERT(num >= std::numeric_limits<std::int64_t>::min() &&
+                     num <= std::numeric_limits<std::int64_t>::max() && den > 0 &&
+                     den <= std::numeric_limits<std::int64_t>::max(),
+                 "simplest_between: result exceeds int64");
+      return Rational(static_cast<std::int64_t>(num), static_cast<std::int64_t>(den));
+    }
+    // Same integer gap: emit coefficient i, recurse on the reciprocal of the
+    // fractional parts (which swaps the interval's endpoints).
+    const __int128 np1 = p1 * i + p0;
+    const __int128 nq1 = q1 * i + q0;
+    p0 = p1;
+    q0 = q1;
+    p1 = np1;
+    q1 = nq1;
+    const __int128 na = d;
+    const __int128 nb = c - i * d;
+    const __int128 nc = b;
+    const __int128 nd = r;
+    a = na;
+    b = nb;
+    c = nc;
+    d = nd;
+  }
+}
+
+/// Exact minimum cycle mean in O(V+E) memory: bisect the mean over a
+/// power-of-two grid with integer negative-cycle tests until the bracket is
+/// narrower than 1/n^2, then recover the unique denominator-<=-n fraction
+/// inside it. Time is O(V*E*log(n*W)) — acceptable only on the
+/// policy-iteration paranoia path, where Karp's O(V^2) table would not fit
+/// in memory at this node count.
+Rational parametric_mcm(const LocalScc& local) {
+  std::int64_t wmax = 0;
+  for (const auto& e : local.edges) wmax = std::max(wmax, e.weight);
+  // Bracket invariant: no cycle mean < lo, some cycle mean < hi, with
+  // lo = num_lo / 2^k and hi = num_hi / 2^k. Token weights are nonnegative,
+  // so 0 is a valid lower bound; wmax + 1 exceeds every cycle mean.
+  __int128 num_lo = 0;
+  __int128 num_hi = wmax + 1;
+  std::int64_t q = 1;  // common denominator 2^k
+  const __int128 n2 = static_cast<__int128>(local.n) * local.n;
+  while ((num_hi - num_lo) * n2 >= q) {
+    const __int128 mid = num_lo + num_hi;  // over denominator 2^(k+1)
+    LID_ASSERT(q <= std::numeric_limits<std::int64_t>::max() / 2,
+               "parametric_mcm: bisection denominator exceeds int64");
+    q *= 2;
+    if (has_cycle_mean_below(local, mid, q)) {
+      num_hi = mid;
+      num_lo *= 2;
+    } else {
+      num_lo = mid;
+      num_hi *= 2;
+    }
+  }
+  const Rational mu = simplest_between(num_lo, q, num_hi, q);
+  LID_ASSERT(mu.den() <= local.n, "parametric_mcm: recovered mean has an impossible denominator");
+  return mu;
+}
+
+/// Karp's O(V^2) walk table stays affordable up to this many nodes (~134 MB);
+/// larger components use the O(V+E)-memory parametric search instead.
+constexpr int kKarpTableMaxNodes = 4096;
+
 /// Exact critical-cycle extraction used when policy iteration fails to
-/// settle: take Karp's minimum mean μ, compute Bellman-Ford potentials for
-/// edge costs (weight - μ), and walk the tight subgraph (edges achieving
+/// settle: take the exact minimum mean μ = p/q (Karp when the table fits,
+/// parametric search beyond), compute Bellman-Ford potentials for integer
+/// reduced costs q*w(e) - p, and walk the tight subgraph (edges achieving
 /// equality), which always contains a μ-mean cycle. The cycle is written
 /// into `cycle_out` (buffer reused); the mean μ is returned.
-Rational karp_fallback_cycle(const LocalScc& local, std::vector<PlaceId>& cycle_out) {
-  const Rational mu = karp_on_scc(local);
+Rational exact_fallback_cycle(const LocalScc& local, std::vector<PlaceId>& cycle_out) {
+  const Rational mu =
+      local.n <= kKarpTableMaxNodes ? karp_on_scc(local) : parametric_mcm(local);
   const auto n = static_cast<std::size_t>(local.n);
+  const std::int64_t p = mu.num();
+  const std::int64_t q = mu.den();
   // Bellman-Ford from a virtual source connected to every node with cost 0.
-  std::vector<Rational> dist(n, Rational(0));
+  std::vector<__int128> dist(n, 0);
   for (int pass = 0; pass < local.n; ++pass) {
     bool changed = false;
     for (const auto& e : local.edges) {
-      const Rational cand = dist[static_cast<std::size_t>(e.src)] + Rational(e.weight) - mu;
+      const __int128 cand = dist[static_cast<std::size_t>(e.src)] +
+                            static_cast<__int128>(q) * e.weight - p;
       if (cand < dist[static_cast<std::size_t>(e.dst)]) {
         dist[static_cast<std::size_t>(e.dst)] = cand;
         changed = true;
@@ -120,38 +232,42 @@ Rational karp_fallback_cycle(const LocalScc& local, std::vector<PlaceId>& cycle_
     }
     if (!changed) break;
   }
-  // Tight edges: dist[dst] == dist[src] + w - μ. Around a critical cycle all
-  // inequalities hold with equality, so the tight subgraph contains a cycle,
-  // and every cycle of the tight subgraph has reduced cost 0, i.e. mean μ.
+  // Tight edges: dist[dst] == dist[src] + q*w - p. Around a critical cycle
+  // all inequalities hold with equality, so the tight subgraph contains a
+  // cycle, and every cycle of the tight subgraph has reduced cost 0, i.e.
+  // mean μ.
   graph::Digraph tight_graph(n);
   std::vector<int> tight_origin;  // tight-graph edge -> local edge index
   for (int e = 0; e < static_cast<int>(local.edges.size()); ++e) {
     const auto& edge = local.edges[static_cast<std::size_t>(e)];
     if (dist[static_cast<std::size_t>(edge.dst)] ==
-        dist[static_cast<std::size_t>(edge.src)] + Rational(edge.weight) - mu) {
+        dist[static_cast<std::size_t>(edge.src)] + static_cast<__int128>(q) * edge.weight - p) {
       tight_graph.add_edge(edge.src, edge.dst);
       tight_origin.push_back(e);
     }
   }
   cycle_out.clear();
-  graph::for_each_cycle(tight_graph, [&](const graph::Cycle& cycle) {
-    for (const graph::EdgeId te : cycle) {
-      cycle_out.push_back(
-          local.edges[static_cast<std::size_t>(tight_origin[static_cast<std::size_t>(te)])]
-              .place);
-    }
-    return false;  // one cycle is enough
-  });
-  LID_ASSERT(!cycle_out.empty(), "karp_fallback_cycle: tight subgraph has no cycle");
+  for (const graph::EdgeId te : graph::find_cycle(tight_graph)) {
+    cycle_out.push_back(
+        local.edges[static_cast<std::size_t>(tight_origin[static_cast<std::size_t>(te)])].place);
+  }
+  LID_ASSERT(!cycle_out.empty(), "exact_fallback_cycle: tight subgraph has no cycle");
   return mu;
 }
 
 /// Scratch vectors shared by every Howard solve issued through one workspace
 /// (or one top-level call): sized for the largest SCC seen, never shrunk, so
 /// a warm re-solve allocates nothing.
+///
+/// Values are kept as scaled integers, not Rationals: within one policy
+/// chain tree every node inherits the lambda p/q of its root cycle, so the
+/// exact value is value_s[v] / lambda[v].den(). Keeping the integer numerator
+/// makes every evaluation and phase-2 comparison a handful of integer ops —
+/// the Rational representation paid a gcd normalization per edge per round,
+/// which dominated the solve on 10^5-node components.
 struct HowardScratch {
   std::vector<Rational> lambda;
-  std::vector<Rational> value;
+  std::vector<__int128> value_s;  // value numerator, scaled by lambda's den
   std::vector<int> cycle_stamp;
   std::vector<char> evaluated;
   std::vector<int> chain;
@@ -189,11 +305,11 @@ Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardSc
   }
 
   sc.lambda.assign(ns, Rational());
-  sc.value.assign(ns, Rational());
+  sc.value_s.assign(ns, 0);
   sc.cycle_stamp.assign(ns, -1);  // which evaluation round visited the node
   sc.evaluated.assign(ns, 0);
   auto& lambda = sc.lambda;
-  auto& value = sc.value;
+  auto& value_s = sc.value_s;
   auto& cycle_stamp = sc.cycle_stamp;
   auto& evaluated = sc.evaluated;
 
@@ -239,26 +355,30 @@ Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardSc
         std::rotate(cyc.begin(), std::min_element(cyc.begin(), cyc.end()), cyc.end());
         const int anchor = cyc.front();
         lambda[static_cast<std::size_t>(anchor)] = mean;
-        value[static_cast<std::size_t>(anchor)] = Rational(0);
+        value_s[static_cast<std::size_t>(anchor)] = 0;
         evaluated[static_cast<std::size_t>(anchor)] = 1;
+        const std::int64_t p = mean.num();
+        const std::int64_t q = mean.den();
         for (std::size_t i = cyc.size(); i-- > 1;) {
           const int node = cyc[i];
           const auto& e = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(node)])];
           lambda[static_cast<std::size_t>(node)] = mean;
-          value[static_cast<std::size_t>(node)] =
-              Rational(e.weight) - mean + value[static_cast<std::size_t>(e.dst)];
+          value_s[static_cast<std::size_t>(node)] =
+              static_cast<__int128>(q) * e.weight - p + value_s[static_cast<std::size_t>(e.dst)];
           evaluated[static_cast<std::size_t>(node)] = 1;
         }
       }
-      // Nodes on the chain before reaching `v` inherit v's cycle data.
+      // Nodes on the chain before reaching `v` inherit v's cycle data; their
+      // scaled values share the inherited lambda's denominator.
       for (std::size_t i = chain.size(); i-- > 0;) {
         const int node = chain[i];
         if (evaluated[static_cast<std::size_t>(node)]) continue;
         const auto& e = local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(node)])];
-        lambda[static_cast<std::size_t>(node)] = lambda[static_cast<std::size_t>(e.dst)];
-        value[static_cast<std::size_t>(node)] =
-            Rational(e.weight) - lambda[static_cast<std::size_t>(node)] +
-            value[static_cast<std::size_t>(e.dst)];
+        const Rational lam = lambda[static_cast<std::size_t>(e.dst)];
+        lambda[static_cast<std::size_t>(node)] = lam;
+        value_s[static_cast<std::size_t>(node)] =
+            static_cast<__int128>(lam.den()) * e.weight - lam.num() +
+            value_s[static_cast<std::size_t>(e.dst)];
         evaluated[static_cast<std::size_t>(node)] = 1;
       }
       ++round;
@@ -267,7 +387,9 @@ Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardSc
 
   const long max_iterations = 1000L * n + 1000L;
   bool converged = false;
+  long iters_used = 0;
   for (long iter = 0; iter < max_iterations; ++iter) {
+    iters_used = iter + 1;
     evaluate();
     ++rounds;
     bool improved = false;
@@ -289,25 +411,30 @@ Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardSc
       }
     }
     if (improved) continue;
-    // Phase 2: same-lambda value improvement.
+    // Phase 2: same-lambda value improvement. Restricting candidates to
+    // successors with an identical lambda means every compared value shares
+    // one denominator, so the scaled integers compare directly.
     for (int v = 0; v < n; ++v) {
       const Rational lam = lambda[static_cast<std::size_t>(v)];
+      const std::int64_t p = lam.num();
+      const std::int64_t q = lam.den();
       int best = policy[static_cast<std::size_t>(v)];
       const auto reduced = [&](int e) {
         const auto& edge = local.edges[static_cast<std::size_t>(e)];
-        return Rational(edge.weight) - lam + value[static_cast<std::size_t>(edge.dst)];
+        return static_cast<__int128>(q) * edge.weight - p +
+               value_s[static_cast<std::size_t>(edge.dst)];
       };
-      Rational best_value = reduced(best);
+      __int128 best_value = reduced(best);
       for (const int e : local.out[static_cast<std::size_t>(v)]) {
         const auto& edge = local.edges[static_cast<std::size_t>(e)];
         if (lambda[static_cast<std::size_t>(edge.dst)] != lam) continue;
-        const Rational cand = reduced(e);
+        const __int128 cand = reduced(e);
         if (cand < best_value) {
           best = e;
           best_value = cand;
         }
       }
-      if (best_value < value[static_cast<std::size_t>(v)]) {
+      if (best_value < value_s[static_cast<std::size_t>(v)]) {
         policy[static_cast<std::size_t>(v)] = best;
         improved = true;
       }
@@ -317,12 +444,17 @@ Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardSc
       break;
     }
   }
+  if (std::getenv("LID_MCM_DEBUG") != nullptr) {
+    std::fprintf(stderr, "[mcm] scc n=%d e=%zu rounds=%ld converged=%d t=%.3fs\n", n,
+                 local.edges.size(), iters_used, converged ? 1 : 0,
+                 static_cast<double>(std::clock()) / CLOCKS_PER_SEC);
+  }
   if (!converged) {
     // Degenerate tie structures can make multichain policy iteration cycle;
-    // fall back to the always-exact Karp mean with a tight-subgraph cycle
+    // fall back to an always-exact mean with a tight-subgraph cycle
     // extraction (Bellman-Ford potentials; edges tight at the optimum form a
     // subgraph that must contain a critical cycle).
-    return karp_fallback_cycle(local, sc.cycle);
+    return exact_fallback_cycle(local, sc.cycle);
   }
 
   // Extract the critical policy cycle: start from a node with minimal lambda.
@@ -348,6 +480,51 @@ Rational howard_on_scc(const LocalScc& local, std::vector<int>& policy, HowardSc
         local.edges[static_cast<std::size_t>(policy[static_cast<std::size_t>(walk[i])])].place);
   }
   return lambda[static_cast<std::size_t>(v)];
+}
+
+/// True when `s` are valid scaled potentials for bound p/q on this SCC:
+/// q*w(e) - p + s[dst] - s[src] >= 0 for every local edge. All arithmetic in
+/// 128 bits so adversarial token counts cannot overflow the validation.
+bool potentials_valid(const LocalScc& local, std::int64_t p, std::int64_t q,
+                      const std::vector<std::int64_t>& s) {
+  for (const auto& e : local.edges) {
+    const __int128 slack = static_cast<__int128>(q) * e.weight - p +
+                           s[static_cast<std::size_t>(e.dst)] -
+                           s[static_cast<std::size_t>(e.src)];
+    if (slack < 0) return false;
+  }
+  return true;
+}
+
+/// Exact potential fallback: Bellman-Ford shortest paths from a virtual
+/// source over integer reduced costs c(e) = q*w(e) - p. Every cycle of the
+/// SCC has nonnegative total reduced cost (its mean is >= p/q), so the
+/// distances stabilize within n passes; s = -dist satisfies the potential
+/// inequality by the relaxation fixpoint.
+void bellman_ford_potentials(const LocalScc& local, std::int64_t p, std::int64_t q,
+                             std::vector<std::int64_t>& s) {
+  const auto n = static_cast<std::size_t>(local.n);
+  std::vector<__int128> dist(n, 0);
+  for (int pass = 0; pass < local.n; ++pass) {
+    bool changed = false;
+    for (const auto& e : local.edges) {
+      const __int128 cand = dist[static_cast<std::size_t>(e.src)] +
+                            static_cast<__int128>(q) * e.weight - p;
+      if (cand < dist[static_cast<std::size_t>(e.dst)]) {
+        dist[static_cast<std::size_t>(e.dst)] = cand;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  s.assign(n, 0);
+  for (std::size_t v = 0; v < n; ++v) {
+    const __int128 val = -dist[v];
+    LID_ASSERT(val >= std::numeric_limits<std::int64_t>::min() &&
+                   val <= std::numeric_limits<std::int64_t>::max(),
+               "bellman_ford_potentials: potential exceeds int64");
+    s[v] = static_cast<std::int64_t>(val);
+  }
 }
 
 template <typename PerScc>
@@ -451,6 +628,67 @@ util::Rational mst_howard(const MarkedGraph& g, Workspace& ws) {
   return theta;
 }
 
+McmEvidence mcm_evidence(const MarkedGraph& g) {
+  McmEvidence ev;
+  const graph::SccPartition part = graph::scc(g.structure());
+  ev.component = part.comp_of;
+  ev.component_cyclic.assign(static_cast<std::size_t>(part.count), 0);
+  ev.lambda.assign(static_cast<std::size_t>(part.count), Rational(1));
+  ev.potential.assign(g.num_transitions(), 0);
+
+  HowardScratch sc;
+  std::int64_t rounds = 0;
+  bool found = false;
+  MeanCycle best;
+  for (int c = 0; c < part.count; ++c) {
+    if (!part.is_cyclic(c, g.structure())) continue;
+    ev.component_cyclic[static_cast<std::size_t>(c)] = 1;
+    const LocalScc local = make_local(g, part, c);
+    std::vector<int> policy;
+    const Rational mean = howard_on_scc(local, policy, sc, rounds);
+    ev.lambda[static_cast<std::size_t>(c)] = mean;
+
+    // Candidate potentials from Howard's converged value vector (at
+    // convergence lambda is uniform across the SCC, so every scaled value
+    // already carries the denominator q; the exact fallback leaves stale
+    // values behind, caught by the uniformity test), validated in one O(E)
+    // pass; Bellman-Ford covers the rest exactly.
+    const std::int64_t p = mean.num();
+    const std::int64_t q = mean.den();
+    std::vector<std::int64_t> s(static_cast<std::size_t>(local.n), 0);
+    bool ok = sc.lambda.size() >= static_cast<std::size_t>(local.n) &&
+              sc.value_s.size() >= static_cast<std::size_t>(local.n);
+    for (int v = 0; ok && v < local.n; ++v) {
+      const __int128 val = sc.value_s[static_cast<std::size_t>(v)];
+      if (sc.lambda[static_cast<std::size_t>(v)] != mean ||
+          val < std::numeric_limits<std::int64_t>::min() ||
+          val > std::numeric_limits<std::int64_t>::max()) {
+        ok = false;
+        break;
+      }
+      s[static_cast<std::size_t>(v)] = static_cast<std::int64_t>(val);
+    }
+    if (ok) ok = potentials_valid(local, p, q, s);
+    if (!ok) {
+      bellman_ford_potentials(local, p, q, s);
+      LID_ASSERT(potentials_valid(local, p, q, s),
+                 "mcm_evidence: fallback potentials invalid");
+    }
+    const auto& members = part.members[static_cast<std::size_t>(c)];
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      ev.potential[static_cast<std::size_t>(members[i])] = s[i];
+    }
+
+    if (!found || mean < best.mean) {
+      best.mean = mean;
+      best.cycle = sc.cycle;
+      found = true;
+    }
+  }
+  if (found) ev.critical = std::move(best);
+  return ev;
+}
+
 std::optional<Rational> min_cycle_mean_karp(const MarkedGraph& g) {
   std::optional<Rational> best;
   for_each_cyclic_scc(g, [&](const LocalScc& local) {
@@ -471,16 +709,20 @@ std::optional<MeanCycle> min_cycle_mean_howard(const MarkedGraph& g) {
 
 Rational cycle_time(const MarkedGraph& g) {
   LID_ENSURE(graph::is_strongly_connected(g.structure()), "cycle_time: graph must be strongly connected");
-  const std::optional<Rational> mean = min_cycle_mean_karp(g);
-  LID_ENSURE(mean.has_value(), "cycle_time: graph has no cycle");
-  LID_ENSURE(mean->num() != 0, "cycle_time: token-free cycle makes the cycle time infinite");
-  return Rational(1) / *mean;
+  const std::optional<MeanCycle> mc = min_cycle_mean_howard(g);
+  LID_ENSURE(mc.has_value(), "cycle_time: graph has no cycle");
+  LID_ENSURE(mc->mean.num() != 0, "cycle_time: token-free cycle makes the cycle time infinite");
+  return Rational(1) / mc->mean;
 }
 
 Rational mst_allowing_deadlock(const MarkedGraph& g) {
-  const std::optional<Rational> mean = min_cycle_mean_karp(g);
-  if (!mean) return Rational(1);  // acyclic
-  return Rational::min(Rational(1), *mean);
+  // Howard, not Karp: Karp's per-SCC walk table is O(V^2) memory, which is
+  // prohibitive on the single giant SCC every doubled graph d[G] collapses
+  // into (the backward places make d[G] symmetric). Karp stays available via
+  // min_cycle_mean_karp as an independent small-instance cross-check.
+  const std::optional<MeanCycle> mc = min_cycle_mean_howard(g);
+  if (!mc) return Rational(1);  // acyclic
+  return Rational::min(Rational(1), mc->mean);
 }
 
 Rational mst(const MarkedGraph& g) {

@@ -31,6 +31,36 @@ struct MeanCycle {
   std::vector<PlaceId> cycle;
 };
 
+/// Optimality evidence for a minimum-cycle-mean computation, in the shape an
+/// independent O(E) checker can validate without re-running any solver:
+///
+///   * `critical` — a minimum-mean cycle (place ids), absent when acyclic;
+///   * `component[t]` — a component label per transition such that every
+///     cross-component place satisfies component[src] > component[dst]
+///     (a reverse topological order of the condensation), so any cycle stays
+///     inside one label class;
+///   * per cyclic component c, a local bound `lambda[c] = p/q` with
+///     lambda[c] >= critical->mean, and integer node potentials
+///     `potential[t]` (meaning pi_t = potential[t] / q) satisfying, for every
+///     place u -> v inside c with w tokens,
+///         q*w - p + potential[v] - potential[u] >= 0.
+///     Summing around any cycle of c proves its mean >= lambda[c] >= theta;
+///     the witness cycle attaining mean == theta proves optimality.
+///
+/// Potentials come from Howard's converged value vector (validated in one
+/// O(E) pass) with an exact Bellman-Ford fallback, so emitted evidence is
+/// always self-consistent.
+struct McmEvidence {
+  std::optional<MeanCycle> critical;
+  std::vector<int> component;          ///< per transition
+  std::vector<char> component_cyclic;  ///< per component
+  std::vector<util::Rational> lambda;  ///< per component (1 for acyclic ones)
+  std::vector<std::int64_t> potential; ///< per transition, scaled by lambda[c].den()
+};
+
+/// Minimum cycle mean with checkable optimality evidence (see McmEvidence).
+McmEvidence mcm_evidence(const MarkedGraph& g);
+
 /// Counters a Workspace accumulates across solves (never reset).
 struct WorkspaceStats {
   std::int64_t cold_starts = 0;    ///< per-SCC solves seeded from scratch
@@ -42,6 +72,9 @@ struct WorkspaceImpl;
 class Workspace;
 
 /// Minimum cycle mean via Karp's algorithm, or nullopt if `g` is acyclic.
+/// Independent correctness reference for cross-checks; its per-SCC walk
+/// table costs O(V^2) memory, so keep it to small instances — every
+/// production path (mst, cycle_time, analysis, certificates) runs Howard.
 std::optional<util::Rational> min_cycle_mean_karp(const MarkedGraph& g);
 
 /// Minimum cycle mean and one critical cycle via Howard's policy iteration,

@@ -318,6 +318,12 @@ Outcome analyze_payload(const Analysis& analysis, const AnalyzeOptions& options)
     w.key("rate_hazards").value(analysis.rate_hazards);
     w.key("rate_safe").value(analysis.rate_safe);
   }
+  // Float-free and deterministic by construction (write_certificate), so
+  // certified payloads stay memo- and registry-safe.
+  if (analysis.certificate) {
+    w.key("certificate");
+    verify::write_certificate(w, *analysis.certificate);
+  }
   w.end_object();
   return Outcome::success(w.str());
 }
@@ -328,6 +334,7 @@ Outcome do_analyze(ArgReader& reader, const ExecLimits& limits, const ExecContex
   AnalyzeOptions options;
   options.critical_cycle = reader.get_bool("critical_cycle", true);
   options.rate_safety = reader.get_bool("rate_safety", true);
+  options.certify = reader.get_bool("certify", false);
   if (reader.failed()) return arg_failure(reader);
   ResolvedModel model;
   if (auto failed = resolve_instance(ref, context, model)) return *failed;
@@ -379,6 +386,10 @@ Outcome sizing_outcome(const Sizing& sizing) {
   }
   w.end_array();
   w.key("netlist").value(*sized_text);
+  if (sizing.certificate) {
+    w.key("certificate");
+    verify::write_certificate(w, *sizing.certificate);
+  }
   w.end_object();
   Outcome outcome = Outcome::success(w.str());
   if (sizing.solver_lazy) {
@@ -429,6 +440,7 @@ Outcome do_size_queues(ArgReader& reader, const ExecLimits& limits, const ExecCo
   // zero search nodes). The degrade fallback inherits the flag, so degraded
   // payloads stay byte-identical to a direct heuristic request.
   options.simplify = reader.get_bool("simplify", true);
+  options.certify = reader.get_bool("certify", false);
   if (reader.failed()) return arg_failure(reader);
 
   ResolvedModel model;

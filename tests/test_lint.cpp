@@ -208,7 +208,9 @@ TEST(Checks, L301FiresOnDenseScc) {
   const Report report = run_checks(dense);
   ASSERT_TRUE(report.has_code("L301"));
   const Diagnostic& d = report.diagnostics.front();
-  EXPECT_EQ(d.severity, Severity::kWarning);
+  // Informational since the default analyze/size-queues/lint paths stopped
+  // enumerating cycles: the blowup only concerns the opt-in eager solvers.
+  EXPECT_EQ(d.severity, Severity::kInfo);
   EXPECT_NE(d.message.find("2^136"), std::string::npos);
 }
 

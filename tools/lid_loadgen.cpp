@@ -6,7 +6,7 @@
 //               [--solver lazy|full|both|exact|heuristic] [--max-nodes N]
 //               [--v N --s N --c N --rs N --seed N --instances N]
 //               [--sleep-ms N] [--registered] [--transport ndjson|binary]
-//               [--json]
+//               [--certify] [--json]
 //
 // Each client opens one connection and issues requests back to back (send,
 // wait for the response, send the next — a closed loop, so offered load
@@ -27,6 +27,13 @@
 // `--solver` is passed through to `size-queues` verbatim; omit it to use the
 // server default (lazy constraint generation). "full" is the server's alias
 // for the eager heuristic+exact pipeline.
+//
+// `--certify` (analyze / size-queues workloads) asks the server to attach an
+// optimality certificate to every response, then re-checks each one locally
+// with the independent O(E) checker (src/verify). The summary reports the
+// certified share of successful responses and the verify-failure count; any
+// verify failure makes the run exit 2 — a server that returns certificates
+// its own clients cannot validate is broken.
 //
 // Protocol-v2 knobs: `--registered` switches the model-addressed verbs
 // (analyze, size-queues, lint, rate-safety) to the register-once/query-many
@@ -54,9 +61,11 @@
 #include <csignal>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <thread>
 #include <vector>
 
+#include "lid_api.hpp"
 #include "serve/client.hpp"
 #include "serve/protocol.hpp"
 #include "serve/registry.hpp"
@@ -81,6 +90,8 @@ struct ClientStats {
   std::int64_t retries = 0;
   std::int64_t reconnects = 0;
   std::int64_t breaker_fast_fails = 0;
+  std::int64_t certified = 0;        ///< ok responses carrying a certificate
+  std::int64_t verify_failures = 0;  ///< certificates the local checker rejected
   std::vector<double> latencies_ms;
   std::string first_error;
 };
@@ -200,6 +211,7 @@ int main(int argc, char** argv) {
     const bool as_json = cli.get_bool("json", false);
 
     const bool registered_flag = cli.get_bool("registered", false);
+    const bool certify = cli.get_bool("certify", false);
     const bool cluster_scenario = cli.get_bool("cluster", false);
     const std::string trace_out = cli.get_string("trace-out", "");
     const std::string trace_in = cli.get_string("trace-in", "");
@@ -213,6 +225,14 @@ int main(int argc, char** argv) {
         verb != "size-queues" && verb != "lint" && verb != "rate-safety") {
       std::cerr << "lid_loadgen: --registered applies to analyze, size-queues, lint or "
                    "rate-safety\n";
+      return 1;
+    }
+    // Local verification needs the generated instances in hand, so --certify
+    // is a generated-workload knob for the two certifying verbs only.
+    if (certify && (cluster_scenario || !trace_in.empty() ||
+                    (verb != "analyze" && verb != "size-queues"))) {
+      std::cerr << "lid_loadgen: --certify applies to generated analyze or size-queues "
+                   "workloads (not --cluster / --trace-in)\n";
       return 1;
     }
 
@@ -241,6 +261,9 @@ int main(int argc, char** argv) {
     Workload load;
     load.seed = workload_seed;
     load.registered = registered_flag;
+    // --certify: fingerprint -> generated instance, for local re-checking of
+    // returned certificates (read-only once the workload is built).
+    std::map<std::string, Instance> verify_instances;
     if (!trace_in.empty()) {
       // Replay: the trace header decides registered/scenario; CLI workload
       // flags are ignored so the replayed byte stream matches the recording.
@@ -318,6 +341,7 @@ int main(int argc, char** argv) {
           if (!solver.empty()) w.key("solver").value(solver);
           if (max_nodes > 0) w.key("max_nodes").value(max_nodes);
         }
+        if (certify) w.key("certify").value(true);
         if (verb == "sleep") {
           w.key("ms").value(sleep_ms);
         } else if (verb != "ping" && verb != "stats") {
@@ -331,6 +355,11 @@ int main(int argc, char** argv) {
           if (!text) {
             std::cerr << "lid_loadgen: " << text.error().to_string() << "\n";
             return 1;
+          }
+          if (certify) {
+            // Keep the instance for local re-checking, keyed by the same
+            // fingerprint recipe the certificate carries.
+            verify_instances.emplace(serve::Registry::fingerprint(*text), *instance);
           }
           if (load.registered) {
             // netlist_text output is already canonical, so the fingerprint can
@@ -430,6 +459,30 @@ int main(int argc, char** argv) {
             if (degraded != nullptr && degraded->is_bool() && degraded->as_bool()) {
               ++s.degraded;
             }
+            if (certify) {
+              // Re-check the returned certificate with the independent O(E)
+              // checker against the locally generated instance.
+              const util::Json* result = parsed.value.find("result");
+              const util::Json* cert_json =
+                  result != nullptr && result->is_object() ? result->find("certificate") : nullptr;
+              if (cert_json != nullptr) {
+                ++s.certified;
+                const verify::CertificateParse cert = verify::parse_certificate(*cert_json);
+                const auto it =
+                    cert ? verify_instances.find(cert.certificate.fingerprint)
+                         : verify_instances.end();
+                bool valid = false;
+                if (it != verify_instances.end()) {
+                  const Result<verify::CheckResult> verdict =
+                      lid::verify_certificate(it->second, cert.certificate);
+                  valid = verdict && verdict->ok;
+                }
+                if (!valid) {
+                  ++s.verify_failures;
+                  if (s.first_error.empty()) s.first_error = "certificate verify failed: " + *response;
+                }
+              }
+            }
             continue;
           }
           std::string code;
@@ -482,6 +535,8 @@ int main(int argc, char** argv) {
       total.retries += s.retries;
       total.reconnects += s.reconnects;
       total.breaker_fast_fails += s.breaker_fast_fails;
+      total.certified += s.certified;
+      total.verify_failures += s.verify_failures;
       latencies.insert(latencies.end(), s.latencies_ms.begin(), s.latencies_ms.end());
       if (total.first_error.empty() && !s.first_error.empty()) total.first_error = s.first_error;
     }
@@ -554,6 +609,15 @@ int main(int argc, char** argv) {
         w.key("registry_memo_misses").value(memo_misses);
         w.key("registry_hit_rate").value_fixed(registry_hit_rate, 4);
       }
+      if (certify) {
+        w.key("certified").value(total.certified);
+        w.key("certified_share")
+            .value_fixed(total.ok == 0 ? 0.0
+                                       : static_cast<double>(total.certified) /
+                                             static_cast<double>(total.ok),
+                         4);
+        w.key("verify_failures").value(total.verify_failures);
+      }
       if (!transport.empty()) w.key("transport").value(transport);
       w.end_object();
       std::cout << w.str() << "\n";
@@ -582,12 +646,20 @@ int main(int argc, char** argv) {
                            std::to_string(memo_hits) + "/" +
                            std::to_string(memo_hits + memo_misses) + ")"});
       }
+      if (certify) {
+        const double share = total.ok == 0 ? 0.0
+                                           : static_cast<double>(total.certified) * 100.0 /
+                                                 static_cast<double>(total.ok);
+        table.add_row({"certified responses", std::to_string(total.certified) + " (" +
+                                                  util::Table::fmt(share, 2) + "% of ok)"});
+        table.add_row({"certificate verify failures", std::to_string(total.verify_failures)});
+      }
       table.print(std::cout);
       if (!total.first_error.empty()) {
         std::cout << "first error: " << total.first_error << "\n";
       }
     }
-    return total.other_errors == 0 ? 0 : 2;
+    return total.other_errors == 0 && total.verify_failures == 0 ? 0 : 2;
   } catch (const std::exception& e) {
     std::cerr << "lid_loadgen: " << e.what() << "\n";
     return 1;

@@ -46,7 +46,12 @@
 //      3-worker lid_cluster front door equal the payloads of a single
 //      lid_serve and of direct execution, byte for byte — for inline and
 //      registered (model-addressed) requests, and still after a worker is
-//      stopped mid-run so the router must fail over and re-register.
+//      stopped mid-run so the router must fail over and re-register;
+//  15. certificates are sound and transport-stable: every opt-in analyze /
+//      size-queues certificate passes the independent O(E) checker
+//      (src/verify) through the facade — typed and JSON forms — and through
+//      lid_serve, where certified payloads are byte-identical between inline
+//      and registered requests over both the NDJSON and binary transports.
 // Exits nonzero on the first violation, printing the seed that triggers it.
 #include <unistd.h>
 
@@ -748,6 +753,124 @@ bool check_cluster(std::uint64_t trial_seed) {
   return true;
 }
 
+// Invariant (15): certificates are sound and transport-stable. The facade's
+// opt-in certificates (analyze and size-queues) pass the independent O(E)
+// checker in both the typed and the JSON form; through lid_serve, the
+// certified payloads are byte-identical between inline and registered
+// (model-addressed) requests over both the NDJSON and binary transports, and
+// the certificate embedded in every served payload re-verifies locally.
+bool check_certificates(std::uint64_t trial_seed) {
+  util::Rng rng(trial_seed);
+  std::vector<Instance> instances;
+  std::vector<std::string> texts;
+  for (int i = 0; i < 3; ++i) {
+    GenerateOptions options;
+    options.cores = 5 + static_cast<int>(rng.uniform_int(0, 6));
+    options.sccs = 1 + static_cast<int>(rng.uniform_int(0, 2));
+    options.extra_cycles = static_cast<int>(rng.uniform_int(0, 2));
+    options.relay_stations = 1 + static_cast<int>(rng.uniform_int(0, 3));
+    options.rs_anywhere = true;
+    options.seed = rng.fork_seed();
+    const Result<Instance> generated = lid::generate(options);
+    CHECK_OR_FAIL(generated.ok(), "cert: generate");
+    const Result<std::string> text = netlist_text(*generated);
+    CHECK_OR_FAIL(text.ok(), "cert: netlist text");
+    instances.push_back(*generated);
+    texts.push_back(*text);
+  }
+
+  // Facade: both certifying entry points, typed and JSON checker forms.
+  for (const Instance& instance : instances) {
+    AnalyzeOptions analyze_options;
+    analyze_options.certify = true;
+    const Result<Analysis> analysis = analyze(instance, analyze_options);
+    CHECK_OR_FAIL(analysis.ok() && analysis->certificate.has_value(), "cert: analyze certifies");
+    Result<verify::CheckResult> verdict = verify_certificate(instance, *analysis->certificate);
+    CHECK_OR_FAIL(verdict.ok() && verdict->ok, "cert: analyze certificate verifies");
+    verdict = verify_certificate(instance, verify::to_json(*analysis->certificate));
+    CHECK_OR_FAIL(verdict.ok() && verdict->ok, "cert: analyze JSON form verifies");
+
+    SizeQueuesOptions sizing_options;
+    sizing_options.certify = true;
+    const Result<Sizing> sizing = size_queues(instance, sizing_options);
+    CHECK_OR_FAIL(sizing.ok() && sizing->certificate.has_value(), "cert: sizing certifies");
+    verdict = verify_certificate(instance, *sizing->certificate);
+    CHECK_OR_FAIL(verdict.ok() && verdict->ok, "cert: sizing certificate verifies");
+    verdict = verify_certificate(instance, verify::to_json(*sizing->certificate));
+    CHECK_OR_FAIL(verdict.ok() && verdict->ok, "cert: sizing JSON form verifies");
+  }
+
+  // A certified payload must embed a certificate that the independent
+  // checker accepts against the locally held instance.
+  const auto payload_certificate_verifies = [&](const std::string& payload,
+                                                std::size_t m) -> bool {
+    const util::JsonParse parsed = util::json_parse(payload);
+    if (!parsed.ok || !parsed.value.is_object()) return false;
+    const util::Json* cert_json = parsed.value.find("certificate");
+    if (cert_json == nullptr) return false;
+    const verify::CertificateParse cert = verify::parse_certificate(*cert_json);
+    if (!cert) return false;
+    const Result<verify::CheckResult> verdict =
+        verify_certificate(instances[m], cert.certificate);
+    return verdict.ok() && verdict->ok;
+  };
+
+  static const char* kVerbs[] = {"analyze", "size-queues"};
+  const auto inline_line = [&](std::size_t m, const char* verb) {
+    util::JsonWriter w;
+    w.begin_object();
+    w.key("verb").value(verb).key("netlist").value(texts[m]).key("certify").value(true);
+    w.end_object();
+    return w.str();
+  };
+
+  // Direct execution of the certified inline form is the reference.
+  std::vector<std::vector<std::string>> direct(texts.size());
+  for (std::size_t m = 0; m < texts.size(); ++m) {
+    for (const char* verb : kVerbs) {
+      const Result<serve::Request> request = serve::parse_request(inline_line(m, verb));
+      CHECK_OR_FAIL(request.ok(), "cert: request parses");
+      const serve::Outcome outcome = serve::execute(*request);
+      CHECK_OR_FAIL(outcome.ok, "cert: direct certified execution succeeds");
+      CHECK_OR_FAIL(payload_certificate_verifies(outcome.payload, m),
+                    "cert: direct payload certificate verifies");
+      direct[m].push_back(outcome.payload);
+    }
+  }
+
+  serve::ServerOptions server_options;
+  server_options.unix_socket = "/tmp/lid_selfcheck_cert_" + std::to_string(::getpid()) + ".sock";
+  serve::Server server(server_options);
+  CHECK_OR_FAIL(server.start().ok(), "cert: server starts");
+  for (const bool binary : {false, true}) {
+    serve::SessionOptions session_options;
+    session_options.binary = binary;
+    Result<serve::Session> connected =
+        serve::Session::connect_unix(server_options.unix_socket, session_options);
+    CHECK_OR_FAIL(connected.ok(), "cert: session connects");
+    serve::Session session = std::move(connected).value();
+    for (std::size_t m = 0; m < texts.size(); ++m) {
+      const Result<serve::ModelHandle> handle = session.register_model(texts[m]);
+      CHECK_OR_FAIL(handle.ok(), "cert: register-model succeeds");
+      for (std::size_t v = 0; v < 2; ++v) {
+        const Result<std::string> registered =
+            session.query(*handle, kVerbs[v], R"({"certify":true})");
+        CHECK_OR_FAIL(registered.ok(), "cert: registered certified query succeeds");
+        CHECK_OR_FAIL(*registered == direct[m][v],
+                      "cert: registered certified payload == inline == direct");
+        const Result<std::string> response = session.call(inline_line(m, kVerbs[v]));
+        CHECK_OR_FAIL(response.ok(), "cert: inline certified call succeeds");
+        const Result<std::string> inlined = serve::extract_result(*response);
+        CHECK_OR_FAIL(inlined.ok(), "cert: inline certified response ok");
+        CHECK_OR_FAIL(*inlined == direct[m][v], "cert: inline certified payload == direct");
+      }
+    }
+    session.close();
+  }
+  server.stop();
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -765,6 +888,7 @@ int main(int argc, char** argv) {
     if (!check_degrade(seed)) return 1;
     if (!check_lint(seed)) return 1;
     if (!check_cluster(seed)) return 1;
+    if (!check_certificates(seed)) return 1;
     std::int64_t trials = 0;
     while (timer.elapsed_s() < seconds) {
       if (!check_one(seeder.fork_seed(), verbose)) return 1;

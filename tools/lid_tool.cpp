@@ -3,9 +3,15 @@
 //
 // Verb subcommands (legacy spellings kept as aliases):
 //   lid_tool analyze   --netlist sys.lis [--slack] [--rates]
+//                      [--certify] [--certificate-out cert.json]
 //   lid_tool size      --netlist sys.lis [--method heuristic|exact|both|lazy]
 //                      [--out sized.lis] [--timeout-ms N] [--max-nodes N]
+//                      [--certify] [--certificate-out cert.json]
 //                      (alias: size-queues)
+//   lid_tool verify    --netlist sys.lis --certificate cert.json
+//                      independent O(E) re-check of an analysis / sizing
+//                      certificate (src/verify — no solver code); exit 0 on
+//                      OK, 2 with a structured reason on rejection
 //   lid_tool batch     [--netlists a.lis,b.lis] [--cofdm] [--count N]
 //                      [--v N --s N --c N --rs N --policy scc|any --seed N]
 //                      [--threads N] [--analyses list|all]
@@ -34,6 +40,9 @@
 //                      [--target N|N/D] [--errors-only]
 //                      [--format pretty|json|sarif] [--out file]
 //                      [--fail-on error|warning|info|never]
+//                      [--baseline known.sarif]  suppress findings already in
+//                      a prior SARIF report (same rule at the same file/line);
+//                      only NEW findings render or count toward --fail-on
 //   lid_tool client    (--socket PATH | --port N [--host A]) --verb analyze
 //                      [--netlist sys.lis | --model FINGERPRINT]
 //                      [--deadline-ms N] [--id STR]
@@ -41,7 +50,8 @@
 //                      [--attempt-timeout-ms T]
 //                      [--protocol 1|2] [--transport ndjson|binary]
 //                      [verb args: --v/--s/--c/--rs/--seed/--policy, --solver,
-//                       --max-nodes, --budget, --ms] [--result-only] [--stdin]
+//                       --max-nodes, --budget, --ms, --certify] [--result-only]
+//                      [--stdin]
 //                      Protocol-v2 verbs: hello, register-model (--netlist),
 //                      evict-model (--model), list-models; analyze /
 //                      size-queues / lint / rate-safety / simulate accept
@@ -54,6 +64,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <set>
 #include <sstream>
 
 #include "serve/client.hpp"
@@ -99,6 +110,27 @@ T value_or_throw(Result<T> result) {
   return std::move(result).value();
 }
 
+/// Writes an emitted certificate: to --certificate-out when given, else to
+/// stdout after the verb's human-readable report.
+void emit_certificate(const util::Cli& cli, const verify::Certificate& cert) {
+  const std::string json = verify::to_json(cert);
+  const std::string out = cli.get_string("certificate-out", "");
+  if (out.empty()) {
+    std::cout << json << "\n";
+    return;
+  }
+  std::ofstream file(out);
+  if (!file) throw std::runtime_error("cannot open '" + out + "' for writing");
+  file << json << "\n";
+  std::cout << "certificate written to " << out << "\n";
+}
+
+/// True when the verb should emit a certificate: --certify, or an implied
+/// opt-in via --certificate-out.
+bool wants_certificate(const util::Cli& cli) {
+  return cli.get_bool("certify", false) || !cli.get_string("certificate-out", "").empty();
+}
+
 GenerateOptions generate_options(const util::Cli& cli) {
   GenerateOptions options;
   options.cores = static_cast<int>(cli.get_int_in("v", 50, 2, 1'000'000));
@@ -123,6 +155,7 @@ int cmd_analyze(const util::Cli& cli) {
   const Instance system = load(cli);
   AnalyzeOptions options;
   options.rate_safety = cli.get_bool("rates", false);
+  options.certify = wants_certificate(cli);
   const Analysis& analysis = value_or_throw(analyze(system, options));
   std::cout << "cores: " << analysis.cores << ", channels: " << analysis.channels
             << ", relay stations: " << analysis.relay_stations << "\n";
@@ -153,12 +186,15 @@ int cmd_analyze(const util::Cli& cli) {
     }
     table.print(std::cout);
   }
+  if (analysis.certificate) emit_certificate(cli, *analysis.certificate);
   return 0;
 }
 
 int cmd_size(const util::Cli& cli) {
   const Instance system = load(cli);
-  const std::string method = cli.get_string("method", "both");
+  // Default matches the facade: lazy constraint generation, which never
+  // enumerates cycles. The eager solvers stay explicit opt-ins.
+  const std::string method = cli.get_string("method", "lazy");
   SizeQueuesOptions options;
   if (method == "heuristic") {
     options.solver = Solver::kHeuristic;
@@ -173,6 +209,7 @@ int cmd_size(const util::Cli& cli) {
   }
   options.exact_timeout_ms = cli.get_double_in("timeout-ms", 60000.0, 0.0, 1e9);
   options.exact_max_nodes = cli.get_int_in("max-nodes", 0, 0, 1'000'000'000);
+  options.certify = wants_certificate(cli);
   const Sizing& sizing = value_or_throw(size_queues(system, options));
 
   std::cout << "ideal MST " << sizing.theta_ideal << ", practical MST " << sizing.theta_practical
@@ -207,7 +244,39 @@ int cmd_size(const util::Cli& cli) {
     if (!saved) throw std::runtime_error(saved.error().to_string());
     std::cout << "sized netlist written to " << out << "\n";
   }
+  if (sizing.certificate) emit_certificate(cli, *sizing.certificate);
   return 0;
+}
+
+/// `verify` — the independent half of the certificate story: load a netlist
+/// and a certificate document, run the O(E) checker (src/verify shares no
+/// solver code with the emitters), and report the verdict. Exit 0 on OK,
+/// 2 with the structured rejection reason otherwise.
+int cmd_verify(const util::Cli& cli) {
+  const Instance system = load(cli);
+  const std::string path = cli.get_string("certificate", "");
+  if (path.empty()) throw std::invalid_argument("--certificate <file> is required");
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  const verify::CertificateParse parsed = verify::parse_certificate_text(text.str());
+  if (!parsed) {
+    std::cout << "certificate REJECTED: malformed document: " << parsed.error << "\n";
+    return 2;
+  }
+  const char* kind = parsed.certificate.kind == verify::Kind::kSizing ? "sizing" : "analysis";
+  const verify::CheckResult result =
+      value_or_throw(verify_certificate(system, parsed.certificate));
+  if (result.ok) {
+    std::cout << "certificate OK (" << kind << ", model " << parsed.certificate.fingerprint
+              << ")\n";
+    return 0;
+  }
+  std::cout << "certificate REJECTED (" << kind << "): " << verify::to_string(result.reason);
+  if (!result.detail.empty()) std::cout << " — " << result.detail;
+  std::cout << "\n";
+  return 2;
 }
 
 int cmd_batch(const util::Cli& cli) {
@@ -526,6 +595,53 @@ int cmd_schedule(const util::Cli& cli) {
   return 0;
 }
 
+/// The "ruleId|uri|startLine" identity used by `lint --baseline` suppression.
+/// Must stay aligned with render_sarif's emission so a baseline produced by
+/// `lint --format sarif` round-trips: uri is the provenance file ("" when the
+/// netlist had none), line 0 when unresolved.
+std::string finding_key(const std::string& rule, const std::string& uri, std::int64_t line) {
+  return rule + "|" + uri + "|" + std::to_string(line);
+}
+
+/// Loads a SARIF baseline into the set of finding keys it contains.
+std::set<std::string> load_baseline(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) throw std::runtime_error("cannot open baseline '" + path + "'");
+  std::ostringstream text;
+  text << file.rdbuf();
+  const util::JsonParse parsed = util::json_parse(text.str());
+  if (!parsed.ok || !parsed.value.is_object()) {
+    throw std::runtime_error("baseline '" + path + "' is not a valid SARIF document");
+  }
+  std::set<std::string> keys;
+  const util::Json* runs = parsed.value.find("runs");
+  if (runs == nullptr || !runs->is_array()) return keys;
+  for (const util::Json& run : runs->items()) {
+    const util::Json* results = run.find("results");
+    if (results == nullptr || !results->is_array()) continue;
+    for (const util::Json& result : results->items()) {
+      const util::Json* rule = result.find("ruleId");
+      if (rule == nullptr || !rule->is_string()) continue;
+      std::string uri;
+      std::int64_t line = 0;
+      if (const util::Json* locations = result.find("locations");
+          locations != nullptr && locations->is_array() && locations->size() > 0) {
+        if (const util::Json* phys = locations->at(0).find("physicalLocation");
+            phys != nullptr) {
+          if (const util::Json* artifact = phys->find("artifactLocation"); artifact != nullptr) {
+            if (const util::Json* u = artifact->find("uri"); u != nullptr) uri = u->as_string();
+          }
+          if (const util::Json* region = phys->find("region"); region != nullptr) {
+            if (const util::Json* l = region->find("startLine"); l != nullptr) line = l->as_int();
+          }
+        }
+      }
+      keys.insert(finding_key(rule->as_string(), uri, line));
+    }
+  }
+  return keys;
+}
+
 int cmd_lint(const util::Cli& cli) {
   // Inputs: --netlist one file, or --netlists a comma-separated list.
   std::vector<std::string> files;
@@ -561,6 +677,36 @@ int cmd_lint(const util::Cli& cli) {
     instances.push_back(*loaded);
     reports.push_back(value_or_throw(lint(instances.back(), options)));
   }
+
+  // --baseline <sarif>: findings already recorded in a prior SARIF report —
+  // same rule at the same file/line — are dropped before rendering, so they
+  // neither appear in the output nor count toward --fail-on. CI gates only on
+  // NEW findings while a known-findings backlog is burned down.
+  std::size_t suppressed = 0;
+  if (const std::string baseline_path = cli.get_string("baseline", "");
+      !baseline_path.empty()) {
+    const std::set<std::string> baseline = load_baseline(baseline_path);
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      const auto* provenance = instances[i].provenance();
+      const std::string uri = provenance != nullptr ? provenance->file : "";
+      std::erase_if(reports[i].diagnostics, [&](const linter::Diagnostic& d) {
+        std::int64_t line = 0;
+        if (provenance != nullptr) {
+          if (d.location.has_channel()) {
+            line = provenance->line_of_channel(d.location.channel);
+          } else if (d.location.has_core()) {
+            line = provenance->line_of_core(d.location.core);
+          }
+        }
+        const bool known = baseline.count(finding_key(d.code, uri, line)) > 0;
+        suppressed += known ? 1 : 0;
+        return known;
+      });
+    }
+    // stderr so --format json/sarif stdout stays machine-parseable.
+    if (suppressed > 0) std::cerr << suppressed << " finding(s) suppressed by baseline\n";
+  }
+
   std::vector<linter::RenderItem> items(files.size());
   for (std::size_t i = 0; i < files.size(); ++i) {
     items[i].lis = &instances[i].graph();
@@ -654,6 +800,12 @@ std::string build_client_request(const util::Cli& cli, const std::string& verb) 
       std::ostringstream text;
       text << file.rdbuf();
       w.key("netlist").value(text.str());
+    }
+    // Certificate opt-in, passed through to the certifying verbs; the
+    // response then carries a "certificate" section lid_tool verify (or any
+    // independent checker) can validate offline.
+    if ((verb == "analyze" || verb == "size-queues") && cli.get_bool("certify", false)) {
+      w.key("certify").value(true);
     }
     if (verb == "size-queues") {
       // Passed through verbatim; omitted when not given so the server
@@ -767,7 +919,8 @@ int cmd_client(const util::Cli& cli) {
 int main(int argc, char** argv) {
   const std::vector<util::Command> commands = {
       {"analyze", {}, "throughput, topology class, critical cycle, rate safety", cmd_analyze},
-      {"size", {"size-queues"}, "queue sizing (heuristic / exact / both / lazy)", cmd_size},
+      {"size", {"size-queues"}, "queue sizing (lazy default; heuristic / exact / both)", cmd_size},
+      {"verify", {}, "independent O(E) check of an analysis / sizing certificate", cmd_verify},
       {"batch", {}, "parallel batch analysis over many instances, with metrics", cmd_batch},
       {"export", {"dot"}, "GraphViz / netlist-text export", cmd_export},
       {"gen", {"generate"}, "synthetic netlist generator (Sec. VIII)", cmd_gen},
